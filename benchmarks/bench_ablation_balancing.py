@@ -1,0 +1,35 @@
+"""Ablation: all three inter-rank balancing schemes head-to-head.
+
+The paper ships static equal-count division and names two future-work
+directions; this bench compares the trio on the same recorded work
+profile: equal-count segments (paper), cost-aware segments, and
+cross-rank work stealing.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import PAPER_PARAMS, _profile
+from repro.parallel import simulate_fig4
+
+
+def _run():
+    prof = _profile(9000, PAPER_PARAMS, "octree")
+    out = {}
+    for scheme in ("count", "weighted", "stealing"):
+        out[scheme] = simulate_fig4(prof, 12, 1, seed=4, noise_sigma=0.0,
+                                    segmenting=scheme).wall_seconds
+    return out
+
+
+def test_balancing_schemes(benchmark, record_table):
+    out = run_once(benchmark, _run)
+    base = out["count"]
+    lines = ["inter-rank balancing ablation (9000 atoms, 12 ranks):"]
+    for scheme, t in out.items():
+        lines.append(f"{scheme:9s}: {t * 1e3:8.3f} ms "
+                     f"({base / t:.2f}x vs count)")
+    record_table("ablation_balancing", "\n".join(lines))
+
+    # Both future-work schemes recover imbalance lost to count division.
+    assert out["weighted"] <= base * 1.02
+    assert out["stealing"] <= base * 1.05

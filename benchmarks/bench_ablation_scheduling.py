@@ -1,0 +1,45 @@
+"""Ablation: dynamic work stealing vs static intra-node partitioning.
+
+The paper's hybrid relies on cilk++'s randomized work stealing inside
+each rank.  This bench compares the simulated stealing schedule against
+a static equal-count block split on the real (skewed) per-leaf costs of
+a suite molecule — stealing should track the ideal makespan closely
+while the static split eats the full imbalance.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import PAPER_PARAMS, _profile
+from repro.cluster.costmodel import CostModel
+from repro.cluster.workstealing import WorkStealingSim, static_block_makespan
+
+
+def _leaf_costs():
+    prof = _profile(9000, PAPER_PARAMS, "octree")
+    cost = CostModel()
+    bps = prof.born_per_source
+    return cost.born_compute_seconds(
+        bps.visits.astype(float), bps.far.astype(float),
+        bps.exact_interactions.astype(float), True)
+
+
+def test_stealing_vs_static(benchmark, record_table):
+    costs = run_once(benchmark, _leaf_costs)
+    p = 6
+    ideal = float(np.sum(costs)) / p
+    sim = WorkStealingSim(workers=p, seed=7)
+    stats = sim.run(costs)
+    static = static_block_makespan(costs, p)
+
+    text = ("intra-node scheduling ablation (9000 atoms, p=6):\n"
+            f"ideal balance: {ideal * 1e3:.3f} ms\n"
+            f"work stealing: {stats.makespan * 1e3:.3f} ms "
+            f"(util {stats.utilization:.3f}, {stats.steals} steals)\n"
+            f"static blocks: {static * 1e3:.3f} ms")
+    record_table("ablation_scheduling", text)
+
+    # Stealing lands within 15 % of perfect balance …
+    assert stats.makespan < 1.15 * ideal
+    # … and beats (or at worst matches) the static split.
+    assert stats.makespan <= static * 1.02

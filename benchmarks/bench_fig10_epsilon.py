@@ -1,0 +1,23 @@
+"""Fig. 10: % error and running time vs the E_pol approximation
+parameter (ε_born fixed at 0.9, approximate math off).
+
+Paper result: average error grows with ε (up to a few per cent),
+running time falls; for small molecules time barely depends on ε.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig10_epsilon_sweep
+
+
+def test_fig10_epsilon_sweep(benchmark, record_table):
+    rows, text = run_once(benchmark, fig10_epsilon_sweep)
+    record_table("fig10_epsilon", text)
+
+    errs = [r["err_avg"] for r in rows]
+    times = [r["time_total"] for r in rows]
+    # Error grows (weakly monotone) with eps …
+    assert errs[0] <= errs[-1]
+    assert errs[-1] < 5.0          # still small in absolute terms
+    # … while total suite time shrinks.
+    assert times[-1] < times[0]

@@ -1,0 +1,36 @@
+"""Fig. 11 (table): the large-capsid showdown at 12 and 144 cores.
+
+Paper result (CMV shell, 509,640 atoms): OCT_MPI / OCT_MPI+CILK are
+hundreds of times faster than Amber on 12 cores (488–520×) and hundreds
+of times on 144 (325–430×), with < 1 % error vs the naive energy;
+OCT_CILK reaches 187×.  Here the shell is a scaled stand-in, so the
+factors are smaller but the ordering and the error bound must hold.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig11_cmv_table
+
+
+def test_fig11_cmv(benchmark, record_table):
+    rows, text = run_once(benchmark, fig11_cmv_table)
+    record_table("fig11_cmv", text)
+
+    by_name = {r["program"]: r for r in rows}
+    oct_mpi = by_name["OCT_MPI"]
+    oct_hyb = by_name["OCT_MPI+CILK"]
+    oct_cilk = by_name["OCT_CILK"]
+    amber = by_name["Amber"]
+
+    # Ordering at 12 cores: octree solvers ≫ Amber; OCT_CILK pays the
+    # NUMA penalty but still beats Amber.
+    assert oct_mpi["speedup12"] > 3.0
+    assert oct_hyb["speedup12"] > 3.0
+    assert oct_cilk["speedup12"] > 1.5
+    # 144 cores still far ahead of Amber on 144 cores.
+    assert oct_mpi["speedup144"] > 2.0
+    # Accuracy: octree energies within 1 % of naive (paper: < 1 %).
+    assert abs(oct_mpi["pct_diff"]) < 1.0
+    assert abs(oct_cilk["pct_diff"]) < 1.0
+    # Amber (HCT) is close to, but measurably off, the naive r6 energy.
+    assert 0.1 < abs(amber["pct_diff"]) < 25.0

@@ -1,0 +1,22 @@
+"""Fig. 5: running time / speedup vs core count on a large capsid.
+
+Paper result: both OCT_MPI and OCT_MPI+CILK scale to 144+ cores on the
+6M-atom BTV; speedup grows with core count.  Here the BTV is a scaled
+icosahedral-capsid stand-in (see DESIGN.md §2).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig5_speedup
+
+
+def test_fig5_speedup(benchmark, record_table):
+    rows, text = run_once(benchmark, fig5_speedup)
+    record_table("fig5_speedup", text)
+
+    # Running time decreases monotonically-ish with cores for both
+    # layouts (paper Fig. 5): endpoint must beat the single node well.
+    assert rows[-1].mpi_seconds < 0.5 * rows[0].mpi_seconds
+    assert rows[-1].hybrid_seconds < 0.5 * rows[0].hybrid_seconds
+    # Speedup at the largest core count is substantial.
+    assert rows[0].mpi_seconds / rows[-1].mpi_seconds > 4.0

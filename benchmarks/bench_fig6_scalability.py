@@ -1,0 +1,27 @@
+"""Fig. 6: min/max running time over 20 seeded runs per configuration.
+
+Paper result: the hybrid's *minimum* beats pure MPI's minimum once the
+core count passes ~180 (fewer ranks → less collective/sync overhead),
+while the hybrid's *maximum* stays above pure MPI's maximum at every
+core count (work-stealing schedule variance).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import FIG56_CORES, fig6_minmax
+
+
+def test_fig6_minmax(benchmark, record_table):
+    out, text = run_once(benchmark, fig6_minmax)
+    record_table("fig6_minmax", text)
+
+    high = [c for c in FIG56_CORES if c >= 192]
+    low = [c for c in FIG56_CORES if c <= 96]
+    # Beyond the crossover the hybrid's best run wins (paper: >180 cores).
+    assert all(out[c]["hybrid"][0] < out[c]["mpi"][0] for c in high)
+    # Below it, pure MPI's best run wins.
+    assert all(out[c]["mpi"][0] < out[c]["hybrid"][0] for c in low)
+    # Hybrid max ≥ MPI max for most configurations (schedule variance).
+    worse_max = sum(out[c]["hybrid"][1] > out[c]["mpi"][1]
+                    for c in FIG56_CORES)
+    assert worse_max >= len(FIG56_CORES) // 2

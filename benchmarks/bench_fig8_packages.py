@@ -1,0 +1,29 @@
+"""Fig. 8: all packages vs the octree solvers — time and Amber-relative
+speedup on 12 cores.
+
+Paper result: OCT_MPI and OCT_MPI+CILK are the fastest throughout;
+OCT_MPI reaches ≈11× over Amber at 16k atoms; Gromacs sits at ≈2.7× at
+the large end; NAMD ≈ Amber; Tinker and GBr⁶ trail and eventually OOM.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig8_packages
+
+
+def test_fig8_packages(benchmark, record_table):
+    rows, text = run_once(benchmark, fig8_packages)
+    record_table("fig8_packages", text)
+
+    largest = rows[-1]
+    amber = largest["Amber"]
+    # Octree dominates every package at the large end.
+    for name in ("Amber", "Gromacs", "NAMD"):
+        assert largest["OCT_MPI"] < largest[name]
+    # OCT_MPI speedup vs Amber lands in the paper's ballpark (≈11×).
+    speedup = amber / largest["OCT_MPI"]
+    assert 5.0 < speedup < 40.0, speedup
+    # Gromacs ≈ 2.7× Amber at the large end.
+    assert 1.8 < amber / largest["Gromacs"] < 4.5
+    # NAMD roughly tracks Amber (max speedup ≈ 1.1 in the paper).
+    assert 0.5 < amber / largest["NAMD"] < 1.5

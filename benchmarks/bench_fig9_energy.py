@@ -1,0 +1,36 @@
+"""Fig. 9: energy values computed by every algorithm.
+
+Paper result: Amber, GBr⁶, Gromacs, NAMD and the octree solvers track
+the naive energy closely; Tinker reports ≈70 % of the naive energy;
+Tinker and GBr⁶ run out of memory above ~12k / ~13k atoms.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig9_energy_values
+
+
+def test_fig9_energy_values(benchmark, record_table):
+    rows, text = run_once(benchmark, fig9_energy_values)
+    record_table("fig9_energy", text)
+
+    for r in rows:
+        ref = r["Naive"]
+        # Octree tracks naive; at eps 0.9 per-molecule errors run up to
+        # a few per cent (the paper's own Fig. 10 envelope).
+        assert abs(r["OCT"] - ref) / abs(ref) < 0.03
+        # HCT/OBC/GBr6 families track the naive energy.
+        for name in ("Amber", "Gromacs", "NAMD", "GBr6"):
+            if r[name] is not None:
+                assert abs(r[name] - ref) / abs(ref) < 0.25, (name, r)
+        # Tinker is systematically shifted (paper: ≈70 % of naive).
+        if r["Tinker"] is not None:
+            assert 0.3 < r["Tinker"] / ref < 0.9
+
+    # OOM behaviour: Tinker/GBr6 die on the largest molecules only.
+    big = [r for r in rows if r["natoms"] > 13500]
+    for r in big:
+        assert r["Tinker"] is None and r["GBr6"] is None
+    small = [r for r in rows if r["natoms"] < 10000]
+    for r in small:
+        assert r["Tinker"] is not None and r["GBr6"] is not None

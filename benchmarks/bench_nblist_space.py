@@ -1,0 +1,41 @@
+"""Paper §II, "Octrees vs Nblists": memory scaling with the cutoff.
+
+An nblist's footprint grows ~cubically with the distance cutoff at
+fixed density; the octree's footprint does not depend on the
+approximation parameter at all.  This bench measures both on the same
+molecule.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import suite_molecule
+from repro.baselines.nblist import NonbondedList
+from repro.config import ApproxParams
+from repro.octree import build_octree, octree_stats
+
+
+def _measure():
+    mol = suite_molecule(5200)
+    cutoffs = (6.0, 9.0, 12.0, 18.0, 24.0)
+    nb_bytes = [NonbondedList.build(mol.positions, c).nbytes()
+                for c in cutoffs]
+    tree = build_octree(mol.positions,
+                        ApproxParams().leaf_size)
+    return cutoffs, nb_bytes, octree_stats(tree).nbytes
+
+
+def test_nblist_vs_octree_space(benchmark, record_table):
+    cutoffs, nb_bytes, oct_bytes = run_once(benchmark, _measure)
+    lines = ["nblist vs octree memory (5200 atoms):",
+             "cutoff (Å) | nblist bytes | octree bytes (cutoff-free)"]
+    for c, b in zip(cutoffs, nb_bytes):
+        lines.append(f"{c:10.1f} | {b:12d} | {oct_bytes:12d}")
+    record_table("nblist_space", "\n".join(lines))
+
+    # Cubic-ish growth: doubling the cutoff from 9 → 18 Å grows the
+    # nblist by ≳5× (ideal 8×, edge effects shave it).
+    i9, i18 = cutoffs.index(9.0), cutoffs.index(18.0)
+    assert nb_bytes[i18] > 5.0 * nb_bytes[i9]
+    # At large cutoffs the octree is (much) smaller than the nblist.
+    assert oct_bytes < nb_bytes[-1] / 3

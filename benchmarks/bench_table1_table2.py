@@ -1,0 +1,22 @@
+"""Tables I and II: environment and program inventory."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table1_machine, table2_packages
+from repro.cluster.machine import lonestar4
+
+
+def test_table1_machine(benchmark, record_table):
+    text = run_once(benchmark, table1_machine)
+    record_table("table1_machine", text)
+    spec = lonestar4()
+    assert spec.total_cores == 144        # 12 nodes × 12 cores (paper)
+    assert spec.node.cores == 12
+
+
+def test_table2_packages(benchmark, record_table):
+    text = run_once(benchmark, table2_packages)
+    record_table("table2_packages", text)
+    for name in ("Amber", "Gromacs", "NAMD", "Tinker", "GBr6",
+                 "OCT_MPI+CILK"):
+        assert name in text

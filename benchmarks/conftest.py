@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table/figure: it runs the
+corresponding :mod:`repro.analysis.experiments` function exactly once
+under pytest-benchmark (``rounds=1`` — these are minutes-scale harness
+runs, not microbenchmarks), prints the paper-style table, and appends it
+to ``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Print a rendered table and persist it to results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

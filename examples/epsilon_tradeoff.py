@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Speed–accuracy trade-off: sweeping the approximation parameter ε.
+
+The paper's octree algorithms are tunable (§II, §V-E): increasing ε
+accepts more node pairs as "far", trading accuracy for speed, while the
+octree itself never changes — the "space-independent speed-accuracy
+tradeoff" property.  This example sweeps ε for both the Born-radius and
+energy traversals on one molecule and prints error vs the naive exact
+reference together with the interaction counts that shrink as ε grows.
+
+Run:  python examples/epsilon_tradeoff.py [natoms]
+"""
+
+import sys
+import time
+
+from repro import ApproxParams, PolarizationSolver
+from repro.analysis.tables import Table
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules import synthetic_protein
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    mol = synthetic_protein(natoms, seed=13)
+    print(f"molecule: {mol.natoms} atoms, {mol.nqpoints} q-points")
+
+    radii_ref = born_radii_naive_r6(mol)
+    e_ref = epol_naive(mol, radii_ref)
+    print(f"naive exact E_pol = {e_ref:.3f} kcal/mol "
+          f"({mol.natoms ** 2} pair terms)\n")
+
+    table = Table(["eps", "E_pol", "% err", "exact pair terms",
+                   "far node pairs", "time (s)"],
+                  title="speed-accuracy sweep (eps_born = eps_epol = eps)")
+    for eps in (0.1, 0.2, 0.3, 0.5, 0.7, 0.9):
+        t0 = time.perf_counter()
+        solver = PolarizationSolver(
+            mol, ApproxParams(eps_born=eps, eps_epol=eps))
+        energy = solver.energy()
+        dt = time.perf_counter() - t0
+        rep = solver.report()
+        err = 100.0 * abs(energy - e_ref) / abs(e_ref)
+        table.add_row(eps, energy, err,
+                      rep.epol_counts.exact_interactions,
+                      rep.epol_counts.far_evaluations, dt)
+    print(table.render())
+    print("\nlarger eps -> fewer exact terms, more far-field collapses, "
+          "larger (but bounded) error; the octree is built once per "
+          "molecule regardless of eps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Flexible-molecule trajectory: dynamic octree maintenance in action.
+
+The paper's case against nonbonded lists (§II and its ref [8]) is that
+for *flexible* molecules — where atoms move every step — an nblist
+update is expensive and cutoff-cubic, while an octree can be maintained
+cheaply.  This example walks a synthetic protein through an MD-like
+random trajectory, *refitting* the atoms octree each step (rebuilding
+only when the refit degrades), and recomputes E_pol along the way,
+reporting the refit/rebuild decisions and the drift of the energy.
+
+Run:  python examples/flexible_md.py [steps]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import ApproxParams, Molecule
+from repro.core.born_octree import born_radii_octree
+from repro.core.energy_octree import epol_octree
+from repro.molecules import sample_surface, synthetic_protein
+from repro.octree import build_octree, update_octree
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    params = ApproxParams()
+    mol = synthetic_protein(2000, seed=19)
+    rng = np.random.default_rng(7)
+
+    pos = mol.positions.copy()
+    atoms_tree = build_octree(pos, params.leaf_size)
+    rebuilds = 0
+
+    print(f"{mol.natoms} atoms, {steps} MD-like steps "
+          f"(0.08 Å RMS jiggle + slow collective drift)\n")
+    print("step | E_pol (kcal/mol) | refit/rebuild | radius inflation")
+    t0 = time.perf_counter()
+    for step in range(steps):
+        # Thermal jiggle plus a slow breathing mode.
+        pos = pos + rng.normal(scale=0.08, size=pos.shape)
+        pos = pos * (1.0 + 0.002 * np.sin(step / 3.0))
+
+        atoms_tree, stats = update_octree(atoms_tree, pos)
+        rebuilds += stats.rebuilt
+
+        # Surface resampling is the physically honest per-step cost for
+        # the Born integral; for this demo we re-sample every step.
+        moved = sample_surface(
+            Molecule(pos, mol.charges, mol.radii, name=f"step{step}"))
+        born = born_radii_octree(moved, params, atoms_tree=atoms_tree)
+        energy = epol_octree(moved, born.radii, params,
+                             atoms_tree=atoms_tree).energy
+        print(f"{step:4d} | {energy:16.3f} | "
+              f"{'rebuild' if stats.rebuilt else 'refit  '} | "
+              f"{stats.radius_inflation:6.3f}")
+    dt = time.perf_counter() - t0
+    print(f"\n{steps} steps in {dt:.1f} s; {rebuilds} full rebuilds — "
+          "gentle motion is absorbed by refits (an nblist would have "
+          "paid a cutoff-cubic update every step)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Drive the implicit-solvent minimiser and thermostat end-to-end.
+
+The paper's intro motivates GB energies with conformation search
+("determining the molecular conformation with minimal total free
+energy").  This example runs that machinery on a small protein:
+backtracking minimisation over the GB + soft-sphere potential, then a
+short Langevin shake.
+
+An honest caveat it also demonstrates: the library's potential is
+*only* polarization + a steric floor — with no bonds or LJ attraction,
+gradient descent legitimately compacts the structure (opposite charges
+approach until the soft spheres stop them).  The minimiser's contract —
+monotone energy decrease between Born refreshes, bounded displacement
+per step — is what is being exercised; a production force field would
+add its bonded/LJ terms through the same ``energy_and_forces``
+interface.
+
+Run:  python examples/minimize_capsid_patch.py [natoms]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ApproxParams
+from repro.md import ImplicitSolventPotential, langevin, minimize
+from repro.molecules import synthetic_protein
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    mol = synthetic_protein(natoms, seed=27)
+    rng = np.random.default_rng(3)
+
+    # Strain: shove 5 % of the atoms toward their neighbours.
+    x = mol.positions.copy()
+    victims = rng.choice(mol.natoms, size=max(2, mol.natoms // 20),
+                         replace=False)
+    x[victims] += rng.normal(scale=0.8, size=(len(victims), 3))
+
+    pot = ImplicitSolventPotential(mol, ApproxParams(),
+                                   use_octree=(natoms > 600))
+    pot.refresh(x)
+    e0 = pot.energy(x)
+    print(f"{mol.natoms} atoms; strained energy: {e0:10.2f} kcal/mol")
+
+    res = minimize(pot, x, max_steps=30, refresh_every=10)
+    mono = bool(np.all(np.diff(res.energies) <= 1e-9))
+    rms = float(np.sqrt(np.mean(np.sum((res.positions - x) ** 2,
+                                       axis=1))))
+    print(f"minimised:  {res.energy:10.2f} kcal/mol "
+          f"({res.steps_taken} accepted steps, {res.refreshes} Born "
+          f"refreshes)")
+    print(f"monotone within refresh windows: {mono};  "
+          f"RMS displacement: {rms:.2f} Å")
+    print("(the large drop is implicit-solvent compaction — this toy "
+          "potential has no bonds/LJ to oppose it; see the module "
+          "docstring)")
+
+    shake = langevin(pot, res.positions, steps=30, dt=0.001,
+                     temperature=300.0, friction=20.0, seed=5)
+    print(f"Langevin shake (30 x 1 fs): final E = "
+          f"{shake.energies[-1]:10.2f} kcal/mol, "
+          f"<T> = {shake.mean_temperature(skip=10):5.0f} K")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Rigid-body pose refinement by following the polarization force.
+
+Extends the docking example with the force API: after a coarse pose is
+chosen, the ligand is *refined* by translating it along the net GB
+polarization force acting on its atoms (with Born radii re-evaluated
+every few steps).  This is the gradient piece an MD/docking engine
+would combine with Coulomb and Lennard-Jones terms.
+
+Run:  python examples/pose_refinement.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ApproxParams, Molecule, PolarizationSolver
+from repro.core.born_octree import born_radii_octree
+from repro.core.forces import forces_octree
+from repro.molecules import random_ligand, synthetic_protein
+from repro.molecules.molecule import SurfaceSamples
+
+
+def merged(receptor: Molecule, lig_pos: np.ndarray,
+           ligand: Molecule) -> Molecule:
+    rs = receptor.require_surface()
+    ls = ligand.require_surface()
+    offset = lig_pos.mean(axis=0) - ligand.positions.mean(axis=0)
+    return Molecule(
+        np.vstack([receptor.positions, lig_pos]),
+        np.concatenate([receptor.charges, ligand.charges]),
+        np.concatenate([receptor.radii, ligand.radii]),
+        surface=SurfaceSamples(
+            np.vstack([rs.points, ls.points + offset]),
+            np.vstack([rs.normals, ls.normals]),
+            np.concatenate([rs.weights, ls.weights])),
+        name="complex")
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    params = ApproxParams()
+    receptor = synthetic_protein(1500, seed=7)
+    ligand = random_ligand(35, seed=4)
+    nrec = receptor.natoms
+
+    # Start the ligand off to one side of the receptor.
+    direction = np.array([1.0, 0.3, -0.2])
+    direction /= np.linalg.norm(direction)
+    lig_pos = (ligand.positions - ligand.centroid()
+               + receptor.centroid()
+               + (receptor.bounding_radius() + 8.0) * direction)
+
+    print(f"receptor {nrec} atoms, ligand {ligand.natoms} atoms; "
+          f"{steps} refinement steps")
+    step_size = 0.5  # Å per unit normalised force
+    for it in range(steps):
+        complex_mol = merged(receptor, lig_pos, ligand)
+        born = born_radii_octree(complex_mol, params)
+        energy = PolarizationSolver(complex_mol, params).energy()
+        fr = forces_octree(complex_mol, born.radii, params,
+                           atoms_tree=born.atoms_tree)
+        net = fr.forces[nrec:].sum(axis=0)
+        norm = np.linalg.norm(net)
+        print(f"step {it:2d}: E_pol = {energy:12.4f} kcal/mol, "
+              f"|F_ligand| = {norm:8.3f} kcal/mol/Å")
+        if norm < 1e-6:
+            break
+        lig_pos = lig_pos + step_size * net / norm
+
+    print("\nrefined displacement:",
+          np.round(lig_pos.mean(axis=0) - ligand.centroid(), 2))
+    print("(the polarization force alone pulls charged ligands toward "
+          "the solvent-rich side; a docking engine adds Coulomb/LJ)")
+
+
+if __name__ == "__main__":
+    main()

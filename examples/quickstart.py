@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: polarization energy of one synthetic protein.
+
+Generates a 3,000-atom folded-protein-like molecule, computes its
+surface-based r⁶ Born radii and GB polarization energy with the octree
+solver, and compares against the naive exact reference — the paper's
+core accuracy claim (<1 % error at ε = 0.9) in ~20 lines.
+
+Run:  python examples/quickstart.py [natoms]
+"""
+
+import sys
+import time
+
+from repro import ApproxParams, PolarizationSolver
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules import synthetic_protein
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    print(f"generating a ~{natoms}-atom synthetic protein …")
+    mol = synthetic_protein(natoms, seed=42)
+    print(f"  {mol.natoms} atoms, {mol.nqpoints} surface quadrature points")
+
+    t0 = time.perf_counter()
+    solver = PolarizationSolver(mol, ApproxParams(eps_born=0.9,
+                                                  eps_epol=0.9))
+    energy = solver.energy()
+    t_oct = time.perf_counter() - t0
+    print(f"octree solver:  E_pol = {energy:12.3f} kcal/mol   ({t_oct:.2f} s)")
+
+    t0 = time.perf_counter()
+    radii = born_radii_naive_r6(mol)
+    e_naive = epol_naive(mol, radii)
+    t_naive = time.perf_counter() - t0
+    print(f"naive exact:    E_pol = {e_naive:12.3f} kcal/mol   ({t_naive:.2f} s)")
+
+    err = 100.0 * abs(energy - e_naive) / abs(e_naive)
+    print(f"error vs naive: {err:.3f} %   (paper: < 1 % at eps = 0.9)")
+
+    rep = solver.report()
+    print(f"traversal: {rep.epol_counts.far_evaluations} far node pairs, "
+          f"{rep.epol_counts.exact_interactions} exact pair terms "
+          f"(naive would be {mol.natoms ** 2})")
+
+
+if __name__ == "__main__":
+    main()

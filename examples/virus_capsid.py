@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Virus capsid at scale: distributed vs hybrid on the simulated cluster.
+
+Reproduces the paper's large-molecule story (§V-B, §V-F) on a Cucumber
+Mosaic Virus stand-in: a hollow icosahedral protein shell.  One real
+octree solve provides the work profile; the simulated Lonestar4 cluster
+then replays it as ``OCT_MPI`` (12 ranks/node) and ``OCT_MPI+CILK``
+(2 ranks × 6 threads/node) across core counts, printing running time,
+speedup and per-process memory — including the ~6× memory ratio the
+paper measures between the two layouts.
+
+Run:  python examples/virus_capsid.py [natoms] [max_nodes]
+"""
+
+import sys
+import time
+
+from repro.analysis.tables import Table
+from repro.cluster.machine import lonestar4
+from repro.config import ApproxParams
+from repro.molecules import virus_capsid
+from repro.parallel import WorkProfile, simulate_fig4
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    max_nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    machine = lonestar4(nodes=max_nodes)
+
+    print(f"building a ~{natoms}-atom capsid …")
+    t0 = time.perf_counter()
+    capsid = virus_capsid(natoms, seed=11)
+    print(f"  {capsid.natoms} atoms, {capsid.nqpoints} quadrature points "
+          f"({time.perf_counter() - t0:.1f} s)")
+
+    t0 = time.perf_counter()
+    profile = WorkProfile.from_molecule(
+        capsid, ApproxParams(eps_born=0.9, eps_epol=0.9, approx_math=True))
+    print(f"solved once for the work profile "
+          f"({time.perf_counter() - t0:.1f} s): "
+          f"E_pol = {profile.energy:.1f} kcal/mol")
+
+    table = Table(["cores", "OCT_MPI (s)", "OCT_MPI+CILK (s)",
+                   "hybrid wins", "mem/proc MPI (MB)",
+                   "mem/node MPI (MB)", "mem/node HYB (MB)"],
+                  title="simulated Lonestar4 scaling")
+    for cores in (12, 24, 48, 96, 144, 192, 288, 480):
+        if cores > machine.total_cores:
+            break
+        mpi = simulate_fig4(profile, cores, 1, machine=machine, seed=1)
+        hyb = simulate_fig4(profile, max(1, cores // 6), 6,
+                            machine=machine, seed=1)
+        mb = 1.0 / 1e6
+        table.add_row(cores, mpi.wall_seconds, hyb.wall_seconds,
+                      hyb.wall_seconds < mpi.wall_seconds,
+                      mpi.memory_per_process() * mb,
+                      mpi.memory_per_node(12) * mb,
+                      hyb.memory_per_node(2) * mb)
+    print()
+    print(table.render())
+    print("\nnote: per-process data is fully replicated (the paper "
+          "distributes only work), so a 12-rank node holds ~6x the bytes "
+          "of a 2-rank hybrid node — the paper's 8.2 GB vs 1.4 GB effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Analysis helpers: error metrics, speedups, paper-style tables."""
+
+from repro.analysis.metrics import (
+    percent_error,
+    relative_error,
+    speedup,
+    min_max_over_runs,
+)
+from repro.analysis.tables import Table, render_series
+
+__all__ = [
+    "percent_error",
+    "relative_error",
+    "speedup",
+    "min_max_over_runs",
+    "Table",
+    "render_series",
+]

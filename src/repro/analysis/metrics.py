@@ -1,0 +1,45 @@
+"""Error and speedup metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+def relative_error(value: float, reference: float) -> float:
+    """``(value − reference) / |reference|`` (signed)."""
+    if reference == 0.0:
+        raise ValueError("reference must be nonzero")
+    return (value - reference) / abs(reference)
+
+
+def percent_error(value: float, reference: float) -> float:
+    """Signed percentage difference w.r.t. a reference (the paper's
+    '% of difference with naïve')."""
+    return 100.0 * relative_error(value, reference)
+
+
+def speedup(reference_seconds: float, seconds: float) -> float:
+    """``reference / time`` — e.g. 'speedup w.r.t. Amber'."""
+    if seconds <= 0:
+        raise ValueError("time must be positive")
+    return reference_seconds / seconds
+
+
+def min_max_over_runs(run: Callable[[int], float],
+                      n_runs: int = 20,
+                      seed0: int = 0) -> Tuple[float, float]:
+    """Execute ``run(seed)`` for ``n_runs`` seeds; return (min, max).
+
+    The paper's Fig. 6 plots min/max running time over 20 repetitions
+    of each configuration.
+    """
+    values = [run(seed0 + i) for i in range(n_runs)]
+    return min(values), max(values)
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Average ± standard deviation (the paper's Fig. 10 error bars)."""
+    arr = np.asarray(values, dtype=np.float64)
+    return float(arr.mean()), float(arr.std())

@@ -1,0 +1,65 @@
+"""Fixed-width table / series rendering for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's
+figures plot; these helpers keep that output consistent and diffable
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str],
+                 title: Optional[str] = None) -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any],
+                  xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render one plot series as aligned text (figure stand-in)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [f"series: {name} ({xlabel} -> {ylabel})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>12} {_fmt(y):>14}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Baseline comparators: the algorithms inside the packages the paper
+benchmarks against (Amber 12, Gromacs 4.5.3, NAMD 2.9, Tinker 6.0,
+GBr⁶), re-implemented from their published formulas.
+
+These are *emulators*: the Born-radius models (HCT, OBC, STILL-style,
+volume r⁶) and the cutoff nonbonded-list machinery are real
+implementations producing real energies; the wall-clock seconds come
+from the same machine cost model the octree drivers use, with
+per-package efficiency constants calibrated to the paper's reported
+relative speeds (see DESIGN.md §2).
+"""
+
+from repro.baselines.nblist import NonbondedList
+from repro.baselines.pairwise_gb import (
+    born_radii_hct,
+    born_radii_obc,
+    born_radii_still_r4,
+)
+from repro.baselines.gbr6_volume import born_radii_gbr6_volume
+from repro.baselines.packages import (
+    PackageResult,
+    AmberEmulator,
+    GromacsEmulator,
+    NamdEmulator,
+    TinkerEmulator,
+    GBr6Emulator,
+)
+from repro.baselines.registry import PACKAGES, get_package
+
+__all__ = [
+    "NonbondedList",
+    "born_radii_hct",
+    "born_radii_obc",
+    "born_radii_still_r4",
+    "born_radii_gbr6_volume",
+    "PackageResult",
+    "AmberEmulator",
+    "GromacsEmulator",
+    "NamdEmulator",
+    "TinkerEmulator",
+    "GBr6Emulator",
+    "PACKAGES",
+    "get_package",
+]

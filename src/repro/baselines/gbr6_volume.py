@@ -1,0 +1,77 @@
+"""Volume-based r⁶ Born radii — the GBr⁶ comparator (Tjong & Zhou 2007).
+
+GBr⁶ evaluates Grycuk's r⁶ integral over the *solute volume* rather
+than its surface (the paper contrasts this with its own "surface-based
+r⁶-approximation").  The volume integral over the union of atom spheres
+is approximated, as in pairwise-descreening methods, by summing the
+closed-form integral of ``|r − x_i|⁻⁶`` over each neighbour sphere:
+
+    ∫_{ball(a) at distance d}  dV / |r|⁶
+        = π/(2d) · [ F(d, a) ]   (derived by elementary integration)
+
+with overlap handled by shrinking the descreener to its part outside
+atom *i*.  ``1/R³ = 1/ρ³ − (3/4π) Σ_j ∫_j`` then mirrors GBr⁶'s
+construction; it is parameter-free, which is GBr⁶'s selling point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.nblist import NonbondedList
+from repro.constants import FOUR_PI
+from repro.molecules.molecule import Molecule
+
+
+def sphere_r6_integral(d: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """∫ dV/|r−c|⁶ over a ball of radius ``a`` whose centre is at
+    distance ``d`` from the evaluation point, for ``d > a`` (vectorised).
+
+    Closed form from the radial decomposition
+    ``π/(2d) ∫₀ᵃ r [ (d−r)⁻⁴ − (d+r)⁻⁴ ] dr``.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    if np.any(d <= a):
+        raise ValueError("closed form requires d > a (no overlap)")
+    dm, dp = d - a, d + a
+    term_minus = (d / 3.0) * (dm ** -3 - d ** -3) - 0.5 * (dm ** -2 - d ** -2)
+    term_plus = (-0.5 * dp ** -2 + (d / 3.0) * dp ** -3) \
+        - (-0.5 * d ** -2 + (1.0 / 3.0) * d ** -2)
+    return np.pi / (2.0 * d) * (term_minus - term_plus)
+
+
+def born_radii_gbr6_volume(molecule: Molecule,
+                           nblist: Optional[NonbondedList] = None,
+                           cutoff: Optional[float] = None) -> np.ndarray:
+    """GBr⁶-style volume r⁶ Born radii.
+
+    Overlapping descreeners are shrunk to the sphere tangent to atom
+    *i*'s surface (radius ``min(a, d − ρ_i)``), which removes the
+    double-counted self region at the usual pairwise-descreening level
+    of approximation.
+    """
+    pos = molecule.positions
+    rho = molecule.radii
+    n = molecule.natoms
+    if nblist is None:
+        span = float(np.linalg.norm(pos.max(axis=0) - pos.min(axis=0)))
+        nblist = NonbondedList.build(pos, min(cutoff or 1e30, span + 1.0))
+
+    sums = np.zeros(n)
+    for ii, jj in nblist.iter_pair_blocks():
+        r = np.linalg.norm(pos[ii] - pos[jj], axis=1)
+        for a_idx, b_idx in ((ii, jj), (jj, ii)):
+            # descreening of atom a by sphere b
+            a_eff = np.minimum(rho[b_idx], r - rho[a_idx])
+            ok = a_eff > 1e-6
+            if not ok.any():
+                continue
+            vals = sphere_r6_integral(r[ok], a_eff[ok] * (1.0 - 1e-9))
+            sums += np.bincount(a_idx[ok], weights=vals, minlength=n)
+    inv3 = 1.0 / rho ** 3 - (3.0 / FOUR_PI) * sums
+    span = float(np.linalg.norm(pos.max(axis=0) - pos.min(axis=0)))
+    inv3 = np.maximum(inv3, 1.0 / (span + 1.0) ** 3)
+    return np.maximum(inv3 ** (-1.0 / 3.0), rho)

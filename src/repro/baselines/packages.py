@@ -1,0 +1,193 @@
+"""Emulators of the comparison packages (paper Table II).
+
+Each emulator couples
+
+* a real Born-radius model (:mod:`repro.baselines.pairwise_gb`,
+  :mod:`repro.baselines.gbr6_volume`),
+* real nonbonded-list construction with the package's characteristic
+  cutoff,
+* a timing model on the shared :class:`~repro.cluster.costmodel.CostModel`
+  (pair-interaction flops × a per-package efficiency constant ×
+  parallel efficiency of the package's parallelism style), and
+* a memory model whose out-of-memory behaviour matches the paper's
+  observations (Tinker dies above ~12k atoms, GBr⁶ above ~13k; §V-D).
+
+Efficiency constants are calibrated so the 12-core speedups *relative
+to Amber* land near the paper's Fig. 8(b); the scaling *shapes* follow
+from the algorithms (cutoff-pair counts vs. octree traversals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.baselines.gbr6_volume import born_radii_gbr6_volume
+from repro.baselines.nblist import NonbondedList
+from repro.baselines.pairwise_gb import (
+    born_radii_hct,
+    born_radii_obc,
+    born_radii_still_r4,
+)
+from repro.cluster.costmodel import CostModel
+from repro.cluster.machine import MachineSpec, lonestar4
+from repro.core.energy_naive import epol_naive
+from repro.molecules.molecule import Molecule
+
+#: Flops charged per pair interaction (descreening integral + f_GB).
+FLOPS_PAIR_GB = 90.0
+#: Flops charged per nblist candidate test.
+FLOPS_NBLIST_TEST = 10.0
+
+
+@dataclass
+class PackageResult:
+    """Outcome of running one package emulator."""
+
+    name: str
+    gb_model: str
+    parallelism: str
+    cores: int
+    natoms: int
+    energy: Optional[float]
+    born_radii: Optional[np.ndarray]
+    wall_seconds: Optional[float]
+    memory_bytes: int
+    oom: bool = False
+
+    def describe(self) -> str:
+        if self.oom:
+            return (f"{self.name}: OOM at {self.natoms} atoms "
+                    f"(needs {self.memory_bytes / 1e9:.1f} GB)")
+        return (f"{self.name}: E={self.energy:.2f} kcal/mol, "
+                f"t={self.wall_seconds:.4f}s on {self.cores} cores")
+
+
+@dataclass
+class PackageEmulator:
+    """Shared machinery for all package emulators."""
+
+    name: str
+    gb_model: str
+    parallelism: str
+    #: Pair cutoff in Å; ``None`` = all pairs (Tinker, GBr⁶).
+    cutoff: Optional[float]
+    #: Per-package constant-factor slowdown vs the flop model
+    #: (calibrated to Fig. 8(b) relative speeds).
+    efficiency_factor: float
+    #: Parallel efficiency at 12 cores for the package's runtime.
+    parallel_efficiency: float
+    #: Per-run fixed overhead (setup, I/O, force-field bookkeeping), s.
+    startup_seconds: float
+    #: Memory bytes per (stored) pair — packages keeping per-pair state
+    #: beyond the half nblist get larger constants.
+    bytes_per_pair: float
+    #: Radii solver: Molecule, nblist|None, cutoff|None → radii.
+    radii_fn: Callable = born_radii_hct
+    #: Hard ceiling on usable cores (GBr⁶ is serial; Amber's cap is 256).
+    max_cores: int = 10 ** 6
+
+    def _pair_count(self, molecule: Molecule,
+                    nblist: Optional[NonbondedList]) -> float:
+        if nblist is not None:
+            return float(nblist.npairs)
+        m = molecule.natoms
+        return 0.5 * m * (m - 1)
+
+    def memory_estimate(self, molecule: Molecule,
+                        nblist: Optional[NonbondedList]) -> int:
+        base = molecule.nbytes() * 4  # coordinates, forces, parameters…
+        pairs = self._pair_count(molecule, nblist)
+        return int(base + self.bytes_per_pair * pairs)
+
+    def run(self, molecule: Molecule,
+            cores: int = 12,
+            machine: Optional[MachineSpec] = None,
+            cost: Optional[CostModel] = None,
+            compute_energy: bool = True,
+            cutoff_override: Optional[float] = None) -> PackageResult:
+        """Run the emulator: real radii/energy, modelled wall seconds."""
+        machine = machine or lonestar4()
+        cost = cost or CostModel(machine=machine)
+        cores = min(cores, self.max_cores)
+        cutoff = cutoff_override if cutoff_override is not None else self.cutoff
+
+        nblist = None
+        if cutoff is not None:
+            nblist = NonbondedList.build(molecule.positions, cutoff)
+
+        mem = self.memory_estimate(molecule, nblist)
+        if mem > machine.node.ram_bytes:
+            return PackageResult(
+                name=self.name, gb_model=self.gb_model,
+                parallelism=self.parallelism, cores=cores,
+                natoms=molecule.natoms, energy=None, born_radii=None,
+                wall_seconds=None, memory_bytes=mem, oom=True)
+
+        radii = self.radii_fn(molecule, nblist, cutoff)
+        energy = (epol_naive(molecule, radii) if compute_energy else None)
+
+        pairs = self._pair_count(molecule, nblist)
+        build_ops = nblist.build_ops if nblist is not None else pairs
+        # Born pass + energy pass each walk the pair set once.
+        flops = (FLOPS_NBLIST_TEST * build_ops + 2.0 * FLOPS_PAIR_GB * pairs)
+        serial = flops * cost.seconds_per_flop() * self.efficiency_factor
+        eff_cores = max(1.0, cores * self.parallel_efficiency)
+        wall = serial / eff_cores + self.startup_seconds
+
+        return PackageResult(
+            name=self.name, gb_model=self.gb_model,
+            parallelism=self.parallelism, cores=cores,
+            natoms=molecule.natoms, energy=energy, born_radii=radii,
+            wall_seconds=wall, memory_bytes=mem)
+
+
+def AmberEmulator() -> PackageEmulator:
+    """Amber 12 GB (HCT), MPI distributed, 25 Å GB cutoff."""
+    return PackageEmulator(
+        name="Amber", gb_model="HCT", parallelism="Distributed (MPI)",
+        cutoff=25.0, efficiency_factor=5.0, parallel_efficiency=0.75,
+        startup_seconds=2e-2, bytes_per_pair=16.0,
+        radii_fn=born_radii_hct, max_cores=256)
+
+
+def GromacsEmulator() -> PackageEmulator:
+    """Gromacs 4.5.3 GB (HCT), MPI distributed — the fastest comparator."""
+    return PackageEmulator(
+        name="Gromacs", gb_model="HCT", parallelism="Distributed (MPI)",
+        cutoff=25.0, efficiency_factor=1.85, parallel_efficiency=0.75,
+        startup_seconds=7e-3, bytes_per_pair=16.0,
+        radii_fn=born_radii_hct)
+
+
+def NamdEmulator() -> PackageEmulator:
+    """NAMD 2.9 GB (OBC), Charm++/MPI; GB-only time obtained by
+    differencing two runs in the paper — hence the large constants."""
+    return PackageEmulator(
+        name="NAMD", gb_model="OBC", parallelism="Distributed (MPI)",
+        cutoff=25.0, efficiency_factor=5.3, parallel_efficiency=0.70,
+        startup_seconds=1.8e-2, bytes_per_pair=24.0,
+        radii_fn=born_radii_obc)
+
+
+def TinkerEmulator() -> PackageEmulator:
+    """Tinker 6.0 GB (STILL), OpenMP shared memory, no cutoff; keeps
+    per-pair state per thread and dies above ~12k atoms on 24 GB."""
+    return PackageEmulator(
+        name="Tinker", gb_model="STILL", parallelism="Shared (OpenMP)",
+        cutoff=None, efficiency_factor=8.0, parallel_efficiency=0.55,
+        startup_seconds=3e-3, bytes_per_pair=330.0,
+        radii_fn=lambda mol, nb, cut: born_radii_still_r4(mol),
+        max_cores=12)
+
+
+def GBr6Emulator() -> PackageEmulator:
+    """GBr⁶ (volume r⁶, STILL energy), serial, no cutoff; pair-matrix
+    storage dies above ~13k atoms on 24 GB."""
+    return PackageEmulator(
+        name="GBr6", gb_model="STILL", parallelism="Serial",
+        cutoff=None, efficiency_factor=4.1, parallel_efficiency=1.0,
+        startup_seconds=5e-4, bytes_per_pair=290.0,
+        radii_fn=born_radii_gbr6_volume, max_cores=1)

@@ -1,0 +1,31 @@
+"""Name → package-emulator registry (paper Table II)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.packages import (
+    AmberEmulator,
+    GBr6Emulator,
+    GromacsEmulator,
+    NamdEmulator,
+    PackageEmulator,
+    TinkerEmulator,
+)
+
+#: Factories for every comparator the paper benchmarks.
+PACKAGES: Dict[str, Callable[[], PackageEmulator]] = {
+    "Amber": AmberEmulator,
+    "Gromacs": GromacsEmulator,
+    "NAMD": NamdEmulator,
+    "Tinker": TinkerEmulator,
+    "GBr6": GBr6Emulator,
+}
+
+
+def get_package(name: str) -> PackageEmulator:
+    """Instantiate a package emulator by (case-insensitive) name."""
+    for key, factory in PACKAGES.items():
+        if key.lower() == name.lower():
+            return factory()
+    raise KeyError(f"unknown package {name!r}; known: {sorted(PACKAGES)}")

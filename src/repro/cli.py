@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+``solve``
+    Compute Born radii and E_pol for a molecule (synthetic, capsid or a
+    PQR/XYZQR file) with any solver method.
+``scale``
+    Sweep the simulated cluster over core counts for one molecule and
+    print the Fig. 5-style table.
+``packages``
+    Run the MD-package emulators on one molecule (Fig. 8-style row).
+``info``
+    Print machine model, package registry and version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro import ApproxParams, PolarizationSolver, __version__
+from repro.analysis.tables import Table
+from repro.baselines import PACKAGES, get_package
+from repro.cluster.machine import lonestar4
+from repro.config import ParallelConfig
+from repro.molecules import pdbio, sample_surface, synthetic_protein, virus_capsid
+from repro.molecules.molecule import Molecule
+from repro.parallel import WorkProfile, simulate_fig4
+
+
+def _load_molecule(args: argparse.Namespace) -> Molecule:
+    if args.file:
+        if args.file.endswith(".pqr"):
+            mol = pdbio.read_pqr(args.file, name=args.file)
+        elif args.file.endswith(".pdb"):
+            mol = pdbio.read_pdb(args.file, name=args.file)
+        else:
+            mol = pdbio.read_xyzqr(args.file, name=args.file)
+        return sample_surface(mol)
+    if args.capsid:
+        return virus_capsid(args.atoms, seed=args.seed)
+    return synthetic_protein(args.atoms, seed=args.seed)
+
+
+def _add_molecule_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--atoms", type=int, default=2000,
+                   help="synthetic molecule size (default 2000)")
+    p.add_argument("--capsid", action="store_true",
+                   help="generate a hollow virus-capsid shell instead "
+                        "of a globular protein")
+    p.add_argument("--file", type=str, default=None,
+                   help="read a .pqr/.pdb/.xyzqr file instead")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_params_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--eps-born", type=float, default=0.9)
+    p.add_argument("--eps-epol", type=float, default=0.9)
+    p.add_argument("--approx-math", action="store_true")
+
+
+def _params(args: argparse.Namespace) -> ApproxParams:
+    return ApproxParams(eps_born=args.eps_born, eps_epol=args.eps_epol,
+                        approx_math=args.approx_math)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    mol = _load_molecule(args)
+    print(f"molecule: {mol.name} — {mol.natoms} atoms, "
+          f"{mol.nqpoints} surface quadrature points")
+    t0 = time.perf_counter()
+    solver = PolarizationSolver(mol, _params(args), method=args.method)
+    energy = solver.energy()
+    dt = time.perf_counter() - t0
+    radii = solver.born_radii()
+    print(f"E_pol = {energy:.4f} kcal/mol   ({args.method}, {dt:.2f} s)")
+    print(f"Born radii: min {radii.min():.3f}  mean {radii.mean():.3f}  "
+          f"max {radii.max():.3f} Å")
+    if args.compare_naive:
+        ref = PolarizationSolver(mol, method="naive").energy()
+        print(f"naive reference: {ref:.4f} kcal/mol "
+              f"({100 * abs(energy - ref) / abs(ref):.4f} % difference)")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    mol = _load_molecule(args)
+    machine = lonestar4(nodes=args.nodes)
+    print(f"profiling {mol.name} ({mol.natoms} atoms) …")
+    profile = WorkProfile.from_molecule(mol, _params(args))
+    table = Table(["cores", "OCT_MPI (s)", "OCT_MPI+CILK (s)"],
+                  title=f"simulated scaling on {machine.nodes} nodes")
+    for cores in (12, 24, 48, 96, 144, 192, 288, 480):
+        if cores > machine.total_cores:
+            break
+        mpi = simulate_fig4(profile, cores, 1, machine=machine)
+        hyb = simulate_fig4(profile, max(1, cores // 6), 6,
+                            machine=machine)
+        table.add_row(cores, mpi.wall_seconds, hyb.wall_seconds)
+    print(table.render())
+    return 0
+
+
+def cmd_packages(args: argparse.Namespace) -> int:
+    mol = _load_molecule(args)
+    table = Table(["package", "GB model", "time (s)", "E (kcal/mol)",
+                   "memory (MB)"],
+                  title=f"{mol.name}: package emulators on 12 cores")
+    for name in PACKAGES:
+        res = get_package(name).run(mol, cores=12)
+        if res.oom:
+            table.add_row(name, res.gb_model, "OOM", "OOM",
+                          res.memory_bytes / 1e6)
+        else:
+            table.add_row(name, res.gb_model, res.wall_seconds,
+                          res.energy, res.memory_bytes / 1e6)
+    print(table.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import suite_sizes
+    from repro.analysis.export import generate_report
+    sizes = suite_sizes(max_size=args.max_size)
+    print(f"running the experiment sweep (suite sizes {sizes}, capsid "
+          f"{args.capsid_atoms} atoms) …")
+    report = generate_report(args.out, suite_sizes=sizes,
+                             capsid_atoms=args.capsid_atoms)
+    print(f"wrote {report} and per-figure CSVs to {args.out}/")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import table1_machine, table2_packages
+    print(f"repro {__version__} — octree GB polarization energy "
+          f"(Tithi & Chowdhury, SC 2012 reproduction)\n")
+    print(table1_machine())
+    print()
+    print(table2_packages())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="compute Born radii and E_pol")
+    _add_molecule_args(p)
+    _add_params_args(p)
+    p.add_argument("--method", choices=("octree", "dualtree", "naive"),
+                   default="octree")
+    p.add_argument("--compare-naive", action="store_true")
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("scale", help="core-count sweep on the simulated "
+                                     "cluster")
+    _add_molecule_args(p)
+    _add_params_args(p)
+    p.add_argument("--nodes", type=int, default=40)
+    p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("packages", help="run the MD-package emulators")
+    _add_molecule_args(p)
+    p.set_defaults(fn=cmd_packages)
+
+    p = sub.add_parser("report", help="run a small pass over every "
+                                      "experiment and write CSVs + "
+                                      "report.md")
+    p.add_argument("--out", type=str, default="repro-report")
+    p.add_argument("--max-size", type=int, default=1500,
+                   help="largest suite molecule (default 1500)")
+    p.add_argument("--capsid-atoms", type=int, default=4000)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("info", help="print machine/package inventory")
+    p.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Cost model: operation counts → virtual seconds.
+
+The traversals in :mod:`repro.core` report exactly what they computed
+(frontier visits, far-field evaluations, exact pair interactions).
+This module prices those operations on a :class:`MachineSpec`:
+
+* **Computation** — flop counts per operation divided by the per-core
+  sustained rate, scaled by a *cache factor* that depends on the
+  per-core working set (the paper's §V-B observation that smaller
+  per-core segments fit in cache and run faster).
+* **Memory pressure** — when the replicated per-process data blows past
+  a node's RAM (the paper's OCT_MPI vs OCT_MPI+CILK memory argument,
+  8.2 GB vs 1.4 GB on BTV), a paging penalty kicks in.
+* **Communication** — Grama et al. collective formulas with a two-level
+  (intra-node, inter-node) decomposition, so runs with many ranks per
+  node pay more than hybrid runs with few.
+
+Flop weights below were calibrated once against the real vectorised
+kernels in this repository (see ``tests/cluster/test_costmodel.py`` for
+the sanity bounds); absolute seconds are *modelled*, ratios are what the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from repro.cluster.machine import MachineSpec, lonestar4
+
+#: Flops per exact Born interaction (diff, dot, r², r⁶, divide, FMA).
+FLOPS_EXACT_BORN = 24.0
+#: Flops per far-field Born evaluation (one pseudo-particle term).
+FLOPS_FAR_BORN = 30.0
+#: Flops per exact energy pair (f_GB: exp, sqrt, divide ≈ 40 flops).
+FLOPS_EXACT_EPOL = 40.0
+#: Flops per far-field energy bucket term (M_ε² of these per far pair).
+FLOPS_FAR_EPOL_PER_BUCKET2 = 42.0
+#: Flops per frontier visit (MAC test, bookkeeping).
+FLOPS_VISIT = 18.0
+#: Flops per atom for the push phase (prefix add + cube root).
+FLOPS_PUSH_PER_ATOM = 14.0
+#: Speedup factor of approximate math (paper §V-E: ×1.42).
+APPROX_MATH_SPEEDUP = 1.42
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices operations on a machine."""
+
+    machine: MachineSpec = field(default_factory=lonestar4)
+    #: Multiplier applied on top of the flop model to absorb constant
+    #: factors of the paper's C++ implementation (instruction mix,
+    #: memory stalls at perfect cache residence).
+    base_cpi_factor: float = 2.0
+
+    # -- computation -------------------------------------------------------
+
+    def seconds_per_flop(self) -> float:
+        return self.base_cpi_factor / self.machine.node.flops_per_second
+
+    def cache_factor(self, working_set_bytes: float,
+                     cores_sharing_socket: int = 1) -> float:
+        """Slowdown for working sets spilling down the cache hierarchy.
+
+        Piecewise-smooth: 1.0 within L2, rising to ~1.25 at the L3
+        share, ~1.6 when the set spills to DRAM.  This reproduces the
+        paper's observation that larger per-core segments (fewer cores)
+        run disproportionately slower.
+        """
+        node = self.machine.node
+        l3_share = node.l3_bytes / max(1, cores_sharing_socket)
+        if working_set_bytes <= node.l2_bytes:
+            return 1.0
+        if working_set_bytes <= l3_share:
+            # log-interpolate 1.0 → 1.25 between L2 and the L3 share
+            t = (math.log(working_set_bytes / node.l2_bytes)
+                 / max(1e-9, math.log(l3_share / node.l2_bytes)))
+            return 1.0 + 0.25 * t
+        # L3 → DRAM: 1.25 → 1.6 over two decades
+        t = min(1.0, math.log10(working_set_bytes / l3_share) / 2.0)
+        return 1.25 + 0.35 * t
+
+    def memory_pressure_factor(self, node_bytes: float) -> float:
+        """Paging penalty as a node's resident set approaches/passes RAM.
+
+        1.0 below 80 % of RAM, then rising steeply (10× at 2× RAM) —
+        the regime where the paper's Tinker/GBr⁶ runs die and OCT_MPI
+        starts losing to OCT_MPI+CILK.
+        """
+        ram = self.machine.node.ram_bytes
+        x = node_bytes / ram
+        if x <= 0.8:
+            return 1.0
+        return 1.0 + 9.0 * ((x - 0.8) / 1.2) ** 2
+
+    def born_compute_seconds(self, visits: float, far: float, exact: float,
+                             approx_math: bool = False,
+                             cache_factor: float = 1.0) -> float:
+        flops = (FLOPS_VISIT * visits + FLOPS_FAR_BORN * far
+                 + FLOPS_EXACT_BORN * exact)
+        sec = flops * self.seconds_per_flop() * cache_factor
+        return sec / (APPROX_MATH_SPEEDUP if approx_math else 1.0)
+
+    def epol_compute_seconds(self, visits: float, far: float, exact: float,
+                             nbuckets: int,
+                             approx_math: bool = False,
+                             cache_factor: float = 1.0) -> float:
+        flops = (FLOPS_VISIT * visits
+                 + FLOPS_FAR_EPOL_PER_BUCKET2 * far * nbuckets * nbuckets
+                 + FLOPS_EXACT_EPOL * exact)
+        sec = flops * self.seconds_per_flop() * cache_factor
+        return sec / (APPROX_MATH_SPEEDUP if approx_math else 1.0)
+
+    def push_compute_seconds(self, atoms: float, nodes_visited: float
+                             ) -> float:
+        flops = FLOPS_PUSH_PER_ATOM * atoms + FLOPS_VISIT * nodes_visited
+        return flops * self.seconds_per_flop()
+
+    # -- communication -----------------------------------------------------
+
+    def _two_level(self, processes: int, threads: int):
+        """(ranks per node, nodes used) for a placement."""
+        if processes == 1:
+            return 1, 1
+        rpn = min(processes,
+                  max(1, self.machine.node.cores // threads))
+        nodes = -(-processes // rpn)
+        return rpn, nodes
+
+    def allreduce_seconds(self, words: float, processes: int,
+                          threads: int = 1) -> float:
+        """Hierarchical allreduce: reduce within nodes, then across.
+
+        Each level costs ``2(t_s·log2 k + t_w·m·(k−1)/k)`` (reduce-scatter
+        + allgather, Grama Table 4.1).
+        """
+        if processes <= 1:
+            return 0.0
+        net = self.machine.network
+        rpn, nodes = self._two_level(processes, threads)
+
+        def level(k: int, ts: float, tw: float) -> float:
+            if k <= 1:
+                return 0.0
+            return 2.0 * (ts * math.log2(k) + tw * words * (k - 1) / k)
+
+        return (level(rpn, net.ts_intra, net.tw_intra)
+                + level(nodes, net.ts_inter, net.tw_inter))
+
+    def allgather_seconds(self, words_per_rank: float, processes: int,
+                          threads: int = 1) -> float:
+        """Hierarchical allgather; total payload grows with P."""
+        if processes <= 1:
+            return 0.0
+        net = self.machine.network
+        rpn, nodes = self._two_level(processes, threads)
+        total = words_per_rank * processes
+
+        def level(k: int, ts: float, tw: float) -> float:
+            if k <= 1:
+                return 0.0
+            return ts * math.log2(k) + tw * total * (k - 1) / k
+
+        return (level(rpn, net.ts_intra, net.tw_intra)
+                + level(nodes, net.ts_inter, net.tw_inter))
+
+    def reduce_seconds(self, words: float, processes: int,
+                       threads: int = 1) -> float:
+        """Tree reduce to the master rank."""
+        if processes <= 1:
+            return 0.0
+        net = self.machine.network
+        rpn, nodes = self._two_level(processes, threads)
+
+        def level(k: int, ts: float, tw: float) -> float:
+            if k <= 1:
+                return 0.0
+            return (ts + tw * words) * math.log2(k)
+
+        return (level(rpn, net.ts_intra, net.tw_intra)
+                + level(nodes, net.ts_inter, net.tw_inter))
+
+    def point_to_point_seconds(self, words: float,
+                               same_node: bool) -> float:
+        net = self.machine.network
+        if same_node:
+            return net.ts_intra + net.tw_intra * words
+        return net.ts_inter + net.tw_inter * words
+
+    # -- scheduler overheads -------------------------------------------
+
+    #: Per-spawned-task overhead of the cilk++ scheduler (s).
+    cilk_task_overhead: float = 9.0e-8
+    #: Cost of one (possibly failed) steal attempt (s).
+    cilk_steal_overhead: float = 6.0e-7
+    #: One-time cost per phase of crossing the MPI↔cilk boundary (s)
+    #: (the paper's "additional overhead of interfacing cilk++ and MPI").
+    hybrid_interface_overhead: float = 1.4e-3
+    #: Per-collective synchronisation/jitter overhead (s), multiplied by
+    #: ``√P`` — OS-jitter amplification grows with the number of ranks
+    #: that must rendezvous.  This is the process-count-dependent cost
+    #: that makes pure MPI lose to OCT_CILK on small molecules (paper
+    #: §V-C) and to the hybrid (6× fewer ranks) at high core counts
+    #: (paper Fig. 6, crossover ≈ 180 cores).
+    mpi_collective_sync_overhead: float = 1.8e-4
+    #: Compute penalty for a single process whose worker threads span
+    #: sockets *without* affinity pinning — cilk++ provides no thread
+    #: affinity manager (paper §V-A), so OCT_CILK's 12 workers migrate
+    #: across the two sockets and pay remote-socket traffic.  The
+    #: hybrid's one-process-per-socket layout avoids this.
+    numa_no_affinity_factor: float = 2.0
+
+    def collective_sync_seconds(self, processes: int) -> float:
+        """Sync/jitter overhead of one collective call at P ranks."""
+        if processes <= 1:
+            return 0.0
+        return self.mpi_collective_sync_overhead * math.sqrt(processes)

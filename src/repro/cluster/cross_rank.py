@@ -1,0 +1,164 @@
+"""Cross-rank (inter-node) work stealing — the paper's future work.
+
+The paper's conclusion: "we are planning to incorporate explicit
+dynamic load balancing techniques such as work-stealing to improve the
+performance even further".  Intra-node stealing is cheap (shared
+memory); *inter-node* stealing costs a round trip over the interconnect
+per steal, so whether it pays depends on how imbalanced the static
+division is.
+
+:class:`CrossRankStealingSim` extends the discrete-event scheduler of
+:mod:`repro.cluster.workstealing` to a two-level topology: workers
+belong to ranks; a worker steals preferentially inside its own rank
+(same overhead as cilk++) and falls back to a random remote rank with
+an RDMA-ish latency.  Each rank's deque starts with its static leaf
+segment, so the simulation answers exactly the paper's question: *how
+much of the static division's imbalance can stealing claw back, at what
+communication price?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.workstealing import StealStats
+
+
+@dataclass(frozen=True)
+class CrossRankStats:
+    """Outcome of one cross-rank stealing simulation."""
+
+    makespan: float
+    total_work: float
+    intra_steals: int
+    inter_steals: int
+    failed_steals: int
+
+    @property
+    def steals(self) -> int:
+        return self.intra_steals + self.inter_steals
+
+
+class CrossRankStealingSim:
+    """Two-level randomized work stealing over P ranks × p workers.
+
+    Parameters
+    ----------
+    ranks, threads_per_rank:
+        Topology: ``ranks × threads_per_rank`` workers.
+    task_overhead, intra_steal_overhead:
+        Per-grain execution and same-rank steal costs (cilk++-like).
+    inter_steal_overhead:
+        Cost of stealing from a *remote* rank (one interconnect round
+        trip; ~tens of µs on the paper's InfiniBand).
+    remote_attempt_fraction:
+        Probability an idle worker tries a remote victim instead of a
+        local one (locality-biased stealing).
+    """
+
+    def __init__(self,
+                 ranks: int,
+                 threads_per_rank: int,
+                 task_overhead: float = 9.0e-8,
+                 intra_steal_overhead: float = 6.0e-7,
+                 inter_steal_overhead: float = 2.5e-5,
+                 remote_attempt_fraction: float = 0.25,
+                 grain: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if ranks < 1 or threads_per_rank < 1:
+            raise ValueError("ranks and threads_per_rank must be >= 1")
+        if not 0.0 <= remote_attempt_fraction <= 1.0:
+            raise ValueError("remote_attempt_fraction must be in [0, 1]")
+        self.ranks = ranks
+        self.threads_per_rank = threads_per_rank
+        self.task_overhead = task_overhead
+        self.intra_steal_overhead = intra_steal_overhead
+        self.inter_steal_overhead = inter_steal_overhead
+        self.remote_attempt_fraction = remote_attempt_fraction
+        self.grain = grain
+        self.seed = seed
+
+    def run(self, task_costs: Sequence[float],
+            segment_bounds: Sequence[int]) -> CrossRankStats:
+        """Simulate executing ``task_costs``; rank *r* initially owns
+        tasks ``segment_bounds[r]:segment_bounds[r+1]``."""
+        costs = np.asarray(task_costs, dtype=np.float64)
+        if np.any(costs < 0):
+            raise ValueError("task costs must be nonnegative")
+        bounds = np.asarray(segment_bounds, dtype=np.int64)
+        if len(bounds) != self.ranks + 1 or bounds[0] != 0 \
+                or bounds[-1] != len(costs):
+            raise ValueError("segment_bounds must cover all tasks with "
+                             "one segment per rank")
+        n = len(costs)
+        total = float(costs.sum())
+        P, p = self.ranks, self.threads_per_rank
+        W = P * p
+        if n == 0:
+            return CrossRankStats(0.0, 0.0, 0, 0, 0)
+
+        prefix = np.concatenate([[0.0], np.cumsum(costs)])
+        grain = self.grain or max(1, n // (64 * W))
+        rng = np.random.default_rng(self.seed)
+
+        # Worker w belongs to rank w // p; rank r's first worker seeds
+        # the deque with the rank's whole segment.
+        deques: List[List[Tuple[int, int, float]]] = [[] for _ in range(W)]
+        for r in range(P):
+            if bounds[r + 1] > bounds[r]:
+                deques[r * p].append((int(bounds[r]),
+                                      int(bounds[r + 1]), 0.0))
+        clocks = np.zeros(W)
+        remaining = n
+        intra = inter = failed = 0
+
+        while remaining > 0:
+            w = int(np.argmin(clocks))
+            dq = deques[w]
+            if dq:
+                lo, hi, _ready = dq.pop()
+                while hi - lo > grain:
+                    mid = (lo + hi) // 2
+                    dq.append((mid, hi, clocks[w]))
+                    hi = mid
+                clocks[w] += (prefix[hi] - prefix[lo]) + self.task_overhead
+                remaining -= hi - lo
+                continue
+            my_rank = w // p
+            go_remote = rng.random() < self.remote_attempt_fraction
+            if go_remote and P > 1:
+                victim_rank = int(rng.integers(0, P - 1))
+                if victim_rank >= my_rank:
+                    victim_rank += 1
+                victim = victim_rank * p + int(rng.integers(0, p))
+                overhead = self.inter_steal_overhead
+                is_remote = True
+            else:
+                victim = my_rank * p + int(rng.integers(0, p))
+                overhead = self.intra_steal_overhead
+                is_remote = False
+            clocks[w] += overhead
+            if victim != w and deques[victim]:
+                lo, hi, ready = deques[victim].pop(0)
+                clocks[w] = max(clocks[w], ready)
+                deques[w].append((lo, hi, clocks[w]))
+                if is_remote:
+                    inter += 1
+                else:
+                    intra += 1
+            else:
+                failed += 1
+                ahead = clocks[clocks > clocks[w]]
+                if len(ahead):
+                    clocks[w] = max(clocks[w], float(ahead.min()))
+
+        return CrossRankStats(
+            makespan=float(clocks.max()),
+            total_work=total,
+            intra_steals=intra,
+            inter_steals=inter,
+            failed_steals=failed,
+        )

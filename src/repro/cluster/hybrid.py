@@ -1,0 +1,61 @@
+"""Intra-rank execution models: 1 thread (pure MPI) vs p threads (hybrid).
+
+The distributed drivers hand each rank a bag of leaf tasks with modelled
+costs.  How long the rank takes depends on its intra-node execution
+model:
+
+* ``threads == 1`` (``OCT_MPI``): the rank runs tasks back-to-back —
+  cost is the plain sum, no scheduler overhead.
+* ``threads > 1`` (``OCT_MPI+CILK``): the cilk++ work-stealing
+  simulator produces the makespan, plus a per-phase MPI↔cilk interface
+  overhead (the paper calls this out as the hybrid's constant cost that
+  dominates for small molecules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.workstealing import StealStats, WorkStealingSim
+
+
+@dataclass
+class IntraRankOutcome:
+    """Virtual time of one rank's parallel phase."""
+
+    seconds: float
+    steals: int = 0
+    utilization: float = 1.0
+
+
+def run_intra_rank(task_costs: Sequence[float],
+                   threads: int,
+                   cost: CostModel,
+                   seed: int = 0,
+                   mpi_interface: bool = False) -> IntraRankOutcome:
+    """Execute a bag of tasks on one rank under its threading model.
+
+    ``mpi_interface`` adds the per-phase MPI↔cilk boundary cost; it
+    applies only to hybrid runs (P > 1 *and* p > 1), not to the pure
+    shared-memory OCT_CILK configuration.
+    """
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if threads <= 1:
+        return IntraRankOutcome(seconds=float(costs.sum()))
+    sim = WorkStealingSim(
+        workers=threads,
+        task_overhead=cost.cilk_task_overhead,
+        steal_overhead=cost.cilk_steal_overhead,
+        seed=seed,
+    )
+    st: StealStats = sim.run(costs)
+    extra = cost.hybrid_interface_overhead if mpi_interface else 0.0
+    return IntraRankOutcome(
+        seconds=st.makespan + extra,
+        steals=st.steals,
+        utilization=st.utilization,
+    )

@@ -1,0 +1,102 @@
+"""Machine model — the paper's Table I environment, parameterised.
+
+The default :func:`lonestar4` spec mirrors the TACC Lonestar4 nodes the
+paper benchmarked on: dual-socket 3.33 GHz hexa-core Intel Westmere
+(12 cores/node), 24 GB RAM, 12 MB shared L3 per socket, 64 KB L1 and
+256 KB L2 per core, InfiniBand fat-tree at 40 Gb/s point-to-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    sockets: int = 2
+    cores_per_socket: int = 6
+    ghz: float = 3.33
+    #: Sustained useful flops per cycle per core for this workload
+    #: (scalar SSE-era code without vectorisation, as the paper ran).
+    flops_per_cycle: float = 2.0
+    l1_bytes: int = 64 * 1024
+    l2_bytes: int = 256 * 1024
+    l3_bytes: int = 12 * 1024 * 1024   # per socket
+    ram_bytes: int = 24 * 1024 ** 3
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def flops_per_second(self) -> float:
+        """Per-core sustained flop rate."""
+        return self.ghz * 1e9 * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect + intra-node messaging constants.
+
+    ``t_s``/``t_w`` follow Grama et al.: per-message startup latency and
+    per-8-byte-word transfer time.  Separate constants for messages that
+    stay inside a node (shared-memory transport) reproduce the paper's
+    ordering: *threads < same-node processes < cross-node processes*.
+    """
+
+    #: Inter-node startup latency (s) — InfiniBand RDMA-ish.
+    ts_inter: float = 3.0e-6
+    #: Inter-node per-word time (s/word); 40 Gb/s ≈ 5 GB/s ≈ 1.6 ns per
+    #: 8-byte word.
+    tw_inter: float = 1.6e-9
+    #: Intra-node (shared-memory transport between processes).
+    ts_intra: float = 6.0e-7
+    tw_intra: float = 4.0e-10
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous cluster."""
+
+    nodes: int = 12
+    node: NodeSpec = NodeSpec()
+    network: NetworkSpec = NetworkSpec()
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores
+
+    def placement(self, processes: int, threads: int):
+        """Distribute ``processes`` ranks (each ``threads`` wide) over nodes.
+
+        Ranks are packed node-by-node, ``cores // threads`` ranks per
+        node (the paper ran 12×1 or 2×6 per node).  Returns a list of
+        node ids, one per rank.
+
+        Raises if the request exceeds the machine.
+        """
+        per_node = self.node.cores // threads
+        if per_node < 1:
+            raise ValueError(
+                f"a rank of {threads} threads does not fit a "
+                f"{self.node.cores}-core node")
+        need_nodes = -(-processes // per_node)
+        if need_nodes > self.nodes:
+            raise ValueError(
+                f"{processes} ranks × {threads} threads need {need_nodes} "
+                f"nodes; machine has {self.nodes}")
+        return [r // per_node for r in range(processes)]
+
+    def nodes_used(self, processes: int, threads: int) -> int:
+        return self.placement(processes, threads)[-1] + 1
+
+    def ranks_per_node(self, processes: int, threads: int) -> int:
+        placement = self.placement(processes, threads)
+        return max(placement.count(n) for n in set(placement))
+
+
+def lonestar4(nodes: int = 12) -> MachineSpec:
+    """The paper's Table I machine with a configurable node count."""
+    return MachineSpec(nodes=nodes)

@@ -1,0 +1,336 @@
+"""Simulated MPI: real message passing between rank threads, virtual time.
+
+Each rank runs as an OS thread executing the user's rank function with a
+:class:`SimComm` handle.  Data really moves (payloads are deep-copied
+between ranks, so there is no accidental shared-memory cheating — the
+distributed-memory semantics are enforced), while *time* is virtual:
+
+* ``comm.compute(dt)`` charges modelled computation time;
+* collectives synchronise all ranks' virtual clocks to the latest
+  arrival, then advance them by the Grama-style cost of the operation
+  from :class:`repro.cluster.costmodel.CostModel`;
+* point-to-point sends charge latency + bandwidth for the payload size,
+  with cheaper constants when both ranks share a node.
+
+The result of a run is the per-rank return values plus a
+:class:`repro.cluster.trace.RunStats` with comp/comm/idle breakdowns.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.machine import MachineSpec, lonestar4
+from repro.cluster.trace import RankStats, RunStats
+
+#: Barrier timeout (real seconds) — a mismatched collective in user code
+#: fails loudly instead of deadlocking the test suite.
+_BARRIER_TIMEOUT = 120.0
+
+
+def _payload_copy(obj: Any) -> Any:
+    """Deep copy enforcing distributed-memory isolation."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (int, float, complex, str, bytes, bool,
+                        type(None))):
+        return obj
+    return copy.deepcopy(obj)
+
+
+def _payload_words(obj: Any) -> float:
+    """Size of a payload in 8-byte words (for the cost model)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes / 8.0
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_words(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_words(v) for v in obj.values())
+    return 1.0
+
+
+class _CollectiveState:
+    """Shared slots + double barrier implementing one collective at a time."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.slots: List[Any] = [None] * size
+        self.entry_clocks = np.zeros(size)
+        self.result: Any = None
+        self.barrier = threading.Barrier(size)
+
+    def wait(self) -> None:
+        self.barrier.wait(timeout=_BARRIER_TIMEOUT)
+
+
+class SimComm:
+    """Per-rank communicator handle (the ``comm`` of a rank function)."""
+
+    def __init__(self, cluster: "SimCluster", rank: int) -> None:
+        self._cluster = cluster
+        self.rank = rank
+        self.size = cluster.processes
+        self.stats = RankStats(rank=rank)
+        self._clock = 0.0
+
+    # -- virtual time ----------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual time (seconds since run start)."""
+        return self._clock
+
+    def compute(self, seconds: float) -> None:
+        """Charge modelled computation time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._clock += seconds
+        self.stats.comp_seconds += seconds
+
+    def charge_memory(self, nbytes: int) -> None:
+        """Record resident bytes for this rank's process (peak tracked)."""
+        self.stats.memory_bytes = max(self.stats.memory_bytes, int(nbytes))
+
+    def _sync_to(self, t: float) -> None:
+        """Advance to a later virtual time, booking the gap as idle."""
+        if t > self._clock:
+            self.stats.idle_seconds += t - self._clock
+            self._clock = t
+
+    def _charge_comm(self, seconds: float) -> None:
+        self._clock += seconds
+        self.stats.comm_seconds += seconds
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective(self, payload: Any,
+                    combine: Callable[[List[Any]], Any],
+                    cost: Callable[[List[Any]], float]) -> Any:
+        """Generic synchronising collective.
+
+        ``combine`` maps the slot list to the common result; ``cost``
+        maps the slot list to the operation's virtual cost.  All ranks
+        synchronise to the latest entry clock, then advance by the cost.
+        """
+        st = self._cluster._collective
+        st.slots[self.rank] = payload
+        st.entry_clocks[self.rank] = self._clock
+        st.wait()
+        if self.rank == 0:
+            st.result = combine(st.slots)
+        st.wait()
+        result = _payload_copy(st.result)
+        t_max = float(st.entry_clocks.max())
+        dt = cost(st.slots)
+        self._sync_to(t_max)
+        self._charge_comm(dt)
+        st.wait()  # everyone has read before slots are reused
+        return result
+
+    def barrier(self) -> None:
+        """Synchronise virtual clocks (latency-only cost)."""
+        cm = self._cluster.cost
+        self._collective(
+            None,
+            combine=lambda slots: None,
+            cost=lambda slots: cm.reduce_seconds(
+                1.0, self.size, self._cluster.threads_per_rank))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        cm = self._cluster.cost
+        return self._collective(
+            obj if self.rank == root else None,
+            combine=lambda slots: slots[root],
+            cost=lambda slots: cm.reduce_seconds(
+                _payload_words(slots[root]), self.size,
+                self._cluster.threads_per_rank))
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Allreduce over numpy arrays or scalars (``sum``/``min``/``max``)."""
+        cm = self._cluster.cost
+        reducers = {"sum": _reduce_sum, "min": _reduce_min,
+                    "max": _reduce_max}
+        if op not in reducers:
+            raise ValueError(f"unsupported op {op!r}")
+        return self._collective(
+            value,
+            combine=reducers[op],
+            cost=lambda slots: cm.allreduce_seconds(
+                _payload_words(slots[0]), self.size,
+                self._cluster.threads_per_rank))
+
+    def reduce(self, value: Any, root: int = 0, op: str = "sum") -> Any:
+        """Reduce to ``root``; other ranks receive ``None``."""
+        cm = self._cluster.cost
+        reducers = {"sum": _reduce_sum, "min": _reduce_min,
+                    "max": _reduce_max}
+        if op not in reducers:
+            raise ValueError(f"unsupported op {op!r}")
+        out = self._collective(
+            value,
+            combine=reducers[op],
+            cost=lambda slots: cm.reduce_seconds(
+                _payload_words(slots[0]), self.size,
+                self._cluster.threads_per_rank))
+        return out if self.rank == root else None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        cm = self._cluster.cost
+        return self._collective(
+            obj,
+            combine=lambda slots: list(slots),
+            cost=lambda slots: cm.allgather_seconds(
+                max(_payload_words(s) for s in slots), self.size,
+                self._cluster.threads_per_rank))
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        out = self.allgather(obj)  # cost model treats gather ≈ allgather
+        return out if self.rank == root else None
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        cm = self._cluster.cost
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter needs one payload per rank")
+        result = self._collective(
+            objs if self.rank == root else None,
+            combine=lambda slots: slots[root],
+            cost=lambda slots: cm.allgather_seconds(
+                max(_payload_words(s) for s in slots[root]), self.size,
+                self._cluster.threads_per_rank))
+        return _payload_copy(result[self.rank])
+
+    # -- point-to-point ------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size or dest == self.rank:
+            raise ValueError(f"bad destination {dest}")
+        same = (self._cluster.placement[self.rank]
+                == self._cluster.placement[dest])
+        dt = self._cluster.cost.point_to_point_seconds(
+            _payload_words(obj), same_node=same)
+        self._charge_comm(dt)
+        self._cluster._queue_for(self.rank, dest, tag).put(
+            (_payload_copy(obj), self._clock))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size or source == self.rank:
+            raise ValueError(f"bad source {source}")
+        q = self._cluster._queue_for(source, self.rank, tag)
+        obj, sender_clock = q.get(timeout=_BARRIER_TIMEOUT)
+        self._sync_to(sender_clock)
+        return obj
+
+
+def _reduce_sum(slots: List[Any]) -> Any:
+    acc = _payload_copy(slots[0])
+    for s in slots[1:]:
+        acc = acc + s
+    return acc
+
+
+def _reduce_min(slots: List[Any]) -> Any:
+    acc = _payload_copy(slots[0])
+    for s in slots[1:]:
+        acc = np.minimum(acc, s)
+    return acc
+
+
+def _reduce_max(slots: List[Any]) -> Any:
+    acc = _payload_copy(slots[0])
+    for s in slots[1:]:
+        acc = np.maximum(acc, s)
+    return acc
+
+
+class SimCluster:
+    """Launches rank threads and aggregates their statistics.
+
+    Parameters
+    ----------
+    processes:
+        Number of MPI ranks.
+    threads_per_rank:
+        Cores each rank occupies (affects placement and collective
+        costs; intra-rank threading itself is modelled by the
+        work-stealing simulator in the drivers).
+    machine:
+        Cluster hardware model.
+    cost:
+        Cost model; defaults to one over ``machine``.
+    """
+
+    def __init__(self,
+                 processes: int,
+                 threads_per_rank: int = 1,
+                 machine: Optional[MachineSpec] = None,
+                 cost: Optional[CostModel] = None) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+        self.threads_per_rank = threads_per_rank
+        self.machine = machine or lonestar4()
+        self.cost = cost or CostModel(machine=self.machine)
+        self.placement = self.machine.placement(processes, threads_per_rank)
+        self._collective = _CollectiveState(processes)
+        self._queues: Dict[Tuple[int, int, int], queue.Queue] = {}
+        self._queues_lock = threading.Lock()
+
+    def _queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._queues_lock:
+            if key not in self._queues:
+                self._queues[key] = queue.Queue()
+            return self._queues[key]
+
+    def run(self, fn: Callable[..., Any], *args: Any
+            ) -> Tuple[List[Any], RunStats]:
+        """Execute ``fn(comm, *args)`` on every rank.
+
+        Returns the list of per-rank return values and the aggregated
+        :class:`RunStats`.  The first rank exception (if any) is
+        re-raised in the caller.
+        """
+        comms = [SimComm(self, r) for r in range(self.processes)]
+        results: List[Any] = [None] * self.processes
+        errors: List[Optional[BaseException]] = [None] * self.processes
+
+        def runner(r: int) -> None:
+            try:
+                results[r] = fn(comms[r], *args)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[r] = exc
+                # Break the collective barrier so peers fail fast
+                # instead of timing out.
+                self._collective.barrier.abort()
+
+        threads = [threading.Thread(target=runner, args=(r,),
+                                    name=f"simmpi-rank{r}", daemon=True)
+                   for r in range(self.processes)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Prefer the originating error over the BrokenBarrierError its
+        # abort caused on peer ranks.
+        real = [e for e in errors
+                if e is not None
+                and not isinstance(e, threading.BrokenBarrierError)]
+        if real:
+            raise real[0]
+        for exc in errors:
+            if exc is not None:
+                raise exc
+
+        stats = RunStats(processes=self.processes,
+                         threads=self.threads_per_rank,
+                         ranks=[c.stats for c in comms])
+        return results, stats

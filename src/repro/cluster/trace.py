@@ -1,0 +1,69 @@
+"""Per-run statistics records shared by the simulated runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RankStats:
+    """Virtual-time accounting for one MPI rank."""
+
+    rank: int
+    comp_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    steals: int = 0
+    #: Peak resident bytes attributed to this rank's process.
+    memory_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comp_seconds + self.comm_seconds + self.idle_seconds
+
+
+@dataclass
+class RunStats:
+    """Virtual-time accounting for one distributed run."""
+
+    processes: int
+    threads: int
+    ranks: List[RankStats] = field(default_factory=list)
+    #: Free-form per-phase timings (seconds), e.g. {"born": ..,
+    #: "allreduce": .., "push": .., "epol": .., "reduce": ..}.
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Completion time = the slowest rank."""
+        if not self.ranks:
+            return float(sum(self.phases.values()))
+        return max(r.total_seconds for r in self.ranks)
+
+    @property
+    def total_cores(self) -> int:
+        return self.processes * self.threads
+
+    def comp_seconds(self) -> float:
+        return max((r.comp_seconds for r in self.ranks), default=0.0)
+
+    def comm_seconds(self) -> float:
+        return max((r.comm_seconds for r in self.ranks), default=0.0)
+
+    def memory_per_process(self) -> int:
+        return max((r.memory_bytes for r in self.ranks), default=0)
+
+    def memory_per_node(self, ranks_per_node: Optional[int] = None) -> int:
+        """Replication cost: per-process bytes × ranks packed per node."""
+        rpn = ranks_per_node if ranks_per_node is not None else self.processes
+        return self.memory_per_process() * min(rpn, self.processes)
+
+    def summary(self) -> str:
+        return (f"P={self.processes} p={self.threads} "
+                f"wall={self.wall_seconds:.4f}s "
+                f"comp={self.comp_seconds():.4f}s "
+                f"comm={self.comm_seconds():.4f}s "
+                f"mem/proc={self.memory_per_process() / 1e6:.1f}MB")

@@ -1,0 +1,171 @@
+"""Discrete-event simulator of the cilk++ randomized work-stealing
+scheduler (Blumofe & Leiserson).
+
+The paper's intra-node load balancing is "implicit dynamic load
+balancing" via cilk++: each worker owns a double-ended queue, pushes
+spawned work to the *bottom*, pops its own work from the bottom, and an
+idle worker steals from the *top* of a uniformly random victim's deque
+(the oldest — i.e. largest — outstanding task).
+
+The solvers' intra-rank work is a parallel loop over leaf tasks with
+known per-task costs.  cilk++ executes such a loop by lazy binary
+splitting: a worker holding a range ``[lo, hi)`` of more than ``grain``
+tasks pushes the right half and continues with the left.  This
+simulator reproduces that behaviour event-by-event on virtual worker
+clocks, so the *schedule* (who steals what and when, the final
+makespan) is a faithful sample of the real scheduler's distribution —
+seeded, hence reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StealStats:
+    """Outcome of one simulated parallel region."""
+
+    makespan: float
+    total_work: float
+    per_worker_busy: np.ndarray
+    steals: int
+    failed_steals: int
+
+    @property
+    def utilization(self) -> float:
+        """busy / (p × makespan) ∈ (0, 1]."""
+        p = len(self.per_worker_busy)
+        if self.makespan <= 0.0:
+            return 1.0
+        return float(self.per_worker_busy.sum() / (p * self.makespan))
+
+
+class WorkStealingSim:
+    """Simulates ``p`` workers executing a task range with given costs.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker threads ``p``.
+    task_overhead:
+        Virtual seconds charged per executed grain (spawn/bookkeeping).
+    steal_overhead:
+        Virtual seconds charged per steal *attempt* (successful or not).
+    grain:
+        Maximum tasks executed as one unit without further splitting;
+        ``None`` picks ``max(1, n / (64p))`` — small enough that the
+        end-of-loop tail costs ~1 grain per worker, large enough to
+        amortise per-task overhead (cilk++'s auto-grainsize heuristic).
+    seed:
+        Victim-selection RNG seed.
+    """
+
+    def __init__(self, workers: int,
+                 task_overhead: float = 9.0e-8,
+                 steal_overhead: float = 6.0e-7,
+                 grain: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.task_overhead = task_overhead
+        self.steal_overhead = steal_overhead
+        self.grain = grain
+        self.seed = seed
+
+    def run(self, task_costs: Sequence[float]) -> StealStats:
+        """Simulate executing ``task_costs`` (virtual seconds each)."""
+        costs = np.asarray(task_costs, dtype=np.float64)
+        if np.any(costs < 0):
+            raise ValueError("task costs must be nonnegative")
+        n = len(costs)
+        total = float(costs.sum())
+        p = self.workers
+        if n == 0:
+            return StealStats(0.0, 0.0, np.zeros(p), 0, 0)
+        if p == 1:
+            busy = total + n * self.task_overhead
+            return StealStats(busy, total, np.array([busy]), 0, 0)
+
+        prefix = np.concatenate([[0.0], np.cumsum(costs)])
+
+        def range_cost(lo: int, hi: int) -> float:
+            return float(prefix[hi] - prefix[lo])
+
+        grain = self.grain or max(1, n // (64 * p))
+        rng = np.random.default_rng(self.seed)
+
+        # Deques of (lo, hi, ready_time) ranges; bottom = end of list,
+        # top = index 0.  ``ready_time`` is the owner's virtual clock at
+        # push time: a thief cannot execute work before it existed.
+        deques: List[List[Tuple[int, int, float]]] = [[] for _ in range(p)]
+        deques[0].append((0, n, 0.0))
+        clocks = np.zeros(p)
+        busy = np.zeros(p)
+        steals = 0
+        failed = 0
+        remaining = n
+
+        while remaining > 0:
+            w = int(np.argmin(clocks))
+            dq = deques[w]
+            if dq:
+                lo, hi, _ready = dq.pop()  # pop bottom (own work, newest)
+                while hi - lo > grain:
+                    mid = (lo + hi) // 2
+                    dq.append((mid, hi, clocks[w]))  # right half to bottom
+                    hi = mid
+                dt = range_cost(lo, hi) + self.task_overhead
+                clocks[w] += dt
+                busy[w] += dt
+                remaining -= hi - lo
+            else:
+                # Steal attempt from a random victim's top.
+                clocks[w] += self.steal_overhead
+                victim = int(rng.integers(0, p))
+                if victim != w and deques[victim]:
+                    lo, hi, ready = deques[victim].pop(0)  # take top
+                    # Work cannot run before it was pushed.
+                    clocks[w] = max(clocks[w], ready)
+                    deques[w].append((lo, hi, clocks[w]))
+                    steals += 1
+                else:
+                    failed += 1
+                    # An idle worker with nothing to steal waits until
+                    # someone is ahead of it in virtual time.
+                    ahead = clocks[clocks > clocks[w]]
+                    if len(ahead):
+                        clocks[w] = max(clocks[w], float(ahead.min()))
+
+        return StealStats(
+            makespan=float(clocks.max()),
+            total_work=total,
+            per_worker_busy=busy,
+            steals=steals,
+            failed_steals=failed,
+        )
+
+    def makespan(self, task_costs: Sequence[float]) -> float:
+        """Convenience: just the virtual completion time."""
+        return self.run(task_costs).makespan
+
+
+def static_block_makespan(task_costs: Sequence[float], workers: int
+                          ) -> float:
+    """Makespan of a *static* contiguous block partition (no stealing).
+
+    The ablation baseline for dynamic intra-node balancing: tasks are
+    split into ``workers`` contiguous blocks of equal task *count* and
+    each worker runs one block; the makespan is the largest block sum.
+    """
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if len(costs) == 0:
+        return 0.0
+    blocks = np.array_split(costs, workers)
+    return float(max(b.sum() for b in blocks))

@@ -1,0 +1,45 @@
+"""Physical constants and unit conventions.
+
+All geometry is in angstroms (Å), charges in units of the elementary
+charge *e*, and energies in kcal/mol.  These are the conventions used by
+the MD packages the paper compares against (Amber, Gromacs, NAMD, Tinker,
+GBr6), which lets energy values be compared directly.
+"""
+
+from __future__ import annotations
+
+#: Coulomb's constant in kcal·Å/(mol·e²) — the standard MD electrostatics
+#: prefactor (often written ``332.0636`` in Amber/CHARMM source).
+COULOMB_KCAL = 332.063713
+
+#: Dielectric constant of water at 300 K, the solvent the paper assumes.
+EPSILON_SOLVENT = 80.0
+
+#: Interior (solute) dielectric constant for the GB model.
+EPSILON_INTERIOR = 1.0
+
+
+def tau(epsilon_solvent: float = EPSILON_SOLVENT,
+        epsilon_interior: float = EPSILON_INTERIOR) -> float:
+    """Return the GB dielectric prefactor ``τ = 1/ε_in − 1/ε_solv``.
+
+    With ``ε_in = 1`` this reduces to the paper's ``(1 − 1/ε_solv)`` from
+    Eq. 2.  The polarization energy is ``E_pol = −τ/2 · Σ q_i q_j / f_GB``
+    (in Gaussian units; multiplied by :data:`COULOMB_KCAL` for kcal/mol).
+    """
+    if epsilon_solvent <= 0 or epsilon_interior <= 0:
+        raise ValueError("dielectric constants must be positive")
+    return 1.0 / epsilon_interior - 1.0 / epsilon_solvent
+
+
+#: Default ``τ`` for water over vacuum interior.
+TAU_WATER = tau()
+
+#: 4π, used by the r⁶ Born-radius surface integral (paper Eq. 4).
+FOUR_PI = 12.566370614359172
+
+#: Deterministic cap on effective Born radii (Å), the ``rgbmax`` of real
+#: GB packages.  Atoms whose accumulated integral is tiny or nonpositive
+#: (numerically "infinitely buried") get this radius; a fixed constant
+#: keeps serial, work-division and data-distributed solvers bit-consistent.
+RGBMAX = 30.0

@@ -1,0 +1,50 @@
+"""Naive exact GB polarization energy — paper Eq. 2, O(M²).
+
+The reference against which all octree energies are scored.  Blocked
+row-panels keep temporaries at ``block × M`` while the kernel remains a
+single fused einsum per panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import TAU_WATER
+from repro.core.gb import energy_prefactor, inv_fgb_still
+from repro.molecules.molecule import Molecule
+
+
+def epol_naive(molecule: Molecule,
+               born_radii: np.ndarray,
+               tau: float = TAU_WATER,
+               approx_math: bool = False,
+               block: int = 512) -> float:
+    """Exact ``E_pol`` in kcal/mol over all ordered atom pairs (incl. self).
+
+    Parameters
+    ----------
+    molecule:
+        Atom positions and charges.
+    born_radii:
+        ``(m,)`` effective Born radii (from any Born solver).
+    tau:
+        Dielectric prefactor ``1 − 1/ε_solv``.
+    approx_math:
+        Use the low-precision kernels of :mod:`repro.core.gb`.
+    """
+    R = np.asarray(born_radii, dtype=np.float64)
+    pos, q = molecule.positions, molecule.charges
+    m = len(pos)
+    if len(R) != m:
+        raise ValueError("born_radii length must match atom count")
+    if np.any(R <= 0):
+        raise ValueError("Born radii must be positive")
+    total = 0.0
+    for lo in range(0, m, block):
+        hi = min(lo + block, m)
+        diff = pos[lo:hi, None, :] - pos[None, :, :]
+        r2 = np.einsum("bjk,bjk->bj", diff, diff)
+        RiRj = R[lo:hi, None] * R[None, :]
+        inv = inv_fgb_still(r2, RiRj, approx_math=approx_math)
+        total += float(np.einsum("b,bj,j->", q[lo:hi], inv, q))
+    return energy_prefactor(tau) * total

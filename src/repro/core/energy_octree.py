@@ -1,0 +1,240 @@
+"""Octree GB polarization energy — the paper's Fig. 3 algorithm.
+
+``APPROX-EPOL(U, V)`` evaluates the interaction of a *leaf* ``V`` of the
+atoms octree with the whole tree: starting from the root,
+
+1. a leaf ``U`` is evaluated exactly (all near ancestors descended);
+2. a far internal node (``r_UV > (r_U + r_V)(1 + 2/ε)``) is collapsed to
+   its Born-radius *charge buckets*: atoms are binned by Born radius on
+   a ``(1+ε)``-geometric grid ``[R_min(1+ε)^k, R_min(1+ε)^{k+1})`` and
+   only bucket totals interact —
+   ``Σ_{i,j} q_U[i] q_V[j] / f_GB(r_UV, R_min²(1+ε)^{i+j})``;
+3. otherwise recursion descends ``U``'s children.
+
+Driving every tree leaf ``V`` against the root covers each *ordered*
+atom pair exactly once, which is precisely Eq. 2's double sum (self
+pairs included via the ``U == V`` exact block).
+
+As in :mod:`repro.core.born_octree`, the recursion is executed as a
+vectorised frontier of ``(U, V)`` index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.constants import TAU_WATER
+from repro.core.born_octree import PerSourceCounts, TraversalCounts
+from repro.core.gb import energy_prefactor, inv_fgb_still
+from repro.geomutil import ranges_to_indices
+from repro.molecules.molecule import Molecule
+from repro.octree.build import NO_CHILD, Octree, build_octree
+
+
+@dataclass
+class ChargeBuckets:
+    """Per-node charge totals binned by Born radius (paper Fig. 3).
+
+    Attributes
+    ----------
+    table:
+        ``(nnodes, M_ε)`` bucket sums ``q_U[k]``.
+    r_min, r_max:
+        Global Born-radius extremes.
+    base:
+        Geometric bucket ratio ``1 + ε``.
+    products:
+        ``(M_ε, M_ε)`` matrix ``R_min²(1+ε)^{i+j}`` — the Born-radius
+        product proxy used by the far-field kernel.
+    """
+
+    table: np.ndarray
+    r_min: float
+    r_max: float
+    base: float
+    products: np.ndarray
+
+    @property
+    def nbuckets(self) -> int:
+        return self.table.shape[1]
+
+
+def build_charge_buckets(tree: Octree,
+                         charges_sorted: np.ndarray,
+                         born_sorted: np.ndarray,
+                         eps: float) -> ChargeBuckets:
+    """Bucket every node's charge by Born radius on the (1+ε) grid."""
+    R = np.asarray(born_sorted, dtype=np.float64)
+    if np.any(R <= 0):
+        raise ValueError("Born radii must be positive")
+    r_min = float(R.min())
+    r_max = float(R.max())
+    base = 1.0 + eps
+    if r_max > r_min:
+        m_eps = int(np.floor(np.log(r_max / r_min) / np.log(base))) + 1
+    else:
+        m_eps = 1
+    bucket = np.zeros(len(R), dtype=np.int64)
+    if m_eps > 1:
+        bucket = np.clip((np.log(R / r_min) / np.log(base)).astype(np.int64),
+                         0, m_eps - 1)
+
+    # A node's bucket table is the sum of its points' (bucket, charge)
+    # pairs; compute all nodes in one pass with a cumulative table over
+    # the sorted atom order, then slice-differences per node.
+    onehot_cum = np.zeros((tree.npoints + 1, m_eps))
+    np.add.at(onehot_cum, (np.arange(tree.npoints) + 1, bucket),
+              charges_sorted)
+    onehot_cum = np.cumsum(onehot_cum, axis=0)
+    table = onehot_cum[tree.end] - onehot_cum[tree.start]
+
+    powers = r_min * base ** np.arange(m_eps)
+    products = np.outer(powers, powers)
+    return ChargeBuckets(table=table, r_min=r_min, r_max=r_max,
+                         base=base, products=products)
+
+
+def approx_epol_for_leaves(atoms_tree: Octree,
+                           charges_sorted: np.ndarray,
+                           born_sorted: np.ndarray,
+                           buckets: ChargeBuckets,
+                           params: ApproxParams,
+                           v_leaf_subset: Optional[np.ndarray] = None,
+                           far_chunk: int = 8192
+                           ) -> Tuple[float, TraversalCounts,
+                                      PerSourceCounts]:
+    """Raw double sum ``Σ q q / f_GB`` for a segment of V-leaves.
+
+    ``v_leaf_subset`` holds positions into ``atoms_tree.leaves`` (the
+    per-rank segment of the distributed algorithm); ``None`` means all
+    leaves.  Multiply the result by
+    :func:`repro.core.gb.energy_prefactor` for kcal/mol.
+    """
+    counts = TraversalCounts()
+    leaf_ids = atoms_tree.leaves
+    if v_leaf_subset is not None:
+        leaf_ids = leaf_ids[np.asarray(v_leaf_subset)]
+    nv = len(leaf_ids)
+    pv_visits = np.zeros(nv, dtype=np.int64)
+    pv_far = np.zeros(nv, dtype=np.int64)
+    pv_exact = np.zeros(nv, dtype=np.int64)
+    per_source = PerSourceCounts(pv_visits, pv_far, pv_exact)
+    if nv == 0:
+        return 0.0, counts, per_source
+
+    mac = 1.0 + 2.0 / params.eps_epol
+    children = atoms_tree.children
+    center = atoms_tree.center
+    radius = atoms_tree.radius
+    is_leaf = atoms_tree.is_leaf
+
+    v_center = center[leaf_ids]
+    v_radius = radius[leaf_ids]
+    v_rows = np.arange(nv, dtype=np.int64)
+
+    u_front = np.zeros(nv, dtype=np.int64)
+    v_front = v_rows.copy()
+
+    total = 0.0
+    exact_u: list = []
+    exact_v: list = []
+
+    while len(u_front):
+        counts.frontier_visits += len(u_front)
+        pv_visits += np.bincount(v_front, minlength=nv)
+        leafmask = is_leaf[u_front]
+        if leafmask.any():
+            exact_u.append(u_front[leafmask])
+            exact_v.append(v_front[leafmask])
+        u_rest = u_front[~leafmask]
+        v_rest = v_front[~leafmask]
+        u_front = np.empty(0, dtype=np.int64)
+        v_front = np.empty(0, dtype=np.int64)
+        if len(u_rest):
+            dv = v_center[v_rest] - center[u_rest]
+            r2 = np.einsum("ij,ij->i", dv, dv)
+            r = np.sqrt(r2)
+            far = r > (radius[u_rest] + v_radius[v_rest]) * mac
+            if far.any():
+                fu, fv = u_rest[far], v_rest[far]
+                fr2 = r2[far]
+                for lo in range(0, len(fu), far_chunk):
+                    sl = slice(lo, min(lo + far_chunk, len(fu)))
+                    k = inv_fgb_still(
+                        fr2[sl][:, None, None],
+                        buckets.products[None, :, :],
+                        approx_math=params.approx_math)
+                    qu = buckets.table[fu[sl]]
+                    qv = buckets.table[leaf_ids[fv[sl]]]
+                    total += float(np.einsum("ki,kij,kj->", qu, k, qv))
+                counts.far_evaluations += int(far.sum())
+                pv_far += np.bincount(fv, minlength=nv)
+            near = ~far
+            iu, iv = u_rest[near], v_rest[near]
+            if len(iu):
+                ch = children[iu]
+                valid = ch != NO_CHILD
+                u_front = ch[valid]
+                v_front = np.repeat(iv, valid.sum(axis=1))
+
+    # Exact leaf–leaf blocks, grouped by V so each group runs as one
+    # (gathered U atoms × V atoms) kernel.
+    if exact_u:
+        eu = np.concatenate(exact_u)
+        ev = np.concatenate(exact_v)
+        order = np.argsort(ev, kind="stable")
+        eu, ev = eu[order], ev[order]
+        pts = atoms_tree.points
+        uniq, first = np.unique(ev, return_index=True)
+        bounds = np.append(first, len(ev))
+        for vrow, lo, hi in zip(uniq, bounds[:-1], bounds[1:]):
+            vleaf = int(leaf_ids[vrow])
+            usel = ranges_to_indices(atoms_tree.start[eu[lo:hi]],
+                                     atoms_tree.end[eu[lo:hi]])
+            vsl = atoms_tree.slice_of(vleaf)
+            diff = pts[usel][:, None, :] - pts[vsl][None, :, :]
+            r2 = np.einsum("uvk,uvk->uv", diff, diff)
+            RiRj = born_sorted[usel][:, None] * born_sorted[vsl][None, :]
+            inv = inv_fgb_still(r2, RiRj, approx_math=params.approx_math)
+            total += float(np.einsum("u,uv,v->", charges_sorted[usel], inv,
+                                     charges_sorted[vsl]))
+            counts.near_pair_blocks += hi - lo
+            counts.exact_interactions += diff.shape[0] * diff.shape[1]
+            pv_exact[vrow] += diff.shape[0] * diff.shape[1]
+
+    return total, counts, per_source
+
+
+@dataclass
+class EpolResult:
+    """Output of the octree energy solver (energy in kcal/mol)."""
+
+    energy: float
+    counts: TraversalCounts
+    buckets: ChargeBuckets
+    atoms_tree: Octree
+    per_source: Optional[PerSourceCounts] = None
+
+
+def epol_octree(molecule: Molecule,
+                born_radii: np.ndarray,
+                params: ApproxParams = ApproxParams(),
+                atoms_tree: Optional[Octree] = None,
+                tau: float = TAU_WATER) -> EpolResult:
+    """Serial octree ``E_pol`` for a whole molecule (kcal/mol)."""
+    if atoms_tree is None:
+        atoms_tree = build_octree(molecule.positions, params.leaf_size,
+                                  params.max_depth)
+    q_sorted = molecule.charges[atoms_tree.perm]
+    R_sorted = np.asarray(born_radii)[atoms_tree.perm]
+    buckets = build_charge_buckets(atoms_tree, q_sorted, R_sorted,
+                                   params.eps_epol)
+    raw, counts, per_source = approx_epol_for_leaves(
+        atoms_tree, q_sorted, R_sorted, buckets, params)
+    return EpolResult(energy=energy_prefactor(tau) * raw, counts=counts,
+                      buckets=buckets, atoms_tree=atoms_tree,
+                      per_source=per_source)

@@ -1,0 +1,218 @@
+"""Analytic gradients of the GB polarization energy (forces).
+
+MD packages need ``−∇E_pol`` every step; this module extends the
+reproduction with the standard fixed-Born-radius GB force (the dominant
+term; the chain-rule term through ``∂R/∂x`` is conventionally smaller
+and is omitted by several GB implementations' fast paths).
+
+With ``E = K Σ_{i,j} q_i q_j / f_ij`` over ordered pairs
+(``K = −τ·C/2``) and STILL's
+``f² = r² + R_i R_j exp(−r²/(4 R_i R_j))``:
+
+    ∂f²/∂x_a = 2 (x_a − x_j) · (1 − damp/4),   damp = exp(−r²/4R_iR_j)
+    ∇_a E    = −2K q_a Σ_{j≠a} q_j (x_a − x_j)(1 − damp/4) / f³
+
+Both an exact blocked evaluator and an octree evaluator (leaf-vs-tree
+with the Fig. 3 charge buckets) are provided; the octree version's far
+field collapses a node to its bucketed charges at the node centre,
+exactly mirroring the energy traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.constants import COULOMB_KCAL, TAU_WATER
+from repro.core.born_octree import TraversalCounts
+from repro.core.energy_octree import ChargeBuckets, build_charge_buckets
+from repro.core.gb import fast_exp
+from repro.geomutil import ranges_to_indices
+from repro.molecules.molecule import Molecule
+from repro.octree.build import NO_CHILD, Octree, build_octree
+
+
+def _pair_force_factor(r2: np.ndarray, RiRj: np.ndarray,
+                       approx_math: bool) -> np.ndarray:
+    """``(1 − damp/4) / f³`` for a batch of pairs."""
+    expo = -r2 / (4.0 * RiRj)
+    damp = fast_exp(expo) if approx_math else np.exp(expo)
+    f2 = r2 + RiRj * damp
+    return (1.0 - 0.25 * damp) / np.maximum(f2, 1e-30) ** 1.5
+
+
+def forces_naive(molecule: Molecule,
+                 born_radii: np.ndarray,
+                 tau: float = TAU_WATER,
+                 approx_math: bool = False,
+                 block: int = 512) -> np.ndarray:
+    """Exact ``−∇E_pol`` (kcal/mol/Å), fixed Born radii, O(M²)."""
+    pos, q = molecule.positions, molecule.charges
+    R = np.asarray(born_radii, dtype=np.float64)
+    m = len(pos)
+    if len(R) != m:
+        raise ValueError("born_radii length must match atom count")
+    K = -0.5 * tau * COULOMB_KCAL
+    grad = np.zeros((m, 3))
+    for lo in range(0, m, block):
+        hi = min(lo + block, m)
+        diff = pos[lo:hi, None, :] - pos[None, :, :]
+        r2 = np.einsum("bjk,bjk->bj", diff, diff)
+        RiRj = R[lo:hi, None] * R[None, :]
+        fac = _pair_force_factor(r2, RiRj, approx_math)
+        # Exclude the self pair (its distance derivative is zero anyway,
+        # but 0/f³ keeps it finite and exact exclusion is cleaner).
+        rows = np.arange(lo, hi)
+        fac[rows - lo, rows] = 0.0
+        weighted = fac * q[None, :]
+        grad[lo:hi] = np.einsum("bj,bjk->bk", weighted, diff) \
+            * q[lo:hi, None]
+    # ∇_a E = −2K q_a Σ …  ⇒ force = −∇E = +2K (…)
+    return 2.0 * K * grad
+
+
+@dataclass
+class ForcesResult:
+    """Octree force evaluation output (forces in the original order)."""
+
+    forces: np.ndarray
+    counts: TraversalCounts
+    buckets: ChargeBuckets
+
+
+def forces_octree(molecule: Molecule,
+                  born_radii: np.ndarray,
+                  params: ApproxParams = ApproxParams(),
+                  atoms_tree: Optional[Octree] = None,
+                  tau: float = TAU_WATER,
+                  far_chunk: int = 4096) -> ForcesResult:
+    """Octree ``−∇E_pol``: Fig. 3's traversal, force kernels.
+
+    For every tree leaf ``V``, contributions to its atoms come from
+    exact leaf pairs (near) and from bucket-collapsed far nodes ``U``:
+    each far node acts as ``M_ε`` point charges at its centre with the
+    bucket Born radii.
+    """
+    if atoms_tree is None:
+        atoms_tree = build_octree(molecule.positions, params.leaf_size,
+                                  params.max_depth)
+    tree = atoms_tree
+    q_sorted = molecule.charges[tree.perm]
+    R_sorted = np.asarray(born_radii)[tree.perm]
+    pos_sorted = tree.points
+    buckets = build_charge_buckets(tree, q_sorted, R_sorted,
+                                   params.eps_epol)
+    counts = TraversalCounts()
+    K = -0.5 * tau * COULOMB_KCAL
+
+    mac = 1.0 + 2.0 / params.eps_epol
+    leaf_ids = tree.leaves
+    nv = len(leaf_ids)
+    v_center = tree.center[leaf_ids]
+    v_radius = tree.radius[leaf_ids]
+
+    grad_sorted = np.zeros((tree.npoints, 3))
+
+    u_front = np.zeros(nv, dtype=np.int64)
+    v_front = np.arange(nv, dtype=np.int64)
+    exact_u: list = []
+    exact_v: list = []
+
+    m_eps = buckets.nbuckets
+    bucket_R = buckets.r_min * buckets.base ** np.arange(m_eps)
+
+    while len(u_front):
+        counts.frontier_visits += len(u_front)
+        leafmask = tree.is_leaf[u_front]
+        if leafmask.any():
+            exact_u.append(u_front[leafmask])
+            exact_v.append(v_front[leafmask])
+        u_rest = u_front[~leafmask]
+        v_rest = v_front[~leafmask]
+        u_front = np.empty(0, dtype=np.int64)
+        v_front = np.empty(0, dtype=np.int64)
+        if not len(u_rest):
+            continue
+        dv = v_center[v_rest] - tree.center[u_rest]
+        r = np.sqrt(np.einsum("ij,ij->i", dv, dv))
+        far = r > (tree.radius[u_rest] + v_radius[v_rest]) * mac
+        if far.any():
+            fu, fv = u_rest[far], v_rest[far]
+            for lo in range(0, len(fu), far_chunk):
+                sl = slice(lo, min(lo + far_chunk, len(fu)))
+                _far_force_block(tree, fu[sl], leaf_ids[fv[sl]],
+                                 pos_sorted, q_sorted, R_sorted,
+                                 buckets.table, bucket_R, grad_sorted,
+                                 params.approx_math)
+            counts.far_evaluations += int(far.sum())
+        near = ~far
+        iu, iv = u_rest[near], v_rest[near]
+        if len(iu):
+            ch = tree.children[iu]
+            valid = ch != NO_CHILD
+            u_front = ch[valid]
+            v_front = np.repeat(iv, valid.sum(axis=1))
+
+    if exact_u:
+        eu = np.concatenate(exact_u)
+        ev = np.concatenate(exact_v)
+        order = np.argsort(ev, kind="stable")
+        eu, ev = eu[order], ev[order]
+        uniq, first = np.unique(ev, return_index=True)
+        bounds = np.append(first, len(ev))
+        for vrow, lo, hi in zip(uniq, bounds[:-1], bounds[1:]):
+            vleaf = int(leaf_ids[vrow])
+            usel = ranges_to_indices(tree.start[eu[lo:hi]],
+                                     tree.end[eu[lo:hi]])
+            vsl = tree.slice_of(vleaf)
+            diff = pos_sorted[vsl][:, None, :] - pos_sorted[usel][None]
+            r2 = np.einsum("vuk,vuk->vu", diff, diff)
+            RiRj = R_sorted[vsl][:, None] * R_sorted[usel][None, :]
+            fac = _pair_force_factor(r2, RiRj, params.approx_math)
+            fac[r2 == 0.0] = 0.0      # self pairs
+            w = fac * q_sorted[usel][None, :]
+            grad_sorted[vsl] += np.einsum("vu,vuk->vk", w, diff) \
+                * q_sorted[vsl][:, None]
+            counts.near_pair_blocks += hi - lo
+            counts.exact_interactions += diff.shape[0] * diff.shape[1]
+
+    forces_sorted = 2.0 * K * grad_sorted
+    forces = np.empty_like(forces_sorted)
+    forces[tree.perm] = forces_sorted
+    return ForcesResult(forces=forces, counts=counts, buckets=buckets)
+
+
+def _far_force_block(tree: Octree, fu: np.ndarray, fv_leaf: np.ndarray,
+                     pos_sorted: np.ndarray, q_sorted: np.ndarray,
+                     R_sorted: np.ndarray, table: np.ndarray,
+                     bucket_R: np.ndarray, grad_sorted: np.ndarray,
+                     approx_math: bool) -> None:
+    """Add far-node U contributions to the atoms of each V leaf.
+
+    Every (U, V) pair expands to (atoms of V) × (buckets of U)
+    interactions evaluated at U's centre.
+    """
+    v_starts = tree.start[fv_leaf]
+    v_ends = tree.end[fv_leaf]
+    atoms = ranges_to_indices(v_starts, v_ends)
+    lens = (v_ends - v_starts).astype(np.int64)
+    pair_of_atom = np.repeat(np.arange(len(fu)), lens)
+
+    u_center = tree.center[fu][pair_of_atom]        # (A, 3)
+    diff = pos_sorted[atoms] - u_center             # (A, 3)
+    r2 = np.einsum("ak,ak->a", diff, diff)
+    # (A, M_ε): per-bucket force factors.
+    RiRj = R_sorted[atoms][:, None] * bucket_R[None, :]
+    fac = _pair_force_factor(r2[:, None], RiRj, approx_math)
+    qU = table[fu][pair_of_atom]                    # (A, M_ε)
+    scale = np.einsum("ab,ab->a", fac, qU) * q_sorted[atoms]
+    np.add.at(grad_sorted, atoms, diff * scale[:, None])
+
+
+def net_force(forces: np.ndarray) -> np.ndarray:
+    """Σ_i F_i — exactly zero for the pair-distance-only energy
+    (Newton's third law); a cheap consistency diagnostic."""
+    return np.asarray(forces).sum(axis=0)

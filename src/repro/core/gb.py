@@ -1,0 +1,101 @@
+"""Generalized-Born pair kernels (STILL model) and approximate math.
+
+The STILL effective interaction distance (paper Eq. 2):
+
+    f_GB(i, j) = sqrt( r_ij² + R_i R_j · exp( −r_ij² / (4 R_i R_j) ) )
+
+and the polarization energy
+
+    E_pol = −τ/2 · C · Σ_{i,j} q_i q_j / f_GB(i, j)
+
+where the double sum runs over *ordered* pairs including ``i == j``
+(``f_GB(i,i) = R_i``), ``τ = 1 − 1/ε_solv`` and ``C`` is Coulomb's
+constant in kcal·Å/(mol·e²).
+
+"Approximate math" (paper §V-C: ~1.42× faster, 4–5 % error shift)
+is reproduced with genuinely lower-precision kernels: a bit-trick
+reciprocal square root with one Newton step and a (1 + x/64)⁶⁴
+exponential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import COULOMB_KCAL, TAU_WATER
+
+
+def fast_rsqrt(x: np.ndarray) -> np.ndarray:
+    """Vectorised Quake-style ``1/sqrt(x)`` with two Newton refinements.
+
+    Relative error ≈ 5·10⁻⁶, float32 throughout.  Two steps (rather
+    than the classic one) keep the r⁶ Born integral usable: its large
+    cancelling terms amplify per-term error, and the paper reports only
+    a 4–5 % energy shift from approximate math.
+    """
+    xf = np.asarray(x, dtype=np.float32)
+    i = xf.view(np.int32)
+    i = np.int32(0x5F3759DF) - (i >> np.int32(1))
+    y = i.view(np.float32)
+    half = np.float32(0.5) * xf
+    threehalf = np.float32(1.5)
+    y = y * (threehalf - half * y * y)
+    y = y * (threehalf - half * y * y)
+    return y.astype(np.float64)
+
+
+def fast_exp(x: np.ndarray) -> np.ndarray:
+    """Low-precision ``exp(x)`` via the compound-interest limit
+    ``(1 + x/64)⁶⁴`` (six squarings).
+
+    Accurate to ~1 % for the argument range the GB kernel produces
+    (``x ∈ [−25, 0]``, where the factor is damped toward zero anyway).
+    """
+    y = 1.0 + np.asarray(x, dtype=np.float64) / 64.0
+    # Clamp so large-negative arguments give 0⁺ rather than oscillating.
+    y = np.maximum(y, 0.0)
+    for _ in range(6):
+        y = y * y
+    return y
+
+
+def fgb_still(r2: np.ndarray, RiRj: np.ndarray,
+              approx_math: bool = False) -> np.ndarray:
+    """STILL ``f_GB`` from squared distances and Born-radius products."""
+    expo = -r2 / (4.0 * RiRj)
+    if approx_math:
+        damp = fast_exp(expo)
+        inner = r2 + RiRj * damp
+        return 1.0 / fast_rsqrt(np.maximum(inner, 1e-30))
+    return np.sqrt(r2 + RiRj * np.exp(expo))
+
+
+def inv_fgb_still(r2: np.ndarray, RiRj: np.ndarray,
+                  approx_math: bool = False) -> np.ndarray:
+    """``1 / f_GB`` — the quantity the energy sums actually need."""
+    expo = -r2 / (4.0 * RiRj)
+    if approx_math:
+        damp = fast_exp(expo)
+        return fast_rsqrt(np.maximum(r2 + RiRj * damp, 1e-30))
+    return 1.0 / np.sqrt(r2 + RiRj * np.exp(expo))
+
+
+def energy_prefactor(tau: float = TAU_WATER) -> float:
+    """The ``−τ/2 · C`` multiplier converting Σ q q / f_GB to kcal/mol."""
+    return -0.5 * tau * COULOMB_KCAL
+
+
+def pair_energy_matrix(pos_i: np.ndarray, q_i: np.ndarray, R_i: np.ndarray,
+                       pos_j: np.ndarray, q_j: np.ndarray, R_j: np.ndarray,
+                       approx_math: bool = False) -> float:
+    """Exact Σ_{a∈i, b∈j} q_a q_b / f_GB(a, b) for two atom blocks.
+
+    Returns the raw (unprefixed) double sum; callers apply
+    :func:`energy_prefactor`.  This is the leaf–leaf kernel of the
+    octree energy solver and the inner block of the naive solver.
+    """
+    diff = pos_i[:, None, :] - pos_j[None, :, :]
+    r2 = np.einsum("ijk,ijk->ij", diff, diff)
+    RiRj = R_i[:, None] * R_j[None, :]
+    inv = inv_fgb_still(r2, RiRj, approx_math=approx_math)
+    return float(np.einsum("i,ij,j->", q_i, inv, q_j))

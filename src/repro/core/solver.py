@@ -1,0 +1,185 @@
+"""High-level public API: :class:`PolarizationSolver`.
+
+Typical use::
+
+    from repro import PolarizationSolver, ApproxParams
+    from repro.molecules import synthetic_protein
+
+    mol = synthetic_protein(5000, seed=1)
+    solver = PolarizationSolver(mol, ApproxParams(eps_born=0.9, eps_epol=0.9))
+    energy = solver.energy()          # kcal/mol
+    radii = solver.born_radii()       # per-atom effective Born radii
+
+The solver caches the two octrees and the Born radii, so repeated
+energy evaluations (e.g. a docking scan with ``solver.transformed``)
+only pay the traversal cost — exactly the "octree construction is a
+pre-processing cost" argument of the paper's §IV-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.constants import TAU_WATER
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.born_octree import BornResult, born_radii_octree
+from repro.core.dualtree import born_radii_dualtree, epol_dualtree
+from repro.core.energy_naive import epol_naive
+from repro.core.energy_octree import EpolResult, epol_octree
+from repro.molecules.molecule import Molecule
+from repro.molecules.transform import RigidTransform
+from repro.octree.build import Octree, build_octree
+
+#: Traversal strategies exposed by the solver.
+METHODS = ("octree", "dualtree", "naive")
+
+
+@dataclass
+class SolverReport:
+    """Everything a run produced, for benchmarks and examples."""
+
+    energy: float
+    born_radii: np.ndarray
+    method: str
+    born_counts: Optional[object] = None
+    epol_counts: Optional[object] = None
+    atoms_tree_nodes: int = 0
+    qpoints_tree_nodes: int = 0
+
+
+class PolarizationSolver:
+    """GB polarization-energy solver over one molecule.
+
+    Parameters
+    ----------
+    molecule:
+        Molecule with surface samples (see
+        :func:`repro.molecules.sample_surface`).
+    params:
+        Approximation parameters; ignored by ``method="naive"``.
+    method:
+        ``"octree"`` — the paper's single-tree algorithm (Figs. 2–3);
+        ``"dualtree"`` — the prior-work dual-tree algorithm [6,7];
+        ``"naive"`` — exact O(M·N) / O(M²) reference.
+    tau:
+        Dielectric prefactor ``1 − 1/ε_solv``.
+    """
+
+    def __init__(self,
+                 molecule: Molecule,
+                 params: ApproxParams = ApproxParams(),
+                 method: str = "octree",
+                 tau: float = TAU_WATER) -> None:
+        if method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}")
+        self.molecule = molecule
+        self.params = params
+        self.method = method
+        self.tau = tau
+        self._atoms_tree: Optional[Octree] = None
+        self._q_tree: Optional[Octree] = None
+        self._born: Optional[np.ndarray] = None
+        self._born_result: Optional[BornResult] = None
+        self._epol_result: Optional[EpolResult] = None
+        self._naive_energy: Optional[float] = None
+
+    # -- octree lifecycle --------------------------------------------------
+
+    @property
+    def atoms_tree(self) -> Octree:
+        """Atoms octree (built on first use, then cached)."""
+        if self._atoms_tree is None:
+            self._atoms_tree = build_octree(self.molecule.positions,
+                                            self.params.leaf_size,
+                                            self.params.max_depth)
+        return self._atoms_tree
+
+    @property
+    def qpoints_tree(self) -> Octree:
+        """Quadrature-points octree (built on first use, then cached)."""
+        if self._q_tree is None:
+            surf = self.molecule.require_surface()
+            self._q_tree = build_octree(surf.points, self.params.leaf_size,
+                                        self.params.max_depth)
+        return self._q_tree
+
+    def transformed(self, transform: RigidTransform) -> "PolarizationSolver":
+        """A solver over the rigidly-moved molecule, reusing both octrees.
+
+        Born radii and energy are invariant under rigid motion; this
+        exists so docking scans can verify that invariance (and skip
+        rebuild costs) rather than recompute structure.
+        """
+        surf = self.molecule.require_surface()
+        moved = Molecule(
+            transform.apply(self.molecule.positions),
+            self.molecule.charges,
+            self.molecule.radii,
+            surface=type(surf)(transform.apply(surf.points),
+                               transform.apply_vectors(surf.normals),
+                               surf.weights),
+            name=self.molecule.name + "@moved",
+        )
+        other = PolarizationSolver(moved, self.params, self.method, self.tau)
+        other._atoms_tree = self.atoms_tree.transformed(transform)
+        other._q_tree = self.qpoints_tree.transformed(transform)
+        return other
+
+    # -- results -----------------------------------------------------------
+
+    def born_radii(self) -> np.ndarray:
+        """Per-atom effective Born radii (original atom order)."""
+        if self._born is None:
+            if self.method == "naive":
+                self._born = born_radii_naive_r6(self.molecule)
+            elif self.method == "dualtree":
+                self._born_result = born_radii_dualtree(
+                    self.molecule, self.params,
+                    atoms_tree=self.atoms_tree, q_tree=self.qpoints_tree)
+                self._born = self._born_result.radii
+            else:
+                self._born_result = born_radii_octree(
+                    self.molecule, self.params,
+                    atoms_tree=self.atoms_tree, q_tree=self.qpoints_tree)
+                self._born = self._born_result.radii
+        return self._born
+
+    def energy(self) -> float:
+        """GB polarization energy in kcal/mol."""
+        radii = self.born_radii()
+        if self._epol_result is not None:
+            return self._epol_result.energy
+        if self.method == "naive":
+            if self._naive_energy is None:
+                self._naive_energy = epol_naive(self.molecule, radii,
+                                                tau=self.tau)
+            return self._naive_energy
+        if self.method == "dualtree":
+            self._epol_result = epol_dualtree(
+                self.molecule, radii, self.params,
+                atoms_tree=self.atoms_tree, tau=self.tau)
+        else:
+            self._epol_result = epol_octree(
+                self.molecule, radii, self.params,
+                atoms_tree=self.atoms_tree, tau=self.tau)
+        return self._epol_result.energy
+
+    def report(self) -> SolverReport:
+        """Run (if needed) and summarise."""
+        energy = self.energy()
+        return SolverReport(
+            energy=energy,
+            born_radii=self.born_radii(),
+            method=self.method,
+            born_counts=(self._born_result.counts
+                         if self._born_result else None),
+            epol_counts=(self._epol_result.counts
+                         if self._epol_result else None),
+            atoms_tree_nodes=self.atoms_tree.nnodes,
+            qpoints_tree_nodes=(self.qpoints_tree.nnodes
+                                if self.molecule.surface is not None else 0),
+        )

@@ -1,0 +1,29 @@
+"""Minimal implicit-solvent mechanics on top of the GB solver.
+
+The paper motivates GB polarization energy with "molecular dynamics
+simulations for determining the molecular conformation with minimal
+total free energy" (§I).  This subpackage supplies the smallest honest
+version of that pipeline over the library's energies and forces:
+
+* :mod:`repro.md.potential` — an implicit-solvent potential combining
+  the GB polarization term with a soft-sphere repulsion (the steric
+  floor that keeps charges from collapsing onto each other);
+* :mod:`repro.md.minimize` — backtracking steepest-descent minimisation;
+* :mod:`repro.md.langevin` — a BAOAB Langevin integrator.
+
+It is intentionally *not* a force field: no bonds, angles or LJ
+attraction.  It exists to exercise energy/force consistency end-to-end
+the way a consuming MD engine would.
+"""
+
+from repro.md.potential import ImplicitSolventPotential
+from repro.md.minimize import MinimizationResult, minimize
+from repro.md.langevin import LangevinResult, langevin
+
+__all__ = [
+    "ImplicitSolventPotential",
+    "MinimizationResult",
+    "minimize",
+    "LangevinResult",
+    "langevin",
+]

@@ -1,0 +1,27 @@
+"""Molecular substrate: molecules, surfaces, quadrature, generators, I/O."""
+
+from repro.molecules.molecule import Molecule, SurfaceSamples
+from repro.molecules.generator import (
+    synthetic_protein,
+    zdock_like_suite,
+    virus_capsid,
+    random_ligand,
+)
+from repro.molecules.surface import sample_surface
+from repro.molecules.quadrature import dunavant_rule, triangle_quadrature
+from repro.molecules.transform import RigidTransform
+from repro.molecules import pdbio
+
+__all__ = [
+    "Molecule",
+    "SurfaceSamples",
+    "synthetic_protein",
+    "zdock_like_suite",
+    "virus_capsid",
+    "random_ligand",
+    "sample_surface",
+    "dunavant_rule",
+    "triangle_quadrature",
+    "RigidTransform",
+    "pdbio",
+]

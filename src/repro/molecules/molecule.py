@@ -1,0 +1,152 @@
+"""Structure-of-arrays molecule and surface-sample containers.
+
+The solvers never look at bonded topology: following the paper, a
+molecule is a set of charged spheres (atoms) plus a set of surface
+quadrature points with outward normals and weights.  Both are stored as
+contiguous ``float64`` numpy arrays so the vectorised kernels and the
+octree builder can operate without per-object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def _as_f64(a, name: str, shape_tail: tuple = ()) -> np.ndarray:
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    if arr.ndim != 1 + len(shape_tail) or arr.shape[1:] != shape_tail:
+        raise ValueError(f"{name} must have shape (n,{','.join(map(str, shape_tail))})"
+                         if shape_tail else f"{name} must be one-dimensional")
+    return arr
+
+
+@dataclass
+class SurfaceSamples:
+    """Gaussian quadrature samples of the molecular surface.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 3)`` sample positions ``r_k`` on the surface.
+    normals:
+        ``(n, 3)`` unit outward surface normals ``n_k``.
+    weights:
+        ``(n,)`` quadrature weights ``w_k`` (area-like, Å²).
+    """
+
+    points: np.ndarray
+    normals: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.points = _as_f64(self.points, "points", (3,))
+        self.normals = _as_f64(self.normals, "normals", (3,))
+        self.weights = _as_f64(self.weights, "weights")
+        n = len(self.points)
+        if len(self.normals) != n or len(self.weights) != n:
+            raise ValueError("points, normals and weights must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def weighted_normals(self) -> np.ndarray:
+        """``w_k · n_k`` — the only combination the kernels need."""
+        return self.normals * self.weights[:, None]
+
+    def total_area(self) -> float:
+        """Sum of quadrature weights ≈ surface area (Å²)."""
+        return float(self.weights.sum())
+
+    def subset(self, index: np.ndarray) -> "SurfaceSamples":
+        """Return the samples selected by ``index`` (copying)."""
+        return SurfaceSamples(self.points[index], self.normals[index],
+                              self.weights[index])
+
+    def nbytes(self) -> int:
+        """Bytes of live array data (for the memory model)."""
+        return self.points.nbytes + self.normals.nbytes + self.weights.nbytes
+
+
+@dataclass
+class Molecule:
+    """A molecule as the solvers see it: charged spheres + optional surface.
+
+    Attributes
+    ----------
+    positions:
+        ``(m, 3)`` atom centres ``x_i`` in Å.
+    charges:
+        ``(m,)`` partial charges ``q_i`` in units of *e*.
+    radii:
+        ``(m,)`` intrinsic (van der Waals) radii ``r_i`` in Å; the Born
+        radius of an atom is floored at this value (paper Fig. 2).
+    surface:
+        Optional :class:`SurfaceSamples`; required by the r⁶ Born solver.
+    name:
+        Label used in benchmark tables.
+    """
+
+    positions: np.ndarray
+    charges: np.ndarray
+    radii: np.ndarray
+    surface: Optional[SurfaceSamples] = None
+    name: str = "molecule"
+
+    def __post_init__(self) -> None:
+        self.positions = _as_f64(self.positions, "positions", (3,))
+        self.charges = _as_f64(self.charges, "charges")
+        self.radii = _as_f64(self.radii, "radii")
+        m = len(self.positions)
+        if len(self.charges) != m or len(self.radii) != m:
+            raise ValueError("positions, charges and radii must have equal length")
+        if m == 0:
+            raise ValueError("molecule must contain at least one atom")
+        if np.any(self.radii <= 0):
+            raise ValueError("atom radii must be positive")
+
+    @property
+    def natoms(self) -> int:
+        return len(self.positions)
+
+    def __len__(self) -> int:
+        return self.natoms
+
+    @property
+    def nqpoints(self) -> int:
+        return 0 if self.surface is None else len(self.surface)
+
+    def require_surface(self) -> SurfaceSamples:
+        """Return the surface samples, raising if absent."""
+        if self.surface is None:
+            raise ValueError(
+                f"molecule {self.name!r} has no surface samples; call "
+                "repro.molecules.sample_surface() first")
+        return self.surface
+
+    def centroid(self) -> np.ndarray:
+        """Geometric centre of the atom positions."""
+        return self.positions.mean(axis=0)
+
+    def bounding_radius(self) -> float:
+        """Radius of the smallest centroid-centred ball containing all atoms."""
+        d = np.linalg.norm(self.positions - self.centroid(), axis=1)
+        return float(d.max())
+
+    def total_charge(self) -> float:
+        return float(self.charges.sum())
+
+    def nbytes(self) -> int:
+        """Bytes of live array data (for the memory model)."""
+        n = self.positions.nbytes + self.charges.nbytes + self.radii.nbytes
+        if self.surface is not None:
+            n += self.surface.nbytes()
+        return n
+
+    def with_surface(self, surface: SurfaceSamples) -> "Molecule":
+        """Return a shallow copy carrying ``surface``."""
+        return Molecule(self.positions, self.charges, self.radii,
+                        surface=surface, name=self.name)

@@ -1,0 +1,135 @@
+"""Minimal PDB / PQR / XYZQR readers and writers.
+
+Real runs of the paper consumed PDB-derived inputs (ZDock benchmark
+proteins, virus capsids).  This module lets users feed their own
+structures to the solver:
+
+* **PQR** — the natural format here: PDB atom records whose occupancy
+  and B-factor columns carry charge and radius.
+* **PDB** — coordinates + elements; charges default to zero and radii to
+  Bondi values (a charge model must then be applied by the caller).
+* **XYZQR** — whitespace table ``x y z q r`` per line, the simplest
+  interchange format for synthetic data.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.molecules.atom_data import VDW_RADII
+from repro.molecules.molecule import Molecule
+
+PathLike = Union[str, Path]
+
+
+def _element_from_pdb_atom_name(name: str) -> str:
+    """Heuristic element extraction from a PDB atom-name column."""
+    stripped = name.strip()
+    for ch in stripped:
+        if ch.isalpha():
+            return ch.upper()
+    return "C"
+
+
+def read_pqr(path_or_text: Union[PathLike, io.StringIO],
+             name: str = "pqr") -> Molecule:
+    """Read a PQR file (ATOM/HETATM records with charge and radius fields)."""
+    text = _slurp(path_or_text)
+    pos: List[List[float]] = []
+    q: List[float] = []
+    r: List[float] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.startswith(("ATOM", "HETATM")):
+            continue
+        parts = line.split()
+        # PQR is whitespace-separated: last five fields are x y z q r.
+        if len(parts) < 6:
+            raise ValueError(f"malformed PQR record on line {lineno}: {line!r}")
+        try:
+            x, y, z, charge, radius = (float(v) for v in parts[-5:])
+        except ValueError as exc:
+            raise ValueError(f"bad numeric field on line {lineno}") from exc
+        pos.append([x, y, z])
+        q.append(charge)
+        r.append(radius)
+    if not pos:
+        raise ValueError("no ATOM/HETATM records found")
+    return Molecule(np.array(pos), np.array(q), np.array(r), name=name)
+
+
+def read_pdb(path_or_text: Union[PathLike, io.StringIO],
+             name: str = "pdb") -> Molecule:
+    """Read a PDB file; charges are zero, radii are Bondi by element."""
+    text = _slurp(path_or_text)
+    pos: List[List[float]] = []
+    radii: List[float] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.startswith(("ATOM", "HETATM")):
+            continue
+        try:
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"bad coordinates on line {lineno}") from exc
+        element = line[76:78].strip() if len(line) >= 78 else ""
+        if not element:
+            element = _element_from_pdb_atom_name(line[12:16])
+        radii.append(VDW_RADII.get(element.upper(), VDW_RADII["C"]))
+        pos.append([x, y, z])
+    if not pos:
+        raise ValueError("no ATOM/HETATM records found")
+    return Molecule(np.array(pos), np.zeros(len(pos)), np.array(radii),
+                    name=name)
+
+
+def read_xyzqr(path_or_text: Union[PathLike, io.StringIO],
+               name: str = "xyzqr") -> Molecule:
+    """Read the 5-column ``x y z q r`` format (``#`` comments allowed)."""
+    text = _slurp(path_or_text)
+    rows = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        parts = body.split()
+        if len(parts) != 5:
+            raise ValueError(f"expected 5 columns on line {lineno}, "
+                             f"got {len(parts)}")
+        rows.append([float(v) for v in parts])
+    if not rows:
+        raise ValueError("no data rows found")
+    arr = np.array(rows)
+    return Molecule(arr[:, :3], arr[:, 3], arr[:, 4], name=name)
+
+
+def write_xyzqr(molecule: Molecule, path: PathLike) -> None:
+    """Write a molecule in the ``x y z q r`` format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# {molecule.name}: {molecule.natoms} atoms\n")
+        for p, q, r in zip(molecule.positions, molecule.charges,
+                           molecule.radii):
+            fh.write(f"{p[0]:.6f} {p[1]:.6f} {p[2]:.6f} {q:.6f} {r:.6f}\n")
+
+
+def write_pqr(molecule: Molecule, path: PathLike) -> None:
+    """Write a molecule as a generic-residue PQR file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for i, (p, q, r) in enumerate(zip(molecule.positions,
+                                          molecule.charges,
+                                          molecule.radii), start=1):
+            fh.write(
+                f"ATOM  {i:>5d}  X   RES A{min(i, 9999):>4d}    "
+                f"{p[0]:8.3f}{p[1]:8.3f}{p[2]:8.3f} {q:8.4f} {r:7.4f}\n")
+        fh.write("END\n")
+
+
+def _slurp(src: Union[PathLike, io.StringIO]) -> str:
+    if isinstance(src, io.StringIO):
+        return src.getvalue()
+    path = Path(src)
+    return path.read_text(encoding="utf-8")

@@ -1,0 +1,122 @@
+"""Symmetric Gaussian quadrature rules on triangles (Dunavant, 1985).
+
+The paper samples the molecular surface at "Gauss quadrature numerical
+integration points in each triangle's interior" of a surface
+triangulation (Section II).  These are the classic Dunavant symmetric
+rules: sets of barycentric points and weights exact for polynomials up
+to a given degree.  Weights sum to one and are scaled by triangle area
+when a rule is applied to a concrete triangle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _perm3(a: float, b: float, c: float) -> np.ndarray:
+    """Distinct permutations of a barycentric triple."""
+    pts = {(a, b, c), (b, c, a), (c, a, b), (a, c, b), (c, b, a), (b, a, c)}
+    return np.array(sorted(pts), dtype=np.float64)
+
+
+def _rule_1() -> Tuple[np.ndarray, np.ndarray]:
+    pts = np.array([[1 / 3, 1 / 3, 1 / 3]])
+    w = np.array([1.0])
+    return pts, w
+
+
+def _rule_2() -> Tuple[np.ndarray, np.ndarray]:
+    pts = _perm3(2 / 3, 1 / 6, 1 / 6)
+    w = np.full(len(pts), 1 / 3)
+    return pts, w
+
+
+def _rule_3() -> Tuple[np.ndarray, np.ndarray]:
+    pts = np.vstack([np.array([[1 / 3, 1 / 3, 1 / 3]]),
+                     _perm3(0.6, 0.2, 0.2)])
+    w = np.concatenate([[-27 / 48], np.full(3, 25 / 48)])
+    return pts, w
+
+
+def _rule_4() -> Tuple[np.ndarray, np.ndarray]:
+    a, wa = 0.445948490915965, 0.223381589678011
+    b, wb = 0.091576213509771, 0.109951743655322
+    pts = np.vstack([_perm3(1 - 2 * a, a, a), _perm3(1 - 2 * b, b, b)])
+    w = np.concatenate([np.full(3, wa), np.full(3, wb)])
+    return pts, w
+
+
+def _rule_5() -> Tuple[np.ndarray, np.ndarray]:
+    a, wa = 0.470142064105115, 0.132394152788506
+    b, wb = 0.101286507323456, 0.125939180544827
+    pts = np.vstack([np.array([[1 / 3, 1 / 3, 1 / 3]]),
+                     _perm3(1 - 2 * a, a, a), _perm3(1 - 2 * b, b, b)])
+    w = np.concatenate([[0.225], np.full(3, wa), np.full(3, wb)])
+    return pts, w
+
+
+_RULES: Dict[int, Tuple[np.ndarray, np.ndarray]] = {
+    1: _rule_1(), 2: _rule_2(), 3: _rule_3(), 4: _rule_4(), 5: _rule_5(),
+}
+
+
+def dunavant_rule(degree: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(bary, weights)`` for the Dunavant rule of the given degree.
+
+    ``bary`` is ``(n, 3)`` barycentric coordinates, ``weights`` is ``(n,)``
+    summing to 1.  Degrees 1–5 are provided; higher requests clamp to 5
+    (the paper notes "a constant number of quadrature points per triangle"
+    suffices).
+    """
+    if degree < 1:
+        raise ValueError("quadrature degree must be >= 1")
+    key = min(degree, 5)
+    bary, w = _RULES[key]
+    return bary.copy(), w.copy()
+
+
+def triangle_quadrature(vertices: np.ndarray, degree: int = 2
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Quadrature points and area-scaled weights for a batch of triangles.
+
+    Parameters
+    ----------
+    vertices:
+        ``(t, 3, 3)`` array: ``t`` triangles × 3 vertices × xyz.
+    degree:
+        Polynomial exactness degree of the Dunavant rule.
+
+    Returns
+    -------
+    points:
+        ``(t·n, 3)`` quadrature point positions.
+    weights:
+        ``(t·n,)`` weights; per triangle they sum to the triangle's area,
+        so summing all weights of a closed triangulated surface gives its
+        total area.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 3 or vertices.shape[1:] != (3, 3):
+        raise ValueError("vertices must have shape (t, 3, 3)")
+    bary, w = dunavant_rule(degree)
+    # points: (t, n, 3) = bary (n,3) @ verts (t,3,3)
+    pts = np.einsum("nk,tkx->tnx", bary, vertices)
+    e1 = vertices[:, 1] - vertices[:, 0]
+    e2 = vertices[:, 2] - vertices[:, 0]
+    area = 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
+    weights = area[:, None] * w[None, :]
+    return pts.reshape(-1, 3), weights.reshape(-1)
+
+
+def triangle_normals(vertices: np.ndarray) -> np.ndarray:
+    """Unit normals of a batch of ``(t, 3, 3)`` triangles (right-hand rule)."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    e1 = vertices[:, 1] - vertices[:, 0]
+    e2 = vertices[:, 2] - vertices[:, 0]
+    n = np.cross(e1, e2)
+    norm = np.linalg.norm(n, axis=1, keepdims=True)
+    if np.any(norm == 0):
+        raise ValueError("degenerate triangle (zero area)")
+    return n / norm

@@ -1,0 +1,93 @@
+"""Rigid-body transforms for docking-style octree reuse.
+
+The paper notes (Section IV-C, Step 1) that for drug design and docking
+— where a ligand is placed at thousands of poses relative to a receptor
+— the octree can be *moved* (transformed) instead of rebuilt, so octree
+construction is a pre-processing cost.  :class:`RigidTransform` supplies
+the transforms; ``Octree.transformed`` (see :mod:`repro.octree.build`)
+applies them to a built tree without re-sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """A proper rigid motion ``x ↦ R·x + t``.
+
+    ``rotation`` must be a proper orthogonal 3×3 matrix (det = +1).
+    """
+
+    rotation: np.ndarray
+    translation: np.ndarray
+
+    def __post_init__(self) -> None:
+        R = np.asarray(self.rotation, dtype=np.float64)
+        t = np.asarray(self.translation, dtype=np.float64)
+        if R.shape != (3, 3):
+            raise ValueError("rotation must be 3x3")
+        if t.shape != (3,):
+            raise ValueError("translation must be a 3-vector")
+        if not np.allclose(R @ R.T, np.eye(3), atol=1e-8):
+            raise ValueError("rotation must be orthogonal")
+        if np.linalg.det(R) < 0:
+            raise ValueError("rotation must be proper (det = +1)")
+        object.__setattr__(self, "rotation", R)
+        object.__setattr__(self, "translation", t)
+
+    @staticmethod
+    def identity() -> "RigidTransform":
+        return RigidTransform(np.eye(3), np.zeros(3))
+
+    @staticmethod
+    def translation_of(t) -> "RigidTransform":
+        return RigidTransform(np.eye(3), np.asarray(t, dtype=np.float64))
+
+    @staticmethod
+    def rotation_about_axis(axis, angle: float) -> "RigidTransform":
+        """Rotation by ``angle`` radians about a (not necessarily unit) axis."""
+        axis = np.asarray(axis, dtype=np.float64)
+        n = np.linalg.norm(axis)
+        if n == 0:
+            raise ValueError("axis must be nonzero")
+        x, y, z = axis / n
+        c, s = np.cos(angle), np.sin(angle)
+        C = 1 - c
+        R = np.array([
+            [c + x * x * C, x * y * C - z * s, x * z * C + y * s],
+            [y * x * C + z * s, c + y * y * C, y * z * C - x * s],
+            [z * x * C - y * s, z * y * C + x * s, c + z * z * C],
+        ])
+        return RigidTransform(R, np.zeros(3))
+
+    @staticmethod
+    def random(seed: int = 0, max_translation: float = 10.0) -> "RigidTransform":
+        """Uniform random rotation plus a bounded random translation."""
+        rng = np.random.default_rng(seed)
+        q, _ = np.linalg.qr(rng.normal(size=(3, 3)))
+        if np.linalg.det(q) < 0:
+            q[:, 0] = -q[:, 0]
+        t = rng.uniform(-max_translation, max_translation, size=3)
+        return RigidTransform(q, t)
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(n, 3)`` point array (or a single 3-vector)."""
+        pts = np.asarray(points, dtype=np.float64)
+        return pts @ self.rotation.T + self.translation
+
+    def apply_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Rotate direction vectors (no translation) — e.g. surface normals."""
+        return np.asarray(vectors, dtype=np.float64) @ self.rotation.T
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """Return the transform ``self ∘ other`` (apply ``other`` first)."""
+        return RigidTransform(self.rotation @ other.rotation,
+                              self.rotation @ other.translation + self.translation)
+
+    def inverse(self) -> "RigidTransform":
+        Rt = self.rotation.T
+        return RigidTransform(Rt, -(Rt @ self.translation))

@@ -1,0 +1,106 @@
+"""64-bit Morton (Z-order) codes for 3-D points.
+
+Sorting points by Morton code before building the octree gives the
+cache-friendly memory layout the paper leans on: every octree node —
+at every depth — owns a *contiguous* slice of the sorted point arrays,
+so leaf kernels are dense vector operations and tree traversal touches
+memory in Z-order.
+
+Each coordinate gets 21 bits (the most that fit 3-to-a-64-bit-word),
+i.e. a 2,097,152³ grid over the bounding cube.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Bits per coordinate axis.
+BITS_PER_AXIS = 21
+#: Grid resolution along one axis.
+GRID_SIZE = 1 << BITS_PER_AXIS
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each uint64 so consecutive bits land
+    three positions apart (the classic magic-number dilation)."""
+    v = v & np.uint64(0x1FFFFF)
+    v = (v | (v << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return v
+
+
+def _compact_bits(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`."""
+    v = v & np.uint64(0x1249249249249249)
+    v = (v ^ (v >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v ^ (v >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    v = (v ^ (v >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    v = (v ^ (v >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    v = (v ^ (v >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return v
+
+
+def quantize(points: np.ndarray, origin: np.ndarray,
+             edge: float) -> np.ndarray:
+    """Map points inside the cube ``[origin, origin+edge]³`` to integer
+    grid coordinates in ``[0, GRID_SIZE)``. Values are clipped, so points
+    exactly on the upper face land in the last cell."""
+    pts = np.asarray(points, dtype=np.float64)
+    if edge <= 0:
+        raise ValueError("cube edge must be positive")
+    scaled = (pts - origin) * (GRID_SIZE / edge)
+    grid = np.clip(scaled.astype(np.int64), 0, GRID_SIZE - 1)
+    return grid.astype(np.uint64)
+
+
+def morton_encode(grid: np.ndarray) -> np.ndarray:
+    """Interleave ``(n, 3)`` integer grid coordinates into Morton codes."""
+    g = np.asarray(grid, dtype=np.uint64)
+    if g.ndim != 2 or g.shape[1] != 3:
+        raise ValueError("grid must have shape (n, 3)")
+    if np.any(g >= GRID_SIZE):
+        raise ValueError(f"grid coordinates must be < {GRID_SIZE}")
+    return (_spread_bits(g[:, 0])
+            | (_spread_bits(g[:, 1]) << np.uint64(1))
+            | (_spread_bits(g[:, 2]) << np.uint64(2)))
+
+
+def morton_decode(codes: np.ndarray) -> np.ndarray:
+    """Recover ``(n, 3)`` grid coordinates from Morton codes."""
+    c = np.asarray(codes, dtype=np.uint64)
+    x = _compact_bits(c)
+    y = _compact_bits(c >> np.uint64(1))
+    z = _compact_bits(c >> np.uint64(2))
+    return np.stack([x, y, z], axis=1)
+
+
+def bounding_cube(points: np.ndarray,
+                  pad_fraction: float = 1e-6) -> Tuple[np.ndarray, float]:
+    """Origin and edge of a cube enclosing ``points`` with a small pad.
+
+    The pad keeps boundary points strictly inside so quantisation is
+    well-behaved.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    edge = float(np.max(hi - lo))
+    if edge == 0.0:
+        edge = 1.0  # all points coincide; any positive cube works
+    pad = edge * pad_fraction
+    return lo - pad, edge * (1.0 + 2.0 * pad_fraction)
+
+
+def octant_at_depth(codes: np.ndarray, depth: int) -> np.ndarray:
+    """The 3-bit child octant of each code at ``depth`` (root children
+    are depth 0)."""
+    if not 0 <= depth < BITS_PER_AXIS:
+        raise ValueError(f"depth must be in [0, {BITS_PER_AXIS})")
+    shift = np.uint64(3 * (BITS_PER_AXIS - 1 - depth))
+    return ((np.asarray(codes, dtype=np.uint64) >> shift)
+            & np.uint64(0x7)).astype(np.int64)

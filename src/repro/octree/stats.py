@@ -1,0 +1,45 @@
+"""Octree shape and memory statistics.
+
+Used by the benchmarks to report the linear-space property the paper
+contrasts with cutoff nonbonded lists (Section II, "Octrees vs Nblists").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.octree.build import Octree
+
+
+@dataclass(frozen=True)
+class OctreeStats:
+    """Summary statistics of a built octree."""
+
+    npoints: int
+    nnodes: int
+    nleaves: int
+    max_depth: int
+    mean_leaf_occupancy: float
+    max_leaf_occupancy: int
+    nbytes: int
+
+    @property
+    def bytes_per_point(self) -> float:
+        """Linear-space witness: stays O(1) as the point count grows."""
+        return self.nbytes / max(1, self.npoints)
+
+
+def octree_stats(tree: Octree) -> OctreeStats:
+    """Compute :class:`OctreeStats` for a built tree."""
+    leaf_counts = tree.end[tree.leaves] - tree.start[tree.leaves]
+    return OctreeStats(
+        npoints=tree.npoints,
+        nnodes=tree.nnodes,
+        nleaves=len(tree.leaves),
+        max_depth=tree.max_depth(),
+        mean_leaf_occupancy=float(np.mean(leaf_counts)),
+        max_leaf_occupancy=int(np.max(leaf_counts)),
+        nbytes=tree.nbytes(),
+    )

@@ -1,0 +1,309 @@
+"""The paper's Fig. 4 distributed program, two ways.
+
+:func:`run_fig4_simmpi` *executes* the seven steps on the simulated MPI
+runtime: every rank is a thread, partial integrals really travel
+through ``Allreduce``, Born-radius segments through ``Allgather`` and
+partial energies through ``Reduce``.  Use it for correctness runs and
+moderate rank counts.
+
+:func:`simulate_fig4` *replays* a recorded :class:`WorkProfile` under a
+given (P, p) layout: per-leaf task costs are partitioned node-wise,
+each rank's parallel phase goes through the work-stealing simulator,
+and communication is priced by the collective cost formulas.  Use it
+for the core-count sweeps (Figs. 5, 6, 11) where the numerics are
+provably layout-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.hybrid import run_intra_rank
+from repro.cluster.machine import MachineSpec, lonestar4
+from repro.cluster.simmpi import SimCluster
+from repro.cluster.trace import RankStats, RunStats
+from repro.config import ApproxParams
+from repro.constants import TAU_WATER
+from repro.core.born_octree import (
+    approx_integrals,
+    push_integrals_to_atoms,
+)
+from repro.core.energy_octree import (
+    approx_epol_for_leaves,
+    build_charge_buckets,
+)
+from repro.core.gb import energy_prefactor
+from repro.molecules.molecule import Molecule
+from repro.octree.build import Octree, build_octree
+from repro.parallel.partition import atom_segments, leaf_segments, segment_bounds
+from repro.parallel.profile import WorkProfile
+
+
+@dataclass
+class DistributedOutcome:
+    """Result of a real simulated-MPI execution of Fig. 4."""
+
+    energy: float
+    born_radii: np.ndarray            # original atom order
+    stats: RunStats
+
+
+def run_fig4_simmpi(molecule: Molecule,
+                    params: ApproxParams = ApproxParams(),
+                    processes: int = 4,
+                    threads: int = 1,
+                    machine: Optional[MachineSpec] = None,
+                    cost: Optional[CostModel] = None,
+                    work_division: str = "node",
+                    tau: float = TAU_WATER) -> DistributedOutcome:
+    """Execute the seven steps of Fig. 4 on the simulated MPI runtime.
+
+    ``work_division`` selects the Born-phase scheme: ``"node"`` divides
+    the Q-leaves (the paper's choice), ``"atom"`` divides the sorted
+    atoms (each rank traverses everything but only deposits for its
+    range — the ablation whose error varies with P).  The energy phase
+    always uses node division, as in the paper.
+    """
+    if work_division not in ("node", "atom"):
+        raise ValueError("work_division must be 'node' or 'atom'")
+    machine = machine or lonestar4()
+    cost = cost or CostModel(machine=machine)
+
+    surf = molecule.require_surface()
+    atoms_tree = build_octree(molecule.positions, params.leaf_size,
+                              params.max_depth)
+    q_tree = build_octree(surf.points, params.leaf_size, params.max_depth)
+    wn_sorted = surf.weighted_normals[q_tree.perm]
+    q_sorted = molecule.charges[atoms_tree.perm]
+    intrinsic_sorted = molecule.radii[atoms_tree.perm]
+    natoms = molecule.natoms
+
+    q_segs = leaf_segments(q_tree, processes)
+    a_leaf_segs = leaf_segments(atoms_tree, processes)
+    a_atom_segs = atom_segments(natoms, processes)
+    data_bytes = (molecule.nbytes() + atoms_tree.nbytes() + q_tree.nbytes()
+                  + 8 * (atoms_tree.nnodes + 2 * natoms))
+
+    def rankfn(comm):
+        # Step 1 — octrees are built (locally, identical) as
+        # preprocessing; excluded from timing as in §IV-C.
+        comm.charge_memory(data_bytes)
+
+        # Step 2 — APPROX-INTEGRALS over this rank's share.
+        if work_division == "node":
+            s_node, s_atom, cnt, _ = approx_integrals(
+                atoms_tree, q_tree, wn_sorted, params,
+                q_leaf_subset=q_segs[comm.rank])
+        else:
+            s_node, s_atom, cnt, _ = approx_integrals(
+                atoms_tree, q_tree, wn_sorted, params,
+                atom_range=a_atom_segs[comm.rank])
+        comm.compute(cost.born_compute_seconds(
+            cnt.frontier_visits, cnt.far_evaluations,
+            cnt.exact_interactions, params.approx_math))
+
+        # Step 3 — gather everyone's partial integrals.
+        packed = comm.allreduce(np.concatenate([s_node, s_atom]))
+        s_node_t, s_atom_t = packed[:atoms_tree.nnodes], \
+            packed[atoms_tree.nnodes:]
+
+        # Step 4 — PUSH-INTEGRALS-TO-ATOMS for this rank's atom segment.
+        seg = a_atom_segs[comm.rank]
+        radii_sorted = push_integrals_to_atoms(
+            atoms_tree, s_node_t, s_atom_t, intrinsic_sorted,
+            atom_range=seg)
+        comm.compute(cost.push_compute_seconds(
+            seg[1] - seg[0], atoms_tree.nnodes / comm.size))
+
+        # Step 5 — share Born radii segments.
+        parts = comm.allgather(radii_sorted[seg[0]:seg[1]])
+        radii_full = np.concatenate(parts)
+
+        # Step 6 — partial energy over this rank's atoms-leaf segment.
+        buckets = build_charge_buckets(atoms_tree, q_sorted, radii_full,
+                                       params.eps_epol)
+        raw, cnt2, _ = approx_epol_for_leaves(
+            atoms_tree, q_sorted, radii_full, buckets, params,
+            v_leaf_subset=a_leaf_segs[comm.rank])
+        comm.compute(cost.epol_compute_seconds(
+            cnt2.frontier_visits, cnt2.far_evaluations,
+            cnt2.exact_interactions, buckets.nbuckets, params.approx_math))
+
+        # Step 7 — master accumulates the energy.
+        total_raw = comm.reduce(raw, root=0)
+        energy = (energy_prefactor(tau) * total_raw
+                  if comm.rank == 0 else None)
+        return energy, radii_full
+
+    cluster = SimCluster(processes, threads_per_rank=threads,
+                         machine=machine, cost=cost)
+    results, stats = cluster.run(rankfn)
+    energy = results[0][0]
+    radii_sorted = results[0][1]
+    radii = atoms_tree.scatter_to_original(radii_sorted)
+    return DistributedOutcome(energy=energy, born_radii=radii, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Fast schedule replay over a WorkProfile
+# ---------------------------------------------------------------------------
+
+
+def _working_set_per_core(profile: WorkProfile, cores: int) -> float:
+    """Heuristic per-core working set during a traversal phase.
+
+    Each core touches its proportional slice of the point data plus the
+    upper levels of both trees; the factor 3 absorbs the re-touched
+    shared structure.  Feeds the cache-tier factor only.
+    """
+    return 3.0 * profile.data_bytes / max(1, cores)
+
+
+def simulate_fig4(profile: WorkProfile,
+                  processes: int,
+                  threads: int = 1,
+                  machine: Optional[MachineSpec] = None,
+                  cost: Optional[CostModel] = None,
+                  seed: int = 0,
+                  noise_sigma: float = 0.02,
+                  segmenting: str = "count") -> RunStats:
+    """Replay one (P, p) layout over a recorded :class:`WorkProfile`.
+
+    Returns a :class:`RunStats` whose ``phases`` dictionary holds the
+    virtual seconds of each Fig. 4 step; ``wall_seconds`` is the rank
+    maximum.  ``seed`` drives both the work-stealing victim RNG and the
+    per-rank OS-noise factors, so repeated calls model repeated cluster
+    runs (the paper's 20-run min/max envelopes in Fig. 6).
+
+    ``segmenting`` selects how leaf work is balanced across ranks:
+    ``"count"`` — equal leaf counts, the paper's scheme; ``"weighted"``
+    — equal modelled *cost* per contiguous segment; ``"stealing"`` —
+    cross-rank work stealing on top of the count segments (both
+    "explicit load balancing" variants the paper's conclusion proposes
+    as future work).
+    """
+    if segmenting not in ("count", "weighted", "stealing"):
+        raise ValueError(
+            "segmenting must be 'count', 'weighted' or 'stealing'")
+    machine = machine or lonestar4()
+    cost = cost or CostModel(machine=machine)
+    P, p = processes, threads
+    machine.placement(P, p)  # validates fit
+    rpn = machine.ranks_per_node(P, p)
+    rng = np.random.default_rng(seed)
+
+    node_spec = machine.node
+    cores_busy_per_node = min(rpn * p, node_spec.cores)
+    per_socket = -(-cores_busy_per_node // node_spec.sockets)
+    cf = cost.cache_factor(_working_set_per_core(profile, P * p),
+                           cores_sharing_socket=per_socket)
+    proc_bytes = profile.data_bytes
+    mem_factor = cost.memory_pressure_factor(proc_bytes * rpn)
+    if P == 1 and p > node_spec.cores_per_socket:
+        # A lone process spanning sockets with no thread affinity
+        # (cilk++ has no affinity manager — paper §V-A).
+        mem_factor *= cost.numa_no_affinity_factor
+
+    def noise() -> np.ndarray:
+        return np.exp(rng.normal(0.0, noise_sigma, size=P))
+
+    bps = profile.born_per_source
+    born_leaf_sec = cost.born_compute_seconds(
+        bps.visits.astype(np.float64), bps.far.astype(np.float64),
+        bps.exact_interactions.astype(np.float64),
+        profile.params.approx_math, cf)
+    eps_src = profile.epol_per_source
+    epol_leaf_sec = cost.epol_compute_seconds(
+        eps_src.visits.astype(np.float64), eps_src.far.astype(np.float64),
+        eps_src.exact_interactions.astype(np.float64),
+        profile.nbuckets, profile.params.approx_math, cf)
+
+    def _segment_bounds_for(leaf_sec: np.ndarray) -> np.ndarray:
+        if segmenting == "count" or len(leaf_sec) <= P:
+            return segment_bounds(len(leaf_sec), P)
+        # Cost-aware cuts: close a segment once it reaches its share of
+        # the total modelled cost (greedy sweep, contiguous segments).
+        total = leaf_sec.sum()
+        cuts = [0]
+        acc = 0.0
+        for i, c in enumerate(leaf_sec):
+            acc += c
+            if acc >= total * len(cuts) / P and len(cuts) < P:
+                cuts.append(i + 1)
+        while len(cuts) < P:
+            cuts.append(len(leaf_sec))
+        cuts.append(len(leaf_sec))
+        return np.asarray(cuts)
+
+    def phase_over_ranks(leaf_sec: np.ndarray, phase_seed: int
+                         ) -> Tuple[np.ndarray, int]:
+        if segmenting == "stealing":
+            from repro.cluster.cross_rank import CrossRankStealingSim
+            sim = CrossRankStealingSim(
+                ranks=P, threads_per_rank=p,
+                task_overhead=cost.cilk_task_overhead,
+                intra_steal_overhead=cost.cilk_steal_overhead,
+                inter_steal_overhead=(
+                    cost.point_to_point_seconds(8.0, same_node=False)
+                    * 2.0),
+                seed=phase_seed)
+            st = sim.run(leaf_sec, segment_bounds(len(leaf_sec), P))
+            extra = (cost.hybrid_interface_overhead
+                     if (p > 1 and P > 1) else 0.0)
+            jitter = float(np.exp(rng.normal(0.0, noise_sigma)))
+            t = (st.makespan + extra) * mem_factor * jitter
+            return np.full(P, t), st.steals
+        bounds = _segment_bounds_for(leaf_sec)
+        times = np.empty(P)
+        steals = 0
+        jitter = noise()
+        for r in range(P):
+            seg = leaf_sec[bounds[r]:bounds[r + 1]]
+            out = run_intra_rank(seg, p, cost, seed=phase_seed * 131 + r,
+                                 mpi_interface=(P > 1))
+            times[r] = out.seconds * mem_factor * jitter[r]
+            steals += out.steals
+        return times, steals
+
+    born_times, born_steals = phase_over_ranks(born_leaf_sec, seed * 7 + 1)
+    epol_times, epol_steals = phase_over_ranks(epol_leaf_sec, seed * 7 + 2)
+
+    push_each = cost.push_compute_seconds(
+        profile.natoms / P, profile.atoms_nodes / P)
+    if p > 1:
+        push_each /= 0.9 * p
+        if P > 1:
+            push_each += cost.hybrid_interface_overhead
+    push_times = push_each * mem_factor * noise()
+
+    sync = cost.collective_sync_seconds(P)
+    comm_allreduce = cost.allreduce_seconds(
+        profile.atoms_nodes + profile.natoms, P, p) + sync
+    comm_allgather = cost.allgather_seconds(profile.natoms / P, P, p) + sync
+    comm_reduce = cost.reduce_seconds(1.0, P, p) + sync
+    comm_total = comm_allreduce + comm_allgather + comm_reduce
+
+    phases = {
+        "born": float(born_times.max()),
+        "allreduce": comm_allreduce,
+        "push": float(push_times.max()),
+        "allgather": comm_allgather,
+        "epol": float(epol_times.max()),
+        "reduce": comm_reduce,
+    }
+
+    ranks: List[RankStats] = []
+    for r in range(P):
+        comp = float(born_times[r] + push_times[r] + epol_times[r])
+        idle = float((born_times.max() - born_times[r])
+                     + (push_times.max() - push_times[r])
+                     + (epol_times.max() - epol_times[r]))
+        ranks.append(RankStats(rank=r, comp_seconds=comp,
+                               comm_seconds=comm_total, idle_seconds=idle,
+                               steals=born_steals + epol_steals,
+                               memory_bytes=proc_bytes))
+    return RunStats(processes=P, threads=p, ranks=ranks, phases=phases)

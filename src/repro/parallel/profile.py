@@ -1,0 +1,103 @@
+"""Work profiles: one real traversal, many simulated schedules.
+
+Scalability experiments sweep dozens of (P, p, seed) configurations
+over the *same* molecule.  The numerics are identical across the sweep
+— node-based division composes the same partial sums in every layout —
+so the expensive traversal runs once, captured in a
+:class:`WorkProfile`, and each configuration replays scheduling and
+communication over the recorded per-leaf costs.  This mirrors how the
+paper treats octree construction (a reusable preprocessing artefact),
+extended one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.core.born_octree import (
+    BornResult,
+    PerSourceCounts,
+    born_radii_octree,
+)
+from repro.core.dualtree import born_radii_dualtree, epol_dualtree
+from repro.core.energy_octree import EpolResult, epol_octree
+from repro.molecules.molecule import Molecule
+from repro.octree.build import Octree
+
+
+@dataclass
+class WorkProfile:
+    """Everything a scheduling simulation needs about one solve."""
+
+    name: str
+    natoms: int
+    nqpoints: int
+    params: ApproxParams
+    method: str
+    #: Per-source-leaf counts for the Born pass (Q-leaves for the
+    #: single-tree method, atoms leaves for the dual-tree method).
+    born_per_source: PerSourceCounts
+    #: Per-V-leaf counts for the energy pass.
+    epol_per_source: PerSourceCounts
+    #: Bucket count M_ε of the energy far-field kernel.
+    nbuckets: int
+    #: Total nodes of the atoms / q-points octrees.
+    atoms_nodes: int
+    qpoints_nodes: int
+    #: Replicated per-process data footprint in bytes (molecule + both
+    #: octrees + working arrays) — the paper's memory argument input.
+    data_bytes: int
+    #: Ground-truth results of the (serial) run this profile recorded.
+    energy: float
+    born_radii: np.ndarray
+
+    @classmethod
+    def from_molecule(cls, molecule: Molecule,
+                      params: ApproxParams = ApproxParams(),
+                      method: str = "octree") -> "WorkProfile":
+        """Run the solver once and capture per-leaf work. ``method`` is
+        ``"octree"`` (single-tree, Figs. 2–3) or ``"dualtree"``
+        (prior-work OCT_CILK algorithm)."""
+        if method == "octree":
+            born: BornResult = born_radii_octree(molecule, params)
+            epol: EpolResult = epol_octree(molecule, born.radii, params,
+                                           atoms_tree=born.atoms_tree)
+        elif method == "dualtree":
+            born = born_radii_dualtree(molecule, params)
+            epol = epol_dualtree(molecule, born.radii, params,
+                                 atoms_tree=born.atoms_tree)
+        else:
+            raise ValueError("method must be 'octree' or 'dualtree'")
+
+        atoms_tree: Octree = born.atoms_tree
+        q_tree: Octree = born.qpoints_tree
+        working = 8 * (atoms_tree.nnodes + 2 * atoms_tree.npoints)
+        data_bytes = (molecule.nbytes() + atoms_tree.nbytes()
+                      + q_tree.nbytes() + working)
+        return cls(
+            name=molecule.name,
+            natoms=molecule.natoms,
+            nqpoints=molecule.nqpoints,
+            params=params,
+            method=method,
+            born_per_source=born.per_source,
+            epol_per_source=epol.per_source,
+            nbuckets=epol.buckets.nbuckets,
+            atoms_nodes=atoms_tree.nnodes,
+            qpoints_nodes=q_tree.nnodes,
+            data_bytes=int(data_bytes),
+            energy=epol.energy,
+            born_radii=born.radii,
+        )
+
+    @property
+    def born_leaf_count(self) -> int:
+        return len(self.born_per_source.visits)
+
+    @property
+    def epol_leaf_count(self) -> int:
+        return len(self.epol_per_source.visits)

@@ -1,0 +1,70 @@
+"""Smoke tests of the per-figure experiment runners at tiny sizes.
+
+The full-size versions run under ``benchmarks/``; here we only verify
+that each runner executes, returns coherent structures, and renders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as ex
+
+
+TINY = [400, 800]
+
+
+class TestStaticTables:
+    def test_table1(self):
+        assert "24 GB" in ex.table1_machine()
+
+    def test_table2(self):
+        text = ex.table2_packages()
+        assert "OCT_MPI" in text and "Tinker" in text
+
+
+class TestFigureRunnersTiny:
+    def test_fig7(self):
+        rows, text = ex.fig7_octree_variants(sizes=TINY)
+        assert len(rows) == 2
+        assert all(r["OCT_MPI"] > 0 for r in rows)
+        assert "Fig 7" in text
+
+    def test_fig8(self):
+        rows, text = ex.fig8_packages(sizes=TINY)
+        assert all(r["Amber"] > 0 for r in rows)
+        assert "speedup" in text
+
+    def test_fig9(self):
+        rows, text = ex.fig9_energy_values(sizes=TINY)
+        for r in rows:
+            assert r["Naive"] < 0
+            assert abs(r["OCT"] - r["Naive"]) / abs(r["Naive"]) < 0.02
+
+    def test_fig10(self):
+        rows, text = ex.fig10_epsilon_sweep(sizes=TINY,
+                                            eps_values=(0.3, 0.9))
+        assert rows[0]["eps"] == 0.3
+        assert rows[-1]["err_avg"] >= 0.0
+
+    def test_fig5_fig6_small_capsid(self):
+        rows, text = ex.fig5_speedup(capsid_atoms=4000,
+                                     cores=(12, 24, 48))
+        assert rows[-1].mpi_seconds < rows[0].mpi_seconds
+        out, text6 = ex.fig6_minmax(capsid_atoms=4000, cores=(12, 48),
+                                    n_runs=4)
+        for c in (12, 48):
+            lo, hi = out[c]["mpi"]
+            assert lo <= hi
+
+    def test_fig11_small_capsid(self):
+        rows, text = ex.fig11_cmv_table(capsid_atoms=4000)
+        names = [r["program"] for r in rows]
+        assert names == ["OCT_CILK", "Amber", "OCT_MPI+CILK", "OCT_MPI"]
+        oct_mpi = rows[-1]
+        assert abs(oct_mpi["pct_diff"]) < 1.5
+
+
+def test_suite_sizes_respects_cap():
+    sizes = ex.suite_sizes(max_size=2000)
+    assert max(sizes) <= 2000
+    assert sizes == sorted(sizes)

@@ -1,0 +1,58 @@
+"""CSV export and report generation tests."""
+
+import csv
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import generate_report, write_csv
+
+
+@dataclass
+class Row:
+    a: int
+    b: float
+
+
+class TestWriteCsv:
+    def test_dict_rows(self, tmp_path):
+        path = write_csv([{"x": 1, "y": None}, {"x": 2, "y": 3.5}],
+                         tmp_path / "t.csv")
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "OOM"]
+        assert rows[2] == ["2", "3.5"]
+
+    def test_dataclass_rows(self, tmp_path):
+        path = write_csv([Row(1, 2.0)], tmp_path / "d.csv")
+        rows = list(csv.reader(open(path)))
+        assert rows == [["a", "b"], ["1", "2.0"]]
+
+    def test_column_selection(self, tmp_path):
+        path = write_csv([{"x": 1, "y": 2}], tmp_path / "c.csv",
+                         columns=["y"])
+        rows = list(csv.reader(open(path)))
+        assert rows == [["y"], ["2"]]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "e.csv")
+
+    def test_bad_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_csv([object()], tmp_path / "b.csv")
+
+
+class TestGenerateReport:
+    def test_tiny_report(self, tmp_path):
+        report = generate_report(tmp_path / "rep",
+                                 suite_sizes=[400],
+                                 capsid_atoms=2500,
+                                 cores=(12, 24), n_runs=2)
+        assert report.exists()
+        text = report.read_text()
+        for section in ("Fig 5", "Fig 7", "Fig 9", "Fig 11"):
+            assert section in text
+        csvs = list((tmp_path / "rep").glob("*.csv"))
+        assert len(csvs) == 7

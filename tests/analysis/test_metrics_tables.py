@@ -1,0 +1,74 @@
+"""Analysis helpers: metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    mean_std,
+    min_max_over_runs,
+    percent_error,
+    relative_error,
+    speedup,
+)
+from repro.analysis.tables import Table, render_series
+
+
+class TestMetrics:
+    def test_relative_and_percent(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert percent_error(9.0, 10.0) == pytest.approx(-10.0)
+        assert percent_error(-1.47e6, -1.48e6) == pytest.approx(
+            100 * (0.01e6) / 1.48e6, rel=1e-6)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_min_max_over_runs(self):
+        values = {0: 3.0, 1: 1.0, 2: 2.0}
+        lo, hi = min_max_over_runs(lambda s: values[s], n_runs=3)
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(1.0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "bb"], title="T")
+        t.add_row(1, 2.5)
+        t.add_row("OOM", 1e7)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_wrong_arity_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(0.000001)
+        assert "e-06" in t.render()
+
+
+class TestSeries:
+    def test_render(self):
+        out = render_series("spd", [12, 24], [1.0, 1.9],
+                            xlabel="cores", ylabel="x")
+        assert "spd" in out and "12" in out and "1.9" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1], [1, 2])

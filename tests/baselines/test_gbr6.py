@@ -1,0 +1,62 @@
+"""Volume r⁶ (GBr⁶ emulator) tests, incl. the closed-form integral."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.baselines.gbr6_volume import (
+    born_radii_gbr6_volume,
+    sphere_r6_integral,
+)
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules.molecule import Molecule
+
+
+class TestSphereIntegral:
+    @pytest.mark.parametrize("d,a", [(5.0, 1.5), (3.0, 1.0), (10.0, 2.5)])
+    def test_matches_numeric_quadrature(self, d, a):
+        def integrand(u, r):
+            return 2 * np.pi * r * r / (r * r + d * d - 2 * r * d * u) ** 3
+
+        numeric, _ = integrate.dblquad(integrand, 0, a, -1, 1)
+        closed = sphere_r6_integral(np.array([d]), np.array([a]))[0]
+        assert closed == pytest.approx(numeric, rel=1e-9)
+
+    def test_far_field_limit(self):
+        """d ≫ a: the ball acts as a point of volume (4/3)πa³."""
+        d, a = 100.0, 1.0
+        got = sphere_r6_integral(np.array([d]), np.array([a]))[0]
+        want = (4.0 / 3.0) * np.pi * a ** 3 / d ** 6
+        assert got == pytest.approx(want, rel=1e-3)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            sphere_r6_integral(np.array([1.0]), np.array([1.5]))
+
+    def test_monotone_decreasing_in_distance(self):
+        d = np.linspace(3.0, 30.0, 50)
+        v = sphere_r6_integral(d, np.full(50, 1.0))
+        assert np.all(np.diff(v) < 0)
+
+
+class TestGbr6Radii:
+    def test_isolated_atom_recovers_intrinsic(self):
+        mol = Molecule(np.array([[0.0, 0, 0], [60.0, 0, 0]]),
+                       np.array([1.0, -1.0]), np.array([1.5, 2.0]))
+        R = born_radii_gbr6_volume(mol, None, None)
+        assert np.allclose(R, mol.radii, rtol=0.02)
+
+    def test_radii_floor_and_finite(self, protein_small):
+        R = born_radii_gbr6_volume(protein_small, None, None)
+        assert np.all(R >= protein_small.radii - 1e-12)
+        assert np.all(np.isfinite(R))
+
+    def test_energy_tracks_naive(self, protein_medium):
+        """Fig. 9: GBr⁶ matches the naive energy closely — both are r⁶
+        formulations, one volume- and one surface-based."""
+        ref = epol_naive(protein_medium,
+                         born_radii_naive_r6(protein_medium))
+        e = epol_naive(protein_medium,
+                       born_radii_gbr6_volume(protein_medium, None, None))
+        assert abs(e - ref) / abs(ref) < 0.12

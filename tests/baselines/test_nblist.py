@@ -1,0 +1,69 @@
+"""Nonbonded-list tests: correctness and the cutoff-cubic property."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nblist import NonbondedList
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return np.random.default_rng(4).uniform(0, 20, size=(400, 3))
+
+
+class TestCorrectness:
+    def test_pairs_match_bruteforce(self, cloud):
+        cutoff = 4.0
+        nb = NonbondedList.build(cloud, cutoff)
+        got = set()
+        for i in range(nb.natoms):
+            for j in nb.partners_of(i):
+                assert i < j
+                got.add((i, int(j)))
+        diff = cloud[:, None] - cloud[None, :]
+        d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        want = {(i, j) for i in range(len(cloud))
+                for j in range(i + 1, len(cloud)) if d[i, j] <= cutoff}
+        assert got == want
+
+    def test_iter_pair_blocks_covers_all(self, cloud):
+        nb = NonbondedList.build(cloud, 4.0)
+        seen = 0
+        for ii, jj in nb.iter_pair_blocks(block=1000):
+            assert np.all(ii < jj)
+            seen += len(ii)
+        assert seen == nb.npairs
+
+    def test_validation(self, cloud):
+        with pytest.raises(ValueError):
+            NonbondedList.build(cloud, 0.0)
+
+    def test_no_pairs_case(self):
+        pts = np.array([[0.0, 0, 0], [100.0, 0, 0]])
+        nb = NonbondedList.build(pts, 1.0)
+        assert nb.npairs == 0
+
+
+class TestScaling:
+    def test_cubic_growth_with_cutoff(self, protein_medium):
+        """Paper §II: nblist size grows ~cubically with the cutoff."""
+        pos = protein_medium.positions
+        small = NonbondedList.build(pos, 5.0)
+        big = NonbondedList.build(pos, 10.0)
+        ratio = big.npairs / max(1, small.npairs)
+        assert ratio > 4.0  # ideal 8×; finite molecule shaves it
+
+    def test_linear_growth_with_atoms(self):
+        """At fixed density and cutoff, pairs grow ~linearly in atoms."""
+        rng = np.random.default_rng(7)
+        def pairs(n):
+            side = (n / 0.05) ** (1 / 3)
+            pts = rng.uniform(0, side, size=(n, 3))
+            return NonbondedList.build(pts, 5.0).npairs
+        p1, p2 = pairs(1000), pairs(4000)
+        assert 2.5 < p2 / p1 < 6.5  # ~4× for 4× atoms
+
+    def test_nbytes_tracks_pairs(self, cloud):
+        nb = NonbondedList.build(cloud, 4.0)
+        assert nb.nbytes() >= 8 * nb.npairs
+        assert nb.update_ops() > nb.npairs

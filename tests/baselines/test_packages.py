@@ -1,0 +1,109 @@
+"""Package-emulator tests: interfaces, OOM thresholds, orderings."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PACKAGES, get_package
+from repro.baselines.packages import PackageResult
+from repro.molecules import synthetic_protein
+
+
+class TestRegistry:
+    def test_all_five_packages(self):
+        assert set(PACKAGES) == {"Amber", "Gromacs", "NAMD", "Tinker",
+                                 "GBr6"}
+
+    def test_case_insensitive_lookup(self):
+        assert get_package("amber").name == "Amber"
+        assert get_package("GBR6").name == "GBr6"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_package("charmm")
+
+
+class TestRuns:
+    @pytest.fixture(scope="class")
+    def mol(self):
+        return synthetic_protein(500, seed=6)
+
+    @pytest.mark.parametrize("name", list(PACKAGES))
+    def test_run_produces_result(self, mol, name):
+        res = get_package(name).run(mol, cores=12)
+        assert isinstance(res, PackageResult)
+        assert not res.oom
+        assert res.wall_seconds > 0
+        assert res.energy < 0                # physical polarization energy
+        assert len(res.born_radii) == mol.natoms
+        assert res.memory_bytes > 0
+        assert "E=" in res.describe()
+
+    def test_serial_package_ignores_cores(self, mol):
+        r1 = get_package("GBr6").run(mol, cores=1, compute_energy=False)
+        r12 = get_package("GBr6").run(mol, cores=12, compute_energy=False)
+        assert r1.wall_seconds == pytest.approx(r12.wall_seconds)
+        assert r12.cores == 1
+
+    def test_more_cores_faster_for_mpi(self, mol):
+        t1 = get_package("Amber").run(mol, cores=1,
+                                      compute_energy=False).wall_seconds
+        t12 = get_package("Amber").run(mol, cores=12,
+                                       compute_energy=False).wall_seconds
+        assert t12 < t1
+
+    def test_cutoff_override(self, mol):
+        wide = get_package("Amber").run(mol, compute_energy=False,
+                                        cutoff_override=50.0)
+        narrow = get_package("Amber").run(mol, compute_energy=False,
+                                          cutoff_override=8.0)
+        assert narrow.memory_bytes < wide.memory_bytes
+
+    def test_compute_energy_flag(self, mol):
+        res = get_package("Gromacs").run(mol, compute_energy=False)
+        assert res.energy is None
+        assert res.born_radii is not None
+
+
+class TestMemoryModel:
+    def test_oom_thresholds_match_paper(self):
+        """Paper §V-D: Tinker dies above ~12k atoms, GBr⁶ above ~13k;
+        the cutoff packages survive.  Checked on the memory model alone
+        (no 12k-atom solve needed)."""
+        class FakeMol:
+            def __init__(self, n):
+                self.natoms = n
+            def nbytes(self):
+                return 80 * self.natoms
+
+        tinker = get_package("Tinker")
+        gbr6 = get_package("GBr6")
+        amber = get_package("Amber")
+        ram = 24 * 1024 ** 3
+
+        assert tinker.memory_estimate(FakeMol(11000), None) < ram
+        assert tinker.memory_estimate(FakeMol(13500), None) > ram
+        assert gbr6.memory_estimate(FakeMol(12500), None) < ram
+        assert gbr6.memory_estimate(FakeMol(14500), None) > ram
+
+    def test_oom_result_shape(self):
+        mol = synthetic_protein(400, seed=3)
+        pk = get_package("Tinker")
+        pk.bytes_per_pair = 1e9  # force OOM
+        res = pk.run(mol)
+        assert res.oom
+        assert res.energy is None and res.wall_seconds is None
+        assert "OOM" in res.describe()
+
+
+class TestRelativeSpeeds:
+    def test_gromacs_faster_than_amber(self):
+        mol = synthetic_protein(2000, seed=8)
+        amber = get_package("Amber").run(mol, compute_energy=False)
+        gro = get_package("Gromacs").run(mol, compute_energy=False)
+        assert 1.5 < amber.wall_seconds / gro.wall_seconds < 5.0
+
+    def test_namd_tracks_amber(self):
+        mol = synthetic_protein(2000, seed=8)
+        amber = get_package("Amber").run(mol, compute_energy=False)
+        namd = get_package("NAMD").run(mol, compute_energy=False)
+        assert 0.5 < amber.wall_seconds / namd.wall_seconds < 1.6

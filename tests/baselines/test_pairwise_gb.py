@@ -1,0 +1,98 @@
+"""HCT/OBC/Still-r4 Born-radius model tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nblist import NonbondedList
+from repro.baselines.pairwise_gb import (
+    HCT_OFFSET,
+    _hct_pair_integral,
+    born_radii_hct,
+    born_radii_obc,
+    born_radii_still_r4,
+)
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules.molecule import Molecule
+
+
+def _isolated_pair(d=50.0):
+    return Molecule(np.array([[0.0, 0, 0], [d, 0, 0]]),
+                    np.array([1.0, -1.0]), np.array([1.5, 1.7]))
+
+
+class TestHctIntegral:
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        r = rng.uniform(1.0, 20.0, 200)
+        rho = rng.uniform(0.5, 2.0, 200)
+        s = rng.uniform(0.3, 1.5, 200)
+        assert np.all(_hct_pair_integral(r, rho, s) >= 0.0)
+
+    def test_distant_descreener_negligible(self):
+        val = _hct_pair_integral(np.array([100.0]), np.array([1.5]),
+                                 np.array([1.0]))
+        assert val[0] < 1e-5
+
+    def test_engulfed_descreener_zero(self):
+        # Descreening sphere entirely inside atom i's own radius.
+        val = _hct_pair_integral(np.array([0.2]), np.array([2.0]),
+                                 np.array([0.5]))
+        assert val[0] == 0.0
+
+
+class TestBornModels:
+    def test_isolated_atoms_recover_intrinsic(self):
+        mol = _isolated_pair(d=80.0)
+        for fn in (born_radii_hct, born_radii_obc):
+            R = fn(mol, None, None)
+            assert np.allclose(R, mol.radii, rtol=0.05)
+
+    def test_radii_at_least_intrinsic(self, protein_small):
+        for fn in (born_radii_hct, born_radii_obc):
+            R = fn(protein_small, None, None)
+            assert np.all(R >= protein_small.radii - 1e-12)
+            assert np.all(np.isfinite(R))
+
+    def test_burial_increases_radius(self, protein_small):
+        """Core atoms (close to centroid) get larger Born radii than
+        surface atoms — the defining property of descreening."""
+        R = born_radii_hct(protein_small, None, None)
+        d = np.linalg.norm(protein_small.positions
+                           - protein_small.centroid(), axis=1)
+        core = R[d < np.percentile(d, 20)].mean()
+        rim = R[d > np.percentile(d, 80)].mean()
+        assert core > rim
+
+    def test_cutoff_close_to_dense(self, protein_small):
+        dense = born_radii_hct(protein_small, None, None)
+        cut = born_radii_hct(protein_small, None, 30.0)
+        assert np.allclose(dense, cut, rtol=0.08)
+
+    def test_prebuilt_nblist_matches_cutoff(self, protein_small):
+        nb = NonbondedList.build(protein_small.positions, 12.0)
+        a = born_radii_hct(protein_small, nb, None)
+        b = born_radii_hct(protein_small, None, 12.0)
+        assert np.allclose(a, b)
+
+
+class TestEnergyAgreement:
+    """Fig. 9 calibration: HCT/OBC energies track the naive r⁶ energy;
+    the Still-r4 stand-in (Tinker) is systematically shifted."""
+
+    def test_hct_obc_close(self, protein_medium):
+        ref = epol_naive(protein_medium,
+                         born_radii_naive_r6(protein_medium))
+        for fn in (born_radii_hct, born_radii_obc):
+            e = epol_naive(protein_medium, fn(protein_medium, None, None))
+            assert abs(e - ref) / abs(ref) < 0.25
+
+    def test_still_r4_shifted_low(self, protein_medium):
+        ref = epol_naive(protein_medium,
+                         born_radii_naive_r6(protein_medium))
+        e = epol_naive(protein_medium,
+                       born_radii_still_r4(protein_medium))
+        assert 0.3 < e / ref < 0.9  # paper: "around 70 % of naive"
+
+    def test_offset_constant(self):
+        assert HCT_OFFSET == pytest.approx(0.09)

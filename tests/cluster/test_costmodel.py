@@ -1,0 +1,96 @@
+"""Cost model: monotonicity, sanity bounds, the paper's orderings."""
+
+import pytest
+
+from repro.cluster.costmodel import APPROX_MATH_SPEEDUP, CostModel
+from repro.cluster.machine import lonestar4
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel(machine=lonestar4(nodes=40))
+
+
+class TestCompute:
+    def test_seconds_per_flop_plausible(self, cm):
+        # Between 0.1 and 10 ns per flop for 2012-era scalar code.
+        assert 1e-10 < cm.seconds_per_flop() < 1e-8
+
+    def test_born_seconds_positive_and_linear(self, cm):
+        one = cm.born_compute_seconds(10, 10, 1000)
+        two = cm.born_compute_seconds(20, 20, 2000)
+        assert one > 0
+        assert two == pytest.approx(2 * one)
+
+    def test_approx_math_speedup(self, cm):
+        slow = cm.born_compute_seconds(0, 0, 1e6, approx_math=False)
+        fast = cm.born_compute_seconds(0, 0, 1e6, approx_math=True)
+        assert slow / fast == pytest.approx(APPROX_MATH_SPEEDUP)
+
+    def test_epol_bucket_quadratic(self, cm):
+        a = cm.epol_compute_seconds(0, 100, 0, nbuckets=2)
+        b = cm.epol_compute_seconds(0, 100, 0, nbuckets=4)
+        assert b == pytest.approx(4 * a)
+
+
+class TestCacheFactor:
+    def test_within_l2_is_one(self, cm):
+        assert cm.cache_factor(100 * 1024) == 1.0
+
+    def test_monotone_nondecreasing(self, cm):
+        sizes = [10 ** k for k in range(4, 11)]
+        factors = [cm.cache_factor(s, cores_sharing_socket=6)
+                   for s in sizes]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+        assert factors[-1] <= 1.7
+
+    def test_sharing_socket_raises_factor(self, cm):
+        ws = 4 * 1024 * 1024
+        assert cm.cache_factor(ws, cores_sharing_socket=6) >= \
+            cm.cache_factor(ws, cores_sharing_socket=1)
+
+
+class TestMemoryPressure:
+    def test_no_penalty_below_80pct(self, cm):
+        ram = cm.machine.node.ram_bytes
+        assert cm.memory_pressure_factor(0.5 * ram) == 1.0
+
+    def test_rises_past_ram(self, cm):
+        ram = cm.machine.node.ram_bytes
+        f1 = cm.memory_pressure_factor(1.0 * ram)
+        f2 = cm.memory_pressure_factor(2.0 * ram)
+        assert 1.0 < f1 < f2
+        assert f2 == pytest.approx(10.0)
+
+
+class TestCommunication:
+    def test_allreduce_grows_with_p_and_size(self, cm):
+        assert cm.allreduce_seconds(1000, 1) == 0.0
+        a = cm.allreduce_seconds(1000, 12)
+        b = cm.allreduce_seconds(1000, 144)
+        c = cm.allreduce_seconds(100000, 144)
+        assert 0 < a < b < c
+
+    def test_hybrid_layout_cheaper(self, cm):
+        """Same core count: 2 ranks × 6 threads per node communicates
+        less than 12 × 1 (the paper's hybrid argument)."""
+        mpi = cm.allreduce_seconds(50000, 144, threads=1)
+        hyb = cm.allreduce_seconds(50000, 24, threads=6)
+        assert hyb < mpi
+
+    def test_point_to_point_ordering(self, cm):
+        """Paper §IV-B: threads < same-node processes < cross-node."""
+        same = cm.point_to_point_seconds(1000, same_node=True)
+        cross = cm.point_to_point_seconds(1000, same_node=False)
+        assert same < cross
+
+    def test_collective_sync_grows_with_sqrt_p(self, cm):
+        assert cm.collective_sync_seconds(1) == 0.0
+        s4 = cm.collective_sync_seconds(4)
+        s16 = cm.collective_sync_seconds(16)
+        assert s16 == pytest.approx(2 * s4)
+
+    def test_allgather_reduce_positive(self, cm):
+        assert cm.allgather_seconds(100, 8) > 0
+        assert cm.reduce_seconds(1, 8) > 0
+        assert cm.reduce_seconds(1, 1) == 0.0

@@ -1,0 +1,58 @@
+"""Intra-rank execution model and RunStats accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.hybrid import run_intra_rank
+from repro.cluster.trace import RankStats, RunStats
+
+
+class TestRunIntraRank:
+    @pytest.fixture(scope="class")
+    def cost(self):
+        return CostModel()
+
+    def test_single_thread_plain_sum(self, cost):
+        out = run_intra_rank([0.1, 0.2, 0.3], threads=1, cost=cost)
+        assert out.seconds == pytest.approx(0.6)
+        assert out.steals == 0
+
+    def test_multithread_speedup(self, cost):
+        costs = np.full(2000, 1e-4)
+        serial = run_intra_rank(costs, 1, cost).seconds
+        parallel = run_intra_rank(costs, 6, cost).seconds
+        assert parallel < serial / 4  # ≥ 4× on 6 workers
+
+    def test_interface_overhead_only_for_hybrid(self, cost):
+        costs = np.full(100, 1e-5)
+        shared = run_intra_rank(costs, 6, cost, mpi_interface=False)
+        hybrid = run_intra_rank(costs, 6, cost, mpi_interface=True)
+        assert hybrid.seconds == pytest.approx(
+            shared.seconds + cost.hybrid_interface_overhead, rel=0.2)
+
+
+class TestRunStats:
+    def _stats(self):
+        ranks = [RankStats(rank=0, comp_seconds=1.0, comm_seconds=0.2,
+                           idle_seconds=0.1, memory_bytes=100),
+                 RankStats(rank=1, comp_seconds=0.5, comm_seconds=0.2,
+                           idle_seconds=0.6, memory_bytes=80)]
+        return RunStats(processes=2, threads=6, ranks=ranks,
+                        phases={"born": 1.0})
+
+    def test_wall_is_slowest_rank(self):
+        assert self._stats().wall_seconds == pytest.approx(1.3)
+
+    def test_memory_aggregation(self):
+        s = self._stats()
+        assert s.memory_per_process() == 100
+        assert s.memory_per_node(2) == 200
+        assert s.memory_per_node(12) == 200  # capped at P
+
+    def test_total_cores(self):
+        assert self._stats().total_cores == 12
+
+    def test_phases_only_fallback(self):
+        s = RunStats(processes=1, threads=1, phases={"a": 1.0, "b": 2.0})
+        assert s.wall_seconds == pytest.approx(3.0)

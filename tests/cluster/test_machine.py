@@ -1,0 +1,54 @@
+"""Machine model tests."""
+
+import pytest
+
+from repro.cluster.machine import MachineSpec, NodeSpec, lonestar4
+
+
+class TestNodeSpec:
+    def test_lonestar4_matches_table1(self):
+        node = lonestar4().node
+        assert node.cores == 12
+        assert node.sockets == 2
+        assert node.ghz == 3.33
+        assert node.ram_bytes == 24 * 1024 ** 3
+        assert node.l3_bytes == 12 * 1024 ** 2
+
+    def test_flop_rate(self):
+        node = NodeSpec(ghz=2.0, flops_per_cycle=4.0)
+        assert node.flops_per_second == pytest.approx(8e9)
+
+
+class TestPlacement:
+    def test_pure_mpi_packs_12_per_node(self):
+        m = lonestar4()
+        placement = m.placement(24, 1)
+        assert placement[:12] == [0] * 12
+        assert placement[12:] == [1] * 12
+
+    def test_hybrid_packs_2_per_node(self):
+        m = lonestar4()
+        placement = m.placement(4, 6)
+        assert placement == [0, 0, 1, 1]
+
+    def test_ranks_per_node(self):
+        m = lonestar4()
+        assert m.ranks_per_node(24, 1) == 12
+        assert m.ranks_per_node(4, 6) == 2
+        assert m.ranks_per_node(1, 12) == 1
+
+    def test_nodes_used(self):
+        m = lonestar4()
+        assert m.nodes_used(13, 1) == 2
+        assert m.nodes_used(12, 1) == 1
+
+    def test_overflow_rejected(self):
+        m = lonestar4()
+        with pytest.raises(ValueError):
+            m.placement(145, 1)
+        with pytest.raises(ValueError):
+            m.placement(1, 13)
+
+    def test_total_cores(self):
+        assert lonestar4().total_cores == 144
+        assert lonestar4(nodes=40).total_cores == 480

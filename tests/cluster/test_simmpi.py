@@ -1,0 +1,186 @@
+"""Simulated MPI: collective semantics, isolation, virtual time."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simmpi import SimCluster
+
+
+def _run(P, fn, *args, threads=1):
+    cluster = SimCluster(P, threads_per_rank=threads)
+    return cluster.run(fn, *args)
+
+
+class TestCollectives:
+    def test_allreduce_sum_array(self):
+        def fn(comm):
+            return comm.allreduce(np.full(3, float(comm.rank + 1)))
+
+        results, _ = _run(4, fn)
+        for r in results:
+            assert np.allclose(r, 10.0)
+
+    def test_allreduce_min_max(self):
+        def fn(comm):
+            lo = comm.allreduce(float(comm.rank), op="min")
+            hi = comm.allreduce(float(comm.rank), op="max")
+            return lo, hi
+
+        results, _ = _run(5, fn)
+        assert all(r == (0.0, 4.0) for r in results)
+
+    def test_allreduce_rejects_unknown_op(self):
+        def fn(comm):
+            return comm.allreduce(1.0, op="xor")
+
+        with pytest.raises(ValueError):
+            _run(2, fn)
+
+    def test_bcast(self):
+        def fn(comm):
+            data = {"v": 42} if comm.rank == 1 else None
+            return comm.bcast(data, root=1)
+
+        results, _ = _run(3, fn)
+        assert all(r == {"v": 42} for r in results)
+
+    def test_gather_scatter(self):
+        def fn(comm):
+            got = comm.scatter([i * i for i in range(comm.size)]
+                               if comm.rank == 0 else None, root=0)
+            back = comm.gather(got, root=0)
+            return got, back
+
+        results, _ = _run(4, fn)
+        for rank, (got, back) in enumerate(results):
+            assert got == rank * rank
+            if rank == 0:
+                assert back == [0, 1, 4, 9]
+            else:
+                assert back is None
+
+    def test_allgather_order(self):
+        def fn(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        results, _ = _run(4, fn)
+        assert all(r == ["a", "b", "c", "d"] for r in results)
+
+    def test_reduce_only_root_gets_value(self):
+        def fn(comm):
+            return comm.reduce(np.array([1.0]), root=2)
+
+        results, _ = _run(4, fn)
+        assert results[2][0] == pytest.approx(4.0)
+        assert all(results[i] is None for i in (0, 1, 3))
+
+
+class TestIsolation:
+    def test_received_arrays_are_private_copies(self):
+        """Distributed-memory semantics: mutating a received buffer must
+        not leak into other ranks."""
+        def fn(comm):
+            data = comm.bcast(np.zeros(4), root=0)
+            data += comm.rank  # mutate the local copy
+            total = comm.allreduce(data.copy())
+            return total
+
+        results, _ = _run(3, fn)
+        for r in results:
+            assert np.allclose(r, 0 + 1 + 2)
+
+
+class TestPointToPoint:
+    def test_ring(self):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank * 10, dest=right)
+            return comm.recv(source=left)
+
+        results, _ = _run(4, fn)
+        assert results == [30, 0, 10, 20]
+
+    def test_fifo_per_channel(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1)
+                comm.send("second", dest=1)
+                return None
+            return comm.recv(0), comm.recv(0)
+
+        results, _ = _run(2, fn)
+        assert results[1] == ("first", "second")
+
+    def test_send_validation(self):
+        def fn(comm):
+            comm.send(1, dest=comm.rank)
+
+        with pytest.raises(ValueError):
+            _run(2, fn)
+
+
+class TestVirtualTime:
+    def test_compute_accumulates(self):
+        def fn(comm):
+            comm.compute(0.5)
+            comm.compute(0.25)
+            return comm.clock
+
+        results, stats = _run(2, fn)
+        assert all(c >= 0.75 for c in results)
+        assert stats.ranks[0].comp_seconds == pytest.approx(0.75)
+
+    def test_collective_synchronises_clocks(self):
+        def fn(comm):
+            comm.compute(1.0 * comm.rank)
+            comm.barrier()
+            return comm.clock
+
+        results, stats = _run(3, fn)
+        # Everyone leaves the barrier at (or after) the slowest arrival.
+        assert min(results) >= 2.0
+        # Fast ranks booked idle time waiting.
+        assert stats.ranks[0].idle_seconds >= 2.0 - 1e-9
+
+    def test_negative_compute_rejected(self):
+        def fn(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(ValueError):
+            _run(2, fn)
+
+    def test_memory_peak_tracking(self):
+        def fn(comm):
+            comm.charge_memory(100)
+            comm.charge_memory(50)
+            return None
+
+        _, stats = _run(2, fn)
+        assert stats.ranks[0].memory_bytes == 100
+
+
+class TestErrors:
+    def test_rank_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom on rank 1")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            _run(3, fn)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimCluster(0)
+
+
+class TestRunStats:
+    def test_summary_and_wall(self):
+        def fn(comm):
+            comm.compute(0.1 * (comm.rank + 1))
+            return None
+
+        _, stats = _run(3, fn)
+        assert stats.wall_seconds == pytest.approx(0.3)
+        assert "P=3" in stats.summary()

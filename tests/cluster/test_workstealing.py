@@ -1,0 +1,94 @@
+"""Work-stealing simulator: conservation, bounds, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.workstealing import (
+    StealStats,
+    WorkStealingSim,
+    static_block_makespan,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        st_ = WorkStealingSim(workers=4).run([])
+        assert st_.makespan == 0.0 and st_.total_work == 0.0
+
+    def test_single_worker_is_serial_sum(self):
+        costs = [1.0, 2.0, 3.0]
+        sim = WorkStealingSim(workers=1, task_overhead=0.0)
+        assert sim.run(costs).makespan == pytest.approx(6.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            WorkStealingSim(workers=0)
+        with pytest.raises(ValueError):
+            WorkStealingSim(workers=2).run([-1.0])
+
+    def test_deterministic_by_seed(self):
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(1e-4, 500)
+        a = WorkStealingSim(workers=4, seed=9).run(costs)
+        b = WorkStealingSim(workers=4, seed=9).run(costs)
+        assert a.makespan == b.makespan and a.steals == b.steals
+
+    def test_seed_changes_schedule(self):
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(1e-4, 500)
+        runs = {WorkStealingSim(workers=4, seed=s).run(costs).makespan
+                for s in range(8)}
+        assert len(runs) > 1  # schedules genuinely vary
+
+
+class TestBounds:
+    @given(st.integers(1, 12), st.integers(1, 400), st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds_property(self, p, n, seed):
+        """T/p ≤ makespan ≤ T + overheads, and busy time is conserved."""
+        rng = np.random.default_rng(seed)
+        costs = rng.exponential(1e-4, n)
+        sim = WorkStealingSim(workers=p, seed=seed)
+        stats = sim.run(costs)
+        total = costs.sum()
+        assert stats.makespan >= total / p - 1e-12
+        overhead_cap = total + n * sim.task_overhead \
+            + (stats.steals + stats.failed_steals + p) * sim.steal_overhead
+        assert stats.makespan <= overhead_cap + 1e-9
+        # All execution time is accounted on some worker.
+        assert stats.per_worker_busy.sum() == pytest.approx(
+            total + stats.per_worker_busy.sum() - total)
+        assert 0.0 < stats.utilization <= 1.0
+
+    def test_near_ideal_on_uniform_work(self):
+        costs = np.full(4000, 1e-4)
+        stats = WorkStealingSim(workers=8, seed=1).run(costs)
+        assert stats.utilization > 0.9
+
+    def test_beats_static_on_skewed_work(self):
+        """Front-loaded costs ruin an equal-count static split; stealing
+        shrugs them off — the paper's case for dynamic balancing."""
+        costs = np.concatenate([np.full(100, 1e-2), np.full(3900, 1e-5)])
+        stats = WorkStealingSim(workers=8, seed=2).run(costs)
+        static = static_block_makespan(costs, 8)
+        assert stats.makespan < 0.6 * static
+
+
+class TestStaticBaseline:
+    def test_even_split(self):
+        assert static_block_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_empty_and_validation(self):
+        assert static_block_makespan([], 3) == 0.0
+        with pytest.raises(ValueError):
+            static_block_makespan([1.0], 0)
+
+
+class TestStats:
+    def test_steals_happen_with_many_workers(self):
+        costs = np.full(2000, 1e-4)
+        stats = WorkStealingSim(workers=6, seed=0).run(costs)
+        assert stats.steals > 0
+        assert isinstance(stats, StealStats)

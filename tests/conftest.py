@@ -1,0 +1,51 @@
+"""Shared fixtures: small cached molecules so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.molecules import sample_surface, synthetic_protein
+from repro.molecules.molecule import Molecule
+
+
+@pytest.fixture(scope="session")
+def protein_small() -> Molecule:
+    """~400-atom protein with surface — the workhorse test molecule."""
+    return synthetic_protein(400, seed=1)
+
+
+@pytest.fixture(scope="session")
+def protein_medium() -> Molecule:
+    """~1200-atom protein with surface."""
+    return synthetic_protein(1200, seed=2)
+
+
+@pytest.fixture(scope="session")
+def single_atom() -> Molecule:
+    """One charged sphere with a high-resolution surface (the analytic
+    test case: Born radius must equal the sphere radius)."""
+    mol = Molecule(np.zeros((1, 3)), np.array([1.0]), np.array([2.0]),
+                   name="single")
+    return sample_surface(mol, subdivisions=3, degree=2)
+
+
+@pytest.fixture(scope="session")
+def two_atoms() -> Molecule:
+    """Two disjoint charged spheres (analytic pair energy check)."""
+    mol = Molecule(np.array([[0.0, 0.0, 0.0], [8.0, 0.0, 0.0]]),
+                   np.array([1.0, -1.0]),
+                   np.array([1.5, 2.0]), name="pair")
+    return sample_surface(mol, subdivisions=3, degree=2)
+
+
+@pytest.fixture(scope="session")
+def default_params() -> ApproxParams:
+    return ApproxParams()
+
+
+@pytest.fixture(scope="session")
+def tight_params() -> ApproxParams:
+    """ε small enough that octree results coincide with naive."""
+    return ApproxParams(eps_born=0.05, eps_epol=0.05)

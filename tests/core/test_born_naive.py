@@ -1,0 +1,102 @@
+"""Naive Born radii: the analytic sphere invariant and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.born_naive import (
+    born_radii_naive_r4,
+    born_radii_naive_r6,
+    integral_to_radius_r4,
+    integral_to_radius_r6,
+)
+from repro.constants import FOUR_PI
+from repro.molecules.molecule import Molecule
+from repro.molecules.surface import sample_surface
+
+
+class TestSphereInvariant:
+    """For a single sphere of radius R, both the r⁴ and r⁶ surface
+    integrals recover exactly R (DESIGN.md §7)."""
+
+    @pytest.mark.parametrize("radius", [1.0, 2.0, 3.7])
+    def test_r6(self, radius):
+        mol = Molecule(np.zeros((1, 3)), np.array([1.0]),
+                       np.array([radius]))
+        mol = sample_surface(mol, subdivisions=3, degree=2)
+        assert born_radii_naive_r6(mol)[0] == pytest.approx(radius,
+                                                            rel=1e-6)
+
+    def test_r4(self, single_atom):
+        assert born_radii_naive_r4(single_atom)[0] == pytest.approx(
+            2.0, rel=1e-6)
+
+    def test_off_centre_atom_still_positive(self):
+        """An atom near (not at) the centre of a sphere surface gets a
+        finite positive radius."""
+        mol = Molecule(np.array([[0.5, 0.0, 0.0]]), np.array([1.0]),
+                       np.array([2.0]))
+        shell = Molecule(np.zeros((1, 3)), np.array([0.0]),
+                         np.array([2.0]))
+        shell = sample_surface(shell, subdivisions=3, degree=2)
+        probe = mol.with_surface(shell.surface)
+        R = born_radii_naive_r6(probe)
+        assert np.isfinite(R[0]) and R[0] > 0
+
+
+class TestIntegralToRadius:
+    def test_r6_floor_at_intrinsic_and_cap(self):
+        from repro.constants import RGBMAX
+        # Tiny integral → capped at RGBMAX; big integral → floored at r_a.
+        intrinsic = np.array([1.5, 1.5])
+        s = np.array([1e-9, 1e9])
+        R = integral_to_radius_r6(s, intrinsic)
+        assert R[0] == pytest.approx(RGBMAX)
+        assert R[1] == pytest.approx(1.5)
+
+    def test_r6_inverse_cube_law(self):
+        s = np.array([FOUR_PI])  # (s/4π)^(-1/3) = 1
+        assert integral_to_radius_r6(s, np.array([0.1]))[0] == \
+            pytest.approx(1.0)
+
+    def test_nonpositive_integral_gets_cap(self):
+        from repro.constants import RGBMAX
+        s = np.array([FOUR_PI / 8.0, -1.0])   # R=2 and a broken one
+        R = integral_to_radius_r6(s, np.array([1.0, 1.0]))
+        assert R[0] == pytest.approx(2.0)
+        assert R[1] == pytest.approx(RGBMAX)  # deterministic cap
+
+    def test_cap_is_partition_independent(self):
+        """The fallback must not depend on which other atoms share the
+        array — the property the data-distributed solver relies on."""
+        s_global = np.array([FOUR_PI / 8.0, -1.0, FOUR_PI])
+        intrinsic = np.ones(3)
+        R_global = integral_to_radius_r6(s_global, intrinsic)
+        R_alone = integral_to_radius_r6(s_global[1:2], intrinsic[1:2])
+        assert R_global[1] == pytest.approx(R_alone[0])
+
+    def test_r4_inverse_law(self):
+        s = np.array([FOUR_PI / 2.0])
+        assert integral_to_radius_r4(s, np.array([0.1]))[0] == \
+            pytest.approx(2.0)
+
+    def test_monotone_decreasing_in_integral(self):
+        s = np.linspace(0.1, 50, 20)
+        R = integral_to_radius_r6(s, np.full(20, 0.01))
+        assert np.all(np.diff(R) <= 1e-12)
+
+
+class TestBlockedEvaluation:
+    def test_block_size_invariance(self, protein_small):
+        a = born_radii_naive_r6(protein_small, block=64)
+        b = born_radii_naive_r6(protein_small, block=4096)
+        assert np.allclose(a, b, rtol=1e-12)
+
+    def test_radii_at_least_intrinsic(self, protein_small):
+        R = born_radii_naive_r6(protein_small)
+        assert np.all(R >= protein_small.radii - 1e-12)
+
+    def test_requires_surface(self):
+        bare = Molecule(np.zeros((1, 3)), np.array([1.0]),
+                        np.array([1.0]))
+        with pytest.raises(ValueError, match="no surface"):
+            born_radii_naive_r6(bare)

@@ -1,0 +1,158 @@
+"""Octree Born solver: convergence to naive, partition invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.born_octree import (
+    ancestor_prefix,
+    approx_integrals,
+    born_radii_octree,
+    push_integrals_to_atoms,
+    qleaf_aggregates,
+)
+from repro.octree.build import build_octree
+
+
+@pytest.fixture(scope="module")
+def setup(protein_small):
+    params = ApproxParams()
+    surf = protein_small.require_surface()
+    atoms_tree = build_octree(protein_small.positions, params.leaf_size)
+    q_tree = build_octree(surf.points, params.leaf_size)
+    wn = surf.weighted_normals[q_tree.perm]
+    return protein_small, params, atoms_tree, q_tree, wn
+
+
+class TestAccuracy:
+    def test_tight_eps_matches_naive(self, protein_small, tight_params):
+        ref = born_radii_naive_r6(protein_small)
+        got = born_radii_octree(protein_small, tight_params).radii
+        assert np.allclose(got, ref, rtol=1e-10)
+
+    def test_default_eps_close_to_naive(self, protein_medium):
+        ref = born_radii_naive_r6(protein_medium)
+        got = born_radii_octree(protein_medium, ApproxParams()).radii
+        rel = np.abs(got - ref) / ref
+        assert np.mean(rel) < 0.01
+
+    def test_sphere_invariant(self, single_atom):
+        res = born_radii_octree(single_atom)
+        assert res.radii[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_error_decreases_with_eps(self, protein_medium):
+        ref = born_radii_naive_r6(protein_medium)
+        errs = []
+        for eps in (0.9, 0.3, 0.05):
+            got = born_radii_octree(
+                protein_medium, ApproxParams(eps_born=eps)).radii
+            errs.append(np.mean(np.abs(got - ref) / ref))
+        assert errs[0] >= errs[1] >= errs[2]
+
+
+class TestPartitionInvariants:
+    def test_qleaf_subset_union_equals_full(self, setup):
+        mol, params, atoms_tree, q_tree, wn = setup
+        full_node, full_atom, _, _ = approx_integrals(
+            atoms_tree, q_tree, wn, params)
+        nleaves = len(q_tree.leaves)
+        cut = nleaves // 3
+        parts = [np.arange(0, cut), np.arange(cut, 2 * cut),
+                 np.arange(2 * cut, nleaves)]
+        s_node = np.zeros_like(full_node)
+        s_atom = np.zeros_like(full_atom)
+        for seg in parts:
+            n, a, _, _ = approx_integrals(atoms_tree, q_tree, wn, params,
+                                          q_leaf_subset=seg)
+            s_node += n
+            s_atom += a
+        assert np.allclose(s_node, full_node, atol=1e-12)
+        assert np.allclose(s_atom, full_atom, atol=1e-12)
+
+    def test_empty_subset(self, setup):
+        _, params, atoms_tree, q_tree, wn = setup
+        n, a, counts, ps = approx_integrals(
+            atoms_tree, q_tree, wn, params,
+            q_leaf_subset=np.empty(0, dtype=int))
+        assert not n.any() and not a.any()
+        assert counts.frontier_visits == 0
+
+    def test_atom_range_union_covers_all(self, setup):
+        """Atom-based division: summing the per-range integrals and
+        pushing gives radii for every atom, each computed once."""
+        mol, params, atoms_tree, q_tree, wn = setup
+        m = atoms_tree.npoints
+        bounds = [0, m // 3, 2 * m // 3, m]
+        s_node = np.zeros(atoms_tree.nnodes)
+        s_atom = np.zeros(m)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            n, a, _, _ = approx_integrals(atoms_tree, q_tree, wn, params,
+                                          atom_range=(lo, hi))
+            s_node += n
+            s_atom += a
+        intrinsic = mol.radii[atoms_tree.perm]
+        radii = push_integrals_to_atoms(atoms_tree, s_node, s_atom,
+                                        intrinsic)
+        ref = born_radii_naive_r6(mol)
+        rel = np.abs(atoms_tree.scatter_to_original(radii) - ref) / ref
+        assert np.mean(rel) < 0.02
+
+    def test_atom_range_validation(self, setup):
+        _, params, atoms_tree, q_tree, wn = setup
+        with pytest.raises(ValueError):
+            approx_integrals(atoms_tree, q_tree, wn, params,
+                             atom_range=(-1, 5))
+
+    def test_per_source_counts_sum_to_totals(self, setup):
+        _, params, atoms_tree, q_tree, wn = setup
+        _, _, counts, ps = approx_integrals(atoms_tree, q_tree, wn, params)
+        assert ps.far.sum() == counts.far_evaluations
+        assert ps.exact_interactions.sum() == counts.exact_interactions
+        assert ps.visits.sum() == counts.frontier_visits
+
+
+class TestPush:
+    def test_ancestor_prefix(self):
+        pts = np.random.default_rng(0).normal(size=(200, 3))
+        tree = build_octree(pts, leaf_size=8)
+        s = np.random.default_rng(1).normal(size=tree.nnodes)
+        anc = ancestor_prefix(tree, s)
+        # Verify against explicit parent walks.
+        for node in range(0, tree.nnodes, 11):
+            want, p = 0.0, tree.parent[node]
+            while p >= 0:
+                want += s[p]
+                p = tree.parent[p]
+            assert anc[node] == pytest.approx(want)
+
+    def test_atom_range_restricts_output(self, setup):
+        mol, params, atoms_tree, q_tree, wn = setup
+        s_node, s_atom, _, _ = approx_integrals(atoms_tree, q_tree, wn,
+                                                params)
+        intrinsic = mol.radii[atoms_tree.perm]
+        m = atoms_tree.npoints
+        out = push_integrals_to_atoms(atoms_tree, s_node, s_atom,
+                                      intrinsic, atom_range=(10, 20))
+        assert np.all(np.isfinite(out[10:20]))
+        assert np.all(np.isnan(out[:10]))
+        assert np.all(np.isnan(out[20:]))
+
+
+class TestAggregates:
+    def test_qleaf_aggregates_match_slices(self, setup):
+        _, _, _, q_tree, wn = setup
+        agg = qleaf_aggregates(q_tree, wn)
+        for row, leaf in enumerate(q_tree.leaves[::5]):
+            sl = q_tree.slice_of(int(leaf))
+            assert np.allclose(agg[row * 5], wn[sl].sum(axis=0))
+
+
+class TestOctreeReuse:
+    def test_prebuilt_trees_give_same_answer(self, protein_small):
+        params = ApproxParams()
+        a = born_radii_octree(protein_small, params)
+        b = born_radii_octree(protein_small, params,
+                              atoms_tree=a.atoms_tree,
+                              q_tree=a.qpoints_tree)
+        assert np.array_equal(a.radii, b.radii)

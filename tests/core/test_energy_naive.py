@@ -1,0 +1,67 @@
+"""Naive E_pol: analytic checks and blocking invariance."""
+
+import numpy as np
+import pytest
+
+from repro.constants import COULOMB_KCAL, TAU_WATER
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules.molecule import Molecule
+
+
+def _bare(positions, charges, radii):
+    return Molecule(np.asarray(positions, float), np.asarray(charges,
+                                                             float),
+                    np.asarray(radii, float))
+
+
+class TestAnalytic:
+    def test_single_ion_born_formula(self):
+        """One ion of charge q and Born radius R: the classic Born
+        solvation energy −τ/2 · C · q²/R."""
+        mol = _bare([[0, 0, 0]], [1.0], [2.0])
+        got = epol_naive(mol, np.array([2.0]))
+        want = -0.5 * TAU_WATER * COULOMB_KCAL * 1.0 / 2.0
+        assert got == pytest.approx(want)
+
+    def test_two_atoms_explicit(self):
+        mol = _bare([[0, 0, 0], [4.0, 0, 0]], [1.0, -1.0], [1.0, 1.0])
+        R = np.array([1.5, 2.5])
+        r2 = 16.0
+        fgb = np.sqrt(r2 + 1.5 * 2.5 * np.exp(-r2 / (4 * 1.5 * 2.5)))
+        raw = (1.0 / 1.5) + (1.0 / 2.5) + 2.0 * (1.0 * -1.0) / fgb
+        want = -0.5 * TAU_WATER * COULOMB_KCAL * raw
+        assert epol_naive(mol, R) == pytest.approx(want)
+
+    def test_energy_negative_for_physical_system(self, protein_small):
+        R = born_radii_naive_r6(protein_small)
+        assert epol_naive(protein_small, R) < 0.0
+
+    def test_scaling_with_charge(self):
+        """E_pol scales quadratically with a uniform charge scale."""
+        mol = _bare([[0, 0, 0], [3.0, 0, 0]], [0.5, 0.7], [1.2, 1.2])
+        R = np.array([1.5, 1.6])
+        e1 = epol_naive(mol, R)
+        mol2 = _bare(mol.positions, mol.charges * 2.0, mol.radii)
+        assert epol_naive(mol2, R) == pytest.approx(4.0 * e1)
+
+
+class TestValidation:
+    def test_block_invariance(self, protein_small):
+        R = born_radii_naive_r6(protein_small)
+        a = epol_naive(protein_small, R, block=37)
+        b = epol_naive(protein_small, R, block=10000)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_rejects_bad_radii(self):
+        mol = _bare([[0, 0, 0]], [1.0], [1.0])
+        with pytest.raises(ValueError):
+            epol_naive(mol, np.array([0.0]))
+        with pytest.raises(ValueError):
+            epol_naive(mol, np.array([1.0, 2.0]))
+
+    def test_tau_parameter(self):
+        mol = _bare([[0, 0, 0]], [1.0], [1.0])
+        R = np.array([2.0])
+        assert epol_naive(mol, R, tau=0.5) == pytest.approx(
+            0.5 / TAU_WATER * epol_naive(mol, R))

@@ -1,0 +1,125 @@
+"""Octree E_pol solver: bucket algebra, leaf partitioning, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.core.energy_octree import (
+    approx_epol_for_leaves,
+    build_charge_buckets,
+    epol_octree,
+)
+from repro.octree.build import build_octree
+
+
+@pytest.fixture(scope="module")
+def prepared(protein_small):
+    params = ApproxParams()
+    tree = build_octree(protein_small.positions, params.leaf_size)
+    R = born_radii_naive_r6(protein_small)
+    q_sorted = protein_small.charges[tree.perm]
+    R_sorted = R[tree.perm]
+    buckets = build_charge_buckets(tree, q_sorted, R_sorted,
+                                   params.eps_epol)
+    return protein_small, params, tree, R, q_sorted, R_sorted, buckets
+
+
+class TestChargeBuckets:
+    def test_bucket_sums_equal_node_charges(self, prepared):
+        _, _, tree, _, q_sorted, _, buckets = prepared
+        node_q = buckets.table.sum(axis=1)
+        for node in range(0, tree.nnodes, 5):
+            sl = tree.slice_of(node)
+            assert node_q[node] == pytest.approx(q_sorted[sl].sum(),
+                                                 abs=1e-10)
+
+    def test_bucket_geometry(self, prepared):
+        _, params, _, _, _, R_sorted, buckets = prepared
+        assert buckets.r_min == pytest.approx(R_sorted.min())
+        assert buckets.r_max == pytest.approx(R_sorted.max())
+        # Products matrix is R_min²(1+ε)^(i+j).
+        m = buckets.nbuckets
+        want = buckets.r_min ** 2 * (1 + params.eps_epol) ** (
+            np.add.outer(np.arange(m), np.arange(m)))
+        assert np.allclose(buckets.products, want)
+
+    def test_uniform_radii_single_bucket(self):
+        tree = build_octree(np.random.default_rng(0).normal(size=(50, 3)))
+        q = np.ones(50)
+        R = np.full(50, 2.0)
+        b = build_charge_buckets(tree, q, R, 0.9)
+        assert b.nbuckets == 1
+
+    def test_rejects_nonpositive_radii(self):
+        tree = build_octree(np.zeros((2, 3)) + [[0], [1]])
+        with pytest.raises(ValueError):
+            build_charge_buckets(tree, np.ones(2), np.array([1.0, 0.0]),
+                                 0.9)
+
+
+class TestLeafPartition:
+    def test_leaf_subsets_sum_to_total(self, prepared):
+        mol, params, tree, R, q_sorted, R_sorted, buckets = prepared
+        full, counts, _ = approx_epol_for_leaves(
+            tree, q_sorted, R_sorted, buckets, params)
+        nleaves = len(tree.leaves)
+        acc = 0.0
+        for lo, hi in ((0, nleaves // 4), (nleaves // 4, nleaves // 2),
+                       (nleaves // 2, nleaves)):
+            part, _, _ = approx_epol_for_leaves(
+                tree, q_sorted, R_sorted, buckets, params,
+                v_leaf_subset=np.arange(lo, hi))
+            acc += part
+        assert acc == pytest.approx(full, rel=1e-12)
+
+    def test_empty_subset_is_zero(self, prepared):
+        _, params, tree, _, q_sorted, R_sorted, buckets = prepared
+        val, counts, _ = approx_epol_for_leaves(
+            tree, q_sorted, R_sorted, buckets, params,
+            v_leaf_subset=np.empty(0, dtype=int))
+        assert val == 0.0 and counts.frontier_visits == 0
+
+    def test_per_source_counts_sum(self, prepared):
+        _, params, tree, _, q_sorted, R_sorted, buckets = prepared
+        _, counts, ps = approx_epol_for_leaves(
+            tree, q_sorted, R_sorted, buckets, params)
+        assert ps.exact_interactions.sum() == counts.exact_interactions
+        assert ps.visits.sum() == counts.frontier_visits
+
+
+class TestAccuracy:
+    def test_tight_eps_matches_naive(self, protein_small, tight_params):
+        R = born_radii_naive_r6(protein_small)
+        ref = epol_naive(protein_small, R)
+        got = epol_octree(protein_small, R, tight_params).energy
+        assert got == pytest.approx(ref, rel=1e-9)
+
+    def test_default_eps_under_one_percent(self, protein_medium):
+        R = born_radii_naive_r6(protein_medium)
+        ref = epol_naive(protein_medium, R)
+        got = epol_octree(protein_medium, R, ApproxParams()).energy
+        assert abs(got - ref) / abs(ref) < 0.01
+
+    def test_single_atom_self_energy(self, single_atom):
+        R = np.array([2.0])
+        got = epol_octree(single_atom, R).energy
+        assert got == pytest.approx(epol_naive(single_atom, R))
+
+    def test_far_pairs_actually_approximate(self):
+        """Two well-separated clusters must trigger the far-field
+        bucket kernel, and still be accurate."""
+        from repro.molecules.generator import synthetic_protein
+        a = synthetic_protein(250, seed=1, with_surface=False)
+        b = synthetic_protein(250, seed=2, with_surface=False)
+        from repro.molecules.molecule import Molecule
+        mol = Molecule(
+            np.vstack([a.positions, b.positions + 120.0]),
+            np.concatenate([a.charges, b.charges]),
+            np.concatenate([a.radii, b.radii]))
+        R = np.random.default_rng(0).uniform(1.5, 4.0, mol.natoms)
+        res = epol_octree(mol, R, ApproxParams(eps_epol=0.9))
+        assert res.counts.far_evaluations > 0
+        ref = epol_naive(mol, R)
+        assert abs(res.energy - ref) / abs(ref) < 0.01

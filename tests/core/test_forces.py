@@ -1,0 +1,92 @@
+"""GB force tests: finite differences, Newton's third law, octree match."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.core.forces import forces_naive, forces_octree, net_force
+from repro.molecules import synthetic_protein
+from repro.molecules.molecule import Molecule
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    rng = np.random.default_rng(17)
+    n = 40
+    mol = Molecule(rng.uniform(0, 12, size=(n, 3)),
+                   rng.normal(scale=0.4, size=n),
+                   rng.uniform(1.2, 1.8, size=n))
+    R = rng.uniform(1.5, 4.0, size=n)
+    return mol, R
+
+
+class TestFiniteDifferences:
+    def test_gradient_matches_energy(self, small_system):
+        """Central finite differences of the exact energy (with fixed
+        Born radii) must match the analytic forces."""
+        mol, R = small_system
+        F = forces_naive(mol, R)
+        h = 1e-5
+        rng = np.random.default_rng(0)
+        for atom in rng.choice(mol.natoms, size=5, replace=False):
+            for axis in range(3):
+                plus = mol.positions.copy()
+                plus[atom, axis] += h
+                minus = mol.positions.copy()
+                minus[atom, axis] -= h
+                ep = epol_naive(Molecule(plus, mol.charges, mol.radii), R)
+                em = epol_naive(Molecule(minus, mol.charges, mol.radii), R)
+                fd = -(ep - em) / (2 * h)
+                assert F[atom, axis] == pytest.approx(fd, rel=1e-4,
+                                                      abs=1e-7)
+
+
+class TestConservation:
+    def test_net_force_zero(self, small_system):
+        mol, R = small_system
+        F = forces_naive(mol, R)
+        assert np.allclose(net_force(F), 0.0, atol=1e-9)
+
+    def test_net_force_zero_octree_tight(self, protein_small):
+        R = born_radii_naive_r6(protein_small)
+        res = forces_octree(protein_small, R,
+                            ApproxParams(eps_epol=0.05))
+        assert np.allclose(net_force(res.forces), 0.0, atol=1e-6)
+
+
+class TestOctreeForces:
+    def test_tight_eps_matches_naive(self, protein_small):
+        R = born_radii_naive_r6(protein_small)
+        exact = forces_naive(protein_small, R)
+        octree = forces_octree(protein_small, R,
+                               ApproxParams(eps_epol=0.05)).forces
+        scale = np.abs(exact).max()
+        assert np.allclose(octree, exact, atol=1e-6 * scale)
+
+    def test_default_eps_close(self, protein_medium):
+        R = born_radii_naive_r6(protein_medium)
+        exact = forces_naive(protein_medium, R)
+        octree = forces_octree(protein_medium, R, ApproxParams()).forces
+        scale = np.linalg.norm(exact, axis=1).mean()
+        err = np.linalg.norm(octree - exact, axis=1)
+        assert np.median(err) < 0.05 * scale
+
+    def test_far_field_engaged_on_separated_clusters(self):
+        a = synthetic_protein(250, seed=1, with_surface=False)
+        b = synthetic_protein(250, seed=2, with_surface=False)
+        mol = Molecule(np.vstack([a.positions, b.positions + 150.0]),
+                       np.concatenate([a.charges, b.charges]),
+                       np.concatenate([a.radii, b.radii]))
+        R = np.random.default_rng(1).uniform(1.5, 3.5, mol.natoms)
+        res = forces_octree(mol, R, ApproxParams(eps_epol=0.9))
+        assert res.counts.far_evaluations > 0
+        exact = forces_naive(mol, R)
+        scale = np.abs(exact).max()
+        assert np.allclose(res.forces, exact, atol=0.02 * scale)
+
+    def test_validation(self, small_system):
+        mol, R = small_system
+        with pytest.raises(ValueError):
+            forces_naive(mol, R[:-1])

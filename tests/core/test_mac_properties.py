@@ -1,0 +1,95 @@
+"""Property tests of the multipole-acceptance mathematics.
+
+These validate the inequalities DESIGN.md §1 and docs/ALGORITHMS.md §3
+rely on, on randomly generated node pairs — not just on molecules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ApproxParams
+from repro.core.born_octree import _born_far_mask
+
+
+def _random_cluster(rng, center, radius, n):
+    """n points inside the ball(center, radius)."""
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    r = radius * rng.uniform(0, 1, size=n) ** (1 / 3)
+    return center + v * r[:, None]
+
+
+class TestDistanceMac:
+    @given(st.integers(0, 10_000), st.floats(0.1, 0.9),
+           st.floats(1.0, 10.0), st.floats(1.0, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_distance_ratio_bound(self, seed, eps, ra, rq):
+        """If the distance MAC accepts, every pairwise distance is
+        within (1+ε) of the centre distance — the bound the far-field
+        kernel's accuracy argument needs."""
+        rng = np.random.default_rng(seed)
+        sep = (ra + rq) * (1.0 + 2.0 / eps) * rng.uniform(1.001, 3.0)
+        ca = np.zeros(3)
+        cq = np.array([sep, 0.0, 0.0])
+        pa = _random_cluster(rng, ca, ra, 25)
+        pq = _random_cluster(rng, cq, rq, 25)
+        # Recenter on actual centroids the way the octree does.
+        ca_hat, cq_hat = pa.mean(axis=0), pq.mean(axis=0)
+        ra_hat = np.max(np.linalg.norm(pa - ca_hat, axis=1))
+        rq_hat = np.max(np.linalg.norm(pq - cq_hat, axis=1))
+        r_hat = np.linalg.norm(cq_hat - ca_hat)
+        params = ApproxParams(eps_born=eps)
+        far = _born_far_mask(np.array([r_hat]),
+                             np.array([ra_hat + rq_hat]), params)
+        assume(bool(far[0]))
+        d = np.linalg.norm(pa[:, None, :] - pq[None, :, :], axis=-1)
+        assert d.max() / d.min() <= 1.0 + eps + 1e-9
+        # The centre distance itself lies inside [d_min, d_max].
+        assert d.min() - 1e-9 <= r_hat <= d.max() + 1e-9
+
+    def test_strict_mac_bounds_integrand_spread(self):
+        """The strict (1+ε)^(1/6) MAC bounds the spread of 1/d⁶ itself."""
+        rng = np.random.default_rng(7)
+        eps = 0.9
+        params = ApproxParams(eps_born=eps, born_mac="strict")
+        beta = (1 + eps) ** (1 / 6)
+        # Margin covers the centroid shift of the sampled clusters
+        # (radii are measured from empirical centroids, not the nominal
+        # centres, and can exceed the nominal 1.0).
+        sep = 2.0 * (beta + 1) / (beta - 1) * 1.3
+        pa = _random_cluster(rng, np.zeros(3), 1.0, 40)
+        pq = _random_cluster(rng, np.array([sep, 0, 0]), 1.0, 40)
+        r = np.linalg.norm(pq.mean(0) - pa.mean(0))
+        ra = np.max(np.linalg.norm(pa - pa.mean(0), axis=1))
+        rq = np.max(np.linalg.norm(pq - pq.mean(0), axis=1))
+        far = _born_far_mask(np.array([r]), np.array([ra + rq]), params)
+        assert bool(far[0])
+        d = np.linalg.norm(pa[:, None] - pq[None, :], axis=-1)
+        spread6 = (d.max() / d.min()) ** 6
+        assert spread6 <= 1.0 + eps + 1e-9
+
+    def test_strict_stricter_than_distance(self):
+        """Whatever strict accepts, distance accepts too (same ε)."""
+        rng = np.random.default_rng(1)
+        r = rng.uniform(1.0, 200.0, 500)
+        rsum = rng.uniform(0.1, 20.0, 500)
+        for eps in (0.1, 0.5, 0.9):
+            strict = _born_far_mask(r, rsum,
+                                    ApproxParams(eps_born=eps,
+                                                 born_mac="strict"))
+            dist = _born_far_mask(r, rsum,
+                                  ApproxParams(eps_born=eps,
+                                               born_mac="distance"))
+            assert np.all(dist[strict])
+
+    def test_far_monotone_in_distance(self):
+        """At fixed radii, 'far' is upward closed in distance."""
+        rsum = np.full(200, 3.0)
+        r = np.linspace(0.1, 300.0, 200)
+        for mac in ("distance", "strict"):
+            far = _born_far_mask(r, rsum, ApproxParams(born_mac=mac))
+            # Once far, always far as distance grows.
+            first = np.argmax(far) if far.any() else len(far)
+            assert np.all(far[first:]) or not far.any()

@@ -1,0 +1,47 @@
+"""Born-model registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.models import BORN_MODELS, born_radii, compare_models
+
+
+class TestDispatch:
+    def test_unknown_model(self, protein_small):
+        with pytest.raises(ValueError, match="unknown Born model"):
+            born_radii(protein_small, "magic")
+
+    @pytest.mark.parametrize("model", BORN_MODELS)
+    def test_every_model_runs(self, protein_small, model):
+        R = born_radii(protein_small, model)
+        assert len(R) == protein_small.natoms
+        assert np.all(np.isfinite(R))
+        assert np.all(R >= protein_small.radii - 1e-12)
+
+    def test_r6_surface_octree_vs_naive(self, protein_small):
+        tight = ApproxParams(eps_born=0.05, eps_epol=0.05)
+        fast = born_radii(protein_small, "r6-surface", params=tight)
+        exact = born_radii(protein_small, "r6-surface", use_octree=False)
+        assert np.allclose(fast, exact, rtol=1e-8)
+        assert np.allclose(exact, born_radii_naive_r6(protein_small))
+
+    def test_cutoff_plumbs_through(self, protein_small):
+        full = born_radii(protein_small, "hct")
+        cut = born_radii(protein_small, "hct", cutoff=30.0)
+        assert np.allclose(full, cut, rtol=0.08)
+
+
+class TestCompare:
+    def test_compare_models_keys(self, protein_small):
+        out = compare_models(protein_small, models=("r6-surface", "hct"))
+        assert set(out) == {"r6-surface", "hct"}
+
+    def test_models_genuinely_differ(self, protein_small):
+        out = compare_models(protein_small,
+                             models=("r6-surface", "r4-surface", "hct"))
+        r6, r4, hct = (out[k] for k in ("r6-surface", "r4-surface",
+                                        "hct"))
+        assert not np.allclose(r6, r4, rtol=0.01)
+        assert not np.allclose(r6, hct, rtol=0.01)

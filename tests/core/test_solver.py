@@ -1,0 +1,82 @@
+"""PolarizationSolver facade tests."""
+
+import numpy as np
+import pytest
+
+from repro import ApproxParams, PolarizationSolver
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules.transform import RigidTransform
+
+
+class TestMethods:
+    def test_all_methods_agree_tight(self, protein_small, tight_params):
+        energies = {}
+        for method in ("octree", "dualtree", "naive"):
+            s = PolarizationSolver(protein_small, tight_params,
+                                   method=method)
+            energies[method] = s.energy()
+        ref = energies["naive"]
+        # octree is exact at tight ε; dualtree is ε-tight (see
+        # tests/core/test_dualtree.py for why).
+        assert energies["octree"] == pytest.approx(ref, rel=1e-9)
+        assert energies["dualtree"] == pytest.approx(ref, rel=1e-5)
+
+    def test_unknown_method_rejected(self, protein_small):
+        with pytest.raises(ValueError):
+            PolarizationSolver(protein_small, method="magic")
+
+    def test_naive_matches_direct_calls(self, protein_small):
+        s = PolarizationSolver(protein_small, method="naive")
+        R = born_radii_naive_r6(protein_small)
+        assert np.allclose(s.born_radii(), R)
+        assert s.energy() == pytest.approx(epol_naive(protein_small, R))
+
+
+class TestCaching:
+    def test_energy_cached(self, protein_small, default_params):
+        s = PolarizationSolver(protein_small, default_params)
+        e1 = s.energy()
+        # Second call must not re-run (same object equality, instant).
+        assert s.energy() == e1
+        assert s._epol_result is not None
+
+    def test_trees_built_once(self, protein_small, default_params):
+        s = PolarizationSolver(protein_small, default_params)
+        t1 = s.atoms_tree
+        s.energy()
+        assert s.atoms_tree is t1
+
+
+class TestRigidInvariance:
+    def test_transformed_solver_same_energy(self, protein_small,
+                                            default_params):
+        s = PolarizationSolver(protein_small, default_params)
+        e = s.energy()
+        t = RigidTransform.random(seed=3, max_translation=30.0)
+        s2 = s.transformed(t)
+        assert s2.energy() == pytest.approx(e, abs=1e-6)
+        # Octrees were reused (same topology arrays).
+        assert s2.atoms_tree.start is s.atoms_tree.start
+
+    def test_transformed_radii_match(self, protein_small, default_params):
+        s = PolarizationSolver(protein_small, default_params)
+        t = RigidTransform.random(seed=8)
+        s2 = s.transformed(t)
+        assert np.allclose(s2.born_radii(), s.born_radii(), atol=1e-9)
+
+
+class TestReport:
+    def test_report_fields(self, protein_small, default_params):
+        s = PolarizationSolver(protein_small, default_params)
+        rep = s.report()
+        assert rep.energy == s.energy()
+        assert rep.method == "octree"
+        assert rep.atoms_tree_nodes > 0
+        assert rep.qpoints_tree_nodes > 0
+        assert rep.born_counts is not None
+        assert rep.epol_counts is not None
+
+    def test_naive_report_has_no_counts(self, protein_small):
+        rep = PolarizationSolver(protein_small, method="naive").report()
+        assert rep.born_counts is None

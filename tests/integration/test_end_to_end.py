@@ -1,0 +1,76 @@
+"""Integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import ApproxParams, Molecule, PolarizationSolver
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.energy_naive import epol_naive
+from repro.molecules import random_ligand, synthetic_protein
+from repro.molecules.molecule import SurfaceSamples
+from repro.molecules.transform import RigidTransform
+from repro.parallel import run_fig4_simmpi
+
+
+class TestPipeline:
+    def test_generate_solve_compare(self):
+        """The quickstart path: generate → solve → compare to naive."""
+        mol = synthetic_protein(600, seed=21)
+        solver = PolarizationSolver(mol, ApproxParams())
+        e = solver.energy()
+        ref = epol_naive(mol, born_radii_naive_r6(mol))
+        assert e < 0
+        assert abs(e - ref) / abs(ref) < 0.01
+
+    def test_distributed_equals_serial_end_to_end(self):
+        mol = synthetic_protein(600, seed=22)
+        serial = PolarizationSolver(mol, ApproxParams()).energy()
+        dist = run_fig4_simmpi(mol, ApproxParams(), processes=5,
+                               threads=2)
+        assert dist.energy == pytest.approx(serial, rel=1e-10)
+
+
+class TestDockingAdditivity:
+    def test_far_separated_complex_energy(self):
+        """E_pol of two far-apart neutral molecules ≈ sum of parts plus
+        a small cross term (monopole–monopole over distance)."""
+        a = synthetic_protein(400, seed=23)
+        b = random_ligand(30, seed=5)
+        shift = RigidTransform.translation_of([200.0, 0.0, 0.0])
+
+        bs = b.require_surface()
+        b_far = Molecule(shift.apply(b.positions), b.charges, b.radii,
+                         surface=SurfaceSamples(shift.apply(bs.points),
+                                                bs.normals, bs.weights))
+        asurf = a.require_surface()
+        merged = Molecule(
+            np.vstack([a.positions, b_far.positions]),
+            np.concatenate([a.charges, b_far.charges]),
+            np.concatenate([a.radii, b_far.radii]),
+            surface=SurfaceSamples(
+                np.vstack([asurf.points, b_far.surface.points]),
+                np.vstack([asurf.normals, b_far.surface.normals]),
+                np.concatenate([asurf.weights, b_far.surface.weights])))
+
+        params = ApproxParams()
+        e_a = PolarizationSolver(a, params).energy()
+        e_b = PolarizationSolver(b_far, params).energy()
+        e_ab = PolarizationSolver(merged, params).energy()
+        # Cross term bounded by C·|Q_a||Q_b|/d with near-neutral charges.
+        assert abs(e_ab - e_a - e_b) < 0.02 * abs(e_a)
+
+
+class TestPhysicalSanity:
+    def test_bigger_molecule_more_negative_energy(self):
+        params = ApproxParams()
+        e_small = PolarizationSolver(synthetic_protein(300, seed=1),
+                                     params).energy()
+        e_big = PolarizationSolver(synthetic_protein(1200, seed=1),
+                                   params).energy()
+        assert e_big < e_small < 0
+
+    def test_energy_deterministic(self):
+        mol = synthetic_protein(400, seed=30)
+        e1 = PolarizationSolver(mol, ApproxParams()).energy()
+        e2 = PolarizationSolver(mol, ApproxParams()).energy()
+        assert e1 == e2

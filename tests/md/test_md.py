@@ -1,0 +1,111 @@
+"""Implicit-solvent mechanics tests: potential, minimiser, Langevin."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.md import ImplicitSolventPotential, langevin, minimize
+from repro.md.langevin import KB, instantaneous_temperature
+from repro.molecules import synthetic_protein
+
+
+@pytest.fixture(scope="module")
+def system():
+    mol = synthetic_protein(260, seed=33)
+    pot = ImplicitSolventPotential(mol, ApproxParams(), use_octree=False)
+    return mol, pot
+
+
+class TestPotential:
+    def test_energy_finite_and_negative(self, system):
+        mol, pot = system
+        e = pot.energy(mol.positions)
+        assert np.isfinite(e)
+        assert e < 0  # solvation dominates the soft-sphere floor
+
+    def test_forces_match_finite_differences(self, system):
+        """The full potential (GB + repulsion) must be the exact
+        gradient of its energy at fixed Born radii."""
+        mol, pot = system
+        x = mol.positions.copy()
+        F = pot.forces(x)
+        h = 1e-5
+        rng = np.random.default_rng(0)
+        for atom in rng.choice(mol.natoms, size=4, replace=False):
+            for axis in range(3):
+                xp = x.copy()
+                xp[atom, axis] += h
+                xm = x.copy()
+                xm[atom, axis] -= h
+                fd = -(pot.energy(xp) - pot.energy(xm)) / (2 * h)
+                assert F[atom, axis] == pytest.approx(fd, rel=5e-3,
+                                                      abs=5e-4)
+
+    def test_repulsion_engages_on_overlap(self, system):
+        mol, pot = system
+        x = mol.positions.copy()
+        # Slam two atoms together: energy must rise vs their separation.
+        x[1] = x[0] + np.array([0.05, 0.0, 0.0])
+        e_clash = pot.energy(x)
+        x[1] = x[0] + np.array([5.0, 0.0, 0.0])
+        e_apart = pot.energy(x)
+        assert e_clash > e_apart
+
+    def test_validation(self, system):
+        mol, _ = system
+        with pytest.raises(ValueError):
+            ImplicitSolventPotential(mol, repulsion_k=-1.0)
+
+
+class TestMinimize:
+    def test_energy_never_increases_between_refreshes(self, system):
+        mol, pot = system
+        pot.refresh(mol.positions)
+        res = minimize(pot, mol.positions, max_steps=12,
+                       refresh_every=1000)  # no refresh inside the run
+        diffs = np.diff(res.energies)
+        assert np.all(diffs <= 1e-9)
+        assert res.energy <= res.energies[0]
+
+    def test_progress_made(self, system):
+        mol, pot = system
+        pot.refresh(mol.positions)
+        res = minimize(pot, mol.positions, max_steps=10,
+                       refresh_every=1000)
+        assert res.energy < res.energies[0]
+        assert res.steps_taken >= 1
+
+
+class TestLangevin:
+    def test_runs_and_stays_finite(self, system):
+        mol, pot = system
+        pot.refresh(mol.positions)
+        res = langevin(pot, mol.positions, steps=20, dt=0.001,
+                       refresh_every=1000, seed=1)
+        assert np.all(np.isfinite(res.positions))
+        assert len(res.energies) == 20
+        assert all(np.isfinite(e) for e in res.energies)
+
+    def test_thermostat_in_band(self, system):
+        """BAOAB holds the temperature near the target (coarse band —
+        short run, tiny system, and the start is not fully relaxed, so
+        some relaxation heat is expected)."""
+        mol, pot = system
+        pot.refresh(mol.positions)
+        res = langevin(pot, mol.positions, steps=60, dt=0.001,
+                       temperature=300.0, friction=20.0,
+                       refresh_every=1000, seed=2)
+        t = res.mean_temperature(skip=20)
+        assert 120.0 < t < 700.0
+
+    def test_temperature_formula(self):
+        v = np.ones((10, 3))
+        m = np.full(10, 12.0)
+        t = instantaneous_temperature(v, m)
+        ke = 0.5 * np.sum(m[:, None] * v ** 2) / 418.4
+        assert t == pytest.approx(2 * ke / (3 * 10 * KB))
+
+    def test_validation(self, system):
+        mol, pot = system
+        with pytest.raises(ValueError):
+            langevin(pot, mol.positions, dt=0.0)

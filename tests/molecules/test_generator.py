@@ -1,0 +1,95 @@
+"""Synthetic molecule generators: determinism, realism, suite shape."""
+
+import numpy as np
+import pytest
+
+from repro.molecules.generator import (
+    random_ligand,
+    synthetic_protein,
+    virus_capsid,
+    zdock_like_suite,
+)
+
+
+class TestSyntheticProtein:
+    def test_deterministic(self):
+        a = synthetic_protein(300, seed=4, with_surface=False)
+        b = synthetic_protein(300, seed=4, with_surface=False)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.charges, b.charges)
+
+    def test_seed_changes_geometry(self):
+        a = synthetic_protein(300, seed=4, with_surface=False)
+        b = synthetic_protein(300, seed=5, with_surface=False)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_size_close_to_request(self):
+        for n in (200, 1000):
+            m = synthetic_protein(n, seed=0, with_surface=False)
+            assert abs(m.natoms - n) <= 13  # rounded to whole residues
+
+    def test_near_neutral_total_charge(self):
+        m = synthetic_protein(650, seed=7, with_surface=False)
+        # Residues carry integer formal charges; the total stays small.
+        assert abs(m.total_charge()) < 15
+
+    def test_compactness(self):
+        """A folded globule, not an extended coil: radius ≪ chain length."""
+        m = synthetic_protein(1300, seed=3, with_surface=False)
+        n_res = m.natoms / 13
+        chain_length = 3.8 * n_res
+        assert m.bounding_radius() < 0.3 * chain_length
+
+    def test_surface_attached_by_default(self):
+        m = synthetic_protein(200, seed=0)
+        assert m.nqpoints > 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_protein(5)
+
+
+class TestZdockSuite:
+    def test_sizes_span_and_sorted(self):
+        suite = zdock_like_suite(count=10, min_atoms=400, max_atoms=4000,
+                                 with_surface=False)
+        sizes = [m.natoms for m in suite]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 300 and sizes[-1] <= 4300
+
+    def test_count(self):
+        suite = zdock_like_suite(count=5, max_atoms=1000,
+                                 with_surface=False)
+        assert len(suite) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zdock_like_suite(count=0)
+
+
+class TestVirusCapsid:
+    def test_hollow_shell(self):
+        m = virus_capsid(8000, seed=11, with_surface=False)
+        d = np.linalg.norm(m.positions - m.centroid(), axis=1)
+        # Hollow: no atoms near the centre, all within a thin-ish shell.
+        assert d.min() > 0.3 * d.max()
+
+    def test_size(self):
+        m = virus_capsid(8000, seed=11, with_surface=False)
+        assert 6000 < m.natoms < 10000
+
+    def test_deterministic(self):
+        a = virus_capsid(6000, seed=2, with_surface=False)
+        b = virus_capsid(6000, seed=2, with_surface=False)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestRandomLigand:
+    def test_small_and_neutral(self):
+        lig = random_ligand(30, seed=1, with_surface=False)
+        assert lig.natoms == 30
+        assert lig.total_charge() == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_ligand(1)

@@ -1,0 +1,82 @@
+"""Unit tests for the Molecule / SurfaceSamples containers."""
+
+import numpy as np
+import pytest
+
+from repro.molecules.molecule import Molecule, SurfaceSamples
+
+
+def _mol(n=5):
+    rng = np.random.default_rng(0)
+    return Molecule(rng.normal(size=(n, 3)), rng.normal(size=n),
+                    np.full(n, 1.5), name="m")
+
+
+class TestMolecule:
+    def test_basic_properties(self):
+        m = _mol(7)
+        assert m.natoms == 7
+        assert len(m) == 7
+        assert m.nqpoints == 0
+        assert m.positions.dtype == np.float64
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 2)), np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 3)), np.zeros(2), np.ones(3))
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 3)), np.zeros(3), np.ones(2))
+
+    def test_rejects_empty_and_bad_radii(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((0, 3)), np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((2, 3)), np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_centroid_and_bounding_radius(self):
+        m = Molecule(np.array([[0.0, 0, 0], [2.0, 0, 0]]),
+                     np.zeros(2), np.ones(2))
+        assert np.allclose(m.centroid(), [1.0, 0, 0])
+        assert m.bounding_radius() == pytest.approx(1.0)
+
+    def test_total_charge(self):
+        m = Molecule(np.zeros((2, 3)) + [[0], [1]], np.array([0.25, -1.0]),
+                     np.ones(2))
+        assert m.total_charge() == pytest.approx(-0.75)
+
+    def test_require_surface_raises_without_surface(self):
+        with pytest.raises(ValueError, match="no surface"):
+            _mol().require_surface()
+
+    def test_with_surface_and_nbytes(self):
+        m = _mol(4)
+        surf = SurfaceSamples(np.zeros((6, 3)),
+                              np.tile([0.0, 0.0, 1.0], (6, 1)),
+                              np.ones(6))
+        m2 = m.with_surface(surf)
+        assert m2.nqpoints == 6
+        assert m.nqpoints == 0
+        assert m2.nbytes() > m.nbytes()
+
+
+class TestSurfaceSamples:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SurfaceSamples(np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3))
+
+    def test_weighted_normals(self):
+        s = SurfaceSamples(np.zeros((2, 3)),
+                           np.array([[1.0, 0, 0], [0, 1.0, 0]]),
+                           np.array([2.0, 3.0]))
+        assert np.allclose(s.weighted_normals,
+                           [[2.0, 0, 0], [0, 3.0, 0]])
+
+    def test_total_area_and_subset(self):
+        s = SurfaceSamples(np.zeros((4, 3)),
+                           np.tile([0.0, 0, 1.0], (4, 1)),
+                           np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.total_area() == pytest.approx(10.0)
+        sub = s.subset(np.array([1, 3]))
+        assert sub.total_area() == pytest.approx(6.0)
+        assert len(sub) == 2

@@ -1,0 +1,89 @@
+"""PDB / PQR / XYZQR reader-writer tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.molecules import pdbio
+from repro.molecules.molecule import Molecule
+
+PQR_SAMPLE = """\
+REMARK generated
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  0.1414 1.5500
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  0.0962 1.7000
+HETATM    3  O   HOH A   2       9.000   1.000   2.000 -0.8340 1.5200
+END
+"""
+
+PDB_SAMPLE = """\
+HEADER    TEST
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+ATOM      3  O   HOH A   2       9.000   1.000   2.000  1.00  0.00           O
+END
+"""
+
+
+class TestPQR:
+    def test_read(self):
+        mol = pdbio.read_pqr(io.StringIO(PQR_SAMPLE))
+        assert mol.natoms == 3
+        assert mol.charges[0] == pytest.approx(0.1414)
+        assert mol.radii[1] == pytest.approx(1.70)
+        assert np.allclose(mol.positions[2], [9.0, 1.0, 2.0])
+
+    def test_no_atoms_raises(self):
+        with pytest.raises(ValueError):
+            pdbio.read_pqr(io.StringIO("REMARK nothing\nEND\n"))
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            pdbio.read_pqr(io.StringIO("ATOM 1 N ALA\n"))
+
+    def test_roundtrip(self, tmp_path):
+        mol = Molecule(np.random.default_rng(0).normal(size=(4, 3)),
+                       np.array([0.1, -0.2, 0.3, -0.2]),
+                       np.array([1.2, 1.5, 1.7, 1.8]), name="rt")
+        path = tmp_path / "m.pqr"
+        pdbio.write_pqr(mol, path)
+        back = pdbio.read_pqr(path)
+        assert np.allclose(back.positions, mol.positions, atol=1e-3)
+        assert np.allclose(back.charges, mol.charges, atol=1e-4)
+        assert np.allclose(back.radii, mol.radii, atol=1e-4)
+
+
+class TestPDB:
+    def test_read_elements_to_radii(self):
+        mol = pdbio.read_pdb(io.StringIO(PDB_SAMPLE))
+        assert mol.natoms == 3
+        assert mol.radii[0] == pytest.approx(1.55)  # N
+        assert mol.radii[1] == pytest.approx(1.70)  # C
+        assert mol.radii[2] == pytest.approx(1.52)  # O
+        assert np.all(mol.charges == 0.0)
+
+    def test_element_fallback_from_atom_name(self):
+        line = ("ATOM      1  CA  ALA A   1      "
+                "1.000   2.000   3.000  1.00  0.00")
+        mol = pdbio.read_pdb(io.StringIO(line))
+        assert mol.radii[0] == pytest.approx(1.70)
+
+
+class TestXYZQR:
+    def test_roundtrip(self, tmp_path):
+        mol = Molecule(np.random.default_rng(1).normal(size=(6, 3)),
+                       np.linspace(-1, 1, 6), np.full(6, 1.4), name="x")
+        path = tmp_path / "m.xyzqr"
+        pdbio.write_xyzqr(mol, path)
+        back = pdbio.read_xyzqr(path)
+        assert np.allclose(back.positions, mol.positions, atol=1e-6)
+        assert np.allclose(back.charges, mol.charges, atol=1e-6)
+
+    def test_comments_and_validation(self):
+        text = "# hello\n1 2 3 0.5 1.5\n\n"
+        mol = pdbio.read_xyzqr(io.StringIO(text))
+        assert mol.natoms == 1
+        with pytest.raises(ValueError):
+            pdbio.read_xyzqr(io.StringIO("1 2 3 0.5\n"))
+        with pytest.raises(ValueError):
+            pdbio.read_xyzqr(io.StringIO("# only comments\n"))

@@ -1,0 +1,78 @@
+"""Dunavant quadrature: weight normalisation and polynomial exactness."""
+
+import numpy as np
+import pytest
+
+from repro.molecules.quadrature import (
+    dunavant_rule,
+    triangle_normals,
+    triangle_quadrature,
+)
+
+
+def _integrate_monomial(degree_rule, px, py):
+    """Integrate x^px · y^py over the reference triangle with the rule
+    and compare to the exact value px!·py!/(px+py+2)!."""
+    bary, w = dunavant_rule(degree_rule)
+    ref = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    pts = bary @ ref
+    approx = 0.5 * np.sum(w * pts[:, 0] ** px * pts[:, 1] ** py)
+    from math import factorial
+    exact = (factorial(px) * factorial(py)
+             / factorial(px + py + 2))
+    return approx, exact
+
+
+class TestDunavantRules:
+    @pytest.mark.parametrize("degree,npts", [(1, 1), (2, 3), (3, 4),
+                                             (4, 6), (5, 7)])
+    def test_point_counts_and_weight_sum(self, degree, npts):
+        bary, w = dunavant_rule(degree)
+        assert len(bary) == npts
+        assert w.sum() == pytest.approx(1.0)
+        assert np.allclose(bary.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 5])
+    def test_polynomial_exactness(self, degree):
+        for px in range(degree + 1):
+            for py in range(degree + 1 - px):
+                approx, exact = _integrate_monomial(degree, px, py)
+                assert approx == pytest.approx(exact, abs=1e-12), (px, py)
+
+    def test_degree_clamp_and_validation(self):
+        b5, w5 = dunavant_rule(5)
+        b9, w9 = dunavant_rule(9)
+        assert np.array_equal(b5, b9) and np.array_equal(w5, w9)
+        with pytest.raises(ValueError):
+            dunavant_rule(0)
+
+
+class TestTriangleQuadrature:
+    def test_weights_sum_to_area(self):
+        tri = np.array([[[0.0, 0, 0], [2.0, 0, 0], [0.0, 3.0, 0]]])
+        pts, w = triangle_quadrature(tri, degree=3)
+        assert w.sum() == pytest.approx(3.0)  # area = 0.5·2·3
+        assert pts.shape == (4, 3)
+
+    def test_batch_shapes(self):
+        rng = np.random.default_rng(0)
+        tris = rng.normal(size=(5, 3, 3))
+        pts, w = triangle_quadrature(tris, degree=2)
+        assert pts.shape == (15, 3)
+        assert w.shape == (15,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            triangle_quadrature(np.zeros((3, 3)))
+
+
+class TestTriangleNormals:
+    def test_unit_and_right_handed(self):
+        tri = np.array([[[0.0, 0, 0], [1.0, 0, 0], [0.0, 1.0, 0]]])
+        n = triangle_normals(tri)
+        assert np.allclose(n, [[0.0, 0.0, 1.0]])
+
+    def test_degenerate_raises(self):
+        tri = np.zeros((1, 3, 3))
+        with pytest.raises(ValueError):
+            triangle_normals(tri)

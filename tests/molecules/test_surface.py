@@ -1,0 +1,91 @@
+"""Surface sampling: area exactness, burial culling, normals."""
+
+import numpy as np
+import pytest
+
+from repro.molecules.molecule import Molecule
+from repro.molecules.surface import exposed_fraction, sample_surface
+
+
+def _sphere(radius=2.0, center=(0, 0, 0)):
+    return Molecule(np.array([center], dtype=float), np.array([1.0]),
+                    np.array([radius]))
+
+
+class TestSingleSphere:
+    def test_area_is_exact(self):
+        mol = sample_surface(_sphere(2.0), subdivisions=2, degree=2)
+        assert mol.surface.total_area() == pytest.approx(
+            4.0 * np.pi * 4.0, rel=1e-12)
+
+    def test_normals_radial_unit(self):
+        mol = sample_surface(_sphere(3.0), subdivisions=1, degree=1)
+        s = mol.surface
+        assert np.allclose(np.linalg.norm(s.normals, axis=1), 1.0)
+        radial = s.points / np.linalg.norm(s.points, axis=1, keepdims=True)
+        assert np.allclose(radial, s.normals, atol=1e-12)
+
+    def test_points_on_sphere(self):
+        mol = sample_surface(_sphere(2.5), subdivisions=2, degree=3)
+        r = np.linalg.norm(mol.surface.points, axis=1)
+        assert np.allclose(r, 2.5, atol=1e-12)
+
+    def test_probe_radius_inflates(self):
+        mol = sample_surface(_sphere(2.0), probe_radius=1.4)
+        r = np.linalg.norm(mol.surface.points, axis=1)
+        assert np.allclose(r, 3.4, atol=1e-12)
+
+
+class TestBurialCulling:
+    def test_fully_buried_atom_contributes_nothing(self):
+        mol = Molecule(np.array([[0.0, 0, 0], [0.0, 0, 0.1]]),
+                       np.zeros(2), np.array([3.0, 0.5]))
+        out = sample_surface(mol, subdivisions=1)
+        # All surviving samples sit on the big sphere.
+        d_big = np.linalg.norm(out.surface.points, axis=1)
+        assert np.allclose(d_big, 3.0, atol=1e-9)
+
+    def test_two_overlapping_spheres_lose_lens_area(self):
+        mol = Molecule(np.array([[0.0, 0, 0], [2.0, 0, 0]]),
+                       np.zeros(2), np.array([1.5, 1.5]))
+        out = sample_surface(mol, subdivisions=2, degree=2)
+        full = 2 * 4 * np.pi * 1.5 ** 2
+        area = out.surface.total_area()
+        assert area < full * 0.95            # lens removed
+        assert area > full * 0.5             # but most area survives
+
+    def test_disjoint_spheres_keep_full_area(self):
+        mol = Molecule(np.array([[0.0, 0, 0], [10.0, 0, 0]]),
+                       np.zeros(2), np.array([1.5, 1.5]))
+        out = sample_surface(mol, subdivisions=2, degree=2)
+        full = 2 * 4 * np.pi * 1.5 ** 2
+        assert out.surface.total_area() == pytest.approx(full, rel=1e-9)
+
+    def test_contained_sphere_fully_culled(self):
+        """A sphere strictly inside a bigger one contributes no samples."""
+        mol = Molecule(np.array([[0.0, 0, 0], [0.0, 0, 0.1]]),
+                       np.zeros(2), np.array([1.0, 3.0]))
+        out = sample_surface(mol, subdivisions=1)
+        r = np.linalg.norm(out.surface.points - [0.0, 0, 0.1], axis=1)
+        assert np.allclose(r, 3.0, atol=1e-9)
+        # Total area equals the big sphere's alone.
+        assert out.surface.total_area() == pytest.approx(
+            4 * np.pi * 9.0, rel=1e-9)
+
+    def test_coincident_equal_spheres_share_surface(self):
+        """Two identical coincident spheres: samples sit exactly on both
+        surfaces and survive culling (distance == radius is 'on', not
+        'inside')."""
+        mol = Molecule(np.zeros((2, 3)), np.zeros(2), np.ones(2))
+        out = sample_surface(mol, subdivisions=0)
+        assert len(out.surface) > 0
+
+
+class TestExposedFraction:
+    def test_isolated_sphere_fraction_one(self):
+        mol = sample_surface(_sphere(), subdivisions=1)
+        assert exposed_fraction(mol) == pytest.approx(1.0, rel=1e-9)
+
+    def test_protein_fraction_realistic(self, protein_small):
+        frac = exposed_fraction(protein_small)
+        assert 0.03 < frac < 0.6  # folded proteins bury most sphere area

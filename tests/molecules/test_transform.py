@@ -1,0 +1,66 @@
+"""Rigid-transform algebra tests (docking octree reuse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.molecules.transform import RigidTransform
+
+
+class TestConstruction:
+    def test_identity(self):
+        t = RigidTransform.identity()
+        pts = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(t.apply(pts), pts)
+
+    def test_rejects_non_orthogonal(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3) * 2.0, np.zeros(3))
+
+    def test_rejects_reflection(self):
+        R = np.diag([1.0, 1.0, -1.0])
+        with pytest.raises(ValueError):
+            RigidTransform(R, np.zeros(3))
+
+    def test_rotation_about_axis(self):
+        t = RigidTransform.rotation_about_axis([0, 0, 1], np.pi / 2)
+        out = t.apply(np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(out, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            RigidTransform.rotation_about_axis([0, 0, 0], 1.0)
+
+
+class TestAlgebra:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_roundtrip(self, seed):
+        t = RigidTransform.random(seed=seed)
+        pts = np.random.default_rng(seed + 1).normal(size=(7, 3))
+        assert np.allclose(t.inverse().apply(t.apply(pts)), pts,
+                           atol=1e-9)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_distances_preserved(self, seed):
+        t = RigidTransform.random(seed=seed)
+        pts = np.random.default_rng(seed).normal(size=(6, 3))
+        before = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        moved = t.apply(pts)
+        after = np.linalg.norm(moved[:, None] - moved[None, :], axis=-1)
+        assert np.allclose(before, after, atol=1e-9)
+
+    def test_compose_order(self):
+        rot = RigidTransform.rotation_about_axis([0, 0, 1], np.pi / 2)
+        shift = RigidTransform.translation_of([1.0, 0.0, 0.0])
+        # (shift ∘ rot): rotate first, then translate.
+        t = shift.compose(rot)
+        out = t.apply(np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(out, [1.0, 1.0, 0.0], atol=1e-12)
+
+    def test_apply_vectors_ignores_translation(self):
+        t = RigidTransform.translation_of([5.0, 5.0, 5.0])
+        v = np.array([[0.0, 0.0, 1.0]])
+        assert np.allclose(t.apply_vectors(v), v)

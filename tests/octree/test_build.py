@@ -1,0 +1,129 @@
+"""Octree construction invariants, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.molecules.transform import RigidTransform
+from repro.octree.build import NO_CHILD, build_octree
+
+
+def _random_points(n, seed=0, scale=10.0):
+    return np.random.default_rng(seed).normal(scale=scale, size=(n, 3))
+
+
+def _check_invariants(tree, points, leaf_size):
+    n = len(points)
+    # Permutation is a bijection reproducing the sorted points.
+    assert sorted(tree.perm.tolist()) == list(range(n))
+    assert np.array_equal(tree.points, points[tree.perm])
+    # Root covers everything.
+    assert tree.start[0] == 0 and tree.end[0] == n
+    # Children partition their parent's range exactly.
+    for i in range(tree.nnodes):
+        ch = tree.child_ids(i)
+        if len(ch):
+            assert not tree.is_leaf[i]
+            assert tree.start[ch].min() == tree.start[i]
+            assert tree.end[ch].max() == tree.end[i]
+            assert (tree.end[ch] - tree.start[ch]).sum() == tree.count(i)
+            assert np.all(tree.depth[ch] == tree.depth[i] + 1)
+            assert np.all(tree.parent[ch] == i)
+        else:
+            assert tree.is_leaf[i]
+    # Leaves tile [0, n) in order.
+    starts = tree.start[tree.leaves]
+    ends = tree.end[tree.leaves]
+    assert starts[0] == 0 and ends[-1] == n
+    assert np.all(starts[1:] == ends[:-1])
+    # Leaf occupancy bound (unless the depth cap forced a big leaf).
+    leaf_counts = ends - starts
+    deep = tree.depth[tree.leaves] >= 21
+    assert np.all((leaf_counts <= leaf_size) | deep)
+    # Enclosing balls really enclose.
+    for i in range(tree.nnodes):
+        sl = tree.slice_of(i)
+        d = np.linalg.norm(tree.points[sl] - tree.center[i], axis=1)
+        assert d.max() <= tree.radius[i] + 1e-9
+
+
+class TestBuild:
+    def test_invariants_random_cloud(self):
+        pts = _random_points(500, seed=1)
+        tree = build_octree(pts, leaf_size=16)
+        _check_invariants(tree, pts, 16)
+
+    def test_single_point(self):
+        tree = build_octree(np.zeros((1, 3)))
+        assert tree.nnodes == 1
+        assert tree.is_leaf[0]
+        assert tree.radius[0] == 0.0
+
+    def test_coincident_points(self):
+        pts = np.zeros((100, 3))
+        tree = build_octree(pts, leaf_size=8)
+        # Can't split identical points: one (deep) leaf holds them all.
+        leaf_counts = tree.end[tree.leaves] - tree.start[tree.leaves]
+        assert leaf_counts.max() == 100
+
+    def test_leaf_size_one(self):
+        pts = _random_points(50, seed=2)
+        tree = build_octree(pts, leaf_size=1)
+        _check_invariants(tree, pts, 1)
+
+    def test_parents_precede_children(self):
+        tree = build_octree(_random_points(300, seed=3), leaf_size=8)
+        assert np.all(tree.parent[1:] < np.arange(1, tree.nnodes))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((4, 3)), leaf_size=0)
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((4, 3)), max_depth=0)
+
+    @given(st.integers(2, 200), st.integers(0, 10_000),
+           st.sampled_from([1, 4, 16, 64]))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_property(self, n, seed, leaf_size):
+        pts = _random_points(n, seed=seed, scale=3.0)
+        tree = build_octree(pts, leaf_size=leaf_size)
+        _check_invariants(tree, pts, leaf_size)
+
+
+class TestGatherScatter:
+    def test_roundtrip(self):
+        pts = _random_points(120, seed=4)
+        tree = build_octree(pts, leaf_size=8)
+        values = np.arange(120, dtype=float)
+        assert np.array_equal(
+            tree.scatter_to_original(tree.gather_sorted(values)), values)
+
+
+class TestTransformed:
+    def test_topology_shared_geometry_moved(self):
+        pts = _random_points(200, seed=5)
+        tree = build_octree(pts, leaf_size=8)
+        t = RigidTransform.random(seed=9)
+        moved = tree.transformed(t)
+        assert moved.nnodes == tree.nnodes
+        assert moved.start is tree.start          # shared topology
+        assert np.allclose(moved.points, t.apply(tree.points))
+        assert np.allclose(moved.center, t.apply(tree.center))
+        assert np.array_equal(moved.radius, tree.radius)
+        # Enclosing balls still valid after the rigid motion.
+        for i in range(0, moved.nnodes, 7):
+            sl = moved.slice_of(i)
+            d = np.linalg.norm(moved.points[sl] - moved.center[i], axis=1)
+            assert d.max() <= moved.radius[i] + 1e-9
+
+
+def test_nbytes_linear_in_points():
+    small = build_octree(_random_points(200, seed=6), leaf_size=16)
+    big = build_octree(_random_points(2000, seed=6), leaf_size=16)
+    ratio = big.nbytes() / small.nbytes()
+    assert 5 < ratio < 20  # ~linear growth, no cutoff dependence

@@ -1,0 +1,92 @@
+"""Morton-code tests: roundtrips, ordering, quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import morton
+
+
+class TestBitTwiddling:
+    def test_roundtrip_exhaustive_small(self):
+        g = np.arange(64, dtype=np.uint64)
+        grid = np.stack([g, g[::-1], (g * 7) % 64], axis=1)
+        assert np.array_equal(morton.morton_decode(
+            morton.morton_encode(grid)), grid)
+
+    @given(st.integers(0, 2 ** 21 - 1), st.integers(0, 2 ** 21 - 1),
+           st.integers(0, 2 ** 21 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, x, y, z):
+        grid = np.array([[x, y, z]], dtype=np.uint64)
+        assert np.array_equal(morton.morton_decode(
+            morton.morton_encode(grid)), grid)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton.morton_encode(np.array([[2 ** 21, 0, 0]],
+                                          dtype=np.uint64))
+
+    def test_axis_interleaving(self):
+        # x occupies bit 0, y bit 1, z bit 2.
+        assert morton.morton_encode(
+            np.array([[1, 0, 0]], dtype=np.uint64))[0] == 1
+        assert morton.morton_encode(
+            np.array([[0, 1, 0]], dtype=np.uint64))[0] == 2
+        assert morton.morton_encode(
+            np.array([[0, 0, 1]], dtype=np.uint64))[0] == 4
+
+
+class TestQuantize:
+    def test_corners(self):
+        pts = np.array([[0.0, 0, 0], [1.0, 1.0, 1.0]])
+        grid = morton.quantize(pts, np.zeros(3), 1.0)
+        assert np.array_equal(grid[0], [0, 0, 0])
+        assert np.array_equal(grid[1],
+                              [morton.GRID_SIZE - 1] * 3)
+
+    def test_bad_edge(self):
+        with pytest.raises(ValueError):
+            morton.quantize(np.zeros((1, 3)), np.zeros(3), 0.0)
+
+    def test_locality(self):
+        """Nearby points get nearby codes more often than far points —
+        the cache-friendliness property, checked statistically."""
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(500, 3))
+        origin, edge = morton.bounding_cube(pts)
+        codes = morton.morton_encode(morton.quantize(pts, origin, edge))
+        order = np.argsort(codes)
+        sorted_pts = pts[order]
+        adjacent = np.linalg.norm(np.diff(sorted_pts, axis=0),
+                                  axis=1).mean()
+        random_pairs = np.linalg.norm(
+            sorted_pts[rng.permutation(499)] - sorted_pts[:-1],
+            axis=1).mean()
+        assert adjacent < 0.5 * random_pairs
+
+
+class TestOctantAtDepth:
+    def test_root_octant(self):
+        code = morton.morton_encode(
+            np.array([[morton.GRID_SIZE - 1, 0, 0]], dtype=np.uint64))
+        # x high bit set at depth 0 → octant bit 0.
+        assert morton.octant_at_depth(code, 0)[0] == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            morton.octant_at_depth(np.array([0], dtype=np.uint64), 21)
+
+
+def test_bounding_cube_contains_points():
+    rng = np.random.default_rng(5)
+    pts = rng.normal(scale=50, size=(100, 3))
+    origin, edge = morton.bounding_cube(pts)
+    assert np.all(pts >= origin)
+    assert np.all(pts <= origin + edge)
+
+
+def test_bounding_cube_degenerate():
+    origin, edge = morton.bounding_cube(np.zeros((3, 3)))
+    assert edge > 0

@@ -1,0 +1,28 @@
+"""Octree statistics tests."""
+
+import numpy as np
+
+from repro.octree import build_octree, octree_stats
+
+
+def test_stats_fields():
+    pts = np.random.default_rng(0).normal(size=(400, 3))
+    tree = build_octree(pts, leaf_size=16)
+    s = octree_stats(tree)
+    assert s.npoints == 400
+    assert s.nleaves == len(tree.leaves)
+    assert s.nnodes == tree.nnodes
+    assert s.max_leaf_occupancy <= 16
+    assert 0 < s.mean_leaf_occupancy <= s.max_leaf_occupancy
+    assert s.nbytes == tree.nbytes()
+    assert s.bytes_per_point > 0
+
+
+def test_bytes_per_point_stays_bounded():
+    """Linear-space witness: bytes/point roughly constant with size."""
+    rng = np.random.default_rng(1)
+    bpp = []
+    for n in (500, 2000, 8000):
+        tree = build_octree(rng.normal(size=(n, 3)), leaf_size=32)
+        bpp.append(octree_stats(tree).bytes_per_point)
+    assert max(bpp) < 3.0 * min(bpp)

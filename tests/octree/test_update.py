@@ -1,0 +1,102 @@
+"""Dynamic octree maintenance tests (refit vs rebuild)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.born_naive import born_radii_naive_r6
+from repro.core.born_octree import born_radii_octree
+from repro.molecules.molecule import Molecule
+from repro.octree.build import build_octree
+from repro.octree.update import refit, update_octree
+
+
+def _cloud(n=400, seed=0):
+    return np.random.default_rng(seed).normal(scale=10, size=(n, 3))
+
+
+def _check_enclosing(tree):
+    for i in range(tree.nnodes):
+        sl = tree.slice_of(i)
+        d = np.linalg.norm(tree.points[sl] - tree.center[i], axis=1)
+        assert d.max() <= tree.radius[i] + 1e-9, i
+
+
+class TestRefit:
+    def test_identity_motion_keeps_geometry(self):
+        pts = _cloud()
+        tree = build_octree(pts, leaf_size=16)
+        same = refit(tree, pts)
+        assert np.allclose(same.points, tree.points)
+        assert np.allclose(same.center, tree.center)
+        # Conservative internal radii may only grow.
+        assert np.all(same.radius >= tree.radius - 1e-9)
+
+    def test_radii_still_enclose_after_motion(self):
+        pts = _cloud()
+        tree = build_octree(pts, leaf_size=16)
+        rng = np.random.default_rng(1)
+        moved = pts + rng.normal(scale=0.5, size=pts.shape)
+        out = refit(tree, moved)
+        _check_enclosing(out)
+
+    def test_topology_shared(self):
+        pts = _cloud()
+        tree = build_octree(pts, leaf_size=16)
+        out = refit(tree, pts + 0.1)
+        assert out.start is tree.start
+        assert out.children is tree.children
+        assert out.perm is tree.perm
+
+    def test_shape_validation(self):
+        tree = build_octree(_cloud(), leaf_size=16)
+        with pytest.raises(ValueError):
+            refit(tree, np.zeros((3, 3)))
+
+
+class TestUpdateDecision:
+    def test_small_motion_refits(self):
+        pts = _cloud()
+        tree = build_octree(pts, leaf_size=16)
+        moved = pts + 0.05
+        out, stats = update_octree(tree, moved)
+        assert not stats.rebuilt
+        assert stats.max_displacement == pytest.approx(
+            np.sqrt(3) * 0.05, rel=1e-6)
+        _check_enclosing(out)
+
+    def test_large_motion_rebuilds(self):
+        pts = _cloud()
+        tree = build_octree(pts, leaf_size=16)
+        rng = np.random.default_rng(2)
+        scrambled = rng.normal(scale=10, size=pts.shape)  # total reshuffle
+        out, stats = update_octree(tree, scrambled)
+        assert stats.rebuilt
+        assert stats.radius_inflation > 1.5
+        _check_enclosing(out)
+
+    def test_threshold_validation(self):
+        tree = build_octree(_cloud(), leaf_size=16)
+        with pytest.raises(ValueError):
+            update_octree(tree, tree.scatter_to_original(tree.points),
+                          rebuild_threshold=1.0)
+
+
+class TestSolverOnRefitTree:
+    def test_born_radii_stay_accurate(self, protein_small):
+        """An MD-like jiggle: the refit tree's results stay within the
+        ε envelope of the naive reference on the *moved* geometry."""
+        params = ApproxParams()
+        base = born_radii_octree(protein_small, params)
+        rng = np.random.default_rng(3)
+        moved_pos = protein_small.positions + rng.normal(
+            scale=0.1, size=protein_small.positions.shape)
+        surf = protein_small.require_surface()
+        moved = Molecule(moved_pos, protein_small.charges,
+                         protein_small.radii, surface=surf)
+
+        refit_tree = refit(base.atoms_tree, moved_pos)
+        got = born_radii_octree(moved, params, atoms_tree=refit_tree,
+                                q_tree=base.qpoints_tree).radii
+        ref = born_radii_naive_r6(moved)
+        assert np.mean(np.abs(got - ref) / ref) < 0.02

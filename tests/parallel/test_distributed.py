@@ -1,0 +1,117 @@
+"""Fig. 4 program: simulated-MPI execution vs serial, and the replay."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core import PolarizationSolver
+from repro.parallel import WorkProfile, run_fig4_simmpi, simulate_fig4
+
+
+@pytest.fixture(scope="module")
+def serial(protein_small):
+    s = PolarizationSolver(protein_small, ApproxParams())
+    return s.energy(), s.born_radii()
+
+
+class TestSimMPIExecution:
+    @pytest.mark.parametrize("P", [1, 2, 4, 7])
+    def test_matches_serial_any_p(self, protein_small, serial, P):
+        ref_e, ref_r = serial
+        out = run_fig4_simmpi(protein_small, ApproxParams(), processes=P)
+        assert out.energy == pytest.approx(ref_e, rel=1e-10)
+        assert np.allclose(out.born_radii, ref_r, rtol=1e-10)
+
+    def test_hybrid_threads_same_numerics(self, protein_small, serial):
+        ref_e, _ = serial
+        out = run_fig4_simmpi(protein_small, ApproxParams(), processes=2,
+                              threads=6)
+        assert out.energy == pytest.approx(ref_e, rel=1e-10)
+
+    def test_stats_populated(self, protein_small):
+        out = run_fig4_simmpi(protein_small, ApproxParams(), processes=3)
+        assert out.stats.wall_seconds > 0
+        assert all(r.comp_seconds > 0 for r in out.stats.ranks)
+        assert all(r.memory_bytes > 0 for r in out.stats.ranks)
+
+    def test_work_division_validation(self, protein_small):
+        with pytest.raises(ValueError):
+            run_fig4_simmpi(protein_small, work_division="weird")
+
+
+class TestAtomVsNodeDivision:
+    def test_node_division_error_constant_in_p(self, protein_medium):
+        params = ApproxParams(approx_math=False)
+        energies = [run_fig4_simmpi(protein_medium, params, processes=P,
+                                    work_division="node").energy
+                    for P in (2, 4, 6)]
+        assert np.ptp(energies) <= 1e-9 * abs(energies[0])
+
+    def test_atom_division_error_varies_with_p(self, protein_medium):
+        params = ApproxParams(approx_math=False)
+        energies = [run_fig4_simmpi(protein_medium, params, processes=P,
+                                    work_division="atom").energy
+                    for P in (2, 4, 6)]
+        # Different boundaries clip far deposits differently → energies
+        # move (paper §IV-A); but they stay within the ε envelope.
+        assert np.ptp(energies) > 0.0
+        assert np.ptp(energies) < 0.02 * abs(energies[0])
+
+
+class TestSimulateFig4:
+    @pytest.fixture(scope="class")
+    def profile(self, protein_medium):
+        return WorkProfile.from_molecule(protein_medium, ApproxParams())
+
+    def test_wall_decreases_with_cores(self, profile):
+        t1 = simulate_fig4(profile, 1, 1).wall_seconds
+        t12 = simulate_fig4(profile, 12, 1).wall_seconds
+        assert t12 < t1 / 3
+
+    def test_phases_sum_to_wallish(self, profile):
+        st = simulate_fig4(profile, 4, 1)
+        assert st.wall_seconds <= sum(st.phases.values()) + 1e-12
+
+    def test_deterministic_by_seed(self, profile):
+        a = simulate_fig4(profile, 4, 3, seed=5).wall_seconds
+        b = simulate_fig4(profile, 4, 3, seed=5).wall_seconds
+        assert a == b
+
+    def test_seed_varies_hybrid_more_than_mpi(self, profile):
+        mpi = [simulate_fig4(profile, 12, 1, seed=s).wall_seconds
+               for s in range(10)]
+        hyb = [simulate_fig4(profile, 2, 6, seed=s).wall_seconds
+               for s in range(10)]
+        assert np.std(hyb) / np.mean(hyb) >= 0.3 * np.std(mpi) / np.mean(mpi)
+
+    def test_memory_replicated_per_rank(self, profile):
+        st = simulate_fig4(profile, 12, 1)
+        # Full replication: per-node memory = 12 × per-process.
+        assert st.memory_per_node(12) == 12 * st.memory_per_process()
+
+    def test_placement_validated(self, profile):
+        with pytest.raises(ValueError):
+            simulate_fig4(profile, 1000, 1)
+
+
+class TestWorkProfile:
+    def test_profile_records_serial_truth(self, protein_small):
+        prof = WorkProfile.from_molecule(protein_small, ApproxParams())
+        s = PolarizationSolver(protein_small, ApproxParams())
+        assert prof.energy == pytest.approx(s.energy(), rel=1e-12)
+        assert np.allclose(prof.born_radii, s.born_radii())
+        assert prof.natoms == protein_small.natoms
+        assert prof.born_leaf_count > 0
+        assert prof.epol_leaf_count > 0
+        assert prof.data_bytes > 0
+
+    def test_dualtree_profile(self, protein_small):
+        prof = WorkProfile.from_molecule(protein_small, ApproxParams(),
+                                         method="dualtree")
+        assert prof.method == "dualtree"
+        assert np.isfinite(prof.energy)
+
+    def test_bad_method(self, protein_small):
+        with pytest.raises(ValueError):
+            WorkProfile.from_molecule(protein_small, ApproxParams(),
+                                      method="quadtree")

@@ -1,0 +1,66 @@
+"""Named-driver tests (OCT_CILK / OCT_MPI / OCT_MPI+CILK)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.parallel.drivers import (
+    DriverResult,
+    clear_profile_cache,
+    run_oct_cilk,
+    run_oct_hybrid,
+    run_oct_mpi,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_profile_cache()
+    yield
+    clear_profile_cache()
+
+
+class TestDrivers:
+    def test_all_three_run(self, protein_small):
+        params = ApproxParams()
+        cilk = run_oct_cilk(protein_small, params)
+        mpi = run_oct_mpi(protein_small, params)
+        hyb = run_oct_hybrid(protein_small, params)
+        for r in (cilk, mpi, hyb):
+            assert isinstance(r, DriverResult)
+            assert r.wall_seconds > 0
+            assert r.energy < 0
+            assert len(r.born_radii) == protein_small.natoms
+        assert cilk.name == "OCT_CILK"
+        assert mpi.name == "OCT_MPI"
+        assert hyb.name == "OCT_MPI+CILK"
+
+    def test_single_tree_drivers_agree_on_numerics(self, protein_small):
+        """OCT_MPI and OCT_MPI+CILK run the same algorithm — identical
+        energies, different schedules."""
+        params = ApproxParams()
+        mpi = run_oct_mpi(protein_small, params)
+        hyb = run_oct_hybrid(protein_small, params)
+        assert mpi.energy == hyb.energy
+        assert np.array_equal(mpi.born_radii, hyb.born_radii)
+
+    def test_cilk_uses_dualtree(self, protein_small):
+        params = ApproxParams()
+        cilk = run_oct_cilk(protein_small, params)
+        mpi = run_oct_mpi(protein_small, params)
+        assert cilk.profile.method == "dualtree"
+        assert mpi.profile.method == "octree"
+        # Same ε envelope, but not the identical approximation.
+        assert cilk.energy == pytest.approx(mpi.energy, rel=0.02)
+
+    def test_profile_cache_reused(self, protein_small):
+        params = ApproxParams()
+        a = run_oct_mpi(protein_small, params)
+        b = run_oct_mpi(protein_small, params, processes=4)
+        assert a.profile is b.profile   # one traversal, two layouts
+
+    def test_memory_property(self, protein_small):
+        params = ApproxParams()
+        mpi = run_oct_mpi(protein_small, params)
+        # Work division replicates all data per process.
+        assert mpi.memory_per_process > protein_small.nbytes()

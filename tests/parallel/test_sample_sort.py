@@ -1,0 +1,75 @@
+"""Distributed sample-sort tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.sample_sort import sample_sort
+
+
+class TestCorrectness:
+    def test_sorts_random_uint64(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2 ** 60, size=5000).astype(np.uint64)
+        out = sample_sort(keys, processes=5)
+        merged = out.gathered()
+        assert np.array_equal(merged, np.sort(keys))
+
+    def test_slabs_are_contiguous_ranges(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=3000)
+        out = sample_sort(keys, processes=4)
+        # Every slab internally sorted; slab boundaries non-decreasing.
+        prev_max = -np.inf
+        for slab in out.slabs:
+            if len(slab):
+                assert np.all(np.diff(slab) >= 0)
+                assert slab[0] >= prev_max
+                prev_max = slab[-1]
+
+    def test_payload_travels_with_keys(self):
+        rng = np.random.default_rng(2)
+        keys = rng.permutation(2000).astype(np.uint64)
+        payload = keys.astype(np.float64) * 3.5   # payload determined by key
+        out = sample_sort(keys, processes=3, payload=payload)
+        merged_keys = out.gathered()
+        merged_payload = np.concatenate(out.payload_slabs)
+        assert np.array_equal(merged_keys, np.sort(keys))
+        assert np.allclose(merged_payload, merged_keys.astype(float) * 3.5)
+
+    def test_duplicate_keys(self):
+        keys = np.array([5, 5, 5, 1, 1, 9, 9, 9, 9, 0] * 30,
+                        dtype=np.uint64)
+        out = sample_sort(keys, processes=4)
+        assert np.array_equal(out.gathered(), np.sort(keys))
+
+    def test_single_process_degenerates(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        out = sample_sort(keys, processes=1)
+        assert np.array_equal(out.gathered(), [1.0, 2.0, 3.0])
+
+    @given(st.integers(2, 8), st.integers(0, 200), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_sizes(self, P, n, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 50, size=n).astype(np.uint64)
+        out = sample_sort(keys, processes=P)
+        assert np.array_equal(out.gathered(), np.sort(keys))
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            sample_sort(np.zeros((3, 3)), processes=2)
+        with pytest.raises(ValueError):
+            sample_sort(np.zeros(4), processes=2, payload=np.zeros(3))
+
+
+class TestStats:
+    def test_time_accounted(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2 ** 40, size=8000).astype(np.uint64)
+        out = sample_sort(keys, processes=4)
+        assert out.stats.wall_seconds > 0
+        assert all(r.comp_seconds > 0 for r in out.stats.ranks)

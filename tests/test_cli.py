@@ -1,0 +1,53 @@
+"""CLI tests (main() invoked in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.molecules import pdbio, synthetic_protein
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.atoms == 2000 and args.method == "octree"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "OCT_MPI" in out
+
+    def test_solve_small(self, capsys):
+        assert main(["solve", "--atoms", "300", "--seed", "3",
+                     "--compare-naive"]) == 0
+        out = capsys.readouterr().out
+        assert "E_pol" in out and "% difference" in out
+
+    def test_solve_naive_method(self, capsys):
+        assert main(["solve", "--atoms", "250", "--method",
+                     "naive"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        mol = synthetic_protein(260, seed=2, with_surface=False)
+        path = tmp_path / "m.xyzqr"
+        pdbio.write_xyzqr(mol, path)
+        assert main(["solve", "--file", str(path)]) == 0
+        assert "E_pol" in capsys.readouterr().out
+
+    def test_packages(self, capsys):
+        assert main(["packages", "--atoms", "300"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Amber", "Gromacs", "Tinker"):
+            assert name in out
+
+    def test_scale(self, capsys):
+        assert main(["scale", "--atoms", "300", "--nodes", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "OCT_MPI" in out and "144" in out
