@@ -7,10 +7,9 @@ traffic against the work-division baseline — the property the paper
 conjectures would be "interesting to explore".
 """
 
-import numpy as np
 from conftest import run_once
 
-from repro.analysis.experiments import PAPER_PARAMS, suite_molecule
+from repro.analysis.experiments import suite_molecule
 from repro.config import ApproxParams
 from repro.core.born_naive import born_radii_naive_r6
 from repro.core.energy_naive import epol_naive

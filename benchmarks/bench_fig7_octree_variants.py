@@ -8,7 +8,7 @@ below ~7,500 atoms and the two converge beyond that.
 
 from conftest import run_once
 
-from repro.analysis.experiments import fig7_octree_variants, suite_sizes
+from repro.analysis.experiments import fig7_octree_variants
 
 
 def test_fig7_octree_variants(benchmark, record_table):

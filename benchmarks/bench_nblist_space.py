@@ -6,7 +6,6 @@ approximation parameter at all.  This bench measures both on the same
 molecule.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.experiments import suite_molecule

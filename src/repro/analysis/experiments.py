@@ -14,14 +14,14 @@ ZDock suite subset, …).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import mean_std, min_max_over_runs, percent_error
-from repro.analysis.tables import Table, render_series
+from repro.analysis.tables import Table
 from repro.baselines import PACKAGES, get_package
 from repro.cluster.machine import MachineSpec, lonestar4
 from repro.config import ApproxParams

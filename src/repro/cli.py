@@ -12,6 +12,8 @@ Commands
     Run the MD-package emulators on one molecule (Fig. 8-style row).
 ``info``
     Print machine model, package registry and version.
+``lint``
+    Run the project static analyzer (``repro.lint``) over source paths.
 """
 
 from __future__ import annotations
@@ -21,13 +23,10 @@ import sys
 import time
 from typing import Optional
 
-import numpy as np
-
 from repro import ApproxParams, PolarizationSolver, __version__
 from repro.analysis.tables import Table
 from repro.baselines import PACKAGES, get_package
 from repro.cluster.machine import lonestar4
-from repro.config import ParallelConfig
 from repro.molecules import pdbio, sample_surface, synthetic_protein, virus_capsid
 from repro.molecules.molecule import Molecule
 from repro.parallel import WorkProfile, simulate_fig4
@@ -135,6 +134,21 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.statistics:
+        argv.append("--statistics")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import table1_machine, table2_packages
     print(f"repro {__version__} — octree GB polarization energy "
@@ -181,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="print machine/package inventory")
     p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("lint", help="run the project static analyzer "
+                                    "(rules RPR001-RPR101)")
+    p.add_argument("paths", nargs="*", default=["src"])
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", type=str, default=None)
+    p.add_argument("--ignore", type=str, default=None)
+    p.add_argument("--statistics", action="store_true")
+    p.add_argument("--list-rules", action="store_true")
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -24,8 +24,6 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.workstealing import StealStats
-
 
 @dataclass(frozen=True)
 class CrossRankStats:

@@ -21,7 +21,6 @@ from __future__ import annotations
 import copy
 import queue
 import threading
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -305,7 +304,7 @@ class SimCluster:
         def runner(r: int) -> None:
             try:
                 results[r] = fn(comms[r], *args)
-            except BaseException as exc:  # noqa: BLE001 — re-raised below
+            except BaseException as exc:  # lint: ignore[RPR003] — re-raised below
                 errors[r] = exc
                 # Break the collective barrier so peers fail fast
                 # instead of timing out.

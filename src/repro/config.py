@@ -10,7 +10,7 @@ trades another 4–5 % of accuracy for a ~1.42× speedup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ def _surface_sums(molecule: Molecule, power: int, block: int) -> np.ndarray:
     wn = surf.weighted_normals           # w_k · n_k, (N, 3)
     pos = molecule.positions
     m = len(pos)
-    s = np.empty(m)
+    s = np.empty(m, dtype=np.float64)
     half = power // 2
     for lo in range(0, m, block):
         hi = min(lo + block, m)

@@ -31,13 +31,12 @@ arithmetic, two orders of magnitude less interpreter overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.config import ApproxParams
-from repro.constants import FOUR_PI
 from repro.core.born_naive import integral_to_radius_r6
 from repro.core.gb import fast_rsqrt
 from repro.geomutil import ranges_to_indices
@@ -175,8 +174,8 @@ def approx_integrals(atoms_tree: Octree,
         leaf_ids = leaf_ids[np.asarray(q_leaf_subset)]
     nq = len(leaf_ids)
 
-    s_node = np.zeros(atoms_tree.nnodes)
-    s_atom = np.zeros(atoms_tree.npoints)
+    s_node = np.zeros(atoms_tree.nnodes, dtype=np.float64)
+    s_atom = np.zeros(atoms_tree.npoints, dtype=np.float64)
     visits_q = np.zeros(nq, dtype=np.int64)
     far_q = np.zeros(nq, dtype=np.int64)
     exact_q = np.zeros(nq, dtype=np.int64)
@@ -301,7 +300,7 @@ def ancestor_prefix(tree: Octree, s_node: np.ndarray) -> np.ndarray:
     Nodes are stored parent-before-child, so one vectorised sweep per
     depth level suffices.
     """
-    anc = np.zeros(tree.nnodes)
+    anc = np.zeros(tree.nnodes, dtype=np.float64)
     for d in range(1, tree.max_depth() + 1):
         idx = np.flatnonzero(tree.depth == d)
         if len(idx) == 0:

@@ -19,7 +19,6 @@ error envelope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -34,11 +33,7 @@ from repro.core.born_octree import (
     ancestor_prefix,
     push_integrals_to_atoms,
 )
-from repro.core.energy_octree import (
-    ChargeBuckets,
-    EpolResult,
-    build_charge_buckets,
-)
+from repro.core.energy_octree import EpolResult, build_charge_buckets
 from repro.core.gb import energy_prefactor, inv_fgb_still
 from repro.geomutil import ranges_to_indices
 from repro.constants import TAU_WATER
@@ -61,7 +56,8 @@ def node_aggregates(tree: Octree, values_sorted: np.ndarray) -> np.ndarray:
     ``(nnodes,)`` or ``(nnodes, k)``.
     """
     v = np.asarray(values_sorted, dtype=np.float64)
-    cum = np.concatenate([np.zeros((1,) + v.shape[1:]), np.cumsum(v, axis=0)])
+    cum = np.concatenate([np.zeros((1,) + v.shape[1:], dtype=np.float64),
+                          np.cumsum(v, axis=0)])
     return cum[tree.end] - cum[tree.start]
 
 
@@ -137,12 +133,12 @@ def born_radii_dualtree(molecule: Molecule,
     wn_node = node_aggregates(q_tree, wn_sorted)
 
     counts = TraversalCounts()
-    s_node = np.zeros(atoms_tree.nnodes)
-    s_atom = np.zeros(atoms_tree.npoints)
+    s_node = np.zeros(atoms_tree.nnodes, dtype=np.float64)
+    s_atom = np.zeros(atoms_tree.npoints, dtype=np.float64)
     # Per-atoms-node far-evaluation tallies; pushed down to leaves at the
     # end to feed the OCT_CILK intra-node task model.
-    far_by_anode = np.zeros(atoms_tree.nnodes)
-    exact_by_aleaf = np.zeros(atoms_tree.nnodes)
+    far_by_anode = np.zeros(atoms_tree.nnodes, dtype=np.float64)
+    exact_by_aleaf = np.zeros(atoms_tree.nnodes, dtype=np.float64)
 
     a_front = np.zeros(1, dtype=np.int64)
     q_front = np.zeros(1, dtype=np.int64)
@@ -226,8 +222,8 @@ def epol_dualtree(molecule: Molecule,
                                    params.eps_epol)
     mac = DUAL_MAC_SAFETY * (1.0 + 2.0 / params.eps_epol)
     counts = TraversalCounts()
-    far_by_unode = np.zeros(atoms_tree.nnodes)
-    exact_by_vleaf = np.zeros(atoms_tree.nnodes)
+    far_by_unode = np.zeros(atoms_tree.nnodes, dtype=np.float64)
+    exact_by_vleaf = np.zeros(atoms_tree.nnodes, dtype=np.float64)
 
     u_front = np.zeros(1, dtype=np.int64)
     v_front = np.zeros(1, dtype=np.int64)

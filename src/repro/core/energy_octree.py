@@ -86,7 +86,7 @@ def build_charge_buckets(tree: Octree,
     # A node's bucket table is the sum of its points' (bucket, charge)
     # pairs; compute all nodes in one pass with a cumulative table over
     # the sorted atom order, then slice-differences per node.
-    onehot_cum = np.zeros((tree.npoints + 1, m_eps))
+    onehot_cum = np.zeros((tree.npoints + 1, m_eps), dtype=np.float64)
     np.add.at(onehot_cum, (np.arange(tree.npoints) + 1, bucket),
               charges_sorted)
     onehot_cum = np.cumsum(onehot_cum, axis=0)

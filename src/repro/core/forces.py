@@ -21,7 +21,7 @@ exactly mirroring the energy traversal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -56,7 +56,7 @@ def forces_naive(molecule: Molecule,
     if len(R) != m:
         raise ValueError("born_radii length must match atom count")
     K = -0.5 * tau * COULOMB_KCAL
-    grad = np.zeros((m, 3))
+    grad = np.zeros((m, 3), dtype=np.float64)
     for lo in range(0, m, block):
         hi = min(lo + block, m)
         diff = pos[lo:hi, None, :] - pos[None, :, :]
@@ -114,7 +114,7 @@ def forces_octree(molecule: Molecule,
     v_center = tree.center[leaf_ids]
     v_radius = tree.radius[leaf_ids]
 
-    grad_sorted = np.zeros((tree.npoints, 3))
+    grad_sorted = np.zeros((tree.npoints, 3), dtype=np.float64)
 
     u_front = np.zeros(nv, dtype=np.int64)
     v_front = np.arange(nv, dtype=np.int64)

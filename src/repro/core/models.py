@@ -21,7 +21,7 @@ name             definition                                    used by
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -1,0 +1,58 @@
+"""Project-aware static analysis for the repro codebase.
+
+``python -m repro.lint [paths]`` (or ``python -m repro lint``) runs a
+small AST-walking rule framework with project-specific rules:
+
+=======  ==========================================================
+RPR001   unseeded / global-state RNG outside tests
+RPR002   mutable default arguments
+RPR003   bare or overbroad ``except`` clauses
+RPR004   hot-path array constructors without an explicit ``dtype=``
+RPR005   ``__all__`` consistency in package ``__init__.py`` files
+RPR101   simulated-MPI collective-ordering verifier (deadlock guard)
+=======  ==========================================================
+
+Suppress a finding with a trailing ``# lint: ignore[RPR003]`` comment.
+See ``docs/STATIC_ANALYSIS.md`` for the full rule reference.
+"""
+
+from repro.lint.collectives import CollectiveOrderRule, extract_events
+from repro.lint.engine import (
+    all_rules,
+    collect_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    Severity,
+)
+from repro.lint.rules import (
+    DtypeDisciplineRule,
+    DunderAllRule,
+    MutableDefaultRule,
+    OverbroadExceptRule,
+    UnseededRandomRule,
+)
+
+__all__ = [
+    "CollectiveOrderRule",
+    "DtypeDisciplineRule",
+    "DunderAllRule",
+    "FileContext",
+    "Finding",
+    "MutableDefaultRule",
+    "OverbroadExceptRule",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "UnseededRandomRule",
+    "all_rules",
+    "collect_files",
+    "extract_events",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro.lint`` — run the project linter.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import all_rules, lint_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Project-aware static analysis for the repro codebase "
+                    "(rules RPR001-RPR005 + the RPR101 simulated-MPI "
+                    "collective-ordering verifier).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", type=str, default=None,
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", type=str, default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append a per-rule finding count")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def _split(csv: Optional[str]) -> Optional[List[str]]:
+    if not csv:
+        return None
+    return [s.strip() for s in csv.split(",") if s.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        return 0
+
+    known = {rule.id for rule in all_rules()}
+    for flag in ("select", "ignore"):
+        unknown = [r for r in _split(getattr(args, flag)) or []
+                   if r not in known]
+        if unknown:
+            print(f"repro.lint: unknown rule id(s) in --{flag}: "
+                  f"{', '.join(unknown)} (see --list-rules)",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(args.paths,
+                              select=_split(args.select),
+                              ignore=_split(args.ignore),
+                              root=Path.cwd())
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_json() for f in findings],
+            "count": len(findings),
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        if args.statistics and findings:
+            print()
+            for rule_id, n in sorted(Counter(
+                    f.rule_id for f in findings).items()):
+                print(f"{rule_id:8s} {n}")
+        n = len(findings)
+        print(f"repro.lint: {n} finding{'s' if n != 1 else ''}"
+              if n else "repro.lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""RPR101 — simulated-MPI collective-ordering verifier.
+
+:class:`repro.cluster.simmpi.SimCluster` runs one shared
+``_CollectiveState`` barrier: **every rank must issue the exact same
+sequence of collectives** (``allreduce``/``allgather``/``reduce``/
+``barrier``/``bcast``/``gather``/``scatter``) or the run corrupts data
+and eventually dies behind the 120 s barrier timeout.  The Fig. 4
+pipeline (``Allreduce → Allgather → Reduce``) is the canonical example.
+
+This rule walks every *rank function* — any function whose first
+parameter is named ``comm`` (the convention used by
+``SimCluster.run(fn)`` throughout the repo) — and symbolically extracts
+the collective sequence of each control-flow branch:
+
+* an ``if``/``else`` whose test depends on ``comm.rank`` (directly or
+  through a simple alias like ``r = comm.rank``) must issue the *same*
+  collective sequence on both branches;
+* a branch that returns/raises/continues while the other proceeds is
+  flagged if any collective follows, because the exiting rank will
+  never reach it;
+* a loop whose trip count depends on ``comm.rank`` must not contain
+  collectives at all.
+
+Rank-*independent* conditionals are assumed data-uniform (the inputs
+to a rank function are replicated or derived from collectives), which
+matches how every driver in :mod:`repro.parallel` is written.  The
+analysis is intraprocedural: helpers that take ``comm`` themselves are
+verified separately; collectives hidden behind helper calls that take
+``comm`` as a *non-first* argument are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import FileContext, Finding, Rule, Severity
+
+__all__ = ["CollectiveOrderRule", "COLLECTIVE_METHODS", "extract_events"]
+
+#: SimComm methods that synchronise all ranks (see simmpi.SimComm).
+COLLECTIVE_METHODS = frozenset({
+    "allreduce", "allgather", "reduce", "barrier", "bcast",
+    "gather", "scatter",
+})
+
+#: Event descriptor: a collective method name, or ("loop", inner-events).
+Event = Tuple[object, ...]
+
+
+#: How a suite exits: falls through, leaves the loop, leaves the function.
+_FALLS, _EXITS_LOOP, _EXITS_FN = 0, 1, 2
+
+
+class _Pending:
+    """A rank-guarded branch that exited early — fatal only if a
+    collective follows it (within the exit's scope)."""
+
+    def __init__(self, node: ast.stmt, why: str, loop_scoped: bool) -> None:
+        self.node = node
+        self.why = why
+        self.loop_scoped = loop_scoped
+
+
+class _RankFnAnalyzer:
+    """Symbolic walk of one rank function's collective schedule."""
+
+    def __init__(self, rule: "CollectiveOrderRule", ctx: FileContext,
+                 comm_name: str) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.comm = comm_name
+        self.rank_aliases: Set[str] = set()
+        self.findings: List[Finding] = []
+        self._pending: List[_Pending] = []
+        self._loop_depth = 0
+
+    # -- rank dependence -------------------------------------------------
+
+    def _mentions_rank(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        for n in ast.walk(node):
+            if (isinstance(n, ast.Attribute) and n.attr == "rank"
+                    and isinstance(n.value, ast.Name)
+                    and n.value.id == self.comm):
+                return True
+            if isinstance(n, ast.Name) and n.id in self.rank_aliases:
+                return True
+        return False
+
+    def _track_alias(self, stmt: ast.Assign) -> None:
+        if self._mentions_rank(stmt.value):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    self.rank_aliases.add(tgt.id)
+
+    # -- event extraction ------------------------------------------------
+
+    def _calls_in(self, node: ast.AST) -> List[ast.Call]:
+        calls = [
+            n for n in ast.walk(node)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr in COLLECTIVE_METHODS
+            and isinstance(n.func.value, ast.Name)
+            and n.func.value.id == self.comm
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        return calls
+
+    def _emit(self, events: List[Event], name: str, node: ast.AST) -> None:
+        """Record a collective; it dooms any pending early-exit branch."""
+        events.append((name,))
+        for p in self._pending:
+            self.findings.append(self.rule.finding(
+                self.ctx, p.node,
+                f"{p.why}, but comm.{name}() at line "
+                f"{getattr(node, 'lineno', '?')} still follows: the "
+                f"exited rank never joins the collective and simmpi "
+                f"deadlocks at its barrier"))
+        self._pending.clear()
+
+    # -- block walker ----------------------------------------------------
+
+    def block(self, stmts: List[ast.stmt]) -> Tuple[Tuple[Event, ...], int]:
+        """Return (collective events, exit kind) for a suite."""
+        events: List[Event] = []
+        terminates = _FALLS
+        for stmt in stmts:
+            if terminates:
+                break  # unreachable statements cannot deadlock
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                for call in self._calls_in(stmt):
+                    self._emit(events, call.func.attr, call)  # type: ignore[union-attr]
+                terminates = _EXITS_FN
+            elif isinstance(stmt, (ast.Break, ast.Continue)):
+                terminates = _EXITS_LOOP
+            elif isinstance(stmt, ast.If):
+                terminates = self._handle_if(stmt, events)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._handle_loop(stmt, events)
+            elif isinstance(stmt, ast.Try):
+                ev, term = self.block(stmt.body + stmt.orelse
+                                      + stmt.finalbody)
+                events.extend(ev)
+                terminates = term
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                ev, term = self.block(stmt.body)
+                events.extend(ev)
+                terminates = term
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                continue  # nested defs are analyzed on their own merits
+            else:
+                if isinstance(stmt, ast.Assign):
+                    self._track_alias(stmt)
+                for call in self._calls_in(stmt):
+                    self._emit(events, call.func.attr, call)  # type: ignore[union-attr]
+        return tuple(events), terminates
+
+    def _handle_if(self, stmt: ast.If, events: List[Event]) -> int:
+        rank_dep = self._mentions_rank(stmt.test)
+        # Collectives evaluated *in the test itself* run on every rank.
+        for call in self._calls_in(stmt.test):
+            self._emit(events, call.func.attr, call)  # type: ignore[union-attr]
+        b_ev, b_term = self.block(stmt.body)
+        e_ev, e_term = self.block(stmt.orelse)
+        if rank_dep:
+            if b_ev != e_ev:
+                self.findings.append(self.rule.finding(
+                    self.ctx, stmt,
+                    f"rank-dependent branches issue different collective "
+                    f"sequences ({self._fmt(b_ev)} vs {self._fmt(e_ev)}); "
+                    f"every rank must run the same collective schedule "
+                    f"or simmpi deadlocks"))
+            elif b_term != e_term:
+                # One branch exits, the other proceeds: fatal only if a
+                # collective still lies ahead of the exiting rank.
+                kinds = {b_term, e_term} - {_FALLS}
+                self._pending.append(_Pending(
+                    stmt,
+                    "a rank-dependent branch exits early here",
+                    loop_scoped=kinds == {_EXITS_LOOP}))
+        # Either branch's events represent the common schedule when they
+        # agree; when they diverge we already reported, so pick the
+        # longer one to keep scanning for follow-on problems.
+        events.extend(b_ev if len(b_ev) >= len(e_ev) else e_ev)
+        if b_term and e_term:
+            return max(b_term, e_term)
+        return _FALLS
+
+    def _handle_loop(self, stmt: ast.stmt, events: List[Event]) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head: ast.AST = stmt.iter
+        else:
+            head = stmt.test  # type: ignore[union-attr]
+        rank_dep = self._mentions_rank(head)
+        for call in self._calls_in(head):
+            self._emit(events, call.func.attr, call)  # type: ignore[union-attr]
+        mark = len(self._pending)
+        self._loop_depth += 1
+        body_ev, _ = self.block(stmt.body + stmt.orelse)  # type: ignore[union-attr]
+        self._loop_depth -= 1
+        # break/continue early-exits only skip the rest of *this* loop
+        # body; once the loop is done they are harmless unless a
+        # collective inside the body already flushed them.
+        self._pending[mark:] = [p for p in self._pending[mark:]
+                                if not p.loop_scoped]
+        if body_ev:
+            if rank_dep:
+                self.findings.append(self.rule.finding(
+                    self.ctx, stmt,
+                    f"collective(s) {self._fmt(body_ev)} inside a loop "
+                    f"whose trip count depends on comm.rank; ranks would "
+                    f"issue different numbers of collectives and "
+                    f"simmpi deadlocks"))
+            events.append(("loop", body_ev))
+
+    @staticmethod
+    def _fmt(events: Tuple[Event, ...]) -> str:
+        if not events:
+            return "[]"
+
+        def one(ev: Event) -> str:
+            if ev[0] == "loop":
+                inner = ", ".join(one(e) for e in ev[1])  # type: ignore[union-attr]
+                return f"loop[{inner}]"
+            return str(ev[0])
+
+        return "[" + ", ".join(one(e) for e in events) + "]"
+
+
+class CollectiveOrderRule(Rule):
+    """RPR101: rank functions keep a rank-invariant collective schedule."""
+
+    id = "RPR101"
+    description = ("rank-dependent collective sequence would deadlock "
+                   "the simulated MPI runtime")
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            comm = self._comm_param(node)
+            if comm is None:
+                continue
+            analyzer = _RankFnAnalyzer(self, ctx, comm)
+            analyzer.block(node.body)
+            yield from analyzer.findings
+
+    @staticmethod
+    def _comm_param(fn: ast.AST) -> Optional[str]:
+        """First parameter named ``comm`` (skipping self/cls)."""
+        args = fn.args.posonlyargs + fn.args.args  # type: ignore[union-attr]
+        names = [a.arg for a in args]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        if names and names[0] == "comm":
+            return "comm"
+        return None
+
+
+def extract_events(source: str, function: str = "rankfn"
+                   ) -> Tuple[Event, ...]:
+    """Testing/debugging helper: the collective schedule of ``function``
+    inside ``source`` (findings discarded)."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == function:
+            ctx = FileContext(path=__import__("pathlib").Path("<mem>"),
+                              relpath="<mem>", source=source, tree=tree)
+            analyzer = _RankFnAnalyzer(CollectiveOrderRule(), ctx, "comm")
+            events, _ = analyzer.block(node.body)
+            return events
+    raise ValueError(f"no function {function!r} in source")

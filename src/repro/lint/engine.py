@@ -1,0 +1,137 @@
+"""File collection and rule execution for ``repro.lint``."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.collectives import CollectiveOrderRule
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    Severity,
+)
+from repro.lint.rules import (
+    DtypeDisciplineRule,
+    DunderAllRule,
+    MutableDefaultRule,
+    OverbroadExceptRule,
+    UnseededRandomRule,
+)
+
+__all__ = ["DEFAULT_RULES", "all_rules", "collect_files", "lint_paths",
+           "lint_source"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist",
+              ".eggs", "node_modules"}
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, id-sorted."""
+    rules: List[Rule] = [
+        UnseededRandomRule(),
+        MutableDefaultRule(),
+        OverbroadExceptRule(),
+        DtypeDisciplineRule(),
+        DunderAllRule(),
+        CollectiveOrderRule(),
+    ]
+    rules.sort(key=lambda r: r.id)
+    return rules
+
+
+DEFAULT_RULES = tuple(r.id for r in all_rules())
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    seen[f.resolve()] = f
+        elif p.suffix == ".py" and p.exists():
+            seen[p.resolve()] = p
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(seen.values())
+
+
+def _select(rules: Iterable[Rule],
+            select: Optional[Sequence[str]],
+            ignore: Optional[Sequence[str]]) -> List[Rule]:
+    chosen = list(rules)
+    if select:
+        wanted = {s.upper() for s in select}
+        chosen = [r for r in chosen if r.id in wanted]
+    if ignore:
+        dropped = {s.upper() for s in ignore}
+        chosen = [r for r in chosen if r.id not in dropped]
+    return chosen
+
+
+def _parse_error_finding(ctx: FileContext) -> Finding:
+    try:
+        ast.parse(ctx.source, filename=str(ctx.path))
+        raise AssertionError("unreachable: tree was None but source parses")
+    except SyntaxError as exc:
+        return Finding(path=ctx.relpath, line=exc.lineno or 1,
+                       col=(exc.offset or 0) + 1, rule_id="RPR999",
+                       severity=Severity.ERROR,
+                       message=f"syntax error: {exc.msg}")
+
+
+def lint_contexts(ctxs: Sequence[FileContext],
+                  rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all) over parsed contexts."""
+    rules = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for ctx in ctxs:
+        if ctx.tree is None:
+            findings.append(_parse_error_finding(ctx))
+            continue
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            findings.extend(f for f in rule.check(ctx)
+                            if not ctx.suppressed(f))
+    by_rel = {ctx.relpath: ctx for ctx in ctxs}
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(
+                f for f in rule.check_project(ctxs)
+                if f.path not in by_rel or not by_rel[f.path].suppressed(f))
+    return sorted(findings)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None,
+               root: Optional[Path] = None) -> List[Finding]:
+    """Lint files/directories; the public API behind the CLI."""
+    root = root or Path.cwd()
+    files = collect_files(paths)
+    ctxs = [FileContext.load(f, root=root) for f in files]
+    return lint_contexts(ctxs, _select(all_rules(), select, ignore))
+
+
+def lint_source(source: str,
+                filename: str = "<string>",
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint an in-memory source string (test fixtures, editor buffers)."""
+    from repro.lint.framework import parse_suppressions
+
+    ctx = FileContext(path=Path(filename), relpath=filename,
+                      source=source, tree=None,
+                      suppressions=parse_suppressions(source))
+    try:
+        ctx.tree = ast.parse(source, filename=filename)
+    except SyntaxError:
+        pass
+    return lint_contexts([ctx], _select(all_rules(), select, None))

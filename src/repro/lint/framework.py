@@ -1,0 +1,216 @@
+"""AST-walking rule framework for ``repro.lint``.
+
+The framework is deliberately small: a :class:`Rule` inspects one
+parsed file (:class:`FileContext`) and yields :class:`Finding` records;
+a :class:`ProjectRule` sees every file at once for cross-file checks.
+The engine (:mod:`repro.lint.engine`) walks the target paths, builds
+the contexts, runs the rules and filters suppressed findings.
+
+Suppressions
+------------
+A finding is suppressed by a trailing comment on the flagged line::
+
+    risky_call()  # lint: ignore[RPR003]
+    another()     # lint: ignore[RPR001,RPR004]
+    anything()    # lint: ignore
+
+The bracket form silences only the listed rule ids; the bare form
+silences every rule on that line.  Suppressions are per-line by design —
+a file-wide opt-out would defeat the CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "dotted_name",
+    "parse_suppressions",
+]
+
+#: ``# lint: ignore`` / ``# lint: ignore[RPR001,RPR101]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel rule-id set meaning "every rule is suppressed on this line".
+_ALL_RULES = frozenset({"*"})
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; any finding (either level) fails the lint gate."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # noqa: D105 — enum display form
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RPRxxx error message`` (clickable in most UIs)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.severity} {self.message}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → rule ids suppressed there (``{"*"}`` = all).
+
+    Uses the tokenizer so string literals containing ``# lint: ignore``
+    are not mistaken for comments; falls back to a line scan when the
+    file does not tokenize (the parse error is reported separately).
+    """
+    out: Dict[int, Set[str]] = {}
+
+    def record(lineno: int, comment: str) -> None:
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            return
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = set(_ALL_RULES)
+        else:
+            ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            out.setdefault(lineno, set()).update(ids)
+
+    try:
+        for tok in tokenize.generate_tokens(iter(source.splitlines(True)).__next__):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                record(i, line[line.index("#"):])
+    return out
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus the metadata rules key off."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: Optional[ast.AST]
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, root: Optional[Path] = None) -> "FileContext":
+        """Read and parse ``path``; a syntax error leaves ``tree=None``."""
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = str(path.relative_to(root)) if root else str(path)
+        except ValueError:
+            rel = str(path)
+        try:
+            tree: Optional[ast.AST] = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            tree = None
+        return cls(path=path, relpath=rel, source=source, tree=tree,
+                   suppressions=parse_suppressions(source))
+
+    @property
+    def is_test(self) -> bool:
+        """Test modules get a pass from reproducibility rules (RPR001)."""
+        parts = Path(self.relpath).parts
+        name = self.path.name
+        return ("tests" in parts or name.startswith("test_")
+                or name == "conftest.py")
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def suppressed(self, finding: Finding) -> bool:
+        ids = self.suppressions.get(finding.line)
+        if not ids:
+            return False
+        return "*" in ids or finding.rule_id in ids
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set :attr:`id`, :attr:`description` and
+    :attr:`severity`, and implement :meth:`check`.
+    """
+
+    id: str = "RPR000"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover — makes every override a generator
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(path=ctx.relpath,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=self.id,
+                       severity=self.severity,
+                       message=message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs every file at once (cross-file consistency)."""
+
+    def check_project(self, ctxs: Sequence[FileContext]
+                      ) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_calls(tree: ast.AST) -> Iterable[ast.Call]:
+    """All Call nodes in source order (line, column)."""
+    calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls

@@ -1,0 +1,309 @@
+"""Project-specific per-file rules RPR001–RPR005.
+
+The headline collective-ordering verifier (RPR101) lives in
+:mod:`repro.lint.collectives`; this module holds the structural rules:
+
+* **RPR001** — unseeded randomness (legacy ``np.random.*`` global-state
+  calls anywhere, and ``default_rng()`` / ``RandomState()`` without a
+  seed) outside test modules.  Every schedule in this repo (synthetic
+  molecules, work-stealing victim choice, OS-noise jitter) must be a
+  pure function of an explicit seed.
+* **RPR002** — mutable default arguments.
+* **RPR003** — bare or overbroad ``except`` clauses.
+* **RPR004** — dtype discipline: float-accumulator array constructors
+  (``np.zeros/ones/empty/full``) in the numeric hot-path packages
+  (``core/``, ``octree/``, ``parallel/``) must pass an explicit
+  ``dtype=`` so a future default-dtype change (or a stray float32
+  input) cannot silently degrade the ``eps``-guaranteed error bounds.
+* **RPR005** — ``__all__`` consistency in package ``__init__.py``
+  files: present, duplicate-free, and every listed name bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    dotted_name,
+    iter_calls,
+)
+
+__all__ = [
+    "UnseededRandomRule",
+    "MutableDefaultRule",
+    "OverbroadExceptRule",
+    "DtypeDisciplineRule",
+    "DunderAllRule",
+]
+
+#: ``np.random`` attributes that are *not* legacy global-state entry
+#: points (construction of explicit generators is the approved path).
+_NEW_STYLE_RANDOM = {"default_rng", "Generator", "SeedSequence",
+                     "RandomState", "BitGenerator", "PCG64", "Philox",
+                     "MT19937", "SFC64"}
+
+#: Explicit-generator constructors that require a seed argument.
+_SEEDED_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence"}
+
+
+def _is_none(node: Optional[ast.AST]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededRandomRule(Rule):
+    """RPR001: all randomness must flow from an explicit seed."""
+
+    id = "RPR001"
+    description = ("unseeded or global-state RNG: use "
+                   "np.random.default_rng(seed) with an explicit seed")
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test:
+            return
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            yield from self._check_call(ctx, call, name)
+
+    def _check_call(self, ctx: FileContext, call: ast.Call,
+                    name: str) -> Iterator[Finding]:
+        parts = name.split(".")
+        # np.random.<legacy fn>(...) — hidden global state, order-dependent.
+        if (len(parts) == 3 and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _NEW_STYLE_RANDOM):
+            yield self.finding(
+                ctx, call,
+                f"legacy global-state RNG call np.random.{parts[2]}(); "
+                f"construct np.random.default_rng(seed) and use its "
+                f"methods instead")
+            return
+        # default_rng()/RandomState() without a seed (or seed=None).
+        tail = parts[-1]
+        if tail in _SEEDED_CONSTRUCTORS and (
+                len(parts) == 1
+                or (parts[:-1] in (["np", "random"], ["numpy", "random"])
+                    or parts[:-1] == ["np"] or parts[:-1] == ["numpy"]
+                    or parts[-2] == "random")):
+            seed_kw = next((kw.value for kw in call.keywords
+                            if kw.arg == "seed"), None)
+            first = call.args[0] if call.args else None
+            if (first is None and seed_kw is None) \
+                    or _is_none(first) or _is_none(seed_kw):
+                yield self.finding(
+                    ctx, call,
+                    f"{tail}() without an explicit seed makes schedules "
+                    f"irreproducible; thread a seed parameter through")
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "Counter", "deque", "OrderedDict"}
+
+
+class MutableDefaultRule(Rule):
+    """RPR002: mutable default arguments are shared across calls."""
+
+    id = "RPR002"
+    description = "mutable default argument; use None and fill in the body"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + \
+                    [d for d in args.kw_defaults if d is not None]:
+                if isinstance(default, _MUTABLE_LITERALS):
+                    yield self.finding(
+                        ctx, default,
+                        "mutable default argument (shared between calls); "
+                        "default to None and construct inside the function")
+                elif isinstance(default, ast.Call):
+                    name = dotted_name(default.func)
+                    if name and name.split(".")[-1] in _MUTABLE_CALLS:
+                        yield self.finding(
+                            ctx, default,
+                            f"mutable default argument {name}() (shared "
+                            f"between calls); default to None and "
+                            f"construct inside the function")
+
+
+class OverbroadExceptRule(Rule):
+    """RPR003: catch specific exceptions.
+
+    Bare ``except:`` and ``except BaseException`` swallow
+    ``KeyboardInterrupt``/``SystemExit``; ``except Exception`` hides
+    programming errors behind the 120 s simulated-MPI barrier timeout.
+    Deliberate catch-all boundaries (e.g. the rank-thread runner that
+    re-raises) must carry ``# lint: ignore[RPR003]``.
+    """
+
+    id = "RPR003"
+    description = "bare or overbroad except clause"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception(s) you expect")
+                continue
+            names = [node.type] if not isinstance(node.type, ast.Tuple) \
+                else list(node.type.elts)
+            for n in names:
+                dn = dotted_name(n)
+                if dn in ("Exception", "BaseException"):
+                    yield self.finding(
+                        ctx, node,
+                        f"overbroad 'except {dn}' hides programming "
+                        f"errors; catch the specific exception (or "
+                        f"suppress a deliberate boundary with "
+                        f"# lint: ignore[RPR003])")
+
+
+#: Array constructors whose *default* dtype would be silently inherited.
+_DTYPE_CONSTRUCTORS = {"zeros", "ones", "empty", "full"}
+
+#: Hot-path packages where accumulator dtype is part of the contract.
+_DTYPE_PACKAGES = ("core", "octree", "parallel")
+
+
+class DtypeDisciplineRule(Rule):
+    """RPR004: hot-path accumulators carry an explicit dtype."""
+
+    id = "RPR004"
+    description = ("np.zeros/ones/empty/full without dtype= in "
+                   "core/, octree/ or parallel/")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return any(pkg in parts for pkg in _DTYPE_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            if parts[1] not in _DTYPE_CONSTRUCTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in call.keywords):
+                continue
+            # full(shape, fill) may take dtype positionally as arg 3.
+            npos = 3 if parts[1] == "full" else 2
+            if len(call.args) >= npos:
+                continue
+            yield self.finding(
+                ctx, call,
+                f"np.{parts[1]}() on a numeric hot path without an "
+                f"explicit dtype=; spell out dtype=np.float64 (or the "
+                f"intended type) so kernels stay contiguous float64")
+
+
+class DunderAllRule(Rule):
+    """RPR005: package ``__init__.py`` export lists stay consistent."""
+
+    id = "RPR005"
+    description = ("package __init__.py must define a duplicate-free "
+                   "__all__ whose names are all bound in the module")
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or not ctx.is_package_init or ctx.is_test:
+            return
+        assert isinstance(ctx.tree, ast.Module)
+        bound = self._bound_names(ctx.tree)
+        all_nodes = [
+            stmt for stmt in ctx.tree.body
+            if isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets)
+        ]
+        if not all_nodes:
+            if bound:  # a namespace-only stub may legitimately be empty
+                yield self.finding(
+                    ctx, ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    "package __init__.py defines public names but no "
+                    "__all__; add one so the import surface is explicit")
+            return
+        for node in all_nodes:
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                yield self.finding(ctx, node,
+                                   "__all__ must be a literal list/tuple")
+                continue
+            seen: Set[str] = set()
+            for elt in node.value.elts:
+                if not isinstance(elt, ast.Constant) \
+                        or not isinstance(elt.value, str):
+                    yield self.finding(
+                        ctx, elt, "__all__ entries must be string literals")
+                    continue
+                name = elt.value
+                if name in seen:
+                    yield self.finding(
+                        ctx, elt, f"duplicate __all__ entry {name!r}")
+                seen.add(name)
+                if name not in bound:
+                    yield self.finding(
+                        ctx, elt,
+                        f"__all__ lists {name!r} but the module never "
+                        f"imports or defines it")
+
+    @staticmethod
+    def _bound_names(tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname
+                              or alias.name.split(".")[0])
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    for n in ast.walk(tgt):
+                        if isinstance(n, ast.Name):
+                            bound.add(n.id)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # one level of conditional imports (TYPE_CHECKING etc.)
+                bodies: List[List[ast.stmt]] = [stmt.body]
+                if isinstance(stmt, ast.If):
+                    bodies.append(stmt.orelse)
+                else:
+                    bodies.extend(h.body for h in stmt.handlers)
+                    bodies.append(stmt.orelse)
+                for body in bodies:
+                    bound |= DunderAllRule._bound_names(
+                        ast.Module(body=body, type_ignores=[]))
+        return bound

@@ -14,8 +14,8 @@ id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -217,8 +217,8 @@ def build_octree(points: np.ndarray,
 
     # Node centres and enclosing radii (vectorised per node via reduceat
     # for the centres; radii need a max over the slice).
-    center = np.empty((nnodes, 3))
-    radius = np.empty(nnodes)
+    center = np.empty((nnodes, 3), dtype=np.float64)
+    radius = np.empty(nnodes, dtype=np.float64)
     for i in range(nnodes):
         sl = slice(start_a[i], end_a[i])
         c = pts_sorted[sl].mean(axis=0)

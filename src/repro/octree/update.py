@@ -52,11 +52,12 @@ def _recompute_geometry(tree: Octree, pts_sorted: np.ndarray
     induction and is computed in one vectorised sweep per depth.
     """
     n = len(pts_sorted)
-    cum = np.vstack([np.zeros(3), np.cumsum(pts_sorted, axis=0)])
+    cum = np.vstack([np.zeros(3, dtype=np.float64),
+                     np.cumsum(pts_sorted, axis=0)])
     counts = (tree.end - tree.start).astype(np.float64)
     centers = (cum[tree.end] - cum[tree.start]) / counts[:, None]
 
-    radii = np.zeros(tree.nnodes)
+    radii = np.zeros(tree.nnodes, dtype=np.float64)
     leaf_ids = tree.leaves
     for leaf in leaf_ids:
         sl = tree.slice_of(int(leaf))

@@ -49,12 +49,8 @@ from repro.core.born_octree import (
     push_integrals_to_atoms,
     qleaf_aggregates,
 )
-from repro.core.energy_octree import (
-    approx_epol_for_leaves,
-    build_charge_buckets,
-)
+from repro.core.energy_octree import approx_epol_for_leaves
 from repro.core.gb import energy_prefactor, inv_fgb_still
-from repro.geomutil import ranges_to_indices
 from repro.molecules.molecule import Molecule
 from repro.octree import morton
 from repro.octree.build import NO_CHILD, Octree, build_octree
@@ -139,7 +135,7 @@ def _classify_remote_qleaves(atoms_tree: Octree,
     leaf's actual points.
     """
     nq = len(summaries)
-    s_node = np.zeros(atoms_tree.nnodes)
+    s_node = np.zeros(atoms_tree.nnodes, dtype=np.float64)
     need_a: List[np.ndarray] = []
     need_q: List[np.ndarray] = []
     visits = 0
@@ -446,7 +442,7 @@ def run_data_distributed(molecule: Molecule,
             bucket_idx = np.clip(
                 (np.log(R_sorted / r_min) / np.log(base)).astype(np.int64),
                 0, m_eps - 1)
-        cum = np.zeros((local.natoms + 1, m_eps))
+        cum = np.zeros((local.natoms + 1, m_eps), dtype=np.float64)
         np.add.at(cum, (np.arange(local.natoms) + 1, bucket_idx), q_sorted)
         cum = np.cumsum(cum, axis=0)
         table = cum[atoms_tree.end] - cum[atoms_tree.start]
@@ -523,7 +519,7 @@ def run_data_distributed(molecule: Molecule,
                          cost=cost)
     results, stats = cluster.run(rankfn)
 
-    radii = np.empty(molecule.natoms)
+    radii = np.empty(molecule.natoms, dtype=np.float64)
     ghost_q = 0
     ghost_a = 0
     for energy_r, ids, R_local, gq, ga in results:

@@ -38,7 +38,7 @@ from repro.core.energy_octree import (
 )
 from repro.core.gb import energy_prefactor
 from repro.molecules.molecule import Molecule
-from repro.octree.build import Octree, build_octree
+from repro.octree.build import build_octree
 from repro.parallel.partition import atom_segments, leaf_segments, segment_bounds
 from repro.parallel.profile import WorkProfile
 
@@ -256,9 +256,9 @@ def simulate_fig4(profile: WorkProfile,
                      if (p > 1 and P > 1) else 0.0)
             jitter = float(np.exp(rng.normal(0.0, noise_sigma)))
             t = (st.makespan + extra) * mem_factor * jitter
-            return np.full(P, t), st.steals
+            return np.full(P, t, dtype=np.float64), st.steals
         bounds = _segment_bounds_for(leaf_sec)
-        times = np.empty(P)
+        times = np.empty(P, dtype=np.float64)
         steals = 0
         jitter = noise()
         for r in range(P):

@@ -20,7 +20,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.cluster.costmodel import CostModel
-from repro.cluster.machine import MachineSpec, lonestar4
+from repro.cluster.machine import MachineSpec
 from repro.cluster.trace import RunStats
 from repro.config import ApproxParams
 from repro.molecules.molecule import Molecule

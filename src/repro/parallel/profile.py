@@ -13,7 +13,6 @@ extended one level up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -23,7 +23,7 @@ all-to-all communication to the virtual clocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

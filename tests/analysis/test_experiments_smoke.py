@@ -4,8 +4,6 @@ The full-size versions run under ``benchmarks/``; here we only verify
 that each runner executes, returns coherent structures, and renders.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import experiments as ex
 

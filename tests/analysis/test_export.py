@@ -3,7 +3,6 @@
 import csv
 from dataclasses import dataclass
 
-import numpy as np
 import pytest
 
 from repro.analysis.export import generate_report, write_csv

@@ -1,6 +1,5 @@
 """Analysis helpers: metrics and table rendering."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import (

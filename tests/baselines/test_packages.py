@@ -1,6 +1,5 @@
 """Package-emulator tests: interfaces, OOM thresholds, orderings."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import PACKAGES, get_package

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.machine import MachineSpec, NodeSpec, lonestar4
+from repro.cluster.machine import NodeSpec, lonestar4
 
 
 class TestNodeSpec:

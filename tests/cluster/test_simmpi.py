@@ -163,7 +163,7 @@ class TestVirtualTime:
 class TestErrors:
     def test_rank_exception_propagates(self):
         def fn(comm):
-            if comm.rank == 1:
+            if comm.rank == 1:  # lint: ignore[RPR101] — deliberate fault
                 raise RuntimeError("boom on rank 1")
             comm.barrier()
 

@@ -6,7 +6,6 @@ divergence (wrong result, lost isolation, deadlock → timeout) fails.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ rely on, on randomly generated node pairs — not just on molecules.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

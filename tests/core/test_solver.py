@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ApproxParams, PolarizationSolver
+from repro import PolarizationSolver
 from repro.core.born_naive import born_radii_naive_r6
 from repro.core.energy_naive import epol_naive
 from repro.molecules.transform import RigidTransform

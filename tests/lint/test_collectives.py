@@ -1,0 +1,230 @@
+"""RPR101 — the simulated-MPI collective-ordering verifier.
+
+The final test is the regression demanded by the issue: a
+rank-divergent collective sequence is (a) flagged by the linter and
+(b) really deadlocks :class:`repro.cluster.simmpi.SimCluster` (with the
+barrier timeout shrunk so the failure is fast).
+"""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.cluster import simmpi
+from repro.cluster.simmpi import SimCluster
+from repro.lint import extract_events, lint_source
+
+
+def rpr101(src):
+    return [f for f in lint_source(src, select=["RPR101"])
+            if f.rule_id == "RPR101"]
+
+
+# -- event extraction ---------------------------------------------------
+
+
+def test_extracts_fig4_sequence():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            packed = comm.allreduce(x)
+            parts = comm.allgather(y)
+            total = comm.reduce(z, root=0)
+            return total
+    """)
+    assert extract_events(src) == (("allreduce",), ("allgather",),
+                                   ("reduce",))
+
+
+def test_loop_bodies_become_loop_events():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            for _ in range(3):
+                comm.barrier()
+            comm.reduce(x)
+    """)
+    assert extract_events(src) == (("loop", (("barrier",),)), ("reduce",))
+
+
+# -- clean patterns stay clean ------------------------------------------
+
+
+def test_uniform_sequence_clean():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            a = comm.allreduce(x)
+            b = comm.allgather(a)
+            return comm.reduce(b, root=0)
+    """)
+    assert rpr101(src) == []
+
+
+def test_root_selection_without_divergence_clean():
+    # the canonical bcast idiom: every rank calls it, payload differs
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if comm.rank == 0:
+                out = comm.bcast(data)
+            else:
+                out = comm.bcast(None)
+            return out
+    """)
+    assert rpr101(src) == []
+
+
+def test_data_dependent_branch_clean():
+    # non-rank conditionals are assumed data-uniform across ranks
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if mode == "node":
+                s = comm.allreduce(a)
+            else:
+                s = comm.allreduce(b)
+            return s
+    """)
+    assert rpr101(src) == []
+
+
+def test_p2p_skip_self_loop_clean():
+    # the datadist ghost-exchange idiom: `continue` at self inside a
+    # loop, collectives only after the loop completes on every rank
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            for s in range(comm.size):
+                if s == comm.rank:
+                    continue
+                comm.send(payload, dest=s)
+            return comm.allreduce(x)
+    """)
+    assert rpr101(src) == []
+
+
+def test_trailing_rank_guarded_return_clean():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            total = comm.reduce(x, root=0)
+            if comm.rank == 0:
+                return total
+            return None
+    """)
+    assert rpr101(src) == []
+
+
+def test_non_rank_functions_ignored():
+    src = textwrap.dedent("""\
+        def helper(data, rank):
+            if rank == 0:
+                return data.allreduce(1)
+            return None
+    """)
+    assert rpr101(src) == []
+
+
+# -- divergent patterns are flagged -------------------------------------
+
+
+def test_divergent_branches_flagged():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if comm.rank == 0:
+                comm.allreduce(x)
+            else:
+                comm.allgather(x)
+    """)
+    findings = rpr101(src)
+    assert len(findings) == 1
+    assert "different collective sequences" in findings[0].message
+
+
+def test_missing_branch_flagged():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            return 1
+    """)
+    assert len(rpr101(src)) == 1
+
+
+def test_rank_alias_tracked():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            r = comm.rank
+            if r == 0:
+                comm.allreduce(x)
+    """)
+    assert len(rpr101(src)) == 1
+
+
+def test_early_return_before_collective_flagged():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if comm.rank > 0:
+                return None
+            return comm.allgather(x)
+    """)
+    findings = rpr101(src)
+    assert len(findings) == 1
+    assert "never joins" in findings[0].message
+
+
+def test_rank_dependent_loop_with_collective_flagged():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            for _ in range(comm.rank):
+                comm.barrier()
+    """)
+    findings = rpr101(src)
+    assert len(findings) == 1
+    assert "loop" in findings[0].message
+
+
+def test_nested_rank_function_analyzed():
+    src = textwrap.dedent("""\
+        def run(profile):
+            def rankfn(comm):
+                if comm.rank == 0:
+                    comm.reduce(x)
+                return None
+            return rankfn
+    """)
+    assert len(rpr101(src)) == 1
+
+
+def test_suppression_applies():
+    src = textwrap.dedent("""\
+        def rankfn(comm):
+            if comm.rank == 0:  # lint: ignore[RPR101]
+                comm.barrier()
+    """)
+    assert rpr101(src) == []
+
+
+# -- the regression test: flagged pattern really deadlocks simmpi -------
+
+
+DIVERGENT = textwrap.dedent("""\
+    def rankfn(comm):
+        if comm.rank == 0:
+            comm.barrier()
+        return comm.rank
+""")
+
+
+def test_rpr101_catches_real_simmpi_deadlock(monkeypatch):
+    # (a) the linter flags the rank-divergent schedule …
+    findings = rpr101(DIVERGENT)
+    assert len(findings) == 1
+    assert "deadlock" in findings[0].message
+
+    # (b) … and the very same program really deadlocks the simulated
+    # runtime: rank 0 waits at the collective barrier for a partner
+    # that already exited.  Shrink the 120 s timeout so the test is
+    # quick; the broken barrier surfaces as BrokenBarrierError.
+    monkeypatch.setattr(simmpi, "_BARRIER_TIMEOUT", 0.5)
+    namespace = {}
+    exec(compile(DIVERGENT, "<divergent>", "exec"), namespace)
+    rankfn = namespace["rankfn"]
+    cluster = SimCluster(processes=2)
+    with pytest.raises(threading.BrokenBarrierError):
+        cluster.run(rankfn)

@@ -1,0 +1,76 @@
+"""Framework mechanics: suppressions, findings, file collection."""
+
+import textwrap
+
+from repro.lint import Finding, Severity, lint_source
+from repro.lint.engine import collect_files
+from repro.lint.framework import parse_suppressions
+
+
+def test_finding_render_and_json():
+    f = Finding(path="a/b.py", line=3, col=7, rule_id="RPR001",
+                severity=Severity.ERROR, message="boom")
+    assert f.render() == "a/b.py:3:7: RPR001 error boom"
+    j = f.to_json()
+    assert j["rule"] == "RPR001" and j["severity"] == "error"
+    assert j["line"] == 3 and j["col"] == 7
+
+
+def test_findings_sort_by_location():
+    a = Finding("a.py", 10, 1, "RPR002", Severity.ERROR, "x")
+    b = Finding("a.py", 2, 1, "RPR001", Severity.ERROR, "y")
+    assert sorted([a, b]) == [b, a]
+
+
+def test_parse_suppressions_forms():
+    src = textwrap.dedent("""\
+        x = 1  # lint: ignore[RPR001]
+        y = 2  # lint: ignore[RPR001, RPR003]
+        z = 3  # lint: ignore
+        w = 4  # unrelated comment
+        s = "# lint: ignore[RPR004] inside a string does not count"
+    """)
+    sup = parse_suppressions(src)
+    assert sup[1] == {"RPR001"}
+    assert sup[2] == {"RPR001", "RPR003"}
+    assert sup[3] == {"*"}
+    assert 4 not in sup
+    assert 5 not in sup  # tokenizer skips string literals
+
+
+def test_suppression_silences_rule():
+    flagged = lint_source("def f(x=[]):\n    return x\n")
+    assert [f.rule_id for f in flagged] == ["RPR002"]
+    quiet = lint_source(
+        "def f(x=[]):  # lint: ignore[RPR002]\n    return x\n")
+    assert quiet == []
+
+
+def test_bare_suppression_silences_everything():
+    quiet = lint_source(
+        "def f(x=[]):  # lint: ignore\n    return x\n")
+    assert quiet == []
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "RPR999"
+    assert "syntax error" in findings[0].message
+
+
+def test_collect_files_skips_caches(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+    files = collect_files([str(tmp_path)])
+    assert [f.name for f in files] == ["a.py"]
+    assert all("__pycache__" not in str(f) for f in files)
+
+
+def test_collect_files_missing_path_raises(tmp_path):
+    import pytest
+    with pytest.raises(FileNotFoundError):
+        collect_files([str(tmp_path / "nope")])

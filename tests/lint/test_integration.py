@@ -1,0 +1,65 @@
+"""End-to-end: the shipped tree lints clean through both entry points."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(*argv):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=120)
+
+
+def test_repo_src_lints_clean():
+    proc = run_lint("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_json_output_shape():
+    proc = run_lint("src", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload == {"findings": [], "count": 0}
+
+
+def test_findings_set_exit_code(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    proc = run_lint(str(bad))
+    assert proc.returncode == 1
+    assert "RPR002" in proc.stdout
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    proc = run_lint(str(tmp_path / "missing.py"))
+    assert proc.returncode == 2
+
+
+def test_repro_cli_lint_subcommand():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=120)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_list_rules_names_every_rule():
+    proc = run_lint("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                    "RPR101"):
+        assert rule_id in proc.stdout

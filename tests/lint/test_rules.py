@@ -1,0 +1,191 @@
+"""Per-rule positive + negative fixtures for RPR001–RPR005."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# -- RPR001: unseeded / global-state RNG --------------------------------
+
+
+def test_rpr001_legacy_global_rng_flagged():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert ids(lint_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+def test_rpr001_legacy_seed_call_flagged():
+    # even np.random.seed() is global state — explicit generators only
+    src = "import numpy as np\nnp.random.seed(0)\n"
+    assert ids(lint_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+def test_rpr001_unseeded_default_rng_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert ids(lint_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+def test_rpr001_seed_none_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng(seed=None)\n"
+    assert ids(lint_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+def test_rpr001_unseeded_randomstate_flagged():
+    src = "import numpy as np\nrng = np.random.RandomState()\n"
+    assert ids(lint_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+def test_rpr001_seeded_variants_clean():
+    src = textwrap.dedent("""\
+        import numpy as np
+
+        def f(seed: int = 0):
+            a = np.random.default_rng(0)
+            b = np.random.default_rng(seed)
+            c = np.random.default_rng(seed=seed)
+            return a, b, c
+    """)
+    assert lint_source(src, select=["RPR001"]) == []
+
+
+def test_rpr001_test_modules_exempt():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert lint_source(src, select=["RPR001"],
+                       filename="tests/test_whatever.py") == []
+
+
+# -- RPR002: mutable default arguments ----------------------------------
+
+
+def test_rpr002_literal_defaults_flagged():
+    src = "def f(a=[], b={}, c=set()):\n    return a, b, c\n"
+    assert ids(lint_source(src, select=["RPR002"])) == ["RPR002"] * 3
+
+
+def test_rpr002_kwonly_and_lambda_flagged():
+    src = "def f(*, a=list()):\n    return a\ng = lambda x={}: x\n"
+    assert ids(lint_source(src, select=["RPR002"])) == ["RPR002"] * 2
+
+
+def test_rpr002_none_and_immutable_clean():
+    src = "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
+    assert lint_source(src, select=["RPR002"]) == []
+
+
+# -- RPR003: bare / overbroad except ------------------------------------
+
+
+def test_rpr003_bare_except_flagged():
+    src = "try:\n    pass\nexcept:\n    pass\n"
+    assert ids(lint_source(src, select=["RPR003"])) == ["RPR003"]
+
+
+def test_rpr003_except_exception_flagged():
+    src = "try:\n    pass\nexcept Exception:\n    pass\n"
+    assert ids(lint_source(src, select=["RPR003"])) == ["RPR003"]
+
+
+def test_rpr003_exception_in_tuple_flagged():
+    src = "try:\n    pass\nexcept (ValueError, BaseException):\n    pass\n"
+    assert ids(lint_source(src, select=["RPR003"])) == ["RPR003"]
+
+
+def test_rpr003_specific_exception_clean():
+    src = ("try:\n    pass\nexcept (ValueError, KeyError) as exc:\n"
+           "    raise RuntimeError('no') from exc\n")
+    assert lint_source(src, select=["RPR003"]) == []
+
+
+def test_rpr003_suppressible_for_deliberate_boundaries():
+    src = ("try:\n    pass\n"
+           "except BaseException:  # lint: ignore[RPR003]\n    raise\n")
+    assert lint_source(src, select=["RPR003"]) == []
+
+
+# -- RPR004: dtype discipline on hot paths ------------------------------
+
+HOT = "src/repro/core/kernel.py"
+COLD = "src/repro/analysis/tables.py"
+
+
+def test_rpr004_missing_dtype_flagged_in_hot_packages():
+    src = "import numpy as np\na = np.zeros(10)\nb = np.empty((3, 3))\n"
+    assert ids(lint_source(src, select=["RPR004"], filename=HOT)) \
+        == ["RPR004"] * 2
+
+
+def test_rpr004_full_without_dtype_flagged():
+    src = "import numpy as np\na = np.full(4, 1.5)\n"
+    assert ids(lint_source(src, select=["RPR004"], filename=HOT)) \
+        == ["RPR004"]
+
+
+def test_rpr004_explicit_dtype_clean():
+    src = textwrap.dedent("""\
+        import numpy as np
+        a = np.zeros(10, dtype=np.float64)
+        b = np.empty((3, 3), dtype=np.int64)
+        c = np.full(4, 1.5, dtype=np.float64)
+        d = np.zeros_like(a)
+    """)
+    assert lint_source(src, select=["RPR004"], filename=HOT) == []
+
+
+def test_rpr004_cold_packages_exempt():
+    src = "import numpy as np\na = np.zeros(10)\n"
+    assert lint_source(src, select=["RPR004"], filename=COLD) == []
+
+
+def test_rpr004_octree_and_parallel_in_scope():
+    src = "import numpy as np\na = np.ones(2)\n"
+    for path in ("src/repro/octree/x.py", "src/repro/parallel/y.py"):
+        assert ids(lint_source(src, select=["RPR004"], filename=path)) \
+            == ["RPR004"]
+
+
+# -- RPR005: __all__ consistency ----------------------------------------
+
+INIT = "src/repro/fake/__init__.py"
+
+
+def test_rpr005_missing_all_flagged():
+    src = "from repro.config import ParallelConfig\n"
+    assert ids(lint_source(src, select=["RPR005"], filename=INIT)) \
+        == ["RPR005"]
+
+
+def test_rpr005_unbound_name_flagged():
+    src = ("from repro.config import ParallelConfig\n"
+           "__all__ = ['ParallelConfig', 'Ghost']\n")
+    findings = lint_source(src, select=["RPR005"], filename=INIT)
+    assert ids(findings) == ["RPR005"]
+    assert "Ghost" in findings[0].message
+
+
+def test_rpr005_duplicate_entry_flagged():
+    src = ("from repro.config import ParallelConfig\n"
+           "__all__ = ['ParallelConfig', 'ParallelConfig']\n")
+    findings = lint_source(src, select=["RPR005"], filename=INIT)
+    assert ids(findings) == ["RPR005"]
+    assert "duplicate" in findings[0].message
+
+
+def test_rpr005_consistent_init_clean():
+    src = textwrap.dedent("""\
+        from repro.config import ParallelConfig as PC
+
+        def helper():
+            return PC
+
+        __all__ = ['PC', 'helper']
+    """)
+    assert lint_source(src, select=["RPR005"], filename=INIT) == []
+
+
+def test_rpr005_non_init_module_exempt():
+    src = "from repro.config import ParallelConfig\n"
+    assert lint_source(src, select=["RPR005"],
+                       filename="src/repro/fake/module.py") == []

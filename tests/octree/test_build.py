@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.molecules.transform import RigidTransform
-from repro.octree.build import NO_CHILD, build_octree
+from repro.octree.build import build_octree
 
 
 def _random_points(n, seed=0, scale=10.0):

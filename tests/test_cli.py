@@ -1,6 +1,5 @@
 """CLI tests (main() invoked in-process)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
