@@ -67,7 +67,10 @@ def test_morton_layout_cache_effect(benchmark, record_table):
             f"Morton-contiguous slices: {contiguous * 1e3:.2f} ms\n"
             f"random-gather layout:     {gathered * 1e3:.2f} ms "
             f"({gathered / contiguous:.2f}x slower)")
-    record_table("ablation_morton", text)
+    record_table("ablation_morton", text,
+                 rows=[{"layout": "morton", "seconds": contiguous},
+                       {"layout": "gather", "seconds": gathered}],
+                 config={"natoms": 9000, "leaf_size": 64})
     # Gathering through a permutation must not be faster; on most hosts
     # it is measurably slower.
     assert gathered > 0.95 * contiguous

@@ -37,7 +37,14 @@ def test_stealing_vs_static(benchmark, record_table):
             f"work stealing: {stats.makespan * 1e3:.3f} ms "
             f"(util {stats.utilization:.3f}, {stats.steals} steals)\n"
             f"static blocks: {static * 1e3:.3f} ms")
-    record_table("ablation_scheduling", text)
+    record_table("ablation_scheduling", text,
+                 rows=[{"schedule": "ideal", "makespan": ideal},
+                       {"schedule": "stealing",
+                        "makespan": stats.makespan,
+                        "utilization": stats.utilization,
+                        "steals": stats.steals},
+                       {"schedule": "static", "makespan": static}],
+                 config={"natoms": 9000, "workers": p, "seed": 7})
 
     # Stealing lands within 15 % of perfect balance …
     assert stats.makespan < 1.15 * ideal

@@ -28,6 +28,10 @@ def test_weighted_segmenting(benchmark, record_table):
             f"equal-count segments:  {count * 1e3:.3f} ms\n"
             f"equal-cost segments:   {weighted * 1e3:.3f} ms "
             f"({count / weighted:.2f}x)")
-    record_table("ablation_segmenting", text)
+    record_table("ablation_segmenting", text,
+                 rows=[{"segmenting": "count", "wall_seconds": count},
+                       {"segmenting": "weighted",
+                        "wall_seconds": weighted}],
+                 config={"natoms": 9000, "ranks": 12})
     # Cost-aware cuts never lose and usually win on skewed profiles.
     assert weighted <= count * 1.02

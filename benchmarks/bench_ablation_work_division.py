@@ -35,7 +35,14 @@ def test_work_division_error_stability(benchmark, record_table):
              "P | node E (kcal/mol) | atom E (kcal/mol)"]
     for P in counts:
         lines.append(f"{P} | {node[P][0]:.10f} | {atom[P][0]:.10f}")
-    record_table("ablation_work_division", "\n".join(lines))
+    record_table("ablation_work_division", "\n".join(lines),
+                 rows=[{"P": P,
+                        "node_energy": node[P][0],
+                        "node_wall_seconds": node[P][1],
+                        "atom_energy": atom[P][0],
+                        "atom_wall_seconds": atom[P][1]}
+                       for P in counts],
+                 config={"natoms": 1500, "eps": 0.9})
 
     node_energies = np.array([node[P][0] for P in counts])
     atom_energies = np.array([atom[P][0] for P in counts])

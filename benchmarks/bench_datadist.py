@@ -40,7 +40,14 @@ def test_datadist_memory_scaling(benchmark, record_table):
     for P, mem, gq, ga, e in rows:
         lines.append(f"{P} | {mem / 1e6:13.2f} | {gq:14d} | {ga:11d} | "
                      f"{e:.2f}")
-    record_table("datadist", "\n".join(lines))
+    record_table("datadist", "\n".join(lines),
+                 rows=[{"P": P, "max_rank_bytes": mem,
+                        "ghost_qpoints": gq, "ghost_atoms": ga,
+                        "energy": e}
+                       for P, mem, gq, ga, e in rows],
+                 config={"natoms": mol.natoms,
+                         "workdiv_bytes_per_rank":
+                             wd.stats.memory_per_process()})
 
     mems = [mem for _, mem, _, _, _ in rows]
     # Per-rank memory decreases with P …

@@ -12,7 +12,8 @@ from repro.analysis.experiments import fig10_epsilon_sweep
 
 def test_fig10_epsilon_sweep(benchmark, record_table):
     rows, text = run_once(benchmark, fig10_epsilon_sweep)
-    record_table("fig10_epsilon", text)
+    record_table("fig10_epsilon", text, rows=rows,
+                 config={"eps_born": 0.9, "approx_math": False})
 
     errs = [r["err_avg"] for r in rows]
     times = [r["time_total"] for r in rows]

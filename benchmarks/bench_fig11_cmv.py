@@ -14,7 +14,8 @@ from repro.analysis.experiments import fig11_cmv_table
 
 def test_fig11_cmv(benchmark, record_table):
     rows, text = run_once(benchmark, fig11_cmv_table)
-    record_table("fig11_cmv", text)
+    record_table("fig11_cmv", text, rows=rows,
+                 config={"experiment": "fig11_cmv_table"})
 
     by_name = {r["program"]: r for r in rows}
     oct_mpi = by_name["OCT_MPI"]

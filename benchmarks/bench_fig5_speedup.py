@@ -12,7 +12,8 @@ from repro.analysis.experiments import fig5_speedup
 
 def test_fig5_speedup(benchmark, record_table):
     rows, text = run_once(benchmark, fig5_speedup)
-    record_table("fig5_speedup", text)
+    record_table("fig5_speedup", text, rows=rows,
+                 config={"experiment": "fig5_speedup"})
 
     # Running time decreases monotonically-ish with cores for both
     # layouts (paper Fig. 5): endpoint must beat the single node well.

@@ -13,7 +13,9 @@ from repro.analysis.experiments import FIG56_CORES, fig6_minmax
 
 def test_fig6_minmax(benchmark, record_table):
     out, text = run_once(benchmark, fig6_minmax)
-    record_table("fig6_minmax", text)
+    record_table("fig6_minmax", text,
+                 rows=[{"cores": c, **out[c]} for c in FIG56_CORES],
+                 config={"cores": list(FIG56_CORES)})
 
     high = [c for c in FIG56_CORES if c >= 192]
     low = [c for c in FIG56_CORES if c <= 96]

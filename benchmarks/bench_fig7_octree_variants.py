@@ -13,7 +13,8 @@ from repro.analysis.experiments import fig7_octree_variants
 
 def test_fig7_octree_variants(benchmark, record_table):
     rows, text = run_once(benchmark, fig7_octree_variants)
-    record_table("fig7_octree_variants", text)
+    record_table("fig7_octree_variants", text, rows=rows,
+                 config={"experiment": "fig7_octree_variants"})
 
     by_size = {r["natoms"]: r for r in rows}
     # Crossover sits between 400 and 1,500 atoms at this suite's scale

@@ -13,7 +13,8 @@ from repro.analysis.experiments import fig8_packages
 
 def test_fig8_packages(benchmark, record_table):
     rows, text = run_once(benchmark, fig8_packages)
-    record_table("fig8_packages", text)
+    record_table("fig8_packages", text, rows=rows,
+                 config={"cores": 12})
 
     largest = rows[-1]
     amber = largest["Amber"]

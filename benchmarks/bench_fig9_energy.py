@@ -12,7 +12,8 @@ from repro.analysis.experiments import fig9_energy_values
 
 def test_fig9_energy_values(benchmark, record_table):
     rows, text = run_once(benchmark, fig9_energy_values)
-    record_table("fig9_energy", text)
+    record_table("fig9_energy", text, rows=rows,
+                 config={"experiment": "fig9_energy_values"})
 
     for r in rows:
         ref = r["Naive"]

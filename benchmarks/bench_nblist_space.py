@@ -30,7 +30,11 @@ def test_nblist_vs_octree_space(benchmark, record_table):
              "cutoff (Å) | nblist bytes | octree bytes (cutoff-free)"]
     for c, b in zip(cutoffs, nb_bytes):
         lines.append(f"{c:10.1f} | {b:12d} | {oct_bytes:12d}")
-    record_table("nblist_space", "\n".join(lines))
+    record_table("nblist_space", "\n".join(lines),
+                 rows=[{"cutoff": c, "nblist_bytes": b,
+                        "octree_bytes": oct_bytes}
+                       for c, b in zip(cutoffs, nb_bytes)],
+                 config={"natoms": 5200})
 
     # Cubic-ish growth: doubling the cutoff from 9 → 18 Å grows the
     # nblist by ≳5× (ideal 8×, edge effects shave it).

@@ -8,15 +8,17 @@ from repro.cluster.machine import lonestar4
 
 def test_table1_machine(benchmark, record_table):
     text = run_once(benchmark, table1_machine)
-    record_table("table1_machine", text)
     spec = lonestar4()
+    record_table("table1_machine", text, rows=[spec],
+                 config={"machine": "lonestar4"})
     assert spec.total_cores == 144        # 12 nodes × 12 cores (paper)
     assert spec.node.cores == 12
 
 
 def test_table2_packages(benchmark, record_table):
     text = run_once(benchmark, table2_packages)
-    record_table("table2_packages", text)
+    record_table("table2_packages", text,
+                 config={"experiment": "table2_packages"})
     for name in ("Amber", "Gromacs", "NAMD", "Tinker", "GBr6",
                  "OCT_MPI+CILK"):
         assert name in text

@@ -29,6 +29,7 @@ from repro.core.born_naive import born_radii_naive_r6
 from repro.core.energy_naive import epol_naive
 from repro.core.energy_octree import epol_octree
 from repro.molecules import synthetic_protein, virus_capsid
+from repro.obs import traced
 from repro.molecules.molecule import Molecule
 from repro.parallel import WorkProfile, simulate_fig4
 
@@ -97,6 +98,7 @@ CAPSID_PARAMS = PAPER_PARAMS.with_(leaf_size=8)
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.table1_machine", cat="analysis")
 def table1_machine() -> str:
     """Render the simulated Table I environment."""
     spec = lonestar4()
@@ -115,6 +117,7 @@ def table1_machine() -> str:
     return t.render()
 
 
+@traced("experiment.table2_packages", cat="analysis")
 def table2_packages() -> str:
     """Render the Table II program inventory."""
     t = Table(["Package", "GB-Model", "Parallelism"],
@@ -143,6 +146,7 @@ class ScalingRow:
     hybrid_seconds: float
 
 
+@traced("experiment.fig5_speedup", cat="analysis")
 def fig5_speedup(capsid_atoms: Optional[int] = None,
                  cores: Sequence[int] = FIG56_CORES,
                  machine: Optional[MachineSpec] = None
@@ -172,6 +176,7 @@ def fig5_speedup(capsid_atoms: Optional[int] = None,
     return rows, t.render()
 
 
+@traced("experiment.fig6_minmax", cat="analysis")
 def fig6_minmax(capsid_atoms: Optional[int] = None,
                 cores: Sequence[int] = FIG56_CORES,
                 n_runs: int = 20,
@@ -202,6 +207,7 @@ def fig6_minmax(capsid_atoms: Optional[int] = None,
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.fig7_octree_variants", cat="analysis")
 def fig7_octree_variants(sizes: Optional[Sequence[int]] = None
                          ) -> Tuple[List[Dict], str]:
     """Fig. 7: OCT_CILK vs OCT_MPI vs OCT_MPI+CILK, 12 cores, ε=0.9/0.9,
@@ -231,6 +237,7 @@ def fig7_octree_variants(sizes: Optional[Sequence[int]] = None
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.fig8_packages", cat="analysis")
 def fig8_packages(sizes: Optional[Sequence[int]] = None
                   ) -> Tuple[List[Dict], str]:
     """Fig. 8(a,b): package running times and speedups w.r.t. Amber on
@@ -264,6 +271,7 @@ def fig8_packages(sizes: Optional[Sequence[int]] = None
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.fig9_energy_values", cat="analysis")
 def fig9_energy_values(sizes: Optional[Sequence[int]] = None
                        ) -> Tuple[List[Dict], str]:
     """Fig. 9: E_pol per package vs the naive reference."""
@@ -292,6 +300,7 @@ def fig9_energy_values(sizes: Optional[Sequence[int]] = None
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.fig10_epsilon_sweep", cat="analysis")
 def fig10_epsilon_sweep(sizes: Optional[Sequence[int]] = None,
                         eps_values: Sequence[float] = (0.1, 0.3, 0.5,
                                                        0.7, 0.9)
@@ -341,6 +350,7 @@ def fig10_epsilon_sweep(sizes: Optional[Sequence[int]] = None,
 # ---------------------------------------------------------------------------
 
 
+@traced("experiment.fig11_cmv_table", cat="analysis")
 def fig11_cmv_table(capsid_atoms: Optional[int] = None,
                     machine: Optional[MachineSpec] = None
                     ) -> Tuple[List[Dict], str]:

@@ -14,15 +14,18 @@ Commands
     Print machine model, package registry and version.
 ``lint``
     Run the project static analyzer (``repro.lint``) over source paths.
+``trace``
+    Inspect / validate a Chrome trace-event JSON file produced by
+    ``solve --trace`` or ``scale --trace`` (loadable in Perfetto).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional
 
+import repro.obs as obs
 from repro import ApproxParams, PolarizationSolver, __version__
 from repro.analysis.tables import Table
 from repro.baselines import PACKAGES, get_package
@@ -68,32 +71,82 @@ def _params(args: argparse.Namespace) -> ApproxParams:
                         approx_math=args.approx_math)
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", type=str, default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON (open in "
+                        "Perfetto / chrome://tracing)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics registry (Prometheus text)")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="FILE",
+                   help="write metrics to FILE (.json → JSON, else "
+                        "Prometheus text)")
+
+
+def _write_metrics(args: argparse.Namespace) -> None:
+    if args.metrics:
+        print(obs.metrics_to_prometheus(obs.registry), end="")
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            text = obs.metrics_to_json(obs.registry)
+        else:
+            text = obs.metrics_to_prometheus(obs.registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
+def _root_span_seconds(name: str) -> float:
+    for ev in obs.get_tracer().events():
+        if ev.get("ph") == "X" and ev.get("name") == name:
+            return ev["dur"] / 1e6
+    return 0.0
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
-    mol = _load_molecule(args)
-    print(f"molecule: {mol.name} — {mol.natoms} atoms, "
-          f"{mol.nqpoints} surface quadrature points")
-    t0 = time.perf_counter()
-    solver = PolarizationSolver(mol, _params(args), method=args.method)
-    energy = solver.energy()
-    dt = time.perf_counter() - t0
-    radii = solver.born_radii()
+    obs.enable(reset=True)
+    with obs.span("solve", method=args.method):
+        mol = _load_molecule(args)
+        print(f"molecule: {mol.name} — {mol.natoms} atoms, "
+              f"{mol.nqpoints} surface quadrature points")
+        solver = PolarizationSolver(mol, _params(args), method=args.method)
+        energy = solver.energy()
+        radii = solver.born_radii()
+    dt = _root_span_seconds("solve")
     print(f"E_pol = {energy:.4f} kcal/mol   ({args.method}, {dt:.2f} s)")
     print(f"Born radii: min {radii.min():.3f}  mean {radii.mean():.3f}  "
           f"max {radii.max():.3f} Å")
+    print("phase breakdown (tracer):")
+    print(obs.render_span_tree(obs.get_tracer()))
     if args.compare_naive:
-        ref = PolarizationSolver(mol, method="naive").energy()
+        with obs.span("compare_naive"):
+            ref = PolarizationSolver(mol, method="naive").energy()
         print(f"naive reference: {ref:.4f} kcal/mol "
               f"({100 * abs(energy - ref) / abs(ref):.4f} % difference)")
+    if args.trace:
+        runstats = None
+        if args.method != "naive":
+            profile = WorkProfile.from_solver(solver)
+            runstats = simulate_fig4(profile, args.trace_procs,
+                                     args.trace_threads, seed=args.seed)
+            print(f"simulated schedule: {runstats.summary()}")
+        obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
+                               runstats=runstats, metrics=obs.registry)
+        print(f"wrote trace to {args.trace}")
+    _write_metrics(args)
+    obs.disable()
     return 0
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
+    if args.trace:
+        obs.enable(reset=True)
     mol = _load_molecule(args)
     machine = lonestar4(nodes=args.nodes)
     print(f"profiling {mol.name} ({mol.natoms} atoms) …")
     profile = WorkProfile.from_molecule(mol, _params(args))
     table = Table(["cores", "OCT_MPI (s)", "OCT_MPI+CILK (s)"],
                   title=f"simulated scaling on {machine.nodes} nodes")
+    mpi = hyb = None
     for cores in (12, 24, 48, 96, 144, 192, 288, 480):
         if cores > machine.total_cores:
             break
@@ -102,6 +155,46 @@ def cmd_scale(args: argparse.Namespace) -> int:
                             machine=machine)
         table.add_row(cores, mpi.wall_seconds, hyb.wall_seconds)
     print(table.render())
+    if args.trace and mpi is not None:
+        # Rank timelines of the largest configuration, both layouts.
+        obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
+                               runstats=[mpi, hyb], metrics=obs.registry)
+        print(f"wrote trace of the largest configuration to {args.trace}")
+        obs.disable()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    try:
+        doc = obs.load_trace(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not JSON: {exc}", file=sys.stderr)
+        return 2
+    problems = obs.validate_chrome_trace(doc)
+    if args.check:
+        for p in problems:
+            print(p)
+        events = doc.get("traceEvents", doc if isinstance(doc, list)
+                         else [])
+        if problems:
+            print(f"{args.file}: INVALID ({len(problems)} problem(s))")
+            return 1
+        print(f"{args.file}: OK ({len(events)} events)")
+        return 0
+    if problems:
+        print(f"warning: {len(problems)} schema problem(s) — "
+              f"run with --check for details")
+    if args.extract_metrics:
+        metrics = ((doc.get("otherData", {}) or {}).get("metrics", {})
+                   if isinstance(doc, dict) else {})
+        with open(args.extract_metrics, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(metrics)} metrics to {args.extract_metrics}")
+    print(obs.trace_summary(doc))
     return 0
 
 
@@ -168,17 +261,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="compute Born radii and E_pol")
     _add_molecule_args(p)
     _add_params_args(p)
+    _add_obs_args(p)
     p.add_argument("--method", choices=("octree", "dualtree", "naive"),
                    default="octree")
     p.add_argument("--compare-naive", action="store_true")
+    p.add_argument("--trace-procs", type=int, default=4,
+                   help="ranks of the simulated schedule attached to "
+                        "--trace output (default 4)")
+    p.add_argument("--trace-threads", type=int, default=6,
+                   help="threads per rank of that schedule (default 6)")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("scale", help="core-count sweep on the simulated "
                                      "cluster")
     _add_molecule_args(p)
     _add_params_args(p)
+    _add_obs_args(p)
     p.add_argument("--nodes", type=int, default=40)
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("trace", help="inspect / validate a Chrome "
+                                     "trace-event JSON file")
+    p.add_argument("file", help="trace file written by solve/scale "
+                                "--trace")
+    p.add_argument("--check", action="store_true",
+                   help="validate against the trace-event schema; exit "
+                        "1 on problems")
+    p.add_argument("--extract-metrics", type=str, default=None,
+                   metavar="FILE", help="convert: write the embedded "
+                                        "metrics snapshot to FILE (JSON)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("packages", help="run the MD-package emulators")
     _add_molecule_args(p)

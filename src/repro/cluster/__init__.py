@@ -24,9 +24,10 @@ from repro.cluster.costmodel import CostModel
 from repro.cluster.simmpi import SimCluster, SimComm
 from repro.cluster.workstealing import WorkStealingSim, StealStats
 from repro.cluster.cross_rank import CrossRankStealingSim, CrossRankStats
-from repro.cluster.trace import RankStats, RunStats
+from repro.cluster.trace import PhaseSlice, RankStats, RunStats
 
 __all__ = [
+    "PhaseSlice",
     "CrossRankStealingSim",
     "CrossRankStats",
     "MachineSpec",

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import record_steal_stats
+
 
 @dataclass(frozen=True)
 class CrossRankStats:
@@ -153,6 +155,7 @@ class CrossRankStealingSim:
                 if len(ahead):
                     clocks[w] = max(clocks[w], float(ahead.min()))
 
+        record_steal_stats(intra + inter, failed, scope="cross")
         return CrossRankStats(
             makespan=float(clocks.max()),
             total_work=total,

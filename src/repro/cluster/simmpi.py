@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.costmodel import CostModel
 from repro.cluster.machine import MachineSpec, lonestar4
 from repro.cluster.trace import RankStats, RunStats
+from repro.obs import get_tracer
 
 #: Barrier timeout (real seconds) — a mismatched collective in user code
 #: fails loudly instead of deadlocking the test suite.
@@ -86,12 +87,17 @@ class SimComm:
         """This rank's virtual time (seconds since run start)."""
         return self._clock
 
-    def compute(self, seconds: float) -> None:
-        """Charge modelled computation time."""
+    def compute(self, seconds: float, label: str = "compute") -> None:
+        """Charge modelled computation time (``label`` names the trace
+        span when observability is enabled)."""
         if seconds < 0:
             raise ValueError("cannot charge negative time")
+        t0 = self._clock
         self._clock += seconds
         self.stats.comp_seconds += seconds
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.virtual_span(label, "comp", self.rank, t0, self._clock)
 
     def charge_memory(self, nbytes: int) -> None:
         """Record resident bytes for this rank's process (peak tracked)."""
@@ -111,12 +117,14 @@ class SimComm:
 
     def _collective(self, payload: Any,
                     combine: Callable[[List[Any]], Any],
-                    cost: Callable[[List[Any]], float]) -> Any:
+                    cost: Callable[[List[Any]], float],
+                    op: str = "collective") -> Any:
         """Generic synchronising collective.
 
         ``combine`` maps the slot list to the common result; ``cost``
         maps the slot list to the operation's virtual cost.  All ranks
         synchronise to the latest entry clock, then advance by the cost.
+        ``op`` names the trace event emitted when observability is on.
         """
         st = self._cluster._collective
         st.slots[self.rank] = payload
@@ -128,8 +136,18 @@ class SimComm:
         result = _payload_copy(st.result)
         t_max = float(st.entry_clocks.max())
         dt = cost(st.slots)
+        t_entry = self._clock
         self._sync_to(t_max)
         self._charge_comm(dt)
+        tracer = get_tracer()
+        if tracer.enabled:
+            nbytes = int(8 * _payload_words(payload)) if payload is not None \
+                else 0
+            if t_max > t_entry:
+                tracer.virtual_span(f"{op}.wait", "idle", self.rank,
+                                    t_entry, t_max)
+            tracer.virtual_span(op, "comm", self.rank, t_max, self._clock,
+                                payload_bytes=nbytes, size=self.size)
         st.wait()  # everyone has read before slots are reused
         return result
 
@@ -140,7 +158,8 @@ class SimComm:
             None,
             combine=lambda slots: None,
             cost=lambda slots: cm.reduce_seconds(
-                1.0, self.size, self._cluster.threads_per_rank))
+                1.0, self.size, self._cluster.threads_per_rank),
+            op="barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         cm = self._cluster.cost
@@ -149,7 +168,8 @@ class SimComm:
             combine=lambda slots: slots[root],
             cost=lambda slots: cm.reduce_seconds(
                 _payload_words(slots[root]), self.size,
-                self._cluster.threads_per_rank))
+                self._cluster.threads_per_rank),
+            op="bcast")
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Allreduce over numpy arrays or scalars (``sum``/``min``/``max``)."""
@@ -163,7 +183,8 @@ class SimComm:
             combine=reducers[op],
             cost=lambda slots: cm.allreduce_seconds(
                 _payload_words(slots[0]), self.size,
-                self._cluster.threads_per_rank))
+                self._cluster.threads_per_rank),
+            op="allreduce")
 
     def reduce(self, value: Any, root: int = 0, op: str = "sum") -> Any:
         """Reduce to ``root``; other ranks receive ``None``."""
@@ -177,7 +198,8 @@ class SimComm:
             combine=reducers[op],
             cost=lambda slots: cm.reduce_seconds(
                 _payload_words(slots[0]), self.size,
-                self._cluster.threads_per_rank))
+                self._cluster.threads_per_rank),
+            op="reduce")
         return out if self.rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
@@ -187,7 +209,8 @@ class SimComm:
             combine=lambda slots: list(slots),
             cost=lambda slots: cm.allgather_seconds(
                 max(_payload_words(s) for s in slots), self.size,
-                self._cluster.threads_per_rank))
+                self._cluster.threads_per_rank),
+            op="allgather")
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         out = self.allgather(obj)  # cost model treats gather ≈ allgather
@@ -203,7 +226,8 @@ class SimComm:
             combine=lambda slots: slots[root],
             cost=lambda slots: cm.allgather_seconds(
                 max(_payload_words(s) for s in slots[root]), self.size,
-                self._cluster.threads_per_rank))
+                self._cluster.threads_per_rank),
+            op="scatter")
         return _payload_copy(result[self.rank])
 
     # -- point-to-point ------------------------------------------------
@@ -213,9 +237,16 @@ class SimComm:
             raise ValueError(f"bad destination {dest}")
         same = (self._cluster.placement[self.rank]
                 == self._cluster.placement[dest])
+        words = _payload_words(obj)
         dt = self._cluster.cost.point_to_point_seconds(
-            _payload_words(obj), same_node=same)
+            words, same_node=same)
+        t0 = self._clock
         self._charge_comm(dt)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.virtual_span("send", "comm", self.rank, t0, self._clock,
+                                payload_bytes=int(8 * words), dest=dest,
+                                tag=tag, same_node=same)
         self._cluster._queue_for(self.rank, dest, tag).put(
             (_payload_copy(obj), self._clock))
 
@@ -224,7 +255,12 @@ class SimComm:
             raise ValueError(f"bad source {source}")
         q = self._cluster._queue_for(source, self.rank, tag)
         obj, sender_clock = q.get(timeout=_BARRIER_TIMEOUT)
+        t0 = self._clock
         self._sync_to(sender_clock)
+        tracer = get_tracer()
+        if tracer.enabled and self._clock > t0:
+            tracer.virtual_span("recv.wait", "idle", self.rank, t0,
+                                self._clock, source=source, tag=tag)
         return obj
 
 

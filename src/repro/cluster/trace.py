@@ -6,6 +6,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
+@dataclass(frozen=True)
+class PhaseSlice:
+    """One contiguous interval of a rank's virtual timeline.
+
+    ``kind`` is ``"comp"``, ``"comm"`` or ``"idle"``; comm slices carry
+    the modelled payload size.  ``repro.obs.runstats_events`` turns a
+    list of these into per-rank Chrome-trace tracks.
+    """
+
+    rank: int
+    name: str
+    kind: str
+    t0: float
+    t1: float
+    payload_bytes: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.t1 - self.t0
+
+
 @dataclass
 class RankStats:
     """Virtual-time accounting for one MPI rank."""
@@ -33,6 +54,9 @@ class RunStats:
     #: Free-form per-phase timings (seconds), e.g. {"born": ..,
     #: "allreduce": .., "push": .., "epol": .., "reduce": ..}.
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Per-rank virtual timeline (``simulate_fig4`` populates this);
+    #: empty for runtimes that only track aggregates.
+    timeline: List[PhaseSlice] = field(default_factory=list)
 
     @property
     def wall_seconds(self) -> float:
@@ -51,6 +75,13 @@ class RunStats:
     def comm_seconds(self) -> float:
         return max((r.comm_seconds for r in self.ranks), default=0.0)
 
+    def idle_seconds(self) -> float:
+        return max((r.idle_seconds for r in self.ranks), default=0.0)
+
+    def steals(self) -> int:
+        """Total successful steals across all ranks."""
+        return sum(r.steals for r in self.ranks)
+
     def memory_per_process(self) -> int:
         return max((r.memory_bytes for r in self.ranks), default=0)
 
@@ -64,4 +95,6 @@ class RunStats:
                 f"wall={self.wall_seconds:.4f}s "
                 f"comp={self.comp_seconds():.4f}s "
                 f"comm={self.comm_seconds():.4f}s "
+                f"idle={self.idle_seconds():.4f}s "
+                f"steals={self.steals()} "
                 f"mem/proc={self.memory_per_process() / 1e6:.1f}MB")

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_tracer, record_steal_stats
+
 
 @dataclass(frozen=True)
 class StealStats:
@@ -98,6 +100,8 @@ class WorkStealingSim:
 
         grain = self.grain or max(1, n // (64 * p))
         rng = np.random.default_rng(self.seed)
+        tracer = get_tracer()
+        emit_events = tracer.enabled
 
         # Deques of (lo, hi, ready_time) ranges; bottom = end of list,
         # top = index 0.  ``ready_time`` is the owner's virtual clock at
@@ -133,14 +137,23 @@ class WorkStealingSim:
                     clocks[w] = max(clocks[w], ready)
                     deques[w].append((lo, hi, clocks[w]))
                     steals += 1
+                    if emit_events:
+                        tracer.virtual_instant(
+                            "steal", "workstealing", w, float(clocks[w]),
+                            victim=victim, tasks=hi - lo)
                 else:
                     failed += 1
+                    if emit_events:
+                        tracer.virtual_instant(
+                            "failed_steal", "workstealing", w,
+                            float(clocks[w]), victim=victim)
                     # An idle worker with nothing to steal waits until
                     # someone is ahead of it in virtual time.
                     ahead = clocks[clocks > clocks[w]]
                     if len(ahead):
                         clocks[w] = max(clocks[w], float(ahead.min()))
 
+        record_steal_stats(steals, failed, scope="intra")
         return StealStats(
             makespan=float(clocks.max()),
             total_work=total,

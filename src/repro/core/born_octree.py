@@ -40,6 +40,7 @@ from repro.config import ApproxParams
 from repro.core.born_naive import integral_to_radius_r6
 from repro.core.gb import fast_rsqrt
 from repro.geomutil import ranges_to_indices
+from repro.obs import record_traversal_metrics, traced
 from repro.molecules.molecule import Molecule
 from repro.octree.build import NO_CHILD, Octree, build_octree
 
@@ -131,6 +132,7 @@ def _inv_r6(r2: np.ndarray, approx_math: bool) -> np.ndarray:
     return 1.0 / np.maximum(r2, 1e-30) ** 3
 
 
+@traced("born.approx_integrals")
 def approx_integrals(atoms_tree: Octree,
                      q_tree: Octree,
                      weighted_normals_sorted: np.ndarray,
@@ -310,6 +312,7 @@ def ancestor_prefix(tree: Octree, s_node: np.ndarray) -> np.ndarray:
     return anc
 
 
+@traced("born.push_integrals")
 def push_integrals_to_atoms(atoms_tree: Octree,
                             s_node: np.ndarray,
                             s_atom: np.ndarray,
@@ -362,6 +365,7 @@ def born_radii_octree(molecule: Molecule,
     radii_sorted = push_integrals_to_atoms(
         atoms_tree, s_node, s_atom, intrinsic_sorted)
     radii = atoms_tree.scatter_to_original(radii_sorted)
+    record_traversal_metrics("born", counts, per_source)
     return BornResult(radii=radii, s_node=s_node, s_atom=s_atom,
                       counts=counts, atoms_tree=atoms_tree,
                       qpoints_tree=q_tree, per_source=per_source)

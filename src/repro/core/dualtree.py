@@ -36,6 +36,7 @@ from repro.core.born_octree import (
 from repro.core.energy_octree import EpolResult, build_charge_buckets
 from repro.core.gb import energy_prefactor, inv_fgb_still
 from repro.geomutil import ranges_to_indices
+from repro.obs import record_bucket_metrics, record_traversal_metrics
 from repro.constants import TAU_WATER
 from repro.molecules.molecule import Molecule
 from repro.octree.build import NO_CHILD, Octree, build_octree
@@ -197,6 +198,7 @@ def born_radii_dualtree(molecule: Molecule,
                                            intrinsic_sorted)
     radii = atoms_tree.scatter_to_original(radii_sorted)
     per_source = _per_leaf_counts(atoms_tree, far_by_anode, exact_by_aleaf)
+    record_traversal_metrics("born", counts, per_source)
     return BornResult(radii=radii, s_node=s_node, s_atom=s_atom,
                       counts=counts, atoms_tree=atoms_tree,
                       qpoints_tree=q_tree, per_source=per_source)
@@ -287,6 +289,8 @@ def epol_dualtree(molecule: Molecule,
             exact_by_vleaf[int(v)] += diff.shape[0] * diff.shape[1]
 
     per_source = _per_leaf_counts(atoms_tree, far_by_unode, exact_by_vleaf)
+    record_traversal_metrics("epol", counts, per_source)
+    record_bucket_metrics(buckets)
     return EpolResult(energy=energy_prefactor(tau) * total, counts=counts,
                       buckets=buckets, atoms_tree=atoms_tree,
                       per_source=per_source)

@@ -31,6 +31,11 @@ from repro.constants import TAU_WATER
 from repro.core.born_octree import PerSourceCounts, TraversalCounts
 from repro.core.gb import energy_prefactor, inv_fgb_still
 from repro.geomutil import ranges_to_indices
+from repro.obs import (
+    record_bucket_metrics,
+    record_traversal_metrics,
+    traced,
+)
 from repro.molecules.molecule import Molecule
 from repro.octree.build import NO_CHILD, Octree, build_octree
 
@@ -63,6 +68,7 @@ class ChargeBuckets:
         return self.table.shape[1]
 
 
+@traced("epol.buckets")
 def build_charge_buckets(tree: Octree,
                          charges_sorted: np.ndarray,
                          born_sorted: np.ndarray,
@@ -98,6 +104,7 @@ def build_charge_buckets(tree: Octree,
                          base=base, products=products)
 
 
+@traced("epol.traversal")
 def approx_epol_for_leaves(atoms_tree: Octree,
                            charges_sorted: np.ndarray,
                            born_sorted: np.ndarray,
@@ -235,6 +242,8 @@ def epol_octree(molecule: Molecule,
                                    params.eps_epol)
     raw, counts, per_source = approx_epol_for_leaves(
         atoms_tree, q_sorted, R_sorted, buckets, params)
+    record_traversal_metrics("epol", counts, per_source)
+    record_bucket_metrics(buckets)
     return EpolResult(energy=energy_prefactor(tau) * raw, counts=counts,
                       buckets=buckets, atoms_tree=atoms_tree,
                       per_source=per_source)

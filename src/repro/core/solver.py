@@ -32,6 +32,7 @@ from repro.core.energy_naive import epol_naive
 from repro.core.energy_octree import EpolResult, epol_octree
 from repro.molecules.molecule import Molecule
 from repro.molecules.transform import RigidTransform
+from repro.obs import span
 from repro.octree.build import Octree, build_octree
 
 #: Traversal strategies exposed by the solver.
@@ -134,18 +135,22 @@ class PolarizationSolver:
     def born_radii(self) -> np.ndarray:
         """Per-atom effective Born radii (original atom order)."""
         if self._born is None:
-            if self.method == "naive":
-                self._born = born_radii_naive_r6(self.molecule)
-            elif self.method == "dualtree":
-                self._born_result = born_radii_dualtree(
-                    self.molecule, self.params,
-                    atoms_tree=self.atoms_tree, q_tree=self.qpoints_tree)
-                self._born = self._born_result.radii
-            else:
-                self._born_result = born_radii_octree(
-                    self.molecule, self.params,
-                    atoms_tree=self.atoms_tree, q_tree=self.qpoints_tree)
-                self._born = self._born_result.radii
+            with span("solve.born", method=self.method,
+                      natoms=self.molecule.natoms):
+                if self.method == "naive":
+                    self._born = born_radii_naive_r6(self.molecule)
+                elif self.method == "dualtree":
+                    self._born_result = born_radii_dualtree(
+                        self.molecule, self.params,
+                        atoms_tree=self.atoms_tree,
+                        q_tree=self.qpoints_tree)
+                    self._born = self._born_result.radii
+                else:
+                    self._born_result = born_radii_octree(
+                        self.molecule, self.params,
+                        atoms_tree=self.atoms_tree,
+                        q_tree=self.qpoints_tree)
+                    self._born = self._born_result.radii
         return self._born
 
     def energy(self) -> float:
@@ -153,20 +158,34 @@ class PolarizationSolver:
         radii = self.born_radii()
         if self._epol_result is not None:
             return self._epol_result.energy
-        if self.method == "naive":
-            if self._naive_energy is None:
-                self._naive_energy = epol_naive(self.molecule, radii,
-                                                tau=self.tau)
-            return self._naive_energy
-        if self.method == "dualtree":
-            self._epol_result = epol_dualtree(
-                self.molecule, radii, self.params,
-                atoms_tree=self.atoms_tree, tau=self.tau)
-        else:
-            self._epol_result = epol_octree(
-                self.molecule, radii, self.params,
-                atoms_tree=self.atoms_tree, tau=self.tau)
+        with span("solve.epol", method=self.method,
+                  natoms=self.molecule.natoms):
+            if self.method == "naive":
+                if self._naive_energy is None:
+                    self._naive_energy = epol_naive(self.molecule, radii,
+                                                    tau=self.tau)
+                return self._naive_energy
+            if self.method == "dualtree":
+                self._epol_result = epol_dualtree(
+                    self.molecule, radii, self.params,
+                    atoms_tree=self.atoms_tree, tau=self.tau)
+            else:
+                self._epol_result = epol_octree(
+                    self.molecule, radii, self.params,
+                    atoms_tree=self.atoms_tree, tau=self.tau)
         return self._epol_result.energy
+
+    @property
+    def born_result(self) -> Optional[BornResult]:
+        """Full Born-pass result (None before :meth:`born_radii`, or for
+        ``method="naive"``)."""
+        return self._born_result
+
+    @property
+    def epol_result(self) -> Optional[EpolResult]:
+        """Full energy-pass result (None before :meth:`energy`, or for
+        ``method="naive"``)."""
+        return self._epol_result
 
     def report(self) -> SolverReport:
         """Run (if needed) and summarise."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geomutil import UniformCellGrid, icosphere
+from repro.obs import traced
 from repro.molecules.molecule import Molecule, SurfaceSamples
 from repro.molecules.quadrature import dunavant_rule
 
@@ -46,6 +47,7 @@ def _unit_sphere_samples(subdivisions: int, degree: int):
     return pts, weights
 
 
+@traced("solve.sample_surface")
 def sample_surface(molecule: Molecule,
                    subdivisions: int = 1,
                    degree: int = 1,

@@ -1,0 +1,138 @@
+"""repro.obs — unified tracing + metrics for the solver and cluster.
+
+A zero-dependency (numpy-only, like the rest of the project)
+observability layer with three parts:
+
+* a context-var **span tracer** (:mod:`repro.obs.tracer`) wired into
+  the solver phases, the simmpi collectives and the work-stealing
+  scheduler — near-zero overhead while disabled;
+* a **metrics registry** (:mod:`repro.obs.metrics`) of counters /
+  gauges / histograms capturing traversal statistics the kernels
+  already compute (MAC accept/reject, near/far pairs, bucket
+  occupancy, per-leaf visit distributions);
+* **exporters** (:mod:`repro.obs.export`): Chrome trace-event JSON
+  (Perfetto-loadable, with per-rank tracks for simulated runs), plain
+  JSON and Prometheus-style text.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable()
+    with obs.span("my.phase", natoms=2000):
+        ...                                  # nested spans attach here
+    obs.write_chrome_trace("trace.json", tracer=obs.get_tracer())
+    print(obs.metrics_to_prometheus(obs.registry))
+    obs.disable()
+
+One switch (:func:`enable`/:func:`disable`) gates both tracing and
+metric capture; everything instrumented stays on the fast path while
+it is off.  ``repro solve --trace out.json --metrics`` and the
+``repro trace`` subcommand expose the same machinery on the command
+line.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.export import (
+    SOLVER_PHASES,
+    render_span_tree,
+    chrome_trace,
+    load_trace,
+    metrics_to_json,
+    metrics_to_prometheus,
+    runstats_events,
+    solver_phase_times,
+    trace_summary,
+    tracer_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.instrument import (
+    record_bucket_metrics,
+    record_steal_stats,
+    record_traversal_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracer import (
+    REAL_PID,
+    VIRTUAL_PID,
+    Span,
+    Tracer,
+    get_tracer,
+    traced,
+)
+
+#: Process-wide metrics registry (shared with :mod:`repro.obs.instrument`).
+registry = get_registry()
+
+
+def enable(reset: bool = False) -> None:
+    """Turn on tracing + metric capture (optionally from a clean slate)."""
+    if reset:
+        get_tracer().reset()
+        registry.reset()
+    get_tracer().enable()
+
+
+def disable() -> None:
+    """Turn off tracing + metric capture (collected data is kept)."""
+    get_tracer().disable()
+
+
+def is_enabled() -> bool:
+    return get_tracer().enabled
+
+
+def span(name: str, cat: str = "solver", **args: Any):
+    """Open a span on the process tracer (see :meth:`Tracer.span`)."""
+    return get_tracer().span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "solver", **args: Any) -> None:
+    """Record a point event on the process tracer."""
+    get_tracer().instant(name, cat, **args)
+
+
+__all__ = [
+    "SOLVER_PHASES",
+    "REAL_PID",
+    "VIRTUAL_PID",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "get_registry",
+    "get_tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "span",
+    "instant",
+    "chrome_trace",
+    "tracer_events",
+    "runstats_events",
+    "write_chrome_trace",
+    "load_trace",
+    "validate_chrome_trace",
+    "trace_summary",
+    "render_span_tree",
+    "solver_phase_times",
+    "traced",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "record_traversal_metrics",
+    "record_bucket_metrics",
+    "record_steal_stats",
+]

@@ -1,0 +1,307 @@
+"""Exporters: Chrome trace-event JSON, plain JSON and Prometheus text.
+
+The Chrome trace-event format (the ``traceEvents`` JSON consumed by
+Perfetto / ``chrome://tracing``) is the interchange target: real solver
+spans become one track per OS thread, and simulated cluster timelines
+(:class:`repro.cluster.trace.RunStats`) become one track per MPI rank
+so a Fig. 4 schedule can be inspected visually.  See
+``docs/OBSERVABILITY.md`` for the reading guide.
+
+Everything here is duck-typed against :class:`RunStats` (``processes``,
+``threads``, ``ranks``, ``phases``, ``timeline`` attributes) to keep
+``repro.obs`` import-independent from the cluster layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.tracer import REAL_PID, VIRTUAL_PID, Tracer
+
+#: Canonical solver phases, in execution order, with the span names
+#: that contribute to each (used by ``repro solve`` per-phase timing).
+SOLVER_PHASES = (
+    ("sample_surface", ("solve.sample_surface",)),
+    ("octree_build", ("solve.octree_build",)),
+    ("born", ("born.approx_integrals",)),
+    ("push", ("born.push_integrals",)),
+    ("epol", ("epol.buckets", "epol.traversal")),
+)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace assembly
+# ---------------------------------------------------------------------------
+
+
+def _metadata_event(pid: int, tid: Optional[int], name: str,
+                    value: str) -> Dict[str, Any]:
+    ev: Dict[str, Any] = {"name": name, "ph": "M", "pid": pid, "ts": 0,
+                          "args": {"name": value}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def tracer_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Tracer snapshot + metadata records naming the real tracks."""
+    events = tracer.events()
+    meta = [_metadata_event(REAL_PID, None, "process_name", "repro solver")]
+    for tid, name in sorted(tracer.thread_names().items()):
+        meta.append(_metadata_event(REAL_PID, tid, "thread_name", name))
+    if any(ev.get("pid") == VIRTUAL_PID for ev in events):
+        meta.append(_metadata_event(VIRTUAL_PID, None, "process_name",
+                                    "simulated cluster (virtual time)"))
+        ranks = sorted({ev["tid"] for ev in events
+                       if ev.get("pid") == VIRTUAL_PID})
+        for r in ranks:
+            meta.append(_metadata_event(VIRTUAL_PID, r, "thread_name",
+                                        f"rank {r}"))
+    return meta + events
+
+
+def runstats_events(stats: Any, pid: int = VIRTUAL_PID + 1
+                    ) -> List[Dict[str, Any]]:
+    """Convert a simulated run into per-rank Chrome trace tracks.
+
+    ``stats`` is a :class:`repro.cluster.trace.RunStats`.  When its
+    ``timeline`` is populated (``simulate_fig4`` does this) every
+    :class:`PhaseSlice` becomes one complete event on its rank's track,
+    comm slices carrying ``payload_bytes``; otherwise the per-phase
+    totals are laid out sequentially on a single summary track.
+    """
+    label = (f"simulated run P={stats.processes} p={stats.threads} "
+             f"(virtual time)")
+    events: List[Dict[str, Any]] = [
+        _metadata_event(pid, None, "process_name", label)]
+    timeline = getattr(stats, "timeline", None) or []
+    if timeline:
+        for r in sorted({s.rank for s in timeline}):
+            events.append(_metadata_event(pid, r, "thread_name",
+                                          f"rank {r}"))
+        for s in timeline:
+            ev: Dict[str, Any] = {
+                "name": s.name, "cat": s.kind, "ph": "X",
+                "ts": s.t0 * 1e6, "dur": max(0.0, (s.t1 - s.t0) * 1e6),
+                "pid": pid, "tid": s.rank,
+            }
+            args: Dict[str, Any] = {"kind": s.kind}
+            if s.payload_bytes:
+                args["payload_bytes"] = int(s.payload_bytes)
+            ev["args"] = args
+            events.append(ev)
+        return events
+    events.append(_metadata_event(pid, 0, "thread_name", "phases"))
+    t = 0.0
+    for name, seconds in getattr(stats, "phases", {}).items():
+        events.append({"name": name, "cat": "phase", "ph": "X",
+                       "ts": t * 1e6, "dur": max(0.0, seconds * 1e6),
+                       "pid": pid, "tid": 0})
+        t += seconds
+    return events
+
+
+def chrome_trace(tracer: Optional[Tracer] = None,
+                 runstats: Any = None,
+                 metrics: Optional[MetricsRegistry] = None
+                 ) -> Dict[str, Any]:
+    """Assemble a Perfetto-loadable trace document.
+
+    Any combination of sources may be given; metrics (if any) ride
+    along under ``otherData`` so one file carries the whole story.
+    """
+    events: List[Dict[str, Any]] = []
+    if tracer is not None:
+        events.extend(tracer_events(tracer))
+    if runstats is not None:
+        stats_list = runstats if isinstance(runstats, (list, tuple)) \
+            else [runstats]
+        for i, stats in enumerate(stats_list):
+            events.extend(runstats_events(stats, pid=VIRTUAL_PID + 1 + i))
+    doc: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics.collect()}
+    return doc
+
+
+def write_chrome_trace(path: str,
+                       tracer: Optional[Tracer] = None,
+                       runstats: Any = None,
+                       metrics: Optional[MetricsRegistry] = None) -> str:
+    """Write :func:`chrome_trace` output to ``path``; returns ``path``."""
+    doc = chrome_trace(tracer=tracer, runstats=runstats, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"))
+    return path
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# Validation / inspection (repro trace --check / --summary)
+# ---------------------------------------------------------------------------
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema check against the trace-event format; [] when valid."""
+    problems: List[str] = []
+    if isinstance(doc, list):
+        events = doc
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level 'traceEvents' must be a list"]
+    else:
+        return ["trace must be a JSON object or array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        if not isinstance(ph, str) or not ph:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if ph in ("X", "B", "E", "i", "I", "C"):
+            for key in ("ts", "pid", "tid"):
+                if not isinstance(ev.get(key), (int, float)):
+                    problems.append(f"{where}: '{ph}' event missing "
+                                    f"numeric '{key}'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: 'X' event missing numeric 'dur'")
+            elif dur < 0:
+                problems.append(f"{where}: negative 'dur'")
+        if ph == "M" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: 'M' event missing 'args'")
+        if len(problems) > 50:
+            problems.append("… (truncated)")
+            break
+    return problems
+
+
+def trace_summary(doc: Any) -> str:
+    """Human summary: per-track event counts and per-name span totals."""
+    events = doc if isinstance(doc, list) else doc.get("traceEvents", [])
+    tracks: Dict[Any, int] = {}
+    names: Dict[str, List[float]] = {}
+    track_names: Dict[Any, str] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                key = (ev.get("pid"), ev.get("tid"))
+                track_names[key] = ev.get("args", {}).get("name", "")
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        tracks[key] = tracks.get(key, 0) + 1
+        if ph == "X":
+            names.setdefault(ev.get("name", "?"), []).append(
+                float(ev.get("dur", 0.0)))
+    lines = [f"events: {sum(tracks.values())} on {len(tracks)} track(s)"]
+    for key in sorted(tracks, key=str):
+        label = track_names.get(key, f"pid={key[0]} tid={key[1]}")
+        lines.append(f"  track {label!r:30s} {tracks[key]:6d} events")
+    if names:
+        lines.append("span totals (ms):")
+        for name in sorted(names, key=lambda n: -sum(names[n])):
+            durs = names[name]
+            lines.append(f"  {name:32s} n={len(durs):<6d} "
+                         f"total={sum(durs) / 1e3:10.3f}")
+    return "\n".join(lines)
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """Indented real-time span tree with durations (CLI per-phase view).
+
+    Uses the ``span_id``/``parent_id`` links the tracer records, so
+    nesting is exact even across recursive or repeated phases.
+    """
+    spans = [ev for ev in tracer.events()
+             if ev.get("ph") == "X" and ev.get("pid") == REAL_PID]
+    by_parent: Dict[int, List[Dict[str, Any]]] = {}
+    for ev in spans:
+        args = ev.get("args", {})
+        by_parent.setdefault(args.get("parent_id", 0), []).append(ev)
+
+    lines: List[str] = []
+
+    def emit(parent: int, depth: int) -> None:
+        for ev in sorted(by_parent.get(parent, []),
+                         key=lambda e: e["ts"]):
+            lines.append(f"{'  ' * depth}{ev['name']:<{38 - 2 * depth}s} "
+                         f"{ev['dur'] / 1e6:9.3f} s")
+            emit(ev.get("args", {}).get("span_id", -1), depth + 1)
+
+    emit(0, 0)
+    return "\n".join(lines)
+
+
+def solver_phase_times(tracer: Tracer) -> Dict[str, float]:
+    """Seconds per canonical solver phase from a tracer snapshot.
+
+    Phases with no recorded spans are omitted (e.g. no ``epol`` spans
+    when only Born radii were computed).
+    """
+    totals: Dict[str, float] = {}
+    for ev in tracer.events():
+        if ev.get("ph") != "X" or ev.get("pid") != REAL_PID:
+            continue
+        for phase, span_names in SOLVER_PHASES:
+            if ev["name"] in span_names:
+                totals[phase] = totals.get(phase, 0.0) + ev["dur"] / 1e6
+    return {phase: totals[phase] for phase, _ in SOLVER_PHASES
+            if phase in totals}
+
+
+# ---------------------------------------------------------------------------
+# Metrics exporters
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_"
+                      for c in name)
+    return f"repro_{cleaned}"
+
+
+def metrics_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(registry.collect(), indent=indent, sort_keys=True)
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (counters, gauges and histograms)."""
+    lines: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        prom = _prom_name(name)
+        if metric.help:
+            lines.append(f"# HELP {prom} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {metric.value:g}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {metric.value:g}")
+        else:
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds,
+                                    metric.bucket_counts()):
+                cumulative += count
+                lines.append(f'{prom}_bucket{{le="{bound:g}"}} '
+                             f"{cumulative}")
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{prom}_sum {metric.sum:g}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,87 @@
+"""Bridges from solver data structures to the metrics registry.
+
+The traversal kernels already compute everything worth counting —
+:class:`repro.core.born_octree.TraversalCounts`, per-source leaf
+arrays, charge-bucket tables, steal statistics — so instrumentation is
+a bulk copy into named metrics after each pass, not per-operation
+bookkeeping.  Every helper is a no-op while observability is disabled
+and is duck-typed (no imports from ``repro.core``/``repro.cluster``)
+to keep this package dependency-free within the project.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+registry = get_registry()
+
+#: Bucket edges for per-leaf visit/interaction histograms.
+LEAF_HIST_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                    5000, 10000, 50000, 100000)
+
+
+def record_traversal_metrics(prefix: str, counts: Any,
+                             per_source: Any = None) -> None:
+    """Publish one traversal's counters under ``prefix``.
+
+    ``counts`` is a ``TraversalCounts``; MAC *accepts* are the pairs
+    settled by the far-field approximation, *rejects* the pairs that
+    had to descend (visits − accepts).
+    """
+    if not get_tracer().enabled:
+        return
+    accepts = int(counts.far_evaluations)
+    visits = int(counts.frontier_visits)
+    registry.counter(f"{prefix}.mac_accepts",
+                     "pairs settled by the far-field MAC").inc(accepts)
+    registry.counter(f"{prefix}.mac_rejects",
+                     "pairs that descended (visits - accepts)").inc(
+        max(0, visits - accepts))
+    registry.counter(f"{prefix}.frontier_visits",
+                     "(source, target) pairs examined").inc(visits)
+    registry.counter(f"{prefix}.near_pair_blocks",
+                     "exact leaf-leaf blocks").inc(
+        int(counts.near_pair_blocks))
+    registry.counter(f"{prefix}.exact_interactions",
+                     "point-point exact terms").inc(
+        int(counts.exact_interactions))
+    if per_source is not None:
+        registry.histogram(f"{prefix}.leaf_visits",
+                           "per-source-leaf frontier visits",
+                           bounds=LEAF_HIST_BOUNDS
+                           ).observe_many(per_source.visits)
+        registry.histogram(f"{prefix}.leaf_exact_interactions",
+                           "per-source-leaf exact terms",
+                           bounds=LEAF_HIST_BOUNDS
+                           ).observe_many(per_source.exact_interactions)
+
+
+def record_bucket_metrics(buckets: Any) -> None:
+    """Publish charge-bucket shape metrics (``ChargeBuckets``)."""
+    if not get_tracer().enabled:
+        return
+    table = np.asarray(buckets.table)
+    registry.gauge("epol.nbuckets",
+                   "Born-radius buckets M_eps").set(table.shape[1])
+    # Occupancy: how many of a node's M_eps buckets hold charge — the
+    # quantity that decides the far-field kernel's effective cost.
+    registry.histogram("epol.bucket_occupancy",
+                       "nonzero buckets per octree node",
+                       bounds=tuple(range(1, table.shape[1] + 2))
+                       ).observe_many((table != 0.0).sum(axis=1))
+
+
+def record_steal_stats(steals: int, failed: int,
+                       scope: str = "intra") -> None:
+    """Publish one parallel region's steal totals (scope: intra/cross)."""
+    if not get_tracer().enabled:
+        return
+    registry.counter(f"workstealing.{scope}.steals",
+                     "successful steal attempts").inc(int(steals))
+    registry.counter(f"workstealing.{scope}.failed_steals",
+                     "failed steal attempts").inc(int(failed))

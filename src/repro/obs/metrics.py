@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The solvers compute rich traversal statistics (MAC accept/reject
+counts, near/far pair blocks, per-leaf visit distributions, charge
+bucket occupancy) and, before this module, threw them away after each
+run.  A :class:`MetricsRegistry` keeps them addressable by name so the
+CLI, benchmarks and tests can export one coherent snapshot as JSON or
+Prometheus-style text (see :mod:`repro.obs.export`).
+
+Metric names use dotted paths (``"born.mac_accepts"``); exporters
+rewrite them to the target format's conventions (``repro_born_
+mac_accepts`` for Prometheus).  All mutating operations are
+lock-protected — simmpi rank threads update shared metrics
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+#: Default histogram bucket boundaries: decade/half-decade grid wide
+#: enough for operation counts (1 … 1e9) without per-metric tuning.
+DEFAULT_BOUNDS = tuple(float(b) for e in range(10) for b in
+                       (10 ** e, 3 * 10 ** e))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count, Prometheus-compatible.
+
+    ``bounds`` are the *upper* edges of the finite buckets; values
+    above the last edge land in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 bounds: Optional[Sequence[Number]] = None) -> None:
+        self.name = name
+        self.help = help
+        edges = sorted(float(b) for b in (bounds or DEFAULT_BOUNDS))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.bounds = tuple(edges)
+        self._counts = np.zeros(len(edges) + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        self.observe_many([value])
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        """Vectorised bulk observation (per-leaf arrays, bucket rows)."""
+        arr = np.asarray(list(values) if not isinstance(
+            values, np.ndarray) else values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.bounds), arr, side="left")
+        add = np.bincount(idx, minlength=len(self._counts))
+        with self._lock:
+            self._counts += add.astype(np.int64)
+            self._sum += float(arr.sum())
+            self._count += int(arr.size)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        return [int(c) for c in self._counts]
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name → metric store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Optional[Sequence[Number]] = None) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, bounds)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(f"{name!r} already registered as "
+                                f"{type(metric).__name__}")
+            return metric
+
+    def _get_or_create(self, name: str, help: str, cls) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(f"{name!r} already registered as "
+                                f"{type(metric).__name__}")
+            return metric
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(metrics):
+            m = metrics[name]
+            if isinstance(m, Counter):
+                out[name] = {"type": "counter", "value": m.value}
+            elif isinstance(m, Gauge):
+                out[name] = {"type": "gauge", "value": m.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": m.count,
+                    "sum": m.sum,
+                    "bounds": list(m.bounds),
+                    "bucket_counts": m.bucket_counts(),
+                }
+        return out
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry

@@ -1,0 +1,248 @@
+"""Context-var span tracer: nested, thread-safe, near-zero overhead off.
+
+Two timelines share one event buffer:
+
+* **real time** — :meth:`Tracer.span` / :meth:`Tracer.instant` stamp
+  events with ``perf_counter_ns`` relative to the tracer epoch; one
+  track per OS thread (the simmpi rank threads are named, so a
+  ``run_fig4_simmpi`` run shows one real track per rank);
+* **virtual time** — :meth:`Tracer.virtual_span` /
+  :meth:`Tracer.virtual_instant` stamp events with the simulated
+  cluster's virtual seconds; one track per MPI rank under a separate
+  process group (:data:`VIRTUAL_PID`).
+
+Events are stored directly in Chrome trace-event form (``ph``/``ts``/
+``dur``/``pid``/``tid``, microsecond timestamps), so export is a JSON
+dump plus metadata records.  Span nesting is tracked through a
+``contextvars.ContextVar``: each thread (and each simmpi rank thread)
+carries its own current-span id, so concurrent ranks never corrupt each
+other's parent chains.
+
+When the tracer is disabled — the default — ``span()`` builds one
+small object and ``__enter__``/``__exit__`` reduce to a single
+attribute test each, so instrumented hot paths stay within the
+benchmark noise floor (guarded by ``tests/obs/test_tracer.py``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+#: ``pid`` used by real-time tracks (one per OS thread).
+REAL_PID = 1
+#: ``pid`` used by virtual-time tracks (one per simulated MPI rank).
+VIRTUAL_PID = 100
+
+#: Current span id of the calling thread/context (0 = no open span).
+_current_span: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_obs_current_span", default=0)
+
+
+class Span:
+    """Context manager for one traced region.
+
+    Instances are created unconditionally by :meth:`Tracer.span`; all
+    real work is skipped unless the tracer was enabled at entry.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0_ns", "_token",
+                 "span_id", "parent_id")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0_ns = 0
+        self._token: Optional[contextvars.Token] = None
+        self.span_id = 0
+        self.parent_id = 0
+
+    def __enter__(self) -> "Span":
+        tr = self._tracer
+        if not tr.enabled:
+            return self
+        self.span_id = next(tr._ids)
+        self.parent_id = _current_span.get()
+        self._token = _current_span.set(self.span_id)
+        self._t0_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is None:  # entered while disabled
+            return False
+        t1_ns = time.perf_counter_ns()
+        _current_span.reset(self._token)
+        self._token = None
+        self._tracer._emit_real(self.name, self.cat, self._t0_ns, t1_ns,
+                                self.span_id, self.parent_id, self.args)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe collector of trace events.
+
+    One module-level instance (see :func:`get_tracer`) serves the whole
+    process; tests may build private tracers.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._ids = itertools.count(1)
+        self._tids: Dict[int, int] = {}
+        self._thread_names: Dict[int, str] = {}
+        self._epoch_ns = time.perf_counter_ns()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop collected events and restart the clock/id counters."""
+        with self._lock:
+            self._events = []
+            self._ids = itertools.count(1)
+            self._tids = {}
+            self._thread_names = {}
+            self._epoch_ns = time.perf_counter_ns()
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot of the collected events (copies the list, not the
+        event dicts)."""
+        with self._lock:
+            return list(self._events)
+
+    def thread_names(self) -> Dict[int, str]:
+        """Compact tid → thread-name map for metadata records."""
+        with self._lock:
+            return dict(self._thread_names)
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "solver", **args: Any):
+        """Open a (potentially nested) real-time span::
+
+            with tracer.span("born.approx_integrals", natoms=m):
+                ...
+
+        While the tracer is disabled this returns a shared no-op span
+        (a span opened in the disabled state is never recorded, even if
+        tracing is enabled before it closes).
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, cat, args or None)
+
+    def instant(self, name: str, cat: str = "solver", **args: Any) -> None:
+        """Record a real-time point event."""
+        if not self.enabled:
+            return
+        ts = (time.perf_counter_ns() - self._epoch_ns) / 1e3
+        self._append({"name": name, "cat": cat, "ph": "i", "ts": ts,
+                      "s": "t", "pid": REAL_PID, "tid": self._tid(),
+                      **({"args": args} if args else {})})
+
+    def virtual_span(self, name: str, cat: str, rank: int,
+                     t0: float, t1: float, **args: Any) -> None:
+        """Record a completed span on a rank's *virtual* timeline.
+
+        ``t0``/``t1`` are virtual seconds since the simulated run
+        started; the event lands on the ``VIRTUAL_PID`` process group,
+        one track (tid) per rank.
+        """
+        if not self.enabled:
+            return
+        self._append({"name": name, "cat": cat, "ph": "X",
+                      "ts": t0 * 1e6, "dur": max(0.0, (t1 - t0) * 1e6),
+                      "pid": VIRTUAL_PID, "tid": int(rank),
+                      **({"args": args} if args else {})})
+
+    def virtual_instant(self, name: str, cat: str, rank: int,
+                        t: float, **args: Any) -> None:
+        """Record a point event on a rank's virtual timeline."""
+        if not self.enabled:
+            return
+        self._append({"name": name, "cat": cat, "ph": "i", "ts": t * 1e6,
+                      "s": "t", "pid": VIRTUAL_PID, "tid": int(rank),
+                      **({"args": args} if args else {})})
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_real(self, name: str, cat: str, t0_ns: int, t1_ns: int,
+                   span_id: int, parent_id: int,
+                   args: Optional[Dict[str, Any]]) -> None:
+        ev_args: Dict[str, Any] = dict(args) if args else {}
+        ev_args["span_id"] = span_id
+        if parent_id:
+            ev_args["parent_id"] = parent_id
+        self._append({"name": name, "cat": cat, "ph": "X",
+                      "ts": (t0_ns - self._epoch_ns) / 1e3,
+                      "dur": (t1_ns - t0_ns) / 1e3,
+                      "pid": REAL_PID, "tid": self._tid(),
+                      "args": ev_args})
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+                self._thread_names[tid] = threading.current_thread().name
+        return tid
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _tracer
+
+
+def traced(name: str, cat: str = "solver") -> Callable:
+    """Decorator: run the function inside a span when tracing is on.
+
+    The disabled path adds one wrapper call and one attribute test to
+    the decorated function — cheap enough for the chunky traversal
+    kernels this is applied to (not for per-element inner loops).
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _tracer.enabled:
+                return fn(*args, **kwargs)
+            with _tracer.span(name, cat):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate

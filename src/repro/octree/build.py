@@ -19,6 +19,7 @@ from typing import List
 
 import numpy as np
 
+from repro.obs import traced
 from repro.octree import morton
 from repro.molecules.transform import RigidTransform
 
@@ -144,6 +145,7 @@ class Octree:
         )
 
 
+@traced("solve.octree_build")
 def build_octree(points: np.ndarray,
                  leaf_size: int = 32,
                  max_depth: int = morton.BITS_PER_AXIS) -> Octree:

@@ -25,7 +25,7 @@ from repro.cluster.costmodel import CostModel
 from repro.cluster.hybrid import run_intra_rank
 from repro.cluster.machine import MachineSpec, lonestar4
 from repro.cluster.simmpi import SimCluster
-from repro.cluster.trace import RankStats, RunStats
+from repro.cluster.trace import PhaseSlice, RankStats, RunStats
 from repro.config import ApproxParams
 from repro.constants import TAU_WATER
 from repro.core.born_octree import (
@@ -104,7 +104,7 @@ def run_fig4_simmpi(molecule: Molecule,
                 atom_range=a_atom_segs[comm.rank])
         comm.compute(cost.born_compute_seconds(
             cnt.frontier_visits, cnt.far_evaluations,
-            cnt.exact_interactions, params.approx_math))
+            cnt.exact_interactions, params.approx_math), label="born")
 
         # Step 3 — gather everyone's partial integrals.
         packed = comm.allreduce(np.concatenate([s_node, s_atom]))
@@ -117,7 +117,7 @@ def run_fig4_simmpi(molecule: Molecule,
             atoms_tree, s_node_t, s_atom_t, intrinsic_sorted,
             atom_range=seg)
         comm.compute(cost.push_compute_seconds(
-            seg[1] - seg[0], atoms_tree.nnodes / comm.size))
+            seg[1] - seg[0], atoms_tree.nnodes / comm.size), label="push")
 
         # Step 5 — share Born radii segments.
         parts = comm.allgather(radii_sorted[seg[0]:seg[1]])
@@ -131,7 +131,8 @@ def run_fig4_simmpi(molecule: Molecule,
             v_leaf_subset=a_leaf_segs[comm.rank])
         comm.compute(cost.epol_compute_seconds(
             cnt2.frontier_visits, cnt2.far_evaluations,
-            cnt2.exact_interactions, buckets.nbuckets, params.approx_math))
+            cnt2.exact_interactions, buckets.nbuckets, params.approx_math),
+            label="epol")
 
         # Step 7 — master accumulates the energy.
         total_raw = comm.reduce(raw, root=0)
@@ -240,7 +241,7 @@ def simulate_fig4(profile: WorkProfile,
         return np.asarray(cuts)
 
     def phase_over_ranks(leaf_sec: np.ndarray, phase_seed: int
-                         ) -> Tuple[np.ndarray, int]:
+                         ) -> Tuple[np.ndarray, np.ndarray]:
         if segmenting == "stealing":
             from repro.cluster.cross_rank import CrossRankStealingSim
             sim = CrossRankStealingSim(
@@ -256,17 +257,21 @@ def simulate_fig4(profile: WorkProfile,
                      if (p > 1 and P > 1) else 0.0)
             jitter = float(np.exp(rng.normal(0.0, noise_sigma)))
             t = (st.makespan + extra) * mem_factor * jitter
-            return np.full(P, t, dtype=np.float64), st.steals
+            # The cross-rank simulator reports one pooled count; spread
+            # it so per-rank accounting still sums to the total.
+            spread = np.full(P, st.steals // P, dtype=np.int64)
+            spread[:st.steals % P] += 1
+            return np.full(P, t, dtype=np.float64), spread
         bounds = _segment_bounds_for(leaf_sec)
         times = np.empty(P, dtype=np.float64)
-        steals = 0
+        steals = np.zeros(P, dtype=np.int64)
         jitter = noise()
         for r in range(P):
             seg = leaf_sec[bounds[r]:bounds[r + 1]]
             out = run_intra_rank(seg, p, cost, seed=phase_seed * 131 + r,
                                  mpi_interface=(P > 1))
             times[r] = out.seconds * mem_factor * jitter[r]
-            steals += out.steals
+            steals[r] = out.steals
         return times, steals
 
     born_times, born_steals = phase_over_ranks(born_leaf_sec, seed * 7 + 1)
@@ -296,6 +301,36 @@ def simulate_fig4(profile: WorkProfile,
         "reduce": comm_reduce,
     }
 
+    # Per-rank virtual timeline: each Fig. 4 step is one comp slice per
+    # rank padded with idle to the step barrier, or one comm slice
+    # (collectives synchronise, so all ranks share those intervals).
+    comm_payloads = {
+        "allreduce": 8 * (profile.atoms_nodes + profile.natoms),
+        "allgather": int(8 * profile.natoms / P),
+        "reduce": 8,
+    }
+    steps = (("born", born_times), ("allreduce", comm_allreduce),
+             ("push", push_times), ("allgather", comm_allgather),
+             ("epol", epol_times), ("reduce", comm_reduce))
+    timeline: List[PhaseSlice] = []
+    t_base = 0.0
+    for name, dur in steps:
+        if isinstance(dur, np.ndarray):
+            t_end = t_base + float(dur.max())
+            for r in range(P):
+                t_r = t_base + float(dur[r])
+                timeline.append(PhaseSlice(r, name, "comp", t_base, t_r))
+                if t_end > t_r:
+                    timeline.append(PhaseSlice(r, f"{name}.wait", "idle",
+                                               t_r, t_end))
+        else:
+            t_end = t_base + float(dur)
+            nbytes = comm_payloads.get(name, 0)
+            for r in range(P):
+                timeline.append(PhaseSlice(r, name, "comm", t_base, t_end,
+                                           payload_bytes=nbytes))
+        t_base = t_end
+
     ranks: List[RankStats] = []
     for r in range(P):
         comp = float(born_times[r] + push_times[r] + epol_times[r])
@@ -304,6 +339,8 @@ def simulate_fig4(profile: WorkProfile,
                      + (epol_times.max() - epol_times[r]))
         ranks.append(RankStats(rank=r, comp_seconds=comp,
                                comm_seconds=comm_total, idle_seconds=idle,
-                               steals=born_steals + epol_steals,
+                               steals=int(born_steals[r]
+                                          + epol_steals[r]),
                                memory_bytes=proc_bytes))
-    return RunStats(processes=P, threads=p, ranks=ranks, phases=phases)
+    return RunStats(processes=P, threads=p, ranks=ranks, phases=phases,
+                    timeline=timeline)

@@ -24,6 +24,7 @@ from repro.cluster.machine import MachineSpec
 from repro.cluster.trace import RunStats
 from repro.config import ApproxParams
 from repro.molecules.molecule import Molecule
+from repro.obs import span
 from repro.parallel.distributed import simulate_fig4
 from repro.parallel.profile import WorkProfile
 
@@ -72,8 +73,10 @@ def _run(name: str, molecule: Molecule, params: ApproxParams,
          machine: Optional[MachineSpec], cost: Optional[CostModel],
          seed: int) -> DriverResult:
     profile = _profiles.get(molecule, params, method)
-    stats = simulate_fig4(profile, processes, threads,
-                          machine=machine, cost=cost, seed=seed)
+    with span("driver.simulate", driver=name, processes=processes,
+              threads=threads):
+        stats = simulate_fig4(profile, processes, threads,
+                              machine=machine, cost=cost, seed=seed)
     return DriverResult(name=name, energy=profile.energy,
                         born_radii=profile.born_radii,
                         wall_seconds=stats.wall_seconds, stats=stats,

@@ -25,6 +25,7 @@ from repro.core.born_octree import (
 from repro.core.dualtree import born_radii_dualtree, epol_dualtree
 from repro.core.energy_octree import EpolResult, epol_octree
 from repro.molecules.molecule import Molecule
+from repro.obs import span
 from repro.octree.build import Octree
 
 
@@ -61,6 +62,13 @@ class WorkProfile:
         """Run the solver once and capture per-leaf work. ``method`` is
         ``"octree"`` (single-tree, Figs. 2–3) or ``"dualtree"``
         (prior-work OCT_CILK algorithm)."""
+        with span("profile.from_molecule", method=method,
+                  natoms=molecule.natoms):
+            return cls._from_molecule(molecule, params, method)
+
+    @classmethod
+    def _from_molecule(cls, molecule: Molecule, params: ApproxParams,
+                       method: str) -> "WorkProfile":
         if method == "octree":
             born: BornResult = born_radii_octree(molecule, params)
             epol: EpolResult = epol_octree(molecule, born.radii, params,
@@ -91,6 +99,43 @@ class WorkProfile:
             data_bytes=int(data_bytes),
             energy=epol.energy,
             born_radii=born.radii,
+        )
+
+    @classmethod
+    def from_solver(cls, solver) -> "WorkProfile":
+        """Capture a profile from an already-run PolarizationSolver.
+
+        Reuses the solver's cached traversal results instead of paying
+        a second traversal (``repro solve --trace`` uses this to attach
+        a simulated schedule to a solve it just traced).  Requires an
+        octree/dualtree solver; the naive method records no per-leaf
+        counts.
+        """
+        if solver.method not in ("octree", "dualtree"):
+            raise ValueError("naive solves record no per-leaf work")
+        energy = solver.energy()   # ensures both passes have run
+        born = solver.born_result
+        epol = solver.epol_result
+        atoms_tree = solver.atoms_tree
+        q_tree = solver.qpoints_tree
+        molecule = solver.molecule
+        working = 8 * (atoms_tree.nnodes + 2 * atoms_tree.npoints)
+        data_bytes = (molecule.nbytes() + atoms_tree.nbytes()
+                      + q_tree.nbytes() + working)
+        return cls(
+            name=molecule.name,
+            natoms=molecule.natoms,
+            nqpoints=molecule.nqpoints,
+            params=solver.params,
+            method=solver.method,
+            born_per_source=born.per_source,
+            epol_per_source=epol.per_source,
+            nbuckets=epol.buckets.nbuckets,
+            atoms_nodes=atoms_tree.nnodes,
+            qpoints_nodes=q_tree.nnodes,
+            data_bytes=int(data_bytes),
+            energy=energy,
+            born_radii=solver.born_radii(),
         )
 
     @property

@@ -1,0 +1,157 @@
+"""Exporters: Chrome trace round-trip, validation, RunStats tracks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.cluster.trace import PhaseSlice, RankStats, RunStats
+from repro.obs.export import (
+    chrome_trace,
+    render_span_tree,
+    runstats_events,
+    solver_phase_times,
+    trace_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import REAL_PID, VIRTUAL_PID, Tracer
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    tr = Tracer()
+    tr.enable()
+    with tr.span("solve"):
+        with tr.span("solve.sample_surface"):
+            pass
+        with tr.span("solve.born"):
+            with tr.span("solve.octree_build"):
+                pass
+            with tr.span("born.approx_integrals"):
+                pass
+            with tr.span("born.push_integrals"):
+                pass
+        with tr.span("solve.epol"):
+            with tr.span("epol.buckets"):
+                pass
+            with tr.span("epol.traversal"):
+                pass
+    tr.virtual_span("allreduce", "comm", rank=0, t0=0.1, t1=0.2,
+                    payload_bytes=1024)
+    return tr
+
+
+@pytest.fixture
+def stats() -> RunStats:
+    timeline = [
+        PhaseSlice(0, "born", "comp", 0.0, 1.0),
+        PhaseSlice(1, "born", "comp", 0.0, 0.8),
+        PhaseSlice(1, "allreduce.wait", "idle", 0.8, 1.0),
+        PhaseSlice(0, "allreduce", "comm", 1.0, 1.1, payload_bytes=4096),
+        PhaseSlice(1, "allreduce", "comm", 1.0, 1.1, payload_bytes=4096),
+    ]
+    return RunStats(processes=2, threads=6,
+                    ranks=[RankStats(0, 1.0, 0.1, 0.0, steals=3),
+                           RankStats(1, 0.8, 0.1, 0.2, steals=5)],
+                    phases={"born": 1.0, "allreduce": 0.1},
+                    timeline=timeline)
+
+
+def test_chrome_trace_roundtrip_is_valid(tmp_path, tracer, stats):
+    reg = MetricsRegistry()
+    reg.counter("born.mac_accepts").inc(10)
+    path = write_chrome_trace(str(tmp_path / "t.json"), tracer=tracer,
+                              runstats=stats, metrics=reg)
+    doc = json.loads(open(path, encoding="utf-8").read())
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    # Complete events carry the full X schema.
+    for ev in events:
+        if ev["ph"] == "X":
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+    # Metrics rode along.
+    assert doc["otherData"]["metrics"]["born.mac_accepts"]["value"] == 10
+
+
+def test_runstats_become_per_rank_tracks(stats):
+    events = runstats_events(stats, pid=VIRTUAL_PID + 1)
+    xs = [ev for ev in events if ev["ph"] == "X"]
+    assert {ev["tid"] for ev in xs} == {0, 1}
+    comm = [ev for ev in xs if ev["cat"] == "comm"]
+    assert all(ev["args"]["payload_bytes"] == 4096 for ev in comm)
+    idle = [ev for ev in xs if ev["cat"] == "idle"]
+    assert idle and idle[0]["name"] == "allreduce.wait"
+    # Track names are announced via metadata records.
+    names = {ev["args"]["name"] for ev in events if ev["ph"] == "M"
+             and ev["name"] == "thread_name"}
+    assert names == {"rank 0", "rank 1"}
+
+
+def test_runstats_without_timeline_fall_back_to_phase_bars():
+    stats = RunStats(processes=4, threads=1,
+                     phases={"born": 2.0, "allreduce": 0.5})
+    xs = [ev for ev in runstats_events(stats) if ev["ph"] == "X"]
+    assert [ev["name"] for ev in xs] == ["born", "allreduce"]
+    assert xs[1]["ts"] == pytest.approx(2.0e6)   # laid out sequentially
+
+
+def test_multiple_runstats_get_distinct_pids(stats):
+    doc = chrome_trace(runstats=[stats, stats])
+    pids = {ev["pid"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+    assert pids == {VIRTUAL_PID + 1, VIRTUAL_PID + 2}
+
+
+def test_validate_catches_broken_events():
+    assert validate_chrome_trace(
+        {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                          "pid": 1, "tid": 0}]}) \
+        == ["traceEvents[0]: 'X' event missing numeric 'dur'"]
+    assert validate_chrome_trace({"traceEvents": "nope"}) \
+        == ["top-level 'traceEvents' must be a list"]
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1, "tid": 0}]}) \
+        == ["traceEvents[0]: missing 'name'"]
+    assert validate_chrome_trace(12) \
+        == ["trace must be a JSON object or array"]
+
+
+def test_solver_phase_times_covers_all_phases(tracer):
+    times = solver_phase_times(tracer)
+    assert list(times) == ["sample_surface", "octree_build", "born",
+                           "push", "epol"]
+    assert all(t >= 0.0 for t in times.values())
+
+
+def test_render_span_tree_nests_by_parent(tracer):
+    tree = render_span_tree(tracer)
+    lines = tree.splitlines()
+    assert lines[0].startswith("solve ")
+    assert any(line.startswith("  solve.born") for line in lines)
+    assert any(line.startswith("    born.approx_integrals")
+               for line in lines)
+    # The virtual allreduce event is not part of the real-time tree.
+    assert "allreduce" not in tree
+
+
+def test_trace_summary_counts_tracks(tracer, stats):
+    doc = chrome_trace(tracer=tracer, runstats=stats)
+    text = trace_summary(doc)
+    assert "track" in text and "span totals" in text
+    assert "'rank 0'" in text
+    assert "solve.born" in text
+
+
+def test_tracer_events_emit_metadata(tracer):
+    events = obs.tracer_events(tracer)
+    metas = [ev for ev in events if ev["ph"] == "M"]
+    assert any(ev["name"] == "process_name" and ev["pid"] == REAL_PID
+               for ev in metas)
+    # The virtual allreduce created a virtual process group too.
+    assert any(ev["pid"] == VIRTUAL_PID for ev in metas)

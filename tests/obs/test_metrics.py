@@ -1,0 +1,102 @@
+"""Metrics registry: counter/gauge/histogram semantics + exporters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import metrics_to_json, metrics_to_prometheus
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def test_counter_monotone(reg: MetricsRegistry):
+    c = reg.counter("born.mac_accepts", "accepted far pairs")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    # Get-or-create returns the same object.
+    assert reg.counter("born.mac_accepts") is c
+
+
+def test_gauge_set_and_inc(reg: MetricsRegistry):
+    g = reg.gauge("epol.nbuckets")
+    g.set(7)
+    g.inc(3)
+    assert g.value == 10.0
+    g.set(-2.5)            # gauges may go anywhere
+    assert g.value == -2.5
+
+
+def test_histogram_bucketing():
+    h = Histogram("h", bounds=(1, 10, 100))
+    h.observe_many([0, 1, 5, 10, 50, 1000])
+    # side="left": values equal to an edge land in that edge's bucket.
+    assert h.bucket_counts() == [2, 2, 1, 1]
+    assert h.count == 6
+    assert h.sum == pytest.approx(1066.0)
+    h.observe(2)
+    assert h.bucket_counts()[1] == 3
+
+
+def test_histogram_accepts_numpy_arrays():
+    h = Histogram("h", bounds=(10,))
+    h.observe_many(np.arange(20, dtype=np.int64))
+    assert h.count == 20
+    assert h.bucket_counts() == [11, 9]
+
+
+def test_type_mismatch_raises(reg: MetricsRegistry):
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_reset_and_names(reg: MetricsRegistry):
+    reg.counter("b")
+    reg.gauge("a")
+    assert reg.names() == ["a", "b"]
+    reg.reset()
+    assert reg.names() == []
+    assert reg.get("a") is None
+
+
+def test_collect_and_json_roundtrip(reg: MetricsRegistry):
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", bounds=(1, 2)).observe_many([0.5, 1.5, 5])
+    doc = json.loads(metrics_to_json(reg))
+    assert doc["c"] == {"type": "counter", "value": 3.0}
+    assert doc["g"]["value"] == 1.5
+    assert doc["h"]["count"] == 3
+    assert doc["h"]["bucket_counts"] == [1, 1, 1]
+
+
+def test_prometheus_text(reg: MetricsRegistry):
+    reg.counter("born.mac_accepts", "accepted far pairs").inc(5)
+    reg.gauge("epol.nbuckets").set(12)
+    reg.histogram("epol.bucket_occupancy",
+                  bounds=(1, 10)).observe_many([0, 5, 100])
+    text = metrics_to_prometheus(reg)
+    assert "# TYPE repro_born_mac_accepts counter" in text
+    assert "repro_born_mac_accepts 5" in text
+    assert "repro_epol_nbuckets 12" in text
+    # Histogram buckets are cumulative and end with +Inf/_sum/_count.
+    assert 'repro_epol_bucket_occupancy_bucket{le="1"} 1' in text
+    assert 'repro_epol_bucket_occupancy_bucket{le="10"} 2' in text
+    assert 'repro_epol_bucket_occupancy_bucket{le="+Inf"} 3' in text
+    assert "repro_epol_bucket_occupancy_count 3" in text
+    # Every name is Prometheus-sane (no dots survive).
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            assert "." not in line.split(" ")[0].split("{")[0]

@@ -1,0 +1,136 @@
+"""Tracer: disabled-path overhead, nesting, thread safety."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracer import REAL_PID, Tracer
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    tr = Tracer()
+    tr.enable()
+    return tr
+
+
+def _spans(tr: Tracer):
+    return [ev for ev in tr.events() if ev["ph"] == "X"]
+
+
+def test_disabled_overhead_is_tiny():
+    """The disabled span path must stay near the noise floor.
+
+    The instrumented kernels are chunky (whole traversal passes), so
+    the bound is deliberately loose: ~2 µs amortized per disabled span
+    would still be invisible next to a single leaf-pair kernel.
+    """
+    tr = Tracer()
+    assert not tr.enabled
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with tr.span("hot.loop"):
+            pass
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 2e-6, f"{per_call * 1e9:.0f} ns per disabled span"
+    assert tr.events() == []
+
+
+def test_span_opened_while_disabled_is_never_recorded():
+    tr = Tracer()
+    cm = tr.span("early")
+    with cm:
+        tr.enable()
+        with tr.span("inner"):
+            pass
+    names = [ev["name"] for ev in _spans(tr)]
+    assert names == ["inner"]
+    # The late span has no parent: "early" was never registered.
+    assert "parent_id" not in tr.events()[0]["args"]
+
+
+def test_nested_parenting(tracer: Tracer):
+    with tracer.span("outer"):
+        with tracer.span("mid"):
+            with tracer.span("leaf"):
+                pass
+        with tracer.span("mid2"):
+            pass
+    by_name = {ev["name"]: ev["args"] for ev in _spans(tracer)}
+    assert "parent_id" not in by_name["outer"]
+    assert by_name["mid"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["leaf"]["parent_id"] == by_name["mid"]["span_id"]
+    assert by_name["mid2"]["parent_id"] == by_name["outer"]["span_id"]
+    # Exit order: children closed (and were emitted) before parents.
+    ids = [ev["args"]["span_id"] for ev in _spans(tracer)]
+    assert ids.index(by_name["leaf"]["span_id"]) \
+        < ids.index(by_name["mid"]["span_id"]) \
+        < ids.index(by_name["outer"]["span_id"])
+
+
+def test_span_records_args_and_duration(tracer: Tracer):
+    with tracer.span("timed", natoms=42):
+        time.sleep(0.002)
+    (ev,) = _spans(tracer)
+    assert ev["pid"] == REAL_PID
+    assert ev["args"]["natoms"] == 42
+    assert ev["dur"] >= 1e3          # ≥ 1 ms in µs units
+
+
+def test_thread_safety_parent_chains_stay_per_thread(tracer: Tracer):
+    """Concurrent threads never corrupt each other's parent chains."""
+    nthreads, reps = 6, 50
+
+    def work(i: int) -> None:
+        for r in range(reps):
+            with tracer.span(f"outer.{i}"):
+                with tracer.span(f"inner.{i}"):
+                    pass
+
+    threads = [threading.Thread(target=work, args=(i,), name=f"w{i}")
+               for i in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    spans = _spans(tracer)
+    assert len(spans) == nthreads * reps * 2
+    by_id = {ev["args"]["span_id"]: ev for ev in spans}
+    inners = [ev for ev in spans if ev["name"].startswith("inner.")]
+    for ev in inners:
+        parent = by_id[ev["args"]["parent_id"]]
+        i = ev["name"].split(".")[1]
+        assert parent["name"] == f"outer.{i}"
+        assert parent["tid"] == ev["tid"]
+
+
+def test_virtual_events_land_on_rank_tracks(tracer: Tracer):
+    tracer.virtual_span("born", "comp", rank=3, t0=0.0, t1=0.5)
+    tracer.virtual_instant("steal", "workstealing", rank=1, t=0.25,
+                           victim=0)
+    span_ev, inst_ev = tracer.events()
+    assert span_ev["pid"] == obs.VIRTUAL_PID and span_ev["tid"] == 3
+    assert span_ev["dur"] == pytest.approx(0.5e6)
+    assert inst_ev["ph"] == "i" and inst_ev["tid"] == 1
+    assert inst_ev["args"]["victim"] == 0
+
+
+def test_module_level_enable_reset_cycle():
+    obs.disable()
+    obs.enable(reset=True)
+    try:
+        with obs.span("top"):
+            obs.instant("marker")
+        names = {ev["name"] for ev in obs.get_tracer().events()}
+        assert {"top", "marker"} <= names
+        assert obs.is_enabled()
+    finally:
+        obs.disable()
+        obs.get_tracer().reset()
+        obs.registry.reset()
