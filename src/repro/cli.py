@@ -17,6 +17,10 @@ Commands
 ``trace``
     Inspect / validate a Chrome trace-event JSON file produced by
     ``solve --trace`` or ``scale --trace`` (loadable in Perfetto).
+``chaos``
+    Run the seeded fault-injection scenario matrix over the
+    fault-tolerant Fig. 4 solver and print the pass table (see
+    ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -198,6 +202,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos
+    if args.trace:
+        obs.enable(reset=True)
+    report = chaos.run_chaos(seed=args.seed, processes=args.processes,
+                             atoms=args.atoms, quick=args.quick,
+                             tolerance=args.tolerance)
+    print(report.table())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote report to {args.json}")
+    if args.trace:
+        obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
+                               metrics=obs.registry)
+        obs.disable()
+        print(f"wrote trace to {args.trace}")
+    if not report.all_passed:
+        failed = [r.name for r in report.results if not r.passed]
+        print(f"FAILED scenarios: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(report.results)} scenarios recovered within "
+          f"{report.tolerance:g} of E_pol = {report.ref_energy:.6f}")
+    return 0
+
+
 def cmd_packages(args: argparse.Namespace) -> int:
     mol = _load_molecule(args)
     table = Table(["package", "GB model", "time (s)", "E (kcal/mol)",
@@ -291,6 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE", help="convert: write the embedded "
                                         "metrics snapshot to FILE (JSON)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("chaos", help="fault-injection scenario matrix "
+                                     "over the fault-tolerant solver")
+    p.add_argument("--seed", type=int, default=0,
+                   help="derives every scenario's faults (default 0)")
+    p.add_argument("--processes", type=int, default=4,
+                   help="simulated MPI ranks (default 4, minimum 3)")
+    p.add_argument("--atoms", type=int, default=400,
+                   help="synthetic molecule size (default 400)")
+    p.add_argument("--quick", action="store_true",
+                   help="small molecule — the CI smoke configuration")
+    p.add_argument("--tolerance", type=float, default=1e-9,
+                   help="relative E_pol agreement required (default 1e-9)")
+    p.add_argument("--json", type=str, default=None, metavar="FILE",
+                   help="write the scenario report as JSON")
+    p.add_argument("--trace", type=str, default=None, metavar="FILE",
+                   help="write a Chrome trace with fault instants and "
+                        "recovery spans")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("packages", help="run the MD-package emulators")
     _add_molecule_args(p)

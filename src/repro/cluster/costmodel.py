@@ -165,6 +165,33 @@ class CostModel:
         return (level(rpn, net.ts_intra, net.tw_intra)
                 + level(nodes, net.ts_inter, net.tw_inter))
 
+    def gather_seconds(self, words_per_rank: float, processes: int,
+                       threads: int = 1) -> float:
+        """Tree gather to the master rank.
+
+        Like :meth:`allgather_seconds` the total payload grows with P,
+        but data only flows *toward* the root: within the root's level
+        the full volume converges on one endpoint (``tw·m·(k−1)``
+        without the allgather's broadcast-back), so a gather is priced
+        below the allgather that used to stand in for it.
+        """
+        if processes <= 1:
+            return 0.0
+        net = self.machine.network
+        rpn, nodes = self._two_level(processes, threads)
+
+        def level(k: int, ts: float, tw: float, words: float) -> float:
+            if k <= 1:
+                return 0.0
+            return ts * math.log2(k) + tw * words * (k - 1) / k
+
+        # Intra-node gathers move one node's worth; the inter-node
+        # stage funnels every node's aggregate to the root's node.
+        return (level(rpn, net.ts_intra, net.tw_intra,
+                      words_per_rank * rpn)
+                + level(nodes, net.ts_inter, net.tw_inter,
+                        words_per_rank * processes))
+
     def reduce_seconds(self, words: float, processes: int,
                        threads: int = 1) -> float:
         """Tree reduce to the master rank."""

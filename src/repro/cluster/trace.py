@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,9 @@ class RankStats:
     steals: int = 0
     #: Peak resident bytes attributed to this rank's process.
     memory_bytes: int = 0
+    #: Portion of ``comp_seconds`` spent recomputing work lost to rank
+    #: failures (charged by the fault-tolerant drivers).
+    recovery_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -57,6 +60,13 @@ class RunStats:
     #: Per-rank virtual timeline (``simulate_fig4`` populates this);
     #: empty for runtimes that only track aggregates.
     timeline: List[PhaseSlice] = field(default_factory=list)
+    #: Number of injected faults that actually fired during the run.
+    faults: int = 0
+    #: Communicator shrink operations the survivors performed.
+    recoveries: int = 0
+    #: The fired faults themselves (``repro.faults.plan.FaultEvent``
+    #: records, sorted by virtual time) — exported as trace instants.
+    fault_events: List[Any] = field(default_factory=list)
 
     @property
     def wall_seconds(self) -> float:
@@ -82,6 +92,10 @@ class RunStats:
         """Total successful steals across all ranks."""
         return sum(r.steals for r in self.ranks)
 
+    def recovery_seconds(self) -> float:
+        """Total virtual time spent recomputing work lost to failures."""
+        return sum(r.recovery_seconds for r in self.ranks)
+
     def memory_per_process(self) -> int:
         return max((r.memory_bytes for r in self.ranks), default=0)
 
@@ -91,10 +105,14 @@ class RunStats:
         return self.memory_per_process() * min(rpn, self.processes)
 
     def summary(self) -> str:
-        return (f"P={self.processes} p={self.threads} "
+        text = (f"P={self.processes} p={self.threads} "
                 f"wall={self.wall_seconds:.4f}s "
                 f"comp={self.comp_seconds():.4f}s "
                 f"comm={self.comm_seconds():.4f}s "
                 f"idle={self.idle_seconds():.4f}s "
                 f"steals={self.steals()} "
                 f"mem/proc={self.memory_per_process() / 1e6:.1f}MB")
+        if self.faults or self.recoveries:
+            text += (f" faults={self.faults} recoveries={self.recoveries} "
+                     f"recovery={self.recovery_seconds():.4f}s")
+        return text

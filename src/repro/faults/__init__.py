@@ -1,0 +1,49 @@
+"""repro.faults — deterministic fault injection + fault tolerance.
+
+Three layers (see ``docs/ROBUSTNESS.md`` for the full model):
+
+* **Plans** (:mod:`repro.faults.plan`) — a seeded, fully reproducible
+  :class:`FaultPlan` describing rank crashes, message drops/delays and
+  straggler slowdowns, consulted by the simulated MPI runtime;
+* **Errors** (:mod:`repro.faults.errors`) — the typed hierarchy every
+  cluster fault surfaces as (:class:`RankCrashedError`,
+  :class:`RecvTimeoutError`, :class:`CollectiveAbortedError`), each
+  naming the ranks, operation and virtual clocks involved;
+* **Chaos** (:mod:`repro.faults.chaos`) — a seeded scenario matrix
+  that runs the fault-tolerant Fig. 4 solver under each fault class
+  and asserts energy agreement with the fault-free run (exposed as
+  ``repro chaos``).  Imported lazily (``from repro.faults import
+  chaos``) because it pulls in the distributed drivers.
+"""
+
+from __future__ import annotations
+
+from repro.faults.errors import (
+    CollectiveAbortedError,
+    FaultError,
+    NoSurvivorsError,
+    RankCrashedError,
+    RecvTimeoutError,
+)
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    Straggler,
+)
+
+__all__ = [
+    "FaultError",
+    "RankCrashedError",
+    "RecvTimeoutError",
+    "CollectiveAbortedError",
+    "NoSurvivorsError",
+    "FaultEvent",
+    "FaultPlan",
+    "RankCrash",
+    "MessageDrop",
+    "MessageDelay",
+    "Straggler",
+]

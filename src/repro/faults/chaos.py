@@ -1,0 +1,211 @@
+"""Chaos harness: a seeded fault-scenario matrix over the FT solver.
+
+Runs :func:`repro.parallel.distributed.run_fig4_ft` under every fault
+class the runtime injects — clean baseline, a rank crash in each of
+the three Fig. 4 compute phases (integrals, push, energy), a double
+crash, a lost collective fragment, a late collective entry and a
+straggler — and asserts two properties per scenario:
+
+* **agreement** — the recovered E_pol matches the fault-free run to a
+  relative tolerance (1e-9 by default; the only difference permitted
+  is floating-point reordering from the redistributed partial sums);
+* **determinism** — two runs with the same seed produce bit-identical
+  energies and the same fault/recovery counts.
+
+``repro chaos`` exposes this as a CLI with a pass table and a JSON
+report; CI runs ``repro chaos --seed 0 --quick`` as a smoke check.
+Everything is derived from the scenario seed, so a failing row can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.faults.plan import (
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    Straggler,
+)
+from repro.molecules import synthetic_protein
+from repro.molecules.molecule import Molecule
+from repro.parallel.distributed import DistributedOutcome, run_fig4_ft
+
+__all__ = ["Scenario", "ScenarioResult", "ChaosReport", "scenario_matrix",
+           "run_chaos", "DEFAULT_TOLERANCE"]
+
+#: Relative E_pol agreement every scenario must reach vs fault-free.
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named cell of the chaos matrix."""
+
+    name: str
+    description: str
+    plan: FaultPlan
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario (two same-seed runs)."""
+
+    name: str
+    description: str
+    energy: float
+    rel_err: float
+    deterministic: bool
+    faults: int
+    recoveries: int
+    recovery_seconds: float
+    wall_seconds: float
+    passed: bool
+
+
+def scenario_matrix(seed: int, processes: int = 4) -> List[Scenario]:
+    """The seeded scenario matrix (9 scenarios, every fault class).
+
+    All randomness — which rank crashes, where in the phase, delay
+    magnitudes, straggler factors — derives from ``seed``, so the
+    matrix is a pure function of ``(seed, processes)``.
+    """
+    if processes < 3:
+        raise ValueError("the chaos matrix needs at least 3 ranks")
+    rng = np.random.default_rng(seed)
+
+    def victim() -> int:
+        # Any rank may die — including rank 0 (master failover).
+        return int(rng.integers(0, processes))
+
+    def frac() -> float:
+        return float(rng.uniform(0.1, 0.9))
+
+    crash_born = RankCrash(victim(), phase="born", after_fraction=frac())
+    crash_push = RankCrash(victim(), phase="push", after_fraction=frac())
+    crash_epol = RankCrash(victim(), phase="epol", after_fraction=frac())
+    first = int(rng.integers(0, processes))
+    second = (first + 1 + int(rng.integers(0, processes - 1))) % processes
+    delay_s = float(rng.uniform(1e-3, 5e-2))
+    factor = float(rng.uniform(1.5, 4.0))
+    return [
+        Scenario("clean", "no faults (baseline)", FaultPlan(seed=seed)),
+        Scenario("crash-born", "rank crash during the integral phase",
+                 FaultPlan([crash_born], seed=seed)),
+        Scenario("crash-push", "rank crash during the Born-radii push",
+                 FaultPlan([crash_push], seed=seed)),
+        Scenario("crash-epol", "rank crash during the energy phase",
+                 FaultPlan([crash_epol], seed=seed)),
+        Scenario("crash-double", "two ranks die in different phases",
+                 FaultPlan([RankCrash(first, phase="born",
+                                      after_fraction=frac()),
+                            RankCrash(second, phase="epol",
+                                      after_fraction=frac())], seed=seed)),
+        Scenario("drop-collective", "lost Allreduce fragment "
+                                    "(retransmitted)",
+                 FaultPlan([MessageDrop(src=victim(), op="allreduce")],
+                           seed=seed)),
+        Scenario("delay-collective", "late entry into the Allgather",
+                 FaultPlan([MessageDelay(src=victim(), seconds=delay_s,
+                                         op="allgather")], seed=seed)),
+        Scenario("straggler", "one rank computes slower by a factor",
+                 FaultPlan([Straggler(victim(), factor=factor)],
+                           seed=seed)),
+        Scenario("crash+straggler", "combined: crash under a straggler",
+                 FaultPlan([RankCrash(victim(), phase="born",
+                                      after_fraction=frac()),
+                            Straggler(victim(), factor=factor)],
+                           seed=seed)),
+    ]
+
+
+@dataclass
+class ChaosReport:
+    """Matrix results plus everything needed to reproduce them."""
+
+    seed: int
+    processes: int
+    natoms: int
+    tolerance: float
+    ref_energy: float
+    results: List[ScenarioResult]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def table(self) -> str:
+        from repro.analysis.tables import Table
+        t = Table(["scenario", "faults", "recoveries", "recovery (s)",
+                   "rel. error", "determ.", "status"],
+                  title=f"chaos matrix seed={self.seed} "
+                        f"P={self.processes} ({self.natoms} atoms, "
+                        f"tol {self.tolerance:g})")
+        for r in self.results:
+            t.add_row(r.name, r.faults, r.recoveries,
+                      f"{r.recovery_seconds:.4f}",
+                      f"{r.rel_err:.2e}",
+                      "yes" if r.deterministic else "NO",
+                      "PASS" if r.passed else "FAIL")
+        return t.render()
+
+    def to_json(self, indent: int = 2) -> str:
+        doc = {"seed": self.seed, "processes": self.processes,
+               "natoms": self.natoms, "tolerance": self.tolerance,
+               "ref_energy": self.ref_energy,
+               "all_passed": self.all_passed,
+               "scenarios": [asdict(r) for r in self.results]}
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def _run_scenario(scenario: Scenario, molecule: Molecule,
+                  params: ApproxParams, processes: int,
+                  ref: DistributedOutcome, tolerance: float
+                  ) -> ScenarioResult:
+    def once() -> DistributedOutcome:
+        return run_fig4_ft(molecule, params, processes=processes,
+                           fault_plan=scenario.plan)
+
+    first, second = once(), once()
+    deterministic = (first.energy == second.energy
+                     and first.stats.faults == second.stats.faults
+                     and first.stats.recoveries == second.stats.recoveries)
+    rel_err = abs(first.energy - ref.energy) / abs(ref.energy)
+    radii_ok = bool(np.allclose(first.born_radii, ref.born_radii,
+                                rtol=tolerance, atol=0.0))
+    return ScenarioResult(
+        name=scenario.name, description=scenario.description,
+        energy=first.energy, rel_err=rel_err,
+        deterministic=deterministic,
+        faults=first.stats.faults, recoveries=first.stats.recoveries,
+        recovery_seconds=first.stats.recovery_seconds(),
+        wall_seconds=first.stats.wall_seconds,
+        passed=(rel_err <= tolerance and radii_ok and deterministic))
+
+
+def run_chaos(seed: int = 0,
+              processes: int = 4,
+              atoms: int = 400,
+              quick: bool = False,
+              params: Optional[ApproxParams] = None,
+              molecule: Optional[Molecule] = None,
+              tolerance: float = DEFAULT_TOLERANCE) -> ChaosReport:
+    """Run the full scenario matrix; returns the report (never raises
+    on scenario failure — check ``report.all_passed``)."""
+    params = params or ApproxParams()
+    if molecule is None:
+        molecule = synthetic_protein(120 if quick else atoms, seed=seed)
+    ref = run_fig4_ft(molecule, params, processes=processes)
+    results = [_run_scenario(sc, molecule, params, processes, ref,
+                             tolerance)
+               for sc in scenario_matrix(seed, processes)]
+    return ChaosReport(seed=seed, processes=processes,
+                       natoms=molecule.natoms, tolerance=tolerance,
+                       ref_energy=ref.energy, results=results)

@@ -1,0 +1,123 @@
+"""Typed fault errors for the simulated cluster.
+
+The simulated MPI runtime used to let implementation details escape
+across module boundaries — a receive timeout surfaced as a bare
+``queue.Empty`` and an aborted collective as
+``threading.BrokenBarrierError`` — which told the caller nothing about
+*which* rank failed, *which* operation aborted or *when* in virtual
+time.  Every error the cluster raises to user code is now one of the
+types below (all subclasses of :class:`FaultError`), each carrying the
+ranks, operation and virtual clocks involved, so a fault-tolerant
+driver can decide whether and how to recover.
+
+Lint rule RPR006 (``repro.lint``) enforces the boundary: code in
+``repro/cluster`` and ``repro/faults`` may not let ``queue.Empty`` or
+``BrokenBarrierError`` out of the statement that produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "FaultError",
+    "RankCrashedError",
+    "RecvTimeoutError",
+    "CollectiveAbortedError",
+    "NoSurvivorsError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class of every fault the simulated cluster can surface.
+
+    A fault-tolerant rank function catches this (or a subclass),
+    shrinks the communicator and retries; plain rank functions let it
+    propagate, in which case :meth:`SimCluster.run` re-raises the most
+    informative instance.
+    """
+
+
+class RankCrashedError(FaultError):
+    """A rank died — injected by a :class:`repro.faults.plan.RankCrash`
+    or detected by a survivor talking to the dead rank.
+
+    ``rank`` is the dead rank.  Raised *on* the dying rank when the
+    injection fires (``rank == comm.rank``) and on survivors whose
+    ``recv`` names a dead source.
+    """
+
+    def __init__(self, rank: int, clock: float,
+                 phase: Optional[str] = None) -> None:
+        self.rank = rank
+        self.clock = clock
+        self.phase = phase
+        where = f" during {phase!r}" if phase else ""
+        super().__init__(
+            f"rank {rank} crashed at t={clock:.6f}s{where}")
+
+
+class RecvTimeoutError(FaultError):
+    """``comm.recv`` gave up waiting for a message.
+
+    Carries the channel (``source`` → ``dest``, ``tag``) and both
+    endpoints' virtual clocks at the moment the receiver gave up, so a
+    dropped or lost message is diagnosable from the exception alone.
+    ``source_clock`` is ``None`` when the sender's clock could not be
+    sampled (it may still be running).
+    """
+
+    def __init__(self, source: int, dest: int, tag: int,
+                 dest_clock: float,
+                 source_clock: Optional[float] = None,
+                 timeout: float = 0.0) -> None:
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.dest_clock = dest_clock
+        self.source_clock = source_clock
+        self.timeout = timeout
+        src_t = (f"{source_clock:.6f}s" if source_clock is not None
+                 else "unknown")
+        super().__init__(
+            f"recv on rank {dest} from rank {source} (tag {tag}) timed "
+            f"out after {timeout:g}s real time; receiver virtual clock "
+            f"{dest_clock:.6f}s, sender virtual clock {src_t}")
+
+
+class CollectiveAbortedError(FaultError):
+    """A collective broke before completing.
+
+    ``op`` names the collective the calling rank was in; ``dead`` lists
+    the ranks known to have died (empty for a pure timeout / mismatched
+    schedule, the classic deadlock case).  Survivors use ``dead`` to
+    shrink the communicator and redistribute the lost work.
+    """
+
+    def __init__(self, op: str, rank: int, clock: float,
+                 dead: Sequence[int] = (),
+                 timed_out: bool = False) -> None:
+        self.op = op
+        self.rank = rank
+        self.clock = clock
+        self.dead = tuple(dead)
+        self.timed_out = timed_out
+        if self.dead:
+            why = f"rank(s) {list(self.dead)} died"
+        elif timed_out:
+            why = ("timed out — likely a rank-divergent collective "
+                   "schedule (see lint rule RPR101)")
+        else:
+            why = "barrier aborted"
+        super().__init__(
+            f"collective {op!r} aborted on rank {rank} at "
+            f"t={clock:.6f}s: {why}")
+
+
+class NoSurvivorsError(FaultError):
+    """Every rank died — there is no group left to shrink to."""
+
+    def __init__(self, dead: Sequence[int]) -> None:
+        self.dead = tuple(dead)
+        super().__init__(
+            f"all ranks dead ({list(self.dead)}); nothing to recover")

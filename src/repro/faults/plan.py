@@ -1,0 +1,243 @@
+"""Deterministic, seeded fault injection plans for :class:`SimCluster`.
+
+A :class:`FaultPlan` is an immutable description of every fault a
+simulated run will experience:
+
+* :class:`RankCrash` — a rank dies during its *n*-th compute phase with
+  a given label (or when its virtual clock crosses ``at_time``);
+* :class:`MessageDrop` — a point-to-point message vanishes in transit
+  (the receiver times out), or a rank's contribution to the *n*-th
+  collective of an op is lost and must be retransmitted (every
+  participant pays the retransmission in virtual time);
+* :class:`MessageDelay` — the same matching rules, but the payload
+  arrives late by ``seconds`` of virtual time;
+* :class:`Straggler` — a rank whose every compute charge is multiplied
+  by ``factor`` (an overloaded / thermally-throttled node).
+
+Determinism: a plan is a pure value.  Which fault fires where depends
+only on virtual-time state the ranks maintain deterministically
+(per-label compute counts, per-channel send sequence numbers, per-group
+collective sequence numbers) — never on wall-clock time or thread
+scheduling — so the same plan over the same program yields the same
+faults, the same recoveries and the same energy, run after run.
+:meth:`FaultPlan.random` derives a reproducible random plan from a
+seed.  The injection hooks in :mod:`repro.cluster.simmpi` emit a trace
+instant (category ``fault``) through :mod:`repro.obs` every time a
+fault fires, so Perfetto timelines show exactly when and where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RankCrash",
+    "MessageDrop",
+    "MessageDelay",
+    "Straggler",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill ``rank`` partway through a labelled compute phase.
+
+    ``phase`` matches the ``label`` of :meth:`SimComm.compute` calls
+    (``"born"``, ``"push"``, ``"epol"`` in the Fig. 4 drivers);
+    ``occurrence`` selects the *n*-th such call on that rank.
+    ``after_fraction`` of the phase's virtual cost is charged before
+    the crash fires (the work is lost either way).  Alternatively set
+    ``at_time`` to crash when the rank's virtual clock first crosses
+    it during any compute.
+    """
+
+    rank: int
+    phase: Optional[str] = None
+    occurrence: int = 0
+    after_fraction: float = 0.5
+    at_time: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Lose a message from ``src``.
+
+    Point-to-point form (``dst`` given): the *n*-th send on the
+    ``(src, dst, tag)`` channel is never delivered — the receiver's
+    ``recv`` raises :class:`~repro.faults.errors.RecvTimeoutError`.
+
+    Collective form (``op`` given): ``src``'s fragment of the *n*-th
+    ``op`` collective is lost on the wire; the (reliable) transport
+    retransmits, charging every participant the retransmission cost in
+    virtual time.  The collective still completes correctly.
+    """
+
+    src: int
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    op: Optional[str] = None
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class MessageDelay:
+    """Deliver a message from ``src`` late by ``seconds`` virtual time.
+
+    Matching rules as :class:`MessageDrop`; for collectives the delayed
+    rank enters the rendezvous late, so every other participant books
+    the difference as idle time — exactly how a slow link shows up in a
+    real Allreduce.
+    """
+
+    src: int
+    seconds: float
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    op: Optional[str] = None
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply every compute charge on ``rank`` by ``factor`` (> 1)."""
+
+    rank: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a run (for ``RunStats``)."""
+
+    kind: str          # "crash" | "drop" | "delay" | "straggler"
+    rank: int          # the faulty rank (source, for message faults)
+    t: float           # virtual time at which the fault fired
+    detail: str = ""   # op / channel / factor description
+
+
+class FaultPlan:
+    """Immutable set of faults plus the seed that derived it.
+
+    Query methods are pure functions of their arguments — the plan
+    holds no mutable firing state, which is what makes runs with the
+    same plan reproducible regardless of thread interleaving.
+    """
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.faults: Tuple[object, ...] = tuple(faults)
+        self.seed = seed
+        self._crashes = [f for f in self.faults if isinstance(f, RankCrash)]
+        self._drops = [f for f in self.faults if isinstance(f, MessageDrop)]
+        self._delays = [f for f in self.faults
+                        if isinstance(f, MessageDelay)]
+        self._slowdowns: Dict[int, float] = {}
+        for f in self.faults:
+            if isinstance(f, Straggler):
+                if f.factor <= 0:
+                    raise ValueError("straggler factor must be positive")
+                self._slowdowns[f.rank] = (
+                    self._slowdowns.get(f.rank, 1.0) * f.factor)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def crash_ranks(self) -> List[int]:
+        return sorted({c.rank for c in self._crashes})
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"FaultPlan(seed={self.seed}, faults={list(self.faults)})"
+
+    # -- queries used by the simmpi injection hooks ------------------------
+
+    def crash_for(self, rank: int, label: str, occurrence: int,
+                  t0: float, t1: float) -> Optional[RankCrash]:
+        """The crash (if any) that fires on ``rank`` during a compute
+        labelled ``label`` (its ``occurrence``-th on this rank) that
+        would advance the clock from ``t0`` to ``t1``."""
+        for c in self._crashes:
+            if c.rank != rank:
+                continue
+            if c.phase is not None:
+                if c.phase == label and c.occurrence == occurrence:
+                    return c
+            elif c.at_time is not None and t0 < c.at_time <= t1:
+                return c
+        return None
+
+    def slowdown(self, rank: int) -> float:
+        """Compute-time multiplier for ``rank`` (1.0 = healthy)."""
+        return self._slowdowns.get(rank, 1.0)
+
+    def p2p_fault(self, src: int, dst: int, tag: int, seq: int
+                  ) -> Tuple[Optional[MessageDrop],
+                             Optional[MessageDelay]]:
+        """(drop, delay) matching the ``seq``-th send on a channel."""
+
+        def matches(f) -> bool:
+            return (f.src == src and f.dst == dst and f.index == seq
+                    and (f.tag is None or f.tag == tag))
+
+        drop = next((f for f in self._drops
+                     if f.dst is not None and matches(f)), None)
+        delay = next((f for f in self._delays
+                      if f.dst is not None and matches(f)), None)
+        return drop, delay
+
+    def collective_drops(self, op: str, op_seq: int,
+                         ranks: Sequence[int]) -> List[int]:
+        """Ranks whose fragment of the ``op_seq``-th ``op`` is lost."""
+        return [f.src for f in self._drops
+                if f.op == op and f.index == op_seq and f.src in ranks]
+
+    def collective_delay(self, rank: int, op: str, op_seq: int) -> float:
+        """Late-entry delay for ``rank`` in the ``op_seq``-th ``op``."""
+        return sum(f.seconds for f in self._delays
+                   if f.op == op and f.index == op_seq and f.src == rank)
+
+    # -- seeded scenario generation ----------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, ranks: int,
+               crash_prob: float = 0.25,
+               drop_prob: float = 0.25,
+               delay_prob: float = 0.25,
+               straggler_prob: float = 0.25,
+               phases: Sequence[str] = ("born", "push", "epol"),
+               max_delay: float = 0.05,
+               max_slowdown: float = 4.0) -> "FaultPlan":
+        """Derive a reproducible random plan from ``seed``.
+
+        At most one crash is generated (rank 0 is spared so the run
+        always has a master to report from in non-fault-tolerant
+        drivers); drops and delays target the listed collective
+        ``phases``' operations.
+        """
+        rng = np.random.default_rng(seed)
+        faults: List[object] = []
+        if ranks > 1 and rng.random() < crash_prob:
+            faults.append(RankCrash(
+                rank=int(rng.integers(1, ranks)),
+                phase=str(rng.choice(list(phases))),
+                after_fraction=float(rng.uniform(0.1, 0.9))))
+        if ranks > 1 and rng.random() < drop_prob:
+            faults.append(MessageDrop(
+                src=int(rng.integers(0, ranks)),
+                op=str(rng.choice(["allreduce", "allgather", "reduce"]))))
+        if ranks > 1 and rng.random() < delay_prob:
+            faults.append(MessageDelay(
+                src=int(rng.integers(0, ranks)),
+                seconds=float(rng.uniform(1e-4, max_delay)),
+                op=str(rng.choice(["allreduce", "allgather", "reduce"]))))
+        if rng.random() < straggler_prob:
+            faults.append(Straggler(
+                rank=int(rng.integers(0, ranks)),
+                factor=float(rng.uniform(1.5, max_slowdown))))
+        return cls(faults, seed=seed)

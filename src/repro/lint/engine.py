@@ -17,6 +17,7 @@ from repro.lint.framework import (
 from repro.lint.rules import (
     DtypeDisciplineRule,
     DunderAllRule,
+    FaultBoundaryRule,
     MutableDefaultRule,
     OverbroadExceptRule,
     UnseededRandomRule,
@@ -38,6 +39,7 @@ def all_rules() -> List[Rule]:
         OverbroadExceptRule(),
         DtypeDisciplineRule(),
         DunderAllRule(),
+        FaultBoundaryRule(),
         CollectiveOrderRule(),
     ]
     rules.sort(key=lambda r: r.id)

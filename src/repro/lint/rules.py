@@ -1,4 +1,4 @@
-"""Project-specific per-file rules RPR001–RPR005.
+"""Project-specific per-file rules RPR001–RPR006.
 
 The headline collective-ordering verifier (RPR101) lives in
 :mod:`repro.lint.collectives`; this module holds the structural rules:
@@ -17,6 +17,12 @@ The headline collective-ordering verifier (RPR101) lives in
   input) cannot silently degrade the ``eps``-guaranteed error bounds.
 * **RPR005** — ``__all__`` consistency in package ``__init__.py``
   files: present, duplicate-free, and every listed name bound.
+* **RPR006** — fault-boundary discipline: inside ``repro/cluster`` and
+  ``repro/faults``, the runtime's infrastructure exceptions
+  (``queue.Empty``, ``threading.BrokenBarrierError``) must never
+  escape to callers — every raise (or bare re-raise from a handler)
+  must convert them into the typed :mod:`repro.faults.errors`
+  hierarchy, which names ranks, ops and virtual clocks.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ __all__ = [
     "OverbroadExceptRule",
     "DtypeDisciplineRule",
     "DunderAllRule",
+    "FaultBoundaryRule",
 ]
 
 #: ``np.random`` attributes that are *not* legacy global-state entry
@@ -223,6 +230,71 @@ class DtypeDisciplineRule(Rule):
                 f"np.{parts[1]}() on a numeric hot path without an "
                 f"explicit dtype=; spell out dtype=np.float64 (or the "
                 f"intended type) so kernels stay contiguous float64")
+
+
+#: Infrastructure exceptions that must not cross the fault boundary.
+_INFRA_EXCEPTIONS = {"Empty", "queue.Empty", "BrokenBarrierError",
+                     "threading.BrokenBarrierError"}
+
+#: Packages whose public surface is the typed FaultError hierarchy.
+_FAULT_PACKAGES = ("cluster", "faults")
+
+
+class FaultBoundaryRule(Rule):
+    """RPR006: infra exceptions never cross the cluster/faults boundary.
+
+    ``queue.Empty`` (a recv that saw nothing) and
+    ``threading.BrokenBarrierError`` (an aborted collective) carry no
+    context — no source rank, no operation, no virtual clocks — so a
+    caller cannot write a recovery policy against them.  Inside
+    ``repro/cluster`` and ``repro/faults`` they must be converted at
+    the catch site into :class:`RecvTimeoutError`,
+    :class:`RankCrashedError` or :class:`CollectiveAbortedError`;
+    raising them (or bare-re-raising from a handler that caught one)
+    is flagged.
+    """
+
+    id = "RPR006"
+    description = ("queue.Empty / BrokenBarrierError escaping "
+                   "repro/cluster or repro/faults; convert to a typed "
+                   "repro.faults error at the catch site")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return any(pkg in parts for pkg in _FAULT_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                dn = dotted_name(target)
+                if dn in _INFRA_EXCEPTIONS:
+                    yield self.finding(
+                        ctx, node,
+                        f"raising {dn} across the fault boundary; raise "
+                        f"a typed repro.faults error (RecvTimeoutError, "
+                        f"CollectiveAbortedError, RankCrashedError) that "
+                        f"names the ranks and clocks involved")
+            elif isinstance(node, ast.ExceptHandler) \
+                    and node.type is not None:
+                names = [node.type] if not isinstance(node.type, ast.Tuple) \
+                    else list(node.type.elts)
+                caught = {dotted_name(n) for n in names}
+                if not caught & _INFRA_EXCEPTIONS:
+                    continue
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Raise) and inner.exc is None:
+                        yield self.finding(
+                            ctx, inner,
+                            "bare re-raise propagates the caught "
+                            "infrastructure exception out of "
+                            "repro/cluster; convert it to a typed "
+                            "repro.faults error instead")
 
 
 class DunderAllRule(Rule):

@@ -71,11 +71,17 @@ def runstats_events(stats: Any, pid: int = VIRTUAL_PID + 1
     :class:`PhaseSlice` becomes one complete event on its rank's track,
     comm slices carrying ``payload_bytes``; otherwise the per-phase
     totals are laid out sequentially on a single summary track.
+    Injected faults (``fault_events``) become instant events on the
+    faulty rank's track, so Perfetto shows exactly when each fired.
     """
     label = (f"simulated run P={stats.processes} p={stats.threads} "
              f"(virtual time)")
     events: List[Dict[str, Any]] = [
         _metadata_event(pid, None, "process_name", label)]
+    faults = [{"name": f"fault.{e.kind}", "cat": "fault", "ph": "i",
+               "s": "t", "ts": e.t * 1e6, "pid": pid, "tid": e.rank,
+               "args": {"detail": e.detail}}
+              for e in getattr(stats, "fault_events", None) or []]
     timeline = getattr(stats, "timeline", None) or []
     if timeline:
         for r in sorted({s.rank for s in timeline}):
@@ -92,7 +98,11 @@ def runstats_events(stats: Any, pid: int = VIRTUAL_PID + 1
                 args["payload_bytes"] = int(s.payload_bytes)
             ev["args"] = args
             events.append(ev)
-        return events
+        return events + faults
+    if faults:
+        for r in sorted({f["tid"] for f in faults}):
+            events.append(_metadata_event(pid, r, "thread_name",
+                                          f"rank {r}"))
     events.append(_metadata_event(pid, 0, "thread_name", "phases"))
     t = 0.0
     for name, seconds in getattr(stats, "phases", {}).items():
@@ -100,7 +110,7 @@ def runstats_events(stats: Any, pid: int = VIRTUAL_PID + 1
                        "ts": t * 1e6, "dur": max(0.0, seconds * 1e6),
                        "pid": pid, "tid": 0})
         t += seconds
-    return events
+    return events + faults
 
 
 def chrome_trace(tracer: Optional[Tracer] = None,

@@ -7,11 +7,16 @@ from repro.parallel.partition import (
     weighted_leaf_segments,
 )
 from repro.parallel.profile import WorkProfile
-from repro.parallel.distributed import run_fig4_simmpi, simulate_fig4
+from repro.parallel.distributed import (
+    run_fig4_ft,
+    run_fig4_simmpi,
+    simulate_fig4,
+)
 from repro.parallel.drivers import (
     run_oct_cilk,
     run_oct_mpi,
     run_oct_hybrid,
+    run_oct_mpi_ft,
     DriverResult,
 )
 
@@ -21,10 +26,12 @@ __all__ = [
     "atom_segments",
     "weighted_leaf_segments",
     "WorkProfile",
+    "run_fig4_ft",
     "run_fig4_simmpi",
     "simulate_fig4",
     "run_oct_cilk",
     "run_oct_mpi",
     "run_oct_hybrid",
+    "run_oct_mpi_ft",
     "DriverResult",
 ]

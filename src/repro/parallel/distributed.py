@@ -12,12 +12,19 @@ each rank's parallel phase goes through the work-stealing simulator,
 and communication is priced by the collective cost formulas.  Use it
 for the core-count sweeps (Figs. 5, 6, 11) where the numerics are
 provably layout-independent.
+
+:func:`run_fig4_ft` is the fault-tolerant variant of the simulated-MPI
+execution: phase checkpoints, shrink-based recovery after rank deaths,
+and deterministic redistribution of the dead rank's work — see
+``docs/ROBUSTNESS.md`` and the ``repro chaos`` harness.
 """
 
 from __future__ import annotations
 
+import copy
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +44,13 @@ from repro.core.energy_octree import (
     build_charge_buckets,
 )
 from repro.core.gb import energy_prefactor
+from repro.faults.errors import FaultError, RankCrashedError
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    MessageDelay,
+    Straggler,
+)
 from repro.molecules.molecule import Molecule
 from repro.octree.build import build_octree
 from repro.parallel.partition import atom_segments, leaf_segments, segment_bounds
@@ -150,6 +164,286 @@ def run_fig4_simmpi(molecule: Molecule,
 
 
 # ---------------------------------------------------------------------------
+# Fault-tolerant Fig. 4: checkpointed phases + shrink recovery
+# ---------------------------------------------------------------------------
+
+
+class _Checkpoint:
+    """Replicated in-memory phase-checkpoint store for one FT run.
+
+    Models a replicated checkpoint service: the ranks publish each
+    completed phase's collective result under a name (idempotent —
+    every rank publishes the identical value, the first write wins),
+    and a recovering rank reads the checkpoint instead of recomputing
+    the phase.  Values are copied on both ``put`` and ``get`` so rank
+    threads never share mutable arrays through the store.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._store: Dict[str, Any] = {}
+
+    def put(self, name: str, value: Any) -> None:
+        with self._lock:
+            if name not in self._store:
+                self._store[name] = _ckpt_copy(value)
+
+    def get(self, name: str) -> Any:
+        with self._lock:
+            value = self._store.get(name)
+        return _ckpt_copy(value) if value is not None else None
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._store)
+
+
+def _ckpt_copy(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return copy.deepcopy(value)
+
+
+def _owners_from_leaf_segments(segments: List[np.ndarray],
+                               n_leaves: int) -> np.ndarray:
+    owner = np.empty(n_leaves, dtype=np.int64)
+    for r, idx in enumerate(segments):
+        owner[idx] = r
+    return owner
+
+
+def _owners_from_atom_segments(segments: List[Tuple[int, int]],
+                               natoms: int) -> np.ndarray:
+    owner = np.empty(natoms, dtype=np.int64)
+    for r, (s, e) in enumerate(segments):
+        owner[s:e] = r
+    return owner
+
+
+def _reassign_lost(owner: np.ndarray, newly_dead: Tuple[int, ...],
+                   alive: Tuple[int, ...]) -> None:
+    """Recovery policy: redistribute a dead rank's blocks.
+
+    Every index owned by a newly-dead rank is split contiguously and
+    evenly among the survivors — the same static-partition arithmetic
+    (:func:`segment_bounds`) that cut the original segments, so every
+    rank derives the identical reassignment independently, with no
+    extra communication.
+    """
+    lost = np.flatnonzero(np.isin(owner, newly_dead))
+    if lost.size == 0:
+        return
+    bounds = segment_bounds(int(lost.size), len(alive))
+    for i, r in enumerate(alive):
+        owner[lost[bounds[i]:bounds[i + 1]]] = r
+
+
+def _contiguous_runs(mask: np.ndarray) -> List[Tuple[int, int]]:
+    """``(start, end)`` half-open runs of True in a boolean mask."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([idx[0]], idx[breaks + 1]))
+    ends = np.concatenate((idx[breaks], [idx[-1]])) + 1
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def run_fig4_ft(molecule: Molecule,
+                params: ApproxParams = ApproxParams(),
+                processes: int = 4,
+                threads: int = 1,
+                machine: Optional[MachineSpec] = None,
+                cost: Optional[CostModel] = None,
+                fault_plan: Optional[FaultPlan] = None,
+                timeout: Optional[float] = None,
+                tau: float = TAU_WATER) -> DistributedOutcome:
+    """Fault-tolerant Fig. 4: same numerics, survives rank crashes.
+
+    Each of the three compute phases (integrals, push, energy) runs
+    under a recovery loop:
+
+    * every rank works through the blocks it *owns* (Q-leaves, atom
+      ranges, atoms-tree leaves — the static partition of
+      :mod:`repro.parallel.partition`), folding results into local
+      accumulators and marking blocks *folded* so a retry never
+      double-counts;
+    * when a peer dies, the in-flight collective aborts with a typed
+      :class:`~repro.faults.errors.CollectiveAbortedError` naming the
+      dead; survivors :meth:`~repro.cluster.simmpi.SimComm.shrink` to
+      a new communicator epoch and apply :func:`_reassign_lost` to
+      take over the dead rank's unfolded blocks — recomputing *only*
+      the lost work, charged as recovery time in the virtual cost
+      model;
+    * each phase's collective result is published to a replicated
+      :class:`_Checkpoint` store ("integrals" after the Allreduce,
+      "radii" after the Allgather), so a phase whose collective
+      completed is never re-entered.
+
+    The recovered energy matches the fault-free run to floating-point
+    reordering (the chaos harness asserts 1e-9 relative agreement).
+    A rank crashed by the plan returns ``None``; the cluster tolerates
+    injected deaths as long as one rank survives.
+    """
+    machine = machine or lonestar4()
+    cost = cost or CostModel(machine=machine)
+
+    surf = molecule.require_surface()
+    atoms_tree = build_octree(molecule.positions, params.leaf_size,
+                              params.max_depth)
+    q_tree = build_octree(surf.points, params.leaf_size, params.max_depth)
+    wn_sorted = surf.weighted_normals[q_tree.perm]
+    q_sorted = molecule.charges[atoms_tree.perm]
+    intrinsic_sorted = molecule.radii[atoms_tree.perm]
+    natoms = molecule.natoms
+    nnodes = atoms_tree.nnodes
+    n_qleaves = len(q_tree.leaves)
+    n_vleaves = len(atoms_tree.leaves)
+
+    # Static partition metadata, reused verbatim by the recovery policy.
+    q_owner0 = _owners_from_leaf_segments(
+        leaf_segments(q_tree, processes), n_qleaves)
+    atom_owner0 = _owners_from_atom_segments(
+        atom_segments(natoms, processes), natoms)
+    v_owner0 = _owners_from_leaf_segments(
+        leaf_segments(atoms_tree, processes), n_vleaves)
+    data_bytes = (molecule.nbytes() + atoms_tree.nbytes() + q_tree.nbytes()
+                  + 8 * (nnodes + 2 * natoms))
+
+    ckpt = _Checkpoint()
+
+    def rankfn(comm):
+        comm.charge_memory(data_bytes)
+        q_owner = q_owner0.copy()
+        atom_owner = atom_owner0.copy()
+        v_owner = v_owner0.copy()
+        owners = (q_owner, atom_owner, v_owner)
+
+        def on_fault(exc: FaultError) -> None:
+            """Shrink to the survivors and take over the dead's blocks."""
+            if isinstance(exc, RankCrashedError) and exc.rank == comm.rank:
+                raise exc          # this rank *is* the casualty
+            info = comm.shrink()
+            if not info.newly_dead:
+                raise exc          # timeout/divergence, not a death
+            for owner in owners:
+                _reassign_lost(owner, info.newly_dead, info.alive)
+
+        # -- Phase 1: APPROX-INTEGRALS + Allreduce (ckpt "integrals") --
+        s_node_acc = np.zeros(nnodes, dtype=np.float64)
+        s_atom_acc = np.zeros(natoms, dtype=np.float64)
+        q_folded = np.zeros(n_qleaves, dtype=bool)
+        # ``attempt`` counts per-phase retries: attempt 0 is primary
+        # work (even on a shrunken communicator — redistribution is
+        # just the static partition over fewer ranks); attempt > 0
+        # re-executes work a dead rank lost, and only that is labelled
+        # and charged as recovery.
+        attempt = 0
+        while True:
+            packed = ckpt.get("integrals")
+            if packed is not None:
+                break
+            try:
+                mine = np.flatnonzero((q_owner == comm.rank) & ~q_folded)
+                if mine.size:
+                    s_node, s_atom, cnt, _ = approx_integrals(
+                        atoms_tree, q_tree, wn_sorted, params,
+                        q_leaf_subset=mine)
+                    comm.compute(
+                        cost.born_compute_seconds(
+                            cnt.frontier_visits, cnt.far_evaluations,
+                            cnt.exact_interactions, params.approx_math),
+                        label="born" if attempt == 0 else "born.recovery",
+                        recovery=attempt > 0)
+                    s_node_acc += s_node
+                    s_atom_acc += s_atom
+                    q_folded[mine] = True
+                packed = comm.allreduce(
+                    np.concatenate([s_node_acc, s_atom_acc]))
+                ckpt.put("integrals", packed)
+                break
+            except FaultError as exc:
+                on_fault(exc)
+                attempt += 1
+        s_node_t, s_atom_t = packed[:nnodes], packed[nnodes:]
+
+        # -- Phase 2: PUSH-INTEGRALS + Allgather (ckpt "radii") --------
+        radii_acc = np.full(natoms, np.nan, dtype=np.float64)
+        atom_folded = np.zeros(natoms, dtype=bool)
+        attempt = 0
+        while True:
+            radii_full = ckpt.get("radii")
+            if radii_full is not None:
+                break
+            try:
+                todo = (atom_owner == comm.rank) & ~atom_folded
+                for s, e in _contiguous_runs(todo):
+                    vals = push_integrals_to_atoms(
+                        atoms_tree, s_node_t, s_atom_t, intrinsic_sorted,
+                        atom_range=(s, e))
+                    comm.compute(
+                        cost.push_compute_seconds(
+                            e - s, nnodes / len(comm.alive)),
+                        label="push" if attempt == 0 else "push.recovery",
+                        recovery=attempt > 0)
+                    radii_acc[s:e] = vals[s:e]
+                    atom_folded[s:e] = True
+                chunks = [(int(s), radii_acc[s:e].copy())
+                          for s, e in _contiguous_runs(atom_folded)]
+                parts = comm.allgather(chunks)
+                flat = sorted((c for part in parts for c in part),
+                              key=lambda c: c[0])
+                radii_full = np.concatenate([v for _, v in flat])
+                ckpt.put("radii", radii_full)
+                break
+            except FaultError as exc:
+                on_fault(exc)
+                attempt += 1
+
+        # -- Phase 3: partial energies + Reduce + result Bcast ---------
+        buckets = build_charge_buckets(atoms_tree, q_sorted, radii_full,
+                                       params.eps_epol)
+        raw_acc = 0.0
+        v_folded = np.zeros(n_vleaves, dtype=bool)
+        attempt = 0
+        while True:
+            try:
+                mine = np.flatnonzero((v_owner == comm.rank) & ~v_folded)
+                if mine.size:
+                    raw, cnt2, _ = approx_epol_for_leaves(
+                        atoms_tree, q_sorted, radii_full, buckets, params,
+                        v_leaf_subset=mine)
+                    comm.compute(
+                        cost.epol_compute_seconds(
+                            cnt2.frontier_visits, cnt2.far_evaluations,
+                            cnt2.exact_interactions, buckets.nbuckets,
+                            params.approx_math),
+                        label="epol" if attempt == 0 else "epol.recovery",
+                        recovery=attempt > 0)
+                    raw_acc += raw
+                    v_folded[mine] = True
+                total_raw = comm.reduce(raw_acc, root=0)
+                energy = (energy_prefactor(tau) * total_raw
+                          if total_raw is not None else None)
+                # Master may have died: reduce/bcast fail over to the
+                # lowest survivor, and every rank returns the energy.
+                energy = comm.bcast(energy, root=0)
+                break
+            except FaultError as exc:
+                on_fault(exc)
+                attempt += 1
+        return energy, radii_full
+
+    cluster = SimCluster(processes, threads_per_rank=threads,
+                         machine=machine, cost=cost, timeout=timeout,
+                         fault_plan=fault_plan)
+    results, stats = cluster.run(rankfn)
+    energy, radii_sorted = next(r for r in results if r is not None)
+    radii = atoms_tree.scatter_to_original(radii_sorted)
+    return DistributedOutcome(energy=energy, born_radii=radii, stats=stats)
+
+
+# ---------------------------------------------------------------------------
 # Fast schedule replay over a WorkProfile
 # ---------------------------------------------------------------------------
 
@@ -171,7 +465,8 @@ def simulate_fig4(profile: WorkProfile,
                   cost: Optional[CostModel] = None,
                   seed: int = 0,
                   noise_sigma: float = 0.02,
-                  segmenting: str = "count") -> RunStats:
+                  segmenting: str = "count",
+                  fault_plan: Optional[FaultPlan] = None) -> RunStats:
     """Replay one (P, p) layout over a recorded :class:`WorkProfile`.
 
     Returns a :class:`RunStats` whose ``phases`` dictionary holds the
@@ -186,10 +481,25 @@ def simulate_fig4(profile: WorkProfile,
     cross-rank work stealing on top of the count segments (both
     "explicit load balancing" variants the paper's conclusion proposes
     as future work).
+
+    ``fault_plan`` injects the *performance* fault classes into the
+    replay — :class:`Straggler` slowdowns and collective
+    :class:`MessageDelay` late entries (crashes and drops need real
+    message passing; use :func:`run_fig4_ft` for those).
     """
     if segmenting not in ("count", "weighted", "stealing"):
         raise ValueError(
             "segmenting must be 'count', 'weighted' or 'stealing'")
+    if fault_plan is not None:
+        unsupported = [
+            f for f in fault_plan.faults
+            if not (isinstance(f, Straggler)
+                    or (isinstance(f, MessageDelay) and f.op is not None))]
+        if unsupported:
+            raise ValueError(
+                "simulate_fig4 replays support only Straggler and "
+                "collective MessageDelay faults; use run_fig4_ft for "
+                f"crashes and drops (got {unsupported[0]!r})")
     machine = machine or lonestar4()
     cost = cost or CostModel(machine=machine)
     P, p = processes, threads
@@ -285,11 +595,36 @@ def simulate_fig4(profile: WorkProfile,
             push_each += cost.hybrid_interface_overhead
     push_times = push_each * mem_factor * noise()
 
+    fault_events: List[FaultEvent] = []
+    delay_by_op = {"allreduce": 0.0, "allgather": 0.0, "reduce": 0.0}
+    delayed_srcs = {op: [] for op in delay_by_op}
+    if fault_plan is not None and not fault_plan.is_empty:
+        slow = np.array([fault_plan.slowdown(r) for r in range(P)],
+                        dtype=np.float64)
+        for r in np.flatnonzero(slow != 1.0):
+            fault_events.append(FaultEvent("straggler", int(r), 0.0,
+                                           f"slowdown x{slow[r]:g}"))
+        born_times = born_times * slow
+        push_times = push_times * slow
+        epol_times = epol_times * slow
+        # Fig. 4 runs each collective once, so only index-0 delays
+        # apply; the latest-entering rank sets the stall everyone pays.
+        for op in delay_by_op:
+            for r in range(P):
+                d = fault_plan.collective_delay(r, op, 0)
+                if d > 0.0:
+                    delayed_srcs[op].append((r, d))
+            delay_by_op[op] = max(
+                (d for _, d in delayed_srcs[op]), default=0.0)
+
     sync = cost.collective_sync_seconds(P)
-    comm_allreduce = cost.allreduce_seconds(
+    comm_allreduce = (cost.allreduce_seconds(
         profile.atoms_nodes + profile.natoms, P, p) + sync
-    comm_allgather = cost.allgather_seconds(profile.natoms / P, P, p) + sync
-    comm_reduce = cost.reduce_seconds(1.0, P, p) + sync
+        + delay_by_op["allreduce"])
+    comm_allgather = (cost.allgather_seconds(profile.natoms / P, P, p)
+                      + sync + delay_by_op["allgather"])
+    comm_reduce = (cost.reduce_seconds(1.0, P, p) + sync
+                   + delay_by_op["reduce"])
     comm_total = comm_allreduce + comm_allgather + comm_reduce
 
     phases = {
@@ -326,6 +661,9 @@ def simulate_fig4(profile: WorkProfile,
         else:
             t_end = t_base + float(dur)
             nbytes = comm_payloads.get(name, 0)
+            for r, d in delayed_srcs.get(name, ()):
+                fault_events.append(FaultEvent("delay", r, t_base,
+                                               f"{name}[0] +{d:g}s"))
             for r in range(P):
                 timeline.append(PhaseSlice(r, name, "comm", t_base, t_end,
                                            payload_bytes=nbytes))
@@ -342,5 +680,7 @@ def simulate_fig4(profile: WorkProfile,
                                steals=int(born_steals[r]
                                           + epol_steals[r]),
                                memory_bytes=proc_bytes))
+    fault_events.sort(key=lambda e: (e.t, e.rank, e.kind))
     return RunStats(processes=P, threads=p, ranks=ranks, phases=phases,
-                    timeline=timeline)
+                    timeline=timeline, faults=len(fault_events),
+                    fault_events=fault_events)

@@ -94,3 +94,13 @@ class TestCommunication:
         assert cm.allgather_seconds(100, 8) > 0
         assert cm.reduce_seconds(1, 8) > 0
         assert cm.reduce_seconds(1, 1) == 0.0
+
+    def test_gather_priced_below_allgather(self, cm):
+        """Data converges on one root instead of fanning back out, so a
+        gather must be cheaper than the allgather that used to price it
+        — but still real communication."""
+        assert cm.gather_seconds(1000, 1) == 0.0
+        g = cm.gather_seconds(1000, 16)
+        ag = cm.allgather_seconds(1000, 16)
+        assert 0 < g < ag
+        assert cm.gather_seconds(1000, 64) > g

@@ -184,3 +184,113 @@ class TestRunStats:
         _, stats = _run(3, fn)
         assert stats.wall_seconds == pytest.approx(0.3)
         assert "P=3" in stats.summary()
+
+
+class TestReusability:
+    def test_same_cluster_runs_twice(self):
+        """Regression: groups/queues/dead-set must reset per run()."""
+        cluster = SimCluster(3)
+
+        def fn(comm):
+            comm.send(comm.rank, dest=(comm.rank + 1) % comm.size)
+            got = comm.recv(source=(comm.rank - 1) % comm.size)
+            return comm.allreduce(got + 1)
+
+        first, s1 = cluster.run(fn)
+        second, s2 = cluster.run(fn)
+        assert first == second
+        assert s1.wall_seconds == s2.wall_seconds
+
+    def test_run_after_aborted_run(self):
+        """An aborted run must not poison the next one."""
+        from repro.faults import FaultPlan, RankCrash
+
+        cluster = SimCluster(2, timeout=5.0,
+                             fault_plan=FaultPlan([RankCrash(0, "work")]))
+
+        def crashy(comm):
+            comm.compute(1.0, label="work")
+            return comm.allreduce(1.0)
+
+        def healthy(comm):
+            return comm.allreduce(1.0)
+
+        from repro.faults import CollectiveAbortedError
+        with pytest.raises(CollectiveAbortedError):
+            cluster.run(crashy)
+        assert 0 in cluster.dead_ranks()
+
+        cluster.fault_plan = None
+        results, _ = cluster.run(healthy)
+        assert results == [2.0, 2.0]
+        assert cluster.dead_ranks() == ()
+
+
+class TestTimeoutConfig:
+    def test_ctor_timeout_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "7")
+        assert SimCluster(1, timeout=3.0).timeout == 3.0
+
+    def test_env_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "7.5")
+        assert SimCluster(1).timeout == 7.5
+
+    def test_default_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMMPI_TIMEOUT", raising=False)
+        from repro.cluster import simmpi
+        assert SimCluster(1).timeout == simmpi._BARRIER_TIMEOUT
+
+    def test_invalid_timeout_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            SimCluster(1, timeout=0.0)
+        with pytest.raises(ValueError):
+            SimCluster(1, timeout=-1.0)
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "not-a-number")
+        with pytest.raises(ValueError):
+            SimCluster(1)
+
+
+class TestErrorPath:
+    """A rank exception must abort peers' collectives promptly and the
+    originating error — not the collateral damage — must surface."""
+
+    def test_peers_fail_fast_and_original_error_wins(self):
+        import time as _time
+        from repro.faults import CollectiveAbortedError
+
+        witnessed = {}
+
+        def fn(comm):
+            if comm.rank == 1:  # lint: ignore[RPR101] — deliberate fault
+                raise KeyError("the real bug")
+            t0 = _time.monotonic()
+            try:
+                comm.barrier()
+            except CollectiveAbortedError as exc:
+                witnessed[comm.rank] = (_time.monotonic() - t0, exc)
+                raise
+
+        cluster = SimCluster(3, timeout=60.0)
+        with pytest.raises(KeyError, match="the real bug"):
+            cluster.run(fn)
+        # Both survivors saw a typed abort naming the dead rank, long
+        # before the 60 s timeout (fail-fast via barrier abort).
+        assert set(witnessed) == {0, 2}
+        for waited, exc in witnessed.values():
+            assert waited < 30.0
+            assert exc.op == "barrier"
+            assert 1 in exc.dead
+
+    def test_typed_abort_surfaces_without_real_error(self):
+        """Divergent schedules surface the informative typed error."""
+        from repro.faults import CollectiveAbortedError
+
+        def fn(comm):
+            if comm.rank == 0:  # lint: ignore[RPR101] — deliberate divergence
+                comm.barrier()
+            # rank 1 returns without entering the collective
+
+        with pytest.raises(CollectiveAbortedError) as exc_info:
+            SimCluster(2, timeout=0.5).run(fn)
+        assert exc_info.value.op == "barrier"
+        assert exc_info.value.timed_out

@@ -1,0 +1,77 @@
+"""Chaos harness: scenario matrix, report, and the quick gate CI runs."""
+
+import json
+
+import pytest
+
+from repro.faults import RankCrash
+from repro.faults.chaos import (
+    DEFAULT_TOLERANCE,
+    run_chaos,
+    scenario_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(seed=0, processes=4, quick=True)
+
+
+class TestScenarioMatrix:
+    def test_same_seed_same_matrix(self):
+        a = scenario_matrix(seed=5)
+        b = scenario_matrix(seed=5)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.plan.faults for s in a] == [s.plan.faults for s in b]
+
+    def test_covers_every_fault_class(self):
+        scenarios = scenario_matrix(seed=0)
+        names = {s.name for s in scenarios}
+        assert len(scenarios) >= 8          # the acceptance floor
+        assert "clean" in names
+        for phase in ("born", "push", "epol"):
+            assert f"crash-{phase}" in names
+        assert {"crash-double", "drop-collective", "delay-collective",
+                "straggler"} <= names
+
+    def test_double_crash_uses_distinct_ranks(self):
+        for seed in range(16):
+            (double,) = [s for s in scenario_matrix(seed)
+                         if s.name == "crash-double"]
+            crashes = [f for f in double.plan.faults
+                       if isinstance(f, RankCrash)]
+            assert len(crashes) == 2
+            assert crashes[0].rank != crashes[1].rank
+
+    def test_needs_three_ranks(self):
+        with pytest.raises(ValueError):
+            scenario_matrix(seed=0, processes=2)
+
+
+class TestChaosRun:
+    def test_quick_matrix_all_pass(self, report):
+        assert report.all_passed
+        assert len(report.results) >= 8
+        for res in report.results:
+            assert res.passed
+            assert res.deterministic
+            assert res.rel_err <= DEFAULT_TOLERANCE
+
+    def test_fault_scenarios_actually_faulted(self, report):
+        by_name = {r.name: r for r in report.results}
+        assert by_name["clean"].faults == 0
+        assert by_name["crash-born"].recoveries >= 1
+        assert by_name["crash-double"].faults == 2
+        assert by_name["straggler"].faults == 1
+        assert by_name["crash-born"].recovery_seconds > 0.0
+
+    def test_table_and_json(self, report):
+        table = report.table()
+        for res in report.results:
+            assert res.name in table
+        data = json.loads(report.to_json())
+        assert data["all_passed"] is True
+        assert data["seed"] == 0
+        assert len(data["scenarios"]) == len(report.results)
+        assert {"name", "energy", "rel_err", "deterministic",
+                "passed"} <= set(data["scenarios"][0])

@@ -1,0 +1,56 @@
+"""Typed fault errors: attributes and diagnostic messages."""
+
+from repro.faults import (
+    CollectiveAbortedError,
+    FaultError,
+    NoSurvivorsError,
+    RankCrashedError,
+    RecvTimeoutError,
+)
+
+
+def test_hierarchy():
+    for cls in (RankCrashedError, RecvTimeoutError,
+                CollectiveAbortedError, NoSurvivorsError):
+        assert issubclass(cls, FaultError)
+    assert issubclass(FaultError, RuntimeError)
+
+
+def test_rank_crashed_carries_context():
+    exc = RankCrashedError(rank=3, clock=1.25, phase="born")
+    assert exc.rank == 3
+    assert exc.clock == 1.25
+    assert exc.phase == "born"
+    assert "rank 3" in str(exc)
+    assert "'born'" in str(exc)
+
+
+def test_recv_timeout_names_channel_and_clocks():
+    exc = RecvTimeoutError(source=2, dest=0, tag=5, dest_clock=0.5,
+                           source_clock=0.75, timeout=10.0)
+    assert (exc.source, exc.dest, exc.tag) == (2, 0, 5)
+    assert exc.dest_clock == 0.5
+    assert exc.source_clock == 0.75
+    msg = str(exc)
+    assert "rank 0" in msg and "rank 2" in msg and "tag 5" in msg
+    # Unknown sender clock is stated, not formatted as a number.
+    assert "unknown" in str(RecvTimeoutError(1, 0, 0, dest_clock=0.0))
+
+
+def test_collective_aborted_names_op_and_dead():
+    exc = CollectiveAbortedError(op="allreduce", rank=1, clock=2.0,
+                                 dead=(3, 2))
+    assert exc.op == "allreduce"
+    assert exc.dead == (3, 2)
+    assert not exc.timed_out
+    assert "allreduce" in str(exc) and "[3, 2]" in str(exc)
+    timed = CollectiveAbortedError(op="barrier", rank=0, clock=0.0,
+                                   timed_out=True)
+    assert timed.timed_out and timed.dead == ()
+    assert "RPR101" in str(timed)
+
+
+def test_no_survivors():
+    exc = NoSurvivorsError(dead=(0, 1))
+    assert exc.dead == (0, 1)
+    assert "all ranks dead" in str(exc)

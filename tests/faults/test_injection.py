@@ -1,0 +1,182 @@
+"""Fault injection at the simulated-MPI layer.
+
+Covers the runtime hooks a :class:`FaultPlan` drives: crashes during
+labelled compute phases, point-to-point drops, straggler slowdowns,
+collective retransmission costs and late collective entry — plus the
+trace instants each emits.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.cluster.simmpi import SimCluster
+from repro.faults import (
+    CollectiveAbortedError,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    RankCrashedError,
+    RecvTimeoutError,
+    Straggler,
+)
+
+
+class TestCrash:
+    def test_crash_aborts_peer_collectives(self):
+        plan = FaultPlan([RankCrash(rank=1, phase="work", occurrence=0)])
+        cluster = SimCluster(3, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            comm.compute(0.5, label="work")
+            try:
+                return comm.allreduce(1.0)
+            except CollectiveAbortedError as exc:
+                return exc
+
+        results, stats = cluster.run(fn)
+        assert results[1] is None              # the dead rank
+        for r in (0, 2):
+            exc = results[r]
+            assert isinstance(exc, CollectiveAbortedError)
+            assert exc.op == "allreduce"
+            assert exc.dead == (1,)
+        assert stats.faults == 1
+        (event,) = stats.fault_events
+        assert event.kind == "crash" and event.rank == 1
+        # after_fraction=0.5 of the 0.5 s phase was charged before death.
+        assert event.t == pytest.approx(0.25)
+        assert "faults=1" in stats.summary()
+
+    def test_uncaught_injected_crash_is_tolerated(self):
+        plan = FaultPlan([RankCrash(rank=1, phase="work")])
+        cluster = SimCluster(2, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            comm.compute(1.0, label="work")
+            return comm.rank
+
+        # Rank 0 never enters a collective, so it just finishes; the
+        # injected death on rank 1 must not fail the run.
+        results, stats = cluster.run(fn)
+        assert results == [0, None]
+        assert cluster.dead_ranks() == (1,)
+
+    def test_recv_from_dead_source_raises_rank_crashed(self):
+        plan = FaultPlan([RankCrash(rank=0, phase="pre")])
+        cluster = SimCluster(2, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(0.1, label="pre")   # dies here
+                comm.send("never sent", dest=1)
+            return comm.recv(source=0)
+
+        with pytest.raises(RankCrashedError) as exc_info:
+            cluster.run(fn)
+        assert exc_info.value.rank == 0
+
+    def test_crash_emits_trace_instant(self):
+        obs.enable(reset=True)
+        try:
+            plan = FaultPlan([RankCrash(rank=0, phase="work")])
+            cluster = SimCluster(1, fault_plan=plan, timeout=10.0)
+            with pytest.raises(Exception):
+                cluster.run(lambda comm: comm.compute(1.0, label="work"))
+            names = [e["name"] for e in obs.get_tracer().events()]
+            assert "fault.crash" in names
+        finally:
+            obs.disable()
+
+
+class TestPointToPoint:
+    def test_dropped_send_times_out_receiver(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, index=0)])
+        cluster = SimCluster(2, fault_plan=plan, timeout=0.3)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"payload": 1}, dest=1, tag=4)
+                return "sent"
+            return comm.recv(source=0, tag=4)
+
+        with pytest.raises(RecvTimeoutError) as exc_info:
+            cluster.run(fn)
+        exc = exc_info.value
+        # The typed error names the channel and both virtual clocks.
+        assert (exc.source, exc.dest, exc.tag) == (0, 1, 4)
+        assert exc.timeout == pytest.approx(0.3)
+        assert exc.dest_clock >= 0.0
+        assert exc.source_clock is not None
+
+    def test_delayed_send_arrives_late(self):
+        plan = FaultPlan([MessageDelay(src=0, seconds=0.5, dst=1,
+                                       index=0)])
+        cluster = SimCluster(2, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                return None
+            got = comm.recv(source=0)
+            return got, comm.clock
+
+        results, stats = cluster.run(fn)
+        got, clock = results[1]
+        assert got == "x"
+        assert clock >= 0.5          # receiver synced to the late arrival
+        assert any(e.kind == "delay" for e in stats.fault_events)
+
+
+class TestStraggler:
+    def test_straggler_multiplies_compute(self):
+        plan = FaultPlan([Straggler(rank=1, factor=2.5)])
+        cluster = SimCluster(2, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            comm.compute(1.0)
+            return comm.clock
+
+        results, stats = cluster.run(fn)
+        assert results[0] == pytest.approx(1.0)
+        assert results[1] == pytest.approx(2.5)
+        # Recorded once, not per compute call.
+        straggles = [e for e in stats.fault_events
+                     if e.kind == "straggler"]
+        assert len(straggles) == 1 and straggles[0].rank == 1
+
+
+class TestCollectiveFaults:
+    def test_collective_drop_completes_but_costs_more(self):
+        def fn(comm):
+            return comm.allreduce(float(comm.rank))
+
+        clean = SimCluster(4, timeout=10.0)
+        _, base = clean.run(fn)
+
+        plan = FaultPlan([MessageDrop(src=2, op="allreduce", index=0)])
+        faulty = SimCluster(4, fault_plan=plan, timeout=10.0)
+        results, stats = faulty.run(fn)
+        # Reliable transport: the value is still correct ...
+        assert all(r == pytest.approx(6.0) for r in results)
+        # ... but every participant paid the retransmission.
+        assert stats.wall_seconds > base.wall_seconds
+        assert any(e.kind == "drop" for e in stats.fault_events)
+
+        # Deterministic: same plan, same virtual cost.
+        _, again = SimCluster(4, fault_plan=plan, timeout=10.0).run(fn)
+        assert again.wall_seconds == stats.wall_seconds
+
+    def test_collective_delay_makes_peers_idle(self):
+        plan = FaultPlan([MessageDelay(src=0, seconds=0.5,
+                                       op="allreduce", index=0)])
+        cluster = SimCluster(3, fault_plan=plan, timeout=10.0)
+
+        def fn(comm):
+            return comm.allreduce(1.0)
+
+        results, stats = cluster.run(fn)
+        assert all(r == pytest.approx(3.0) for r in results)
+        # Ranks 1 and 2 waited for the late entrant.
+        for r in (1, 2):
+            assert stats.ranks[r].idle_seconds >= 0.5 - 1e-9

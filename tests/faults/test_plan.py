@@ -1,0 +1,87 @@
+"""FaultPlan: pure queries, seeded generation, validation."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    Straggler,
+)
+
+
+class TestQueries:
+    def test_crash_for_matches_phase_and_occurrence(self):
+        plan = FaultPlan([RankCrash(rank=2, phase="born", occurrence=1)])
+        assert plan.crash_for(2, "born", 1, 0.0, 1.0) is not None
+        assert plan.crash_for(2, "born", 0, 0.0, 1.0) is None
+        assert plan.crash_for(2, "push", 1, 0.0, 1.0) is None
+        assert plan.crash_for(1, "born", 1, 0.0, 1.0) is None
+
+    def test_crash_for_at_time_window(self):
+        plan = FaultPlan([RankCrash(rank=0, at_time=2.5)])
+        assert plan.crash_for(0, "any", 0, 2.0, 3.0) is not None
+        assert plan.crash_for(0, "any", 0, 0.0, 2.0) is None
+        assert plan.crash_for(0, "any", 0, 2.5, 3.0) is None  # t0 < at
+
+    def test_slowdown_compounds(self):
+        plan = FaultPlan([Straggler(rank=1, factor=2.0),
+                          Straggler(rank=1, factor=3.0)])
+        assert plan.slowdown(1) == pytest.approx(6.0)
+        assert plan.slowdown(0) == 1.0
+
+    def test_straggler_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan([Straggler(rank=0, factor=0.0)])
+
+    def test_p2p_fault_matches_channel_and_seq(self):
+        drop = MessageDrop(src=0, dst=1, index=1)
+        delay = MessageDelay(src=0, seconds=0.5, dst=1, tag=7, index=0)
+        plan = FaultPlan([drop, delay])
+        d, _ = plan.p2p_fault(0, 1, 0, 1)   # drop's tag is a wildcard
+        assert d is drop
+        assert plan.p2p_fault(0, 1, 0, 0) == (None, None)  # delay needs tag 7
+        _, dl = plan.p2p_fault(0, 1, 7, 0)
+        assert dl is delay
+        assert plan.p2p_fault(1, 0, 0, 1) == (None, None)
+
+    def test_collective_queries(self):
+        plan = FaultPlan([
+            MessageDrop(src=2, op="allreduce", index=0),
+            MessageDelay(src=1, seconds=0.25, op="allgather", index=3),
+        ])
+        assert plan.collective_drops("allreduce", 0, (0, 1, 2, 3)) == [2]
+        assert plan.collective_drops("allreduce", 1, (0, 1, 2, 3)) == []
+        # A dead src outside the alive group no longer matches.
+        assert plan.collective_drops("allreduce", 0, (0, 1, 3)) == []
+        assert plan.collective_delay(1, "allgather", 3) == \
+            pytest.approx(0.25)
+        assert plan.collective_delay(1, "allgather", 0) == 0.0
+
+    def test_queries_are_pure(self):
+        """Calling a query twice gives the same answer — no firing state."""
+        plan = FaultPlan([RankCrash(rank=1, phase="epol")])
+        first = plan.crash_for(1, "epol", 0, 0.0, 1.0)
+        second = plan.crash_for(1, "epol", 0, 0.0, 1.0)
+        assert first is second is plan.faults[0]
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=42, ranks=8)
+        b = FaultPlan.random(seed=42, ranks=8)
+        assert a.faults == b.faults
+
+    def test_crash_spares_rank_zero(self):
+        for seed in range(64):
+            plan = FaultPlan.random(seed=seed, ranks=4, crash_prob=1.0)
+            assert 0 not in plan.crash_ranks()
+
+    def test_empty_and_introspection(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.crash_ranks() == []
+        full = FaultPlan.random(seed=3, ranks=4, crash_prob=1.0,
+                                straggler_prob=1.0)
+        assert not full.is_empty

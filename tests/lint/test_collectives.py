@@ -7,12 +7,11 @@ barrier timeout shrunk so the failure is fast).
 """
 
 import textwrap
-import threading
 
 import pytest
 
-from repro.cluster import simmpi
 from repro.cluster.simmpi import SimCluster
+from repro.faults import CollectiveAbortedError
 from repro.lint import extract_events, lint_source
 
 
@@ -211,7 +210,7 @@ DIVERGENT = textwrap.dedent("""\
 """)
 
 
-def test_rpr101_catches_real_simmpi_deadlock(monkeypatch):
+def test_rpr101_catches_real_simmpi_deadlock():
     # (a) the linter flags the rank-divergent schedule …
     findings = rpr101(DIVERGENT)
     assert len(findings) == 1
@@ -220,11 +219,15 @@ def test_rpr101_catches_real_simmpi_deadlock(monkeypatch):
     # (b) … and the very same program really deadlocks the simulated
     # runtime: rank 0 waits at the collective barrier for a partner
     # that already exited.  Shrink the 120 s timeout so the test is
-    # quick; the broken barrier surfaces as BrokenBarrierError.
-    monkeypatch.setattr(simmpi, "_BARRIER_TIMEOUT", 0.5)
+    # quick; the broken barrier surfaces as a typed
+    # CollectiveAbortedError naming the op, with no dead ranks (it is
+    # a schedule divergence, not a crash).
     namespace = {}
     exec(compile(DIVERGENT, "<divergent>", "exec"), namespace)
     rankfn = namespace["rankfn"]
-    cluster = SimCluster(processes=2)
-    with pytest.raises(threading.BrokenBarrierError):
+    cluster = SimCluster(processes=2, timeout=0.5)
+    with pytest.raises(CollectiveAbortedError) as exc_info:
         cluster.run(rankfn)
+    assert exc_info.value.op == "barrier"
+    assert exc_info.value.timed_out
+    assert exc_info.value.dead == ()

@@ -1,4 +1,4 @@
-"""Per-rule positive + negative fixtures for RPR001–RPR005."""
+"""Per-rule positive + negative fixtures for RPR001–RPR006."""
 
 import textwrap
 
@@ -189,3 +189,69 @@ def test_rpr005_non_init_module_exempt():
     src = "from repro.config import ParallelConfig\n"
     assert lint_source(src, select=["RPR005"],
                        filename="src/repro/fake/module.py") == []
+
+
+# -- RPR006: fault-boundary — no raw infra exceptions from cluster/faults
+
+
+CLUSTER_FILE = "src/repro/cluster/foo.py"
+
+
+def test_rpr006_raise_queue_empty_flagged():
+    src = textwrap.dedent("""\
+        import queue
+        def f():
+            raise queue.Empty
+    """)
+    assert ids(lint_source(src, filename=CLUSTER_FILE,
+                           select=["RPR006"])) == ["RPR006"]
+
+
+def test_rpr006_raise_broken_barrier_call_flagged():
+    src = textwrap.dedent("""\
+        import threading
+        def f():
+            raise threading.BrokenBarrierError()
+    """)
+    assert ids(lint_source(src, filename="src/repro/faults/bar.py",
+                           select=["RPR006"])) == ["RPR006"]
+
+
+def test_rpr006_bare_reraise_of_infra_exception_flagged():
+    src = textwrap.dedent("""\
+        import queue
+        def f(q):
+            try:
+                return q.get_nowait()
+            except queue.Empty:
+                raise
+    """)
+    assert ids(lint_source(src, filename=CLUSTER_FILE,
+                           select=["RPR006"])) == ["RPR006"]
+
+
+def test_rpr006_conversion_at_catch_site_passes():
+    src = textwrap.dedent("""\
+        import queue
+        from repro.faults.errors import RecvTimeoutError
+        def f(q):
+            try:
+                return q.get_nowait()
+            except queue.Empty:
+                raise RecvTimeoutError(0, 1, 0, dest_clock=0.0) from None
+    """)
+    assert ids(lint_source(src, filename=CLUSTER_FILE,
+                           select=["RPR006"])) == []
+
+
+def test_rpr006_scope_limited_to_cluster_and_faults():
+    src = "import queue\nraise queue.Empty\n"
+    assert ids(lint_source(src, filename="src/repro/core/foo.py",
+                           select=["RPR006"])) == []
+
+
+def test_rpr006_ignore_comment_suppresses():
+    src = ("import queue\n"
+           "raise queue.Empty  # lint: ignore[RPR006]\n")
+    assert ids(lint_source(src, filename=CLUSTER_FILE,
+                           select=["RPR006"])) == []

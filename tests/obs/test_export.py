@@ -155,3 +155,24 @@ def test_tracer_events_emit_metadata(tracer):
                for ev in metas)
     # The virtual allreduce created a virtual process group too.
     assert any(ev["pid"] == VIRTUAL_PID for ev in metas)
+
+
+def test_runstats_fault_events_become_instants(stats):
+    from repro.faults.plan import FaultEvent
+
+    stats.faults = 2
+    stats.fault_events = [FaultEvent("crash", 1, 0.9, "born"),
+                          FaultEvent("straggler", 0, 0.0, "slowdown x2")]
+    try:
+        events = runstats_events(stats, pid=VIRTUAL_PID + 1)
+    finally:
+        stats.faults = 0
+        stats.fault_events = []
+    instants = [ev for ev in events if ev["ph"] == "i"]
+    assert {ev["name"] for ev in instants} == {"fault.crash",
+                                               "fault.straggler"}
+    crash = next(ev for ev in instants if ev["name"] == "fault.crash")
+    assert crash["cat"] == "fault"
+    assert crash["tid"] == 1
+    assert crash["ts"] == pytest.approx(0.9e6)
+    assert crash["args"]["detail"] == "born"
