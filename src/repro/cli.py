@@ -4,7 +4,14 @@ Commands
 --------
 ``solve``
     Compute Born radii and E_pol for a molecule (synthetic, capsid or a
-    PQR/XYZQR file) with any solver method.
+    PQR/XYZQR file) with any solver method.  Runs guarded by default
+    (preflight, NaN sentinels, accuracy watchdog, degradation ladder —
+    see ``docs/ROBUSTNESS.md``); ``--checkpoint DIR`` / ``--resume``
+    give durable restart with bitwise-identical energies.
+``doctor``
+    Validate a molecule/config without solving: report every format,
+    geometry and parameter issue found (with fixability hints) and
+    exit non-zero when the solve would fail.
 ``scale``
     Sweep the simulated cluster over core counts for one molecule and
     print the Fig. 5-style table.
@@ -39,7 +46,8 @@ from repro.molecules.molecule import Molecule
 from repro.parallel import WorkProfile, simulate_fig4
 
 
-def _load_molecule(args: argparse.Namespace) -> Molecule:
+def _load_molecule(args: argparse.Namespace,
+                   surface: bool = True) -> Molecule:
     if args.file:
         if args.file.endswith(".pqr"):
             mol = pdbio.read_pqr(args.file, name=args.file)
@@ -47,7 +55,7 @@ def _load_molecule(args: argparse.Namespace) -> Molecule:
             mol = pdbio.read_pdb(args.file, name=args.file)
         else:
             mol = pdbio.read_xyzqr(args.file, name=args.file)
-        return sample_surface(mol)
+        return sample_surface(mol) if surface else mol
     if args.capsid:
         return virus_capsid(args.atoms, seed=args.seed)
     return synthetic_protein(args.atoms, seed=args.seed)
@@ -107,16 +115,63 @@ def _root_span_seconds(name: str) -> float:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.guard import DiagnosticError, GuardedSolver
+    if args.no_guard and (args.checkpoint or args.resume
+                          or args.stop_after):
+        print("error: --checkpoint/--resume/--stop-after need the "
+              "guard layer (drop --no-guard)", file=sys.stderr)
+        return 2
+    if args.stop_after and not args.checkpoint:
+        print("error: --stop-after only makes sense with --checkpoint",
+              file=sys.stderr)
+        return 2
     obs.enable(reset=True)
-    with obs.span("solve", method=args.method):
-        mol = _load_molecule(args)
-        print(f"molecule: {mol.name} — {mol.natoms} atoms, "
-              f"{mol.nqpoints} surface quadrature points")
-        solver = PolarizationSolver(mol, _params(args), method=args.method)
-        energy = solver.energy()
-        radii = solver.born_radii()
+    report = None
+    try:
+        with obs.span("solve", method=args.method):
+            mol = _load_molecule(args)
+            print(f"molecule: {mol.name} — {mol.natoms} atoms, "
+                  f"{mol.nqpoints} surface quadrature points")
+            if args.no_guard:
+                solver = PolarizationSolver(mol, _params(args),
+                                            method=args.method)
+                energy = solver.energy()
+                radii = solver.born_radii()
+            else:
+                guarded = GuardedSolver(mol, _params(args),
+                                        method=args.method,
+                                        checkpoint=args.checkpoint,
+                                        resume=args.resume)
+                mol = guarded.molecule
+                if args.stop_after == "born":
+                    radii = guarded.born_phase_only()
+                    print(f"stopped after the Born phase; snapshot in "
+                          f"{args.checkpoint} (finish with --resume)")
+                    print(f"Born radii: min {radii.min():.3f}  "
+                          f"mean {radii.mean():.3f}  "
+                          f"max {radii.max():.3f} Å")
+                    obs.disable()
+                    return 0
+                report = guarded.report()
+                energy, radii = report.energy, report.born_radii
+                # The tracing/profile paths below want a solver whose
+                # cached radii match what the guarded run settled on.
+                solver = PolarizationSolver(mol, report.params,
+                                            method=report.method)
+                solver._born = report.born_radii
+    except DiagnosticError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        obs.disable()
+        return 1
     dt = _root_span_seconds("solve")
-    print(f"E_pol = {energy:.4f} kcal/mol   ({args.method}, {dt:.2f} s)")
+    if report is not None and report.events:
+        print(f"guard: finished on rung {report.rung!r} after "
+              f"{report.attempts} attempt(s), "
+              f"{report.degradations} degradation(s)")
+        for ev in report.events:
+            print(f"  - {ev.action} [{ev.phase}] {ev.detail}")
+    method = args.method if report is None else report.method
+    print(f"E_pol = {energy:.4f} kcal/mol   ({method}, {dt:.2f} s)")
     print(f"Born radii: min {radii.min():.3f}  mean {radii.mean():.3f}  "
           f"max {radii.max():.3f} Å")
     print("phase breakdown (tracer):")
@@ -136,9 +191,57 @@ def cmd_solve(args: argparse.Namespace) -> int:
         obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
                                runstats=runstats, metrics=obs.registry)
         print(f"wrote trace to {args.trace}")
+    if args.json:
+        import json
+        doc = {"molecule": mol.name, "natoms": mol.natoms,
+               "method": method, "energy": energy,
+               "born_min": float(radii.min()),
+               "born_mean": float(radii.mean()),
+               "born_max": float(radii.max()),
+               "guarded": report is not None}
+        if report is not None:
+            doc.update(rung=report.rung, attempts=report.attempts,
+                       degradations=report.degradations,
+                       events=[{"action": e.action, "phase": e.phase,
+                                "detail": e.detail}
+                               for e in report.events])
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote result to {args.json}")
     _write_metrics(args)
     obs.disable()
     return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.guard import DiagnosticError
+    from repro.guard.checks import diagnose_molecule
+    from repro.molecules.surface import sample_surface as _sample
+    try:
+        mol = _load_molecule(args, surface=False)
+    except (DiagnosticError, ValueError) as exc:
+        print(f"unreadable molecule: {exc}", file=sys.stderr)
+        return 2
+    findings = diagnose_molecule(mol, _params(args))
+    # Surface checks only make sense once the raw arrays are sound.
+    if mol.surface is None and not any(d.severity == "error"
+                                       for d in findings):
+        try:
+            mol = _sample(mol)
+            findings = diagnose_molecule(mol, _params(args))
+        except ValueError as exc:
+            print(f"note: surface sampling failed: {exc}")
+    print(f"doctor: {mol.name} — {mol.natoms} atoms")
+    for d in findings:
+        print(d.render())
+    errors = sum(1 for d in findings if d.severity == "error")
+    fixable = sum(1 for d in findings if d.fixable)
+    if not findings:
+        print("no findings: molecule and parameters look healthy")
+        return 0
+    print(f"{len(findings)} finding(s): {errors} error(s), "
+          f"{fixable} fixable")
+    return 1 if errors else 0
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
@@ -300,7 +403,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "--trace output (default 4)")
     p.add_argument("--trace-threads", type=int, default=6,
                    help="threads per rank of that schedule (default 6)")
+    p.add_argument("--no-guard", action="store_true",
+                   help="bypass the guard layer (no preflight, "
+                        "sentinels, watchdog or degradation ladder)")
+    p.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
+                   help="snapshot post-phase state into DIR "
+                        "(versioned, checksummed, atomically written)")
+    p.add_argument("--resume", action="store_true",
+                   help="restart from the newest snapshot in "
+                        "--checkpoint DIR (bitwise-identical energy)")
+    p.add_argument("--stop-after", choices=("born",), default=None,
+                   help="exit after this phase's snapshot lands — the "
+                        "interruption half of a restart test")
+    p.add_argument("--json", type=str, default=None, metavar="FILE",
+                   help="write the result (energy, guard events) as "
+                        "JSON")
     p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("doctor", help="validate a molecule/config and "
+                                      "report fixable issues")
+    _add_molecule_args(p)
+    _add_params_args(p)
+    p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("scale", help="core-count sweep on the simulated "
                                      "cluster")

@@ -28,9 +28,13 @@ def _surface_sums(molecule: Molecule, power: int, block: int) -> np.ndarray:
         diff = pts[None, :, :] - pos[lo:hi, None, :]      # (b, N, 3)
         r2 = np.einsum("bnk,bnk->bn", diff, diff)
         if np.any(r2 == 0.0):
-            raise ValueError(
+            from repro.guard.errors import DegenerateGeometryError
+            bad = lo + np.flatnonzero((r2 == 0.0).any(axis=1))
+            raise DegenerateGeometryError(
                 "a quadrature point coincides with an atom centre; "
-                "the surface integrand is singular there")
+                "the surface integrand is singular there",
+                phase="born", indices=bad,
+                hint="run repro doctor on this molecule")
         numer = np.einsum("bnk,nk->bn", diff, wn)
         s[lo:hi] = np.sum(numer / r2 ** half, axis=1)
     return s

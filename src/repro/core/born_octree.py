@@ -209,7 +209,8 @@ def approx_integrals(atoms_tree: Octree,
     if atom_range is not None:
         rng_s, rng_e = atom_range
         if not 0 <= rng_s <= rng_e <= atoms_tree.npoints:
-            raise ValueError("atom_range out of bounds")
+            raise ValueError(  # lint: ignore[RPR007] — API arg check
+                "atom_range out of bounds")
 
     while len(a_front):
         if atom_range is not None:
@@ -335,10 +336,28 @@ def push_integrals_to_atoms(atoms_tree: Octree,
     radii = integral_to_radius_r6(total, intrinsic_sorted)
     if atom_range is not None:
         s_id, e_id = atom_range
+        _check_push_filled(radii, s_id, e_id)
         out = np.full_like(radii, np.nan)
         out[s_id:e_id] = radii[s_id:e_id]
         return out
+    _check_push_filled(radii, 0, len(radii))
     return radii
+
+
+def _check_push_filled(radii: np.ndarray, s_id: int, e_id: int) -> None:
+    """The push phase owns ``[s_id, e_id)``: every entry there must be a
+    finite radius before the NaN placeholders go out.  An unfilled entry
+    means a leaf the traversal never deposited into — raise loudly
+    instead of letting the sentinel NaN masquerade as a result."""
+    seg = radii[s_id:e_id]
+    bad = np.flatnonzero(~np.isfinite(seg))
+    if len(bad):
+        from repro.guard.errors import NumericalGuardError
+        raise NumericalGuardError(
+            "push phase left unfilled (non-finite) Born radii entries",
+            phase="push", indices=(bad + s_id),
+            hint="indices are in tree (Morton-sorted) order; the "
+                 "traversal skipped these atoms' leaves")
 
 
 def born_radii_octree(molecule: Molecule,

@@ -36,9 +36,14 @@ def epol_naive(molecule: Molecule,
     pos, q = molecule.positions, molecule.charges
     m = len(pos)
     if len(R) != m:
-        raise ValueError("born_radii length must match atom count")
+        from repro.guard.errors import MoleculeFormatError
+        raise MoleculeFormatError(
+            "born_radii length must match atom count", field="born_radii")
     if np.any(R <= 0):
-        raise ValueError("Born radii must be positive")
+        from repro.guard.errors import NumericalGuardError
+        raise NumericalGuardError(
+            "Born radii must be positive", phase="epol",
+            indices=np.flatnonzero(~(born_radii > 0)))
     total = 0.0
     for lo in range(0, m, block):
         hi = min(lo + block, m)

@@ -39,6 +39,12 @@ from repro.obs import (
 from repro.molecules.molecule import Molecule
 from repro.octree.build import NO_CHILD, Octree, build_octree
 
+#: Sentinel cap on the (1+ε) bucket grid.  Legitimate radii are capped
+#: at RGBMAX (30 Å) and floored near 1 Å, so even ε = 0.01 needs only
+#: ~350 buckets; blowing past this means a corrupted radius stretched
+#: the span and almost every bucket would sit empty.
+MAX_BUCKETS = 512
+
 
 @dataclass
 class ChargeBuckets:
@@ -74,9 +80,19 @@ def build_charge_buckets(tree: Octree,
                          born_sorted: np.ndarray,
                          eps: float) -> ChargeBuckets:
     """Bucket every node's charge by Born radius on the (1+ε) grid."""
+    from repro.guard.errors import NumericalGuardError
     R = np.asarray(born_sorted, dtype=np.float64)
+    # NaN compares False against <= 0, so non-finite entries need their
+    # own sentinel or they silently poison every bucket downstream.
+    bad = np.flatnonzero(~np.isfinite(R))
+    if len(bad):
+        raise NumericalGuardError(
+            "non-finite Born radii entering the energy pass",
+            phase="epol", indices=bad)
     if np.any(R <= 0):
-        raise ValueError("Born radii must be positive")
+        raise NumericalGuardError(
+            "Born radii must be positive", phase="epol",
+            indices=np.flatnonzero(R <= 0))
     r_min = float(R.min())
     r_max = float(R.max())
     base = 1.0 + eps
@@ -84,6 +100,16 @@ def build_charge_buckets(tree: Octree,
         m_eps = int(np.floor(np.log(r_max / r_min) / np.log(base))) + 1
     else:
         m_eps = 1
+    if m_eps > MAX_BUCKETS:
+        # A (1+ε) grid this wide means a corrupted radius stretched
+        # r_max/r_min absurdly; the per-node bucket tables would
+        # dominate memory with almost every bucket empty.
+        raise NumericalGuardError(
+            f"charge-bucket grid exploded to {m_eps} buckets "
+            f"(cap {MAX_BUCKETS}); Born radii span "
+            f"[{r_min:.3g}, {r_max:.3g}] Å", phase="epol",
+            hint="a corrupted radius usually causes this — or raise "
+                 "eps_epol")
     bucket = np.zeros(len(R), dtype=np.int64)
     if m_eps > 1:
         bucket = np.clip((np.log(R / r_min) / np.log(base)).astype(np.int64),

@@ -54,7 +54,9 @@ def forces_naive(molecule: Molecule,
     R = np.asarray(born_radii, dtype=np.float64)
     m = len(pos)
     if len(R) != m:
-        raise ValueError("born_radii length must match atom count")
+        from repro.guard.errors import MoleculeFormatError
+        raise MoleculeFormatError(
+            "born_radii length must match atom count", field="born_radii")
     K = -0.5 * tau * COULOMB_KCAL
     grad = np.zeros((m, 3), dtype=np.float64)
     for lo in range(0, m, block):

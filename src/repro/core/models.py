@@ -73,8 +73,8 @@ def born_radii(molecule: Molecule,
         return born_radii_hct(molecule, None, cutoff)
     if model == "obc":
         return born_radii_obc(molecule, None, cutoff)
-    raise ValueError(f"unknown Born model {model!r}; "
-                     f"known: {BORN_MODELS}")
+    raise ValueError(  # lint: ignore[RPR007] — API arg check
+        f"unknown Born model {model!r}; known: {BORN_MODELS}")
 
 
 def compare_models(molecule: Molecule,

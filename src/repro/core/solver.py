@@ -76,7 +76,8 @@ class PolarizationSolver:
                  method: str = "octree",
                  tau: float = TAU_WATER) -> None:
         if method not in METHODS:
-            raise ValueError(f"method must be one of {METHODS}")
+            raise ValueError(  # lint: ignore[RPR007] — API arg check
+                f"method must be one of {METHODS}")
         self.molecule = molecule
         self.params = params
         self.method = method

@@ -26,6 +26,7 @@ from repro.faults.errors import (
     RecvTimeoutError,
 )
 from repro.faults.plan import (
+    DataCorruption,
     FaultEvent,
     FaultPlan,
     MessageDelay,
@@ -46,4 +47,5 @@ __all__ = [
     "MessageDrop",
     "MessageDelay",
     "Straggler",
+    "DataCorruption",
 ]

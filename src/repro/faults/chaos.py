@@ -4,7 +4,10 @@ Runs :func:`repro.parallel.distributed.run_fig4_ft` under every fault
 class the runtime injects — clean baseline, a rank crash in each of
 the three Fig. 4 compute phases (integrals, push, energy), a double
 crash, a lost collective fragment, a late collective entry and a
-straggler — and asserts two properties per scenario:
+straggler — plus two :class:`~repro.faults.plan.DataCorruption`
+scenarios routed through :class:`~repro.guard.solver.GuardedSolver`
+(NaN bit-rot caught by the sentinels, finite-but-wrong radii caught by
+the accuracy watchdog).  Two properties are asserted per scenario:
 
 * **agreement** — the recovered E_pol matches the fault-free run to a
   relative tolerance (1e-9 by default; the only difference permitted
@@ -28,6 +31,7 @@ import numpy as np
 
 from repro.config import ApproxParams
 from repro.faults.plan import (
+    DataCorruption,
     FaultPlan,
     MessageDelay,
     MessageDrop,
@@ -71,7 +75,7 @@ class ScenarioResult:
 
 
 def scenario_matrix(seed: int, processes: int = 4) -> List[Scenario]:
-    """The seeded scenario matrix (9 scenarios, every fault class).
+    """The seeded scenario matrix (11 scenarios, every fault class).
 
     All randomness — which rank crashes, where in the phase, delay
     magnitudes, straggler factors — derives from ``seed``, so the
@@ -123,6 +127,18 @@ def scenario_matrix(seed: int, processes: int = 4) -> List[Scenario]:
                                       after_fraction=frac()),
                             Straggler(victim(), factor=factor)],
                            seed=seed)),
+        # Data-corruption rows run through GuardedSolver, not the
+        # cluster runtime: transient faults the degradation ladder's
+        # retry rung must clear bitwise.
+        Scenario("corrupt-nan", "NaN bit-rot in the Born radii "
+                                "(sentinel catches, retry clears)",
+                 FaultPlan([DataCorruption("born.radii", kind="nan",
+                                           fraction=0.1)], seed=seed)),
+        Scenario("corrupt-scale", "finite-but-wrong Born radii "
+                                  "(watchdog catches, retry clears)",
+                 FaultPlan([DataCorruption("born.radii", kind="scale",
+                                           fraction=0.25, factor=8.0)],
+                           seed=seed)),
     ]
 
 
@@ -165,10 +181,51 @@ class ChaosReport:
         return json.dumps(doc, indent=indent, sort_keys=True)
 
 
+def _run_corruption_scenario(scenario: Scenario, molecule: Molecule,
+                             params: ApproxParams, tolerance: float
+                             ) -> ScenarioResult:
+    """Corruption rows: GuardedSolver must detect, degrade and land on
+    the clean answer (transient faults → the retry rung is bitwise)."""
+    import time
+
+    from repro.guard.solver import GuardedSolver
+
+    ref = GuardedSolver(molecule, params).report()
+
+    def once() -> GuardedSolver:
+        g = GuardedSolver(molecule, params, fault_plan=scenario.plan)
+        g.report()
+        return g
+
+    t0 = time.perf_counter()
+    g1 = once()
+    wall = time.perf_counter() - t0
+    g2 = once()
+    r1, r2 = g1.report(), g2.report()
+    deterministic = (r1.energy == r2.energy and r1.rung == r2.rung
+                     and [e.action for e in g1.events]
+                     == [e.action for e in g2.events])
+    rel_err = abs(r1.energy - ref.energy) / abs(ref.energy)
+    radii_ok = bool(np.allclose(r1.born_radii, ref.born_radii,
+                                rtol=tolerance, atol=0.0))
+    detected = g1.degradations > 0  # a silent pass-through is a FAIL
+    return ScenarioResult(
+        name=scenario.name, description=scenario.description,
+        energy=r1.energy, rel_err=rel_err, deterministic=deterministic,
+        faults=g1.injected_faults, recoveries=g1.degradations,
+        recovery_seconds=0.0, wall_seconds=wall,
+        passed=(rel_err <= tolerance and radii_ok and deterministic
+                and detected))
+
+
 def _run_scenario(scenario: Scenario, molecule: Molecule,
                   params: ApproxParams, processes: int,
                   ref: DistributedOutcome, tolerance: float
                   ) -> ScenarioResult:
+    if scenario.plan.has_corruptions:
+        return _run_corruption_scenario(scenario, molecule, params,
+                                        tolerance)
+
     def once() -> DistributedOutcome:
         return run_fig4_ft(molecule, params, processes=processes,
                            fault_plan=scenario.plan)

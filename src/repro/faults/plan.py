@@ -12,7 +12,12 @@ simulated run will experience:
 * :class:`MessageDelay` — the same matching rules, but the payload
   arrives late by ``seconds`` of virtual time;
 * :class:`Straggler` — a rank whose every compute charge is multiplied
-  by ``factor`` (an overloaded / thermally-throttled node).
+  by ``factor`` (an overloaded / thermally-throttled node);
+* :class:`DataCorruption` — seeded NaN / scale injection into a named
+  solver array (``"born.radii"``, …), consumed by the guard layer
+  (:mod:`repro.guard`) rather than the cluster runtime, so
+  ``repro chaos`` can exercise the numerical sentinels and the
+  accuracy watchdog end-to-end.
 
 Determinism: a plan is a pure value.  Which fault fires where depends
 only on virtual-time state the ranks maintain deterministically
@@ -38,6 +43,7 @@ __all__ = [
     "MessageDrop",
     "MessageDelay",
     "Straggler",
+    "DataCorruption",
     "FaultEvent",
     "FaultPlan",
 ]
@@ -111,6 +117,42 @@ class Straggler:
 
 
 @dataclass(frozen=True)
+class DataCorruption:
+    """Seeded corruption of a named solver array (bit-rot model).
+
+    Consumed by :class:`repro.guard.solver.GuardedSolver`, which counts
+    each production of a named array and corrupts the matching
+    occurrence — so the guard layer's sentinels and accuracy watchdog
+    can be exercised end-to-end by ``repro chaos``.
+
+    ``array`` names a phase-boundary product: ``"born.radii"``,
+    ``"surface.weights"`` or ``"epol.energy"``.  ``kind`` is ``"nan"``
+    (entries become NaN — the sentinel's case) or ``"scale"`` (entries
+    are multiplied by ``factor`` — finite-but-wrong, the watchdog's
+    case).  ``occurrence`` selects the *n*-th production of the array
+    within the run (each degradation-ladder attempt produces it once);
+    ``persistent=True`` fires on every occurrence from there on,
+    modelling a hard fault no retry or ε-tightening can clear — only
+    the guard's exact naive fallback (which recomputes from pristine
+    inputs and is exempt from injection) escapes it.  Which entries are
+    hit is a pure function of ``(plan seed, array, occurrence)``.
+    """
+
+    array: str
+    kind: str = "nan"
+    fraction: float = 0.05
+    factor: float = 8.0
+    occurrence: int = 0
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("nan", "scale"):
+            raise ValueError("corruption kind must be 'nan' or 'scale'")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("corruption fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class FaultEvent:
     """One fault that actually fired during a run (for ``RunStats``)."""
 
@@ -135,6 +177,8 @@ class FaultPlan:
         self._drops = [f for f in self.faults if isinstance(f, MessageDrop)]
         self._delays = [f for f in self.faults
                         if isinstance(f, MessageDelay)]
+        self._corruptions = [f for f in self.faults
+                             if isinstance(f, DataCorruption)]
         self._slowdowns: Dict[int, float] = {}
         for f in self.faults:
             if isinstance(f, Straggler):
@@ -151,6 +195,10 @@ class FaultPlan:
 
     def crash_ranks(self) -> List[int]:
         return sorted({c.rank for c in self._crashes})
+
+    @property
+    def has_corruptions(self) -> bool:
+        return bool(self._corruptions)
 
     def __repr__(self) -> str:  # pragma: no cover — debugging aid
         return f"FaultPlan(seed={self.seed}, faults={list(self.faults)})"
@@ -201,6 +249,19 @@ class FaultPlan:
         """Late-entry delay for ``rank`` in the ``op_seq``-th ``op``."""
         return sum(f.seconds for f in self._delays
                    if f.op == op and f.index == op_seq and f.src == rank)
+
+    def corruption_for(self, array: str,
+                       occurrence: int) -> Optional[DataCorruption]:
+        """The corruption (if any) hitting the ``occurrence``-th
+        production of the named array (see
+        :class:`repro.guard.solver.GuardedSolver`)."""
+        for c in self._corruptions:
+            if c.array != array:
+                continue
+            if c.occurrence == occurrence or (
+                    c.persistent and occurrence >= c.occurrence):
+                return c
+        return None
 
     # -- seeded scenario generation ----------------------------------------
 

@@ -1,0 +1,98 @@
+"""repro.guard — numerical guardrails, degradation, checkpoint/restart.
+
+Five pieces (see ``docs/ROBUSTNESS.md`` for the full model):
+
+* **Errors** (:mod:`repro.guard.errors`) — the typed
+  :class:`DiagnosticError` hierarchy every guard raises, each naming
+  the phase and the offending atom/leaf indices;
+* **Checks** (:mod:`repro.guard.checks`) — preflight molecule/config
+  validation (``repro doctor``) plus the runtime NaN/Inf and Born-radii
+  sentinels wired into every solver phase;
+* **Watchdog** (:mod:`repro.guard.watchdog`) — a seeded random atom
+  subset cross-checked against the exact naive kernels, catching
+  finite-but-wrong results the sentinels cannot see;
+* **Checkpoints** (:mod:`repro.guard.checkpoint`) — versioned,
+  checksummed, atomically-written snapshots with bitwise-identical
+  resume (``repro solve --checkpoint DIR`` / ``--resume``);
+* **GuardedSolver** (:mod:`repro.guard.solver`) — the orchestration:
+  preflight → guarded phases → watchdog, walking the degradation
+  ladder (retry → tighten ε → exact naive fallback) on any breach and
+  recording every step as an ``obs`` event.
+
+Attribute access is lazy (PEP 562): ``repro.molecules`` and
+``repro.core`` raise the typed errors from :mod:`repro.guard.errors`,
+so this package init must stay import-free or it would close a cycle
+(molecule → guard → checks → molecule) during their import.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__all__ = [
+    "DiagnosticError",
+    "MoleculeFormatError",
+    "DegenerateGeometryError",
+    "NumericalGuardError",
+    "WatchdogBreachError",
+    "CheckpointError",
+    "format_indices",
+    "Diagnostic",
+    "diagnose_molecule",
+    "preflight",
+    "check_finite",
+    "check_positive",
+    "check_born_radii",
+    "WatchdogReport",
+    "born_tolerance",
+    "check_born_subset",
+    "Checkpoint",
+    "CheckpointStore",
+    "SCHEMA_VERSION",
+    "molecule_fingerprint",
+    "GuardPolicy",
+    "GuardEvent",
+    "GuardedReport",
+    "GuardedSolver",
+]
+
+_HOMES = {
+    "DiagnosticError": "repro.guard.errors",
+    "MoleculeFormatError": "repro.guard.errors",
+    "DegenerateGeometryError": "repro.guard.errors",
+    "NumericalGuardError": "repro.guard.errors",
+    "WatchdogBreachError": "repro.guard.errors",
+    "CheckpointError": "repro.guard.errors",
+    "format_indices": "repro.guard.errors",
+    "Diagnostic": "repro.guard.checks",
+    "diagnose_molecule": "repro.guard.checks",
+    "preflight": "repro.guard.checks",
+    "check_finite": "repro.guard.checks",
+    "check_positive": "repro.guard.checks",
+    "check_born_radii": "repro.guard.checks",
+    "WatchdogReport": "repro.guard.watchdog",
+    "born_tolerance": "repro.guard.watchdog",
+    "check_born_subset": "repro.guard.watchdog",
+    "Checkpoint": "repro.guard.checkpoint",
+    "CheckpointStore": "repro.guard.checkpoint",
+    "SCHEMA_VERSION": "repro.guard.checkpoint",
+    "molecule_fingerprint": "repro.guard.checkpoint",
+    "GuardPolicy": "repro.guard.solver",
+    "GuardEvent": "repro.guard.solver",
+    "GuardedReport": "repro.guard.solver",
+    "GuardedSolver": "repro.guard.solver",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module 'repro.guard' has no attribute "
+                             f"{name!r}")
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,164 @@
+"""Typed diagnostics hierarchy for the guard layer.
+
+Every error the numerical pipeline surfaces to user code is a
+:class:`DiagnosticError` naming *where* it happened (``phase``), *what*
+was wrong (``indices`` of the offending atoms / leaves / lines) and —
+where one exists — a concrete fix (``hint``).  The concrete classes
+keep their historical bases (``ValueError`` for format and numeric
+problems, ``RuntimeError`` for checkpoint problems) so pre-guard
+callers written against the bare built-ins keep working.
+
+Lint rule RPR007 (``repro.lint``) enforces adoption: code under
+``repro/core`` and ``repro/molecules`` may not raise a bare
+``ValueError``/``RuntimeError`` — it must raise one of these (or carry
+a documented ``# lint: ignore[RPR007]`` suppression).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "DiagnosticError",
+    "MoleculeFormatError",
+    "DegenerateGeometryError",
+    "NumericalGuardError",
+    "WatchdogBreachError",
+    "CheckpointError",
+    "format_indices",
+]
+
+#: How many offending indices an error message spells out before "…".
+_MAX_SHOWN = 8
+
+
+def format_indices(indices: Sequence[int]) -> str:
+    """Render an index list compactly (``[3, 7, 9, … 212 total]``)."""
+    idx = list(indices)
+    if not idx:
+        return "[]"
+    shown = ", ".join(str(int(i)) for i in idx[:_MAX_SHOWN])
+    if len(idx) > _MAX_SHOWN:
+        return f"[{shown}, … {len(idx)} total]"
+    return f"[{shown}]"
+
+
+class DiagnosticError(Exception):
+    """Base of every typed diagnostic the guard layer raises.
+
+    Parameters
+    ----------
+    message:
+        What is wrong, in one sentence.
+    phase:
+        Pipeline phase that detected the problem (``"preflight"``,
+        ``"sample_surface"``, ``"born"``, ``"push"``, ``"epol"``,
+        ``"watchdog"``, ``"checkpoint"``).
+    indices:
+        Offending atom / leaf / quadrature-point / line indices.
+    hint:
+        A concrete, actionable fix when one exists.
+    """
+
+    def __init__(self, message: str, *,
+                 phase: Optional[str] = None,
+                 indices: Sequence[int] = (),
+                 hint: str = "") -> None:
+        self.phase = phase
+        self.indices = tuple(int(i) for i in indices)
+        self.hint = hint
+        parts = [message]
+        if phase:
+            parts[0] = f"[{phase}] {parts[0]}"
+        if self.indices:
+            parts.append(f"offending indices {format_indices(self.indices)}")
+        if hint:
+            parts.append(f"hint: {hint}")
+        super().__init__("; ".join(parts))
+
+
+class MoleculeFormatError(DiagnosticError, ValueError):
+    """A molecule file / array set is structurally malformed.
+
+    Subclasses ``ValueError`` so callers written against the pre-guard
+    readers (``pdbio``) and constructors (``Molecule``) keep working.
+    ``line`` and ``field`` carry file context where it exists.
+    """
+
+    def __init__(self, message: str, *,
+                 line: Optional[int] = None,
+                 field: Optional[str] = None,
+                 phase: str = "preflight",
+                 indices: Sequence[int] = (),
+                 hint: str = "") -> None:
+        self.line = line
+        self.field = field
+        where = ""
+        if line is not None:
+            where = f" (line {line}" + (f", field {field!r})" if field
+                                        else ")")
+        elif field is not None:
+            where = f" (field {field!r})"
+        super().__init__(message + where, phase=phase, indices=indices,
+                         hint=hint)
+
+
+class DegenerateGeometryError(DiagnosticError, ValueError):
+    """Geometry the solvers cannot handle: coincident atoms, zero or
+    negative radii, a quadrature point on an atom centre, an empty
+    surface."""
+
+    def __init__(self, message: str, *,
+                 phase: str = "preflight",
+                 indices: Sequence[int] = (),
+                 hint: str = "") -> None:
+        super().__init__(message, phase=phase, indices=indices, hint=hint)
+
+
+class NumericalGuardError(DiagnosticError, ValueError):
+    """A runtime sentinel tripped: NaN/Inf in a phase output, negative
+    or non-finite Born radii, an unfilled (NaN-sentinel) atom entry,
+    an empty-bucket pathology."""
+
+    def __init__(self, message: str, *,
+                 phase: Optional[str] = None,
+                 indices: Sequence[int] = (),
+                 hint: str = "") -> None:
+        super().__init__(message, phase=phase, indices=indices, hint=hint)
+
+
+class WatchdogBreachError(NumericalGuardError):
+    """The accuracy watchdog's exact cross-check disagreed with the
+    approximate pipeline beyond tolerance.
+
+    ``observed`` is the worst relative deviation seen, ``tolerance``
+    the bound it broke.  :class:`repro.guard.solver.GuardedSolver`
+    catches this and walks the degradation ladder; it only escapes to
+    user code when every rung is exhausted.
+    """
+
+    def __init__(self, message: str, *,
+                 observed: float = float("nan"),
+                 tolerance: float = float("nan"),
+                 phase: str = "watchdog",
+                 indices: Sequence[int] = (),
+                 hint: str = "") -> None:
+        self.observed = float(observed)
+        self.tolerance = float(tolerance)
+        super().__init__(
+            f"{message} (worst relative deviation {observed:.3e} > "
+            f"tolerance {tolerance:.3e})",
+            phase=phase, indices=indices, hint=hint)
+
+
+class CheckpointError(DiagnosticError, RuntimeError):
+    """A checkpoint file cannot be trusted: bad magic, unsupported
+    schema version, checksum mismatch, truncated payload, or a
+    fingerprint that belongs to a different molecule / configuration."""
+
+    def __init__(self, message: str, *,
+                 path: Optional[str] = None,
+                 hint: str = "") -> None:
+        self.path = path
+        where = f" ({path})" if path else ""
+        super().__init__(message + where, phase="checkpoint", hint=hint)

@@ -1,0 +1,57 @@
+"""Applying :class:`repro.faults.plan.DataCorruption` specs to arrays.
+
+The corruption faults live in :mod:`repro.faults.plan` next to the
+cluster faults; this module is the *mechanism* — a deterministic,
+seeded transformation of a named array that
+:class:`repro.guard.solver.GuardedSolver` applies at the phase
+boundaries where the named arrays are produced.  Keeping the mechanism
+here (and out of ``repro/core``) means the kernels stay pure: a run
+without a fault plan never touches this code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["corruption_rng", "apply_corruption"]
+
+
+def _name_seed(array_name: str) -> int:
+    """Stable 64-bit seed component from an array name."""
+    digest = hashlib.sha256(array_name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def corruption_rng(seed: int, array_name: str,
+                   occurrence: int) -> np.random.Generator:
+    """The generator a given (plan seed, array, occurrence) always gets."""
+    return np.random.default_rng((seed, _name_seed(array_name), occurrence))
+
+
+def apply_corruption(arr: Union[np.ndarray, float], spec,
+                     seed: int, occurrence: int
+                     ) -> Tuple[Union[np.ndarray, float], np.ndarray]:
+    """Return a corrupted *copy* of ``arr`` plus the indices hit.
+
+    ``spec`` is a :class:`repro.faults.plan.DataCorruption` (duck-typed:
+    ``kind``, ``fraction``, ``factor``, ``array``).  Scalars are treated
+    as one-element arrays (the whole value is hit).
+    """
+    scalar = np.isscalar(arr) or getattr(arr, "ndim", 1) == 0
+    a = np.atleast_1d(np.array(arr, dtype=np.float64, copy=True))
+    rng = corruption_rng(seed, spec.array, occurrence)
+    n = max(1, int(round(spec.fraction * a.size)))
+    idx = np.sort(rng.choice(a.size, size=min(n, a.size), replace=False))
+    flat = a.reshape(-1)
+    if spec.kind == "nan":
+        flat[idx] = np.nan
+    elif spec.kind == "scale":
+        flat[idx] *= spec.factor
+    else:  # pragma: no cover — DataCorruption validates kind
+        raise ValueError(f"unknown corruption kind {spec.kind!r}")
+    if scalar:
+        return float(a.reshape(-1)[0]), idx
+    return a, idx

@@ -1,0 +1,397 @@
+"""GuardedSolver: the full guard pipeline around :class:`PolarizationSolver`.
+
+Order of operations for one solve:
+
+1. **preflight** — typed validation of the molecule (and surface) before
+   any kernel runs;
+2. **phases with sentinels** — Born pass then energy pass, each output
+   scanned for NaN/Inf / non-positive radii under ``np.errstate``;
+3. **accuracy watchdog** — a seeded subset of atoms cross-checked
+   against the exact naive kernel;
+4. **degradation ladder** on any sentinel or watchdog breach::
+
+       attempt    →  retry (same ε)  →  tighten ε one notch  →  naive
+
+   A retry clears transient corruption (the work is simply redone); a
+   tighten clears a genuine approximation breach; the naive rung is
+   exact and consults none of the approximate machinery.  Every step
+   down the ladder is recorded in :attr:`GuardedSolver.events`, as an
+   ``obs`` instant (category ``guard``) and in the ``guard.*``
+   counters, so a degraded run is visible in traces and metrics — the
+   solver degrades gracefully but never silently.
+
+Checkpointing (opt-in via a :class:`~repro.guard.checkpoint.
+CheckpointStore`): the post-Born radii and the post-energy state are
+snapshotted after each phase; ``resume=True`` restarts from the newest
+valid snapshot and reproduces the uninterrupted energy bitwise (the
+stored float64 arrays are exact, and the remaining phases are
+deterministic functions of them).
+
+:class:`~repro.faults.plan.DataCorruption` specs in a
+:class:`~repro.faults.plan.FaultPlan` are injected at the named phase
+boundaries, which is how ``repro chaos`` proves the guards catch what
+they claim to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.config import ApproxParams
+from repro.constants import TAU_WATER
+from repro.core.solver import METHODS, PolarizationSolver
+from repro.guard.checkpoint import CheckpointStore, molecule_fingerprint
+from repro.guard.checks import (
+    Diagnostic,
+    check_born_radii,
+    check_finite,
+    preflight,
+)
+from repro.guard.errors import (
+    DegenerateGeometryError,
+    DiagnosticError,
+    NumericalGuardError,
+)
+from repro.guard.inject import apply_corruption
+from repro.guard.watchdog import (
+    DEFAULT_SAMPLES,
+    WatchdogReport,
+    check_born_subset,
+)
+from repro.molecules.molecule import Molecule
+from repro.molecules.surface import sample_surface
+
+__all__ = ["GuardPolicy", "GuardEvent", "GuardedReport", "GuardedSolver"]
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Knobs of the guard pipeline (defaults are production settings)."""
+
+    preflight: bool = True
+    sentinels: bool = True
+    watchdog: bool = True
+    watchdog_samples: int = DEFAULT_SAMPLES
+    watchdog_seed: int = 0
+    #: ``None`` → derive from ``eps_born`` (see ``born_tolerance``).
+    watchdog_tolerance: Optional[float] = None
+    #: Same-rung retries before the ladder tightens ε.
+    retries: int = 1
+    #: One "notch": both ε are multiplied by this on the tighten rung.
+    tighten_factor: float = 0.5
+    #: Last rung: fall back to the exact O(M·N)/O(M²) naive path.
+    allow_naive_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not 0.0 < self.tighten_factor < 1.0:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if self.watchdog_samples < 1:
+            raise ValueError("watchdog_samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One guard action (breach, degradation, injection, checkpoint)."""
+
+    action: str   # "sentinel-breach" | "watchdog-breach" | "retry"
+    #               | "tighten" | "fallback-naive" | "corruption"
+    #               | "checkpoint-save" | "checkpoint-load"
+    phase: str
+    detail: str = ""
+
+
+@dataclass
+class GuardedReport:
+    """Everything a guarded run produced."""
+
+    energy: float
+    born_radii: np.ndarray
+    method: str                    # method of the rung that succeeded
+    params: ApproxParams           # params of the rung that succeeded
+    rung: str                      # "primary" | "retry-N" | "tighten" | "naive"
+    attempts: int
+    degradations: int
+    events: List[GuardEvent] = field(default_factory=list)
+    watchdog: Optional[WatchdogReport] = None
+    preflight: List[Diagnostic] = field(default_factory=list)
+
+
+#: Rung label of a clean first attempt.
+_PRIMARY = "primary"
+
+
+class GuardedSolver:
+    """Guarded, degradable, checkpointable polarization solve.
+
+    Parameters mirror :class:`PolarizationSolver` plus:
+
+    policy:
+        :class:`GuardPolicy` switches (None → defaults).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` whose
+        ``DataCorruption`` specs are injected at phase boundaries.
+    checkpoint:
+        Optional :class:`CheckpointStore` (or a directory path) for
+        durable post-phase snapshots.
+    resume:
+        Restart from the newest valid snapshot in ``checkpoint``.
+    """
+
+    def __init__(self,
+                 molecule: Molecule,
+                 params: ApproxParams = ApproxParams(),
+                 method: str = "octree",
+                 tau: float = TAU_WATER,
+                 policy: Optional[GuardPolicy] = None,
+                 fault_plan=None,
+                 checkpoint=None,
+                 resume: bool = False) -> None:
+        if method not in METHODS:
+            raise ValueError(  # lint: ignore[RPR007] — arg check, not data
+                f"method must be one of {METHODS}")
+        if molecule.surface is None:
+            molecule = sample_surface(molecule)
+        self.molecule = molecule
+        self.params = params
+        self.method = method
+        self.tau = tau
+        self.policy = policy or GuardPolicy()
+        self.fault_plan = fault_plan
+        self.events: List[GuardEvent] = []
+        self._occurrences: dict = {}
+        self._report: Optional[GuardedReport] = None
+        self._preflight: List[Diagnostic] = []
+        if self.policy.preflight:
+            self._preflight = preflight(molecule, params)
+        self.checkpoint: Optional[CheckpointStore] = None
+        if checkpoint is not None:
+            store = (checkpoint if isinstance(checkpoint, CheckpointStore)
+                     else CheckpointStore(checkpoint))
+            if not store.fingerprint:
+                store.fingerprint = molecule_fingerprint(
+                    molecule, params, method)
+            self.checkpoint = store
+        self.resume = resume
+
+    # -- public API --------------------------------------------------------
+
+    def energy(self) -> float:
+        return self.report().energy
+
+    def born_radii(self) -> np.ndarray:
+        return self.report().born_radii
+
+    @property
+    def degradations(self) -> int:
+        return sum(1 for e in self.events
+                   if e.action in ("retry", "tighten", "fallback-naive"))
+
+    @property
+    def injected_faults(self) -> int:
+        return sum(1 for e in self.events if e.action == "corruption")
+
+    def report(self) -> GuardedReport:
+        if self._report is None:
+            self._report = self._solve()
+        return self._report
+
+    # -- ladder ------------------------------------------------------------
+
+    def _rungs(self) -> List[Tuple[str, str, ApproxParams]]:
+        rungs = [(_PRIMARY, self.method, self.params)]
+        rungs += [(f"retry-{i + 1}", self.method, self.params)
+                  for i in range(self.policy.retries)]
+        f = self.policy.tighten_factor
+        rungs.append(("tighten", self.method,
+                      self.params.with_(eps_born=self.params.eps_born * f,
+                                        eps_epol=self.params.eps_epol * f)))
+        if self.policy.allow_naive_fallback and self.method != "naive":
+            rungs.append(("naive", "naive", self.params))
+        return rungs
+
+    def _solve(self) -> GuardedReport:
+        resumed = self._try_resume()
+        if resumed is not None:
+            return resumed
+        rungs = self._rungs()
+        last_error: Optional[DiagnosticError] = None
+        for i, (rung, method, params) in enumerate(rungs):
+            if i > 0:
+                action = {"tighten": "tighten",
+                          "naive": "fallback-naive"}.get(rung, "retry")
+                self._record(action, "ladder",
+                             f"after {type(last_error).__name__}: "
+                             f"{rungs[i - 1][0]} -> {rung}")
+            try:
+                return self._attempt(rung, method, params, attempts=i + 1)
+            except (NumericalGuardError, DegenerateGeometryError) as exc:
+                breach = ("watchdog-breach" if exc.phase == "watchdog"
+                          else "sentinel-breach")
+                self._record(breach, exc.phase or "unknown", str(exc))
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _born_phase(self, rung: str, method: str, params: ApproxParams,
+                    preset_radii: Optional[np.ndarray] = None
+                    ) -> Tuple[np.ndarray, Optional[WatchdogReport],
+                               Optional[PolarizationSolver]]:
+        """Born half of one attempt: compute (or adopt a resumed array),
+        inject, sentinel, watchdog, snapshot.
+
+        Also returns the inner solver (None when resuming from a preset
+        array) so the energy phase can reuse its cached octrees instead
+        of rebuilding them — the guard layer must not double the
+        structure-construction cost of a clean solve."""
+        pol = self.policy
+        inner: Optional[PolarizationSolver] = None
+        if preset_radii is not None:
+            radii = np.asarray(preset_radii, dtype=np.float64)
+        else:
+            inner = PolarizationSolver(self.molecule, params,
+                                       method=method, tau=self.tau)
+            with np.errstate(invalid="ignore", over="ignore",
+                             divide="ignore"):
+                radii = inner.born_radii()
+            # Corruption models bit-rot in the approximate pipeline's
+            # data products; the exact fallback recomputes from
+            # pristine inputs, so the last rung is exempt — a
+            # guarantee, not an attempt.
+            if method != "naive":
+                radii = self._inject("born.radii", radii, phase="born")
+        watchdog_report: Optional[WatchdogReport] = None
+        if pol.sentinels:
+            check_born_radii("born", radii,
+                             intrinsic=self.molecule.radii)
+        if pol.watchdog:
+            watchdog_report = check_born_subset(
+                self.molecule, radii, params,
+                seed=pol.watchdog_seed, samples=pol.watchdog_samples,
+                tolerance=pol.watchdog_tolerance)
+        radii = np.asarray(radii, dtype=np.float64)
+        if preset_radii is None:
+            self._save("born", {"radii": radii},
+                       {"rung": rung, "method": method,
+                        "eps_born": params.eps_born,
+                        "eps_epol": params.eps_epol})
+        return radii, watchdog_report, inner
+
+    def born_phase_only(self) -> np.ndarray:
+        """Run just the primary rung's Born phase (guards + snapshot).
+
+        This is the interruption half of a checkpoint round-trip:
+        ``repro solve --checkpoint DIR --stop-after born`` exits here,
+        and a later ``--resume`` finishes from the snapshot with a
+        bitwise-identical energy.
+        """
+        rung, method, params = self._rungs()[0]
+        radii, _, _ = self._born_phase(rung, method, params)
+        return radii
+
+    def _attempt(self, rung: str, method: str, params: ApproxParams,
+                 attempts: int,
+                 preset_radii: Optional[np.ndarray] = None
+                 ) -> GuardedReport:
+        pol = self.policy
+        radii, watchdog_report, inner = self._born_phase(
+            rung, method, params, preset_radii)
+        if inner is None:
+            inner = PolarizationSolver(self.molecule, params, method=method,
+                                       tau=self.tau)
+        inner._born = radii
+
+        # Energy phase.
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            energy = inner.energy()
+        if method != "naive":
+            energy = self._inject("epol.energy", energy, phase="epol")
+        if pol.sentinels:
+            check_finite("epol", "E_pol", np.asarray(energy),
+                         hint="the energy pass produced NaN/Inf from "
+                              "finite Born radii")
+        self._save("epol",
+                   {"radii": inner._born,
+                    "energy": np.asarray(float(energy))},
+                   {"rung": rung, "method": method,
+                    "eps_born": params.eps_born,
+                    "eps_epol": params.eps_epol})
+        return GuardedReport(
+            energy=float(energy), born_radii=inner._born, method=method,
+            params=params, rung=rung, attempts=attempts,
+            degradations=self.degradations, events=self.events,
+            watchdog=watchdog_report, preflight=self._preflight)
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def _save(self, kind: str, arrays: dict, meta: dict) -> None:
+        if self.checkpoint is None:
+            return
+        path = self.checkpoint.save(kind, arrays, meta)
+        self._record("checkpoint-save", kind, str(path))
+
+    def _params_from_meta(self, meta: dict) -> ApproxParams:
+        return self.params.with_(eps_born=float(meta["eps_born"]),
+                                 eps_epol=float(meta["eps_epol"]))
+
+    def _try_resume(self) -> Optional[GuardedReport]:
+        if self.checkpoint is None or not self.resume:
+            return None
+        ck = self.checkpoint.try_load("epol")
+        if ck is not None:
+            self._record("checkpoint-load", "epol", str(ck.path))
+            radii = np.asarray(ck.arrays["radii"], dtype=np.float64)
+            energy = float(ck.arrays["energy"])
+            if self.policy.sentinels:
+                check_born_radii("born", radii,
+                                 intrinsic=self.molecule.radii)
+                check_finite("epol", "E_pol", np.asarray(energy))
+            return GuardedReport(
+                energy=energy, born_radii=radii,
+                method=str(ck.meta.get("method", self.method)),
+                params=self._params_from_meta(ck.meta),
+                rung=str(ck.meta.get("rung", _PRIMARY)),
+                attempts=0, degradations=0, events=self.events,
+                preflight=self._preflight)
+        ck = self.checkpoint.try_load("born")
+        if ck is not None:
+            self._record("checkpoint-load", "born", str(ck.path))
+            return self._attempt(
+                str(ck.meta.get("rung", _PRIMARY)),
+                str(ck.meta.get("method", self.method)),
+                self._params_from_meta(ck.meta), attempts=0,
+                preset_radii=np.asarray(ck.arrays["radii"],
+                                        dtype=np.float64))
+        return None
+
+    # -- fault injection + observability -----------------------------------
+
+    def _inject(self, array: str, value, phase: str):
+        if self.fault_plan is None or not self.fault_plan.has_corruptions:
+            return value
+        occurrence = self._occurrences.get(array, 0)
+        self._occurrences[array] = occurrence + 1
+        spec = self.fault_plan.corruption_for(array, occurrence)
+        if spec is None:
+            return value
+        corrupted, idx = apply_corruption(value, spec,
+                                          self.fault_plan.seed, occurrence)
+        self._record("corruption", phase,
+                     f"{spec.kind} x{len(idx)} into {array} "
+                     f"(occurrence {occurrence})")
+        return corrupted
+
+    def _record(self, action: str, phase: str, detail: str = "") -> None:
+        self.events.append(GuardEvent(action, phase, detail))
+        if not obs.is_enabled():
+            return
+        obs.instant(f"guard.{action}", cat="guard", phase=phase,
+                    detail=detail)
+        obs.registry.counter(
+            f"guard.{action.replace('-', '_')}s",
+            "guard-layer actions by kind").inc()

@@ -9,6 +9,9 @@ RPR002   mutable default arguments
 RPR003   bare or overbroad ``except`` clauses
 RPR004   hot-path array constructors without an explicit ``dtype=``
 RPR005   ``__all__`` consistency in package ``__init__.py`` files
+RPR006   infrastructure exceptions escaping the fault boundary
+RPR007   bare ValueError/RuntimeError in core/molecules (use
+         :mod:`repro.guard.errors`)
 RPR101   simulated-MPI collective-ordering verifier (deadlock guard)
 =======  ==========================================================
 

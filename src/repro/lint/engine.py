@@ -20,6 +20,7 @@ from repro.lint.rules import (
     FaultBoundaryRule,
     MutableDefaultRule,
     OverbroadExceptRule,
+    TypedDiagnosticRule,
     UnseededRandomRule,
 )
 
@@ -40,6 +41,7 @@ def all_rules() -> List[Rule]:
         DtypeDisciplineRule(),
         DunderAllRule(),
         FaultBoundaryRule(),
+        TypedDiagnosticRule(),
         CollectiveOrderRule(),
     ]
     rules.sort(key=lambda r: r.id)

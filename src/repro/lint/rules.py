@@ -1,4 +1,4 @@
-"""Project-specific per-file rules RPR001–RPR006.
+"""Project-specific per-file rules RPR001–RPR007.
 
 The headline collective-ordering verifier (RPR101) lives in
 :mod:`repro.lint.collectives`; this module holds the structural rules:
@@ -23,6 +23,11 @@ The headline collective-ordering verifier (RPR101) lives in
   escape to callers — every raise (or bare re-raise from a handler)
   must convert them into the typed :mod:`repro.faults.errors`
   hierarchy, which names ranks, ops and virtual clocks.
+* **RPR007** — diagnostic discipline: inside ``repro/core`` and
+  ``repro/molecules``, ``raise ValueError(...)`` / ``RuntimeError``
+  must use the typed :mod:`repro.guard.errors` hierarchy instead
+  (phase + offending indices + hint); genuine API argument checks
+  may keep the builtin under ``# lint: ignore[RPR007]``.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "DunderAllRule",
     "FaultBoundaryRule",
+    "TypedDiagnosticRule",
 ]
 
 #: ``np.random`` attributes that are *not* legacy global-state entry
@@ -298,7 +304,13 @@ class FaultBoundaryRule(Rule):
 
 
 class DunderAllRule(Rule):
-    """RPR005: package ``__init__.py`` export lists stay consistent."""
+    """RPR005: package ``__init__.py`` export lists stay consistent.
+
+    A module-level ``__getattr__`` (PEP 562 lazy re-export, as in
+    ``repro.guard``) may bind any ``__all__`` name at attribute-access
+    time, so the "name is bound" half of the check is skipped for such
+    modules; duplicates and non-literal entries are still flagged.
+    """
 
     id = "RPR005"
     description = ("package __init__.py must define a duplicate-free "
@@ -309,6 +321,9 @@ class DunderAllRule(Rule):
         if ctx.tree is None or not ctx.is_package_init or ctx.is_test:
             return
         assert isinstance(ctx.tree, ast.Module)
+        lazy = any(isinstance(stmt, ast.FunctionDef)
+                   and stmt.name == "__getattr__"
+                   for stmt in ctx.tree.body)
         bound = self._bound_names(ctx.tree)
         all_nodes = [
             stmt for stmt in ctx.tree.body
@@ -340,7 +355,7 @@ class DunderAllRule(Rule):
                     yield self.finding(
                         ctx, elt, f"duplicate __all__ entry {name!r}")
                 seen.add(name)
-                if name not in bound:
+                if name not in bound and not lazy:
                     yield self.finding(
                         ctx, elt,
                         f"__all__ lists {name!r} but the module never "
@@ -379,3 +394,55 @@ class DunderAllRule(Rule):
                     bound |= DunderAllRule._bound_names(
                         ast.Module(body=body, type_ignores=[]))
         return bound
+
+
+#: Packages whose raises must carry diagnostic context (RPR007).
+_DIAGNOSTIC_PACKAGES = ("core", "molecules")
+
+#: Builtins those packages may not raise bare.
+_BARE_BUILTINS = {"ValueError", "RuntimeError"}
+
+
+class TypedDiagnosticRule(Rule):
+    """RPR007: numeric packages raise typed diagnostics, not builtins.
+
+    A bare ``ValueError("Born radii must be positive")`` tells the user
+    *that* something broke but not *where* (which phase) or *what*
+    (which atoms), and gives :class:`repro.guard.solver.GuardedSolver`
+    nothing to dispatch its degradation ladder on.  Code under
+    ``repro/core`` and ``repro/molecules`` must raise the
+    :mod:`repro.guard.errors` hierarchy (every class keeps its
+    ``ValueError``/``RuntimeError`` base, so callers lose nothing).
+    Genuine API argument checks (a bad ``method=`` string, a negative
+    ``degree``) may keep the builtin under a documented
+    ``# lint: ignore[RPR007]``.
+    """
+
+    id = "RPR007"
+    description = ("bare ValueError/RuntimeError in repro/core or "
+                   "repro/molecules; raise a repro.guard.errors class "
+                   "(or document a suppression)")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return any(pkg in parts for pkg in _DIAGNOSTIC_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            dn = dotted_name(target)
+            if dn in _BARE_BUILTINS:
+                yield self.finding(
+                    ctx, node,
+                    f"bare {dn} in a numeric package; raise a typed "
+                    f"repro.guard.errors class (MoleculeFormatError, "
+                    f"DegenerateGeometryError, NumericalGuardError) "
+                    f"naming the phase and offending indices — they "
+                    f"subclass {dn}, so callers keep working")

@@ -47,6 +47,32 @@ def instantaneous_temperature(velocities: np.ndarray,
     return float(2.0 * ke / (3.0 * n * KB))
 
 
+def _md_fingerprint(potential: ImplicitSolventPotential,
+                    temperature: float, friction: float, dt: float,
+                    refresh_every: int, seed: int) -> str:
+    from repro.guard.checkpoint import molecule_fingerprint
+    return molecule_fingerprint(
+        potential.template, potential.params, "md",
+        extra=f"T={temperature} gamma={friction} dt={dt} "
+              f"refresh={refresh_every} seed={seed}")
+
+
+def _save_md_block(store, step: int, x, v, f, energies, temps,
+                   potential, rng) -> None:
+    # The rng state and the mid-block Born radii are float64/integer
+    # state a restart cannot re-derive without replaying the
+    # trajectory — snapshotting both is what makes resume bitwise.
+    import json
+
+    store.save("md",
+               {"x": x, "v": v, "f": f,
+                "born": potential.born_radii,
+                "energies": np.asarray(energies),
+                "temperatures": np.asarray(temps)},
+               {"step": step,
+                "rng_state": json.dumps(rng.bit_generator.state)})
+
+
 def langevin(potential: ImplicitSolventPotential,
              positions: np.ndarray,
              masses: Optional[np.ndarray] = None,
@@ -55,8 +81,21 @@ def langevin(potential: ImplicitSolventPotential,
              dt: float = 0.002,
              steps: int = 100,
              refresh_every: int = 25,
-             seed: int = 0) -> LangevinResult:
-    """Integrate BAOAB for ``steps`` steps of ``dt`` picoseconds."""
+             seed: int = 0,
+             checkpoint=None,
+             checkpoint_every: Optional[int] = None,
+             resume: bool = False) -> LangevinResult:
+    """Integrate BAOAB for ``steps`` steps of ``dt`` picoseconds.
+
+    ``checkpoint`` (a directory or
+    :class:`~repro.guard.checkpoint.CheckpointStore`) snapshots the
+    full integrator state — coordinates, velocities, forces, Born
+    radii, accumulated observables and the generator's bit state —
+    every ``checkpoint_every`` steps (default: ``refresh_every``).
+    ``resume=True`` restarts from the newest snapshot and finishes with
+    trajectories and energies bitwise identical to an uninterrupted
+    run with the same seed.
+    """
     if dt <= 0 or steps < 1:
         raise ValueError("dt must be positive and steps >= 1")
     x = np.array(positions, dtype=np.float64)
@@ -69,12 +108,39 @@ def langevin(potential: ImplicitSolventPotential,
     c1 = np.exp(-friction * dt)
     c2 = np.sqrt((1.0 - c1 * c1) * kT / m) * np.sqrt(ACCEL)
 
-    v = rng.normal(size=(n, 3)) * np.sqrt(kT / m)[:, None] * np.sqrt(ACCEL)
-    f = potential.forces(x)
-    energies: List[float] = []
-    temps: List[float] = []
+    store = None
+    if checkpoint is not None:
+        from repro.guard.checkpoint import CheckpointStore
+        store = (checkpoint if isinstance(checkpoint, CheckpointStore)
+                 else CheckpointStore(checkpoint))
+        if not store.fingerprint:
+            store.fingerprint = _md_fingerprint(
+                potential, temperature, friction, dt, refresh_every, seed)
+    every = refresh_every if checkpoint_every is None else checkpoint_every
+    if every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
 
-    for step in range(steps):
+    start = 0
+    ck = store.try_load("md") if (store is not None and resume) else None
+    if ck is not None:
+        import json
+
+        start = int(ck.meta["step"])
+        x = np.array(ck.arrays["x"], dtype=np.float64)
+        v = np.array(ck.arrays["v"], dtype=np.float64)
+        f = np.array(ck.arrays["f"], dtype=np.float64)
+        energies = [float(e) for e in ck.arrays["energies"]]
+        temps = [float(t) for t in ck.arrays["temperatures"]]
+        potential.restore_born_radii(ck.arrays["born"])
+        rng.bit_generator.state = json.loads(ck.meta["rng_state"])
+    else:
+        v = (rng.normal(size=(n, 3))
+             * np.sqrt(kT / m)[:, None] * np.sqrt(ACCEL))
+        f = potential.forces(x)
+        energies = []
+        temps = []
+
+    for step in range(start, steps):
         v += 0.5 * dt * ACCEL * f / m[:, None]           # B
         x += 0.5 * dt * v                                # A
         v = c1 * v + c2[:, None] * rng.normal(size=(n, 3))  # O
@@ -85,6 +151,12 @@ def langevin(potential: ImplicitSolventPotential,
         v += 0.5 * dt * ACCEL * f / m[:, None]           # B
         energies.append(potential.energy(x))
         temps.append(instantaneous_temperature(v, m))
+        if store is not None and (step + 1) % every == 0:
+            _save_md_block(store, step + 1, x, v, f, energies, temps,
+                           potential, rng)
 
+    if store is not None:
+        _save_md_block(store, steps, x, v, f, energies, temps,
+                       potential, rng)
     return LangevinResult(positions=x, velocities=v, energies=energies,
                           temperatures=temps)

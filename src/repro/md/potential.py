@@ -76,6 +76,21 @@ class ImplicitSolventPotential:
             from repro.core.born_naive import born_radii_naive_r6
             self._born = born_radii_naive_r6(mol)
 
+    def restore_born_radii(self, radii: np.ndarray) -> None:
+        """Adopt checkpointed Born radii instead of recomputing.
+
+        Bitwise MD resume depends on this: radii refreshed mid-block
+        are float64 state the restart cannot re-derive without replaying
+        the trajectory, so :func:`repro.md.langevin.langevin` snapshots
+        them and hands them back here.
+        """
+        radii = np.asarray(radii, dtype=np.float64)
+        if radii.shape != (self.template.natoms,):
+            raise ValueError(
+                f"expected {self.template.natoms} Born radii, "
+                f"got shape {radii.shape}")
+        self._born = radii
+
     @property
     def born_radii(self) -> np.ndarray:
         assert self._born is not None

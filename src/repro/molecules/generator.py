@@ -117,7 +117,8 @@ def synthetic_protein(n_atoms: int,
     are attached (required by the r⁶ Born solver).
     """
     if n_atoms < _ATOMS_PER_RESIDUE:
-        raise ValueError(f"n_atoms must be >= {_ATOMS_PER_RESIDUE}")
+        raise ValueError(  # lint: ignore[RPR007] — API arg check
+            f"n_atoms must be >= {_ATOMS_PER_RESIDUE}")
     rng = np.random.default_rng(seed)
     n_res = max(1, round(n_atoms / _ATOMS_PER_RESIDUE))
     backbone = _compact_backbone(n_res, rng)
@@ -135,7 +136,8 @@ def random_ligand(n_atoms: int = 30, seed: int = 0,
                   with_surface: bool = True) -> Molecule:
     """Small rigid drug-like molecule: a tight cluster of C/N/O/H atoms."""
     if n_atoms < 2:
-        raise ValueError("ligand needs at least 2 atoms")
+        raise ValueError(  # lint: ignore[RPR007] — API arg check
+            "ligand needs at least 2 atoms")
     rng = np.random.default_rng(seed)
     elements = rng.choice(["C", "C", "C", "N", "O", "H", "H"], size=n_atoms)
     positions = rng.normal(scale=2.5, size=(n_atoms, 3))
@@ -162,7 +164,8 @@ def zdock_like_suite(count: int = 84,
     ("results are sorted by molecule size").
     """
     if count < 1:
-        raise ValueError("count must be >= 1")
+        raise ValueError(  # lint: ignore[RPR007] — API arg check
+            "count must be >= 1")
     rng = np.random.default_rng(seed)
     sizes = np.exp(rng.uniform(np.log(min_atoms), np.log(max_atoms),
                                size=count)).astype(int)

@@ -14,12 +14,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.guard.errors import DegenerateGeometryError, MoleculeFormatError
+
 
 def _as_f64(a, name: str, shape_tail: tuple = ()) -> np.ndarray:
     arr = np.ascontiguousarray(a, dtype=np.float64)
     if arr.ndim != 1 + len(shape_tail) or arr.shape[1:] != shape_tail:
-        raise ValueError(f"{name} must have shape (n,{','.join(map(str, shape_tail))})"
-                         if shape_tail else f"{name} must be one-dimensional")
+        raise MoleculeFormatError(
+            f"{name} must have shape (n,{','.join(map(str, shape_tail))})"
+            if shape_tail else f"{name} must be one-dimensional",
+            field=name)
     return arr
 
 
@@ -47,7 +51,9 @@ class SurfaceSamples:
         self.weights = _as_f64(self.weights, "weights")
         n = len(self.points)
         if len(self.normals) != n or len(self.weights) != n:
-            raise ValueError("points, normals and weights must have equal length")
+            raise MoleculeFormatError(
+                "points, normals and weights must have equal length",
+                field="surface")
 
     def __len__(self) -> int:
         return len(self.points)
@@ -102,11 +108,17 @@ class Molecule:
         self.radii = _as_f64(self.radii, "radii")
         m = len(self.positions)
         if len(self.charges) != m or len(self.radii) != m:
-            raise ValueError("positions, charges and radii must have equal length")
+            raise MoleculeFormatError(
+                "positions, charges and radii must have equal length")
         if m == 0:
-            raise ValueError("molecule must contain at least one atom")
+            raise MoleculeFormatError(
+                "molecule must contain at least one atom")
         if np.any(self.radii <= 0):
-            raise ValueError("atom radii must be positive")
+            raise MoleculeFormatError(
+                "atom radii must be positive", field="radii",
+                indices=np.flatnonzero(self.radii <= 0),
+                hint="assign van der Waals radii "
+                     "(repro.molecules.atom_data)")
 
     @property
     def natoms(self) -> int:
@@ -122,9 +134,9 @@ class Molecule:
     def require_surface(self) -> SurfaceSamples:
         """Return the surface samples, raising if absent."""
         if self.surface is None:
-            raise ValueError(
-                f"molecule {self.name!r} has no surface samples; call "
-                "repro.molecules.sample_surface() first")
+            raise DegenerateGeometryError(
+                f"molecule {self.name!r} has no surface samples",
+                hint="call repro.molecules.sample_surface() first")
         return self.surface
 
     def centroid(self) -> np.ndarray:

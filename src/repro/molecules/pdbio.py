@@ -20,6 +20,7 @@ from typing import List, Union
 
 import numpy as np
 
+from repro.guard.errors import MoleculeFormatError
 from repro.molecules.atom_data import VDW_RADII
 from repro.molecules.molecule import Molecule
 
@@ -48,16 +49,23 @@ def read_pqr(path_or_text: Union[PathLike, io.StringIO],
         parts = line.split()
         # PQR is whitespace-separated: last five fields are x y z q r.
         if len(parts) < 6:
-            raise ValueError(f"malformed PQR record on line {lineno}: {line!r}")
+            raise MoleculeFormatError(
+                f"malformed PQR record: {line!r}", line=lineno,
+                hint="expected ATOM/HETATM … x y z q r")
         try:
             x, y, z, charge, radius = (float(v) for v in parts[-5:])
         except ValueError as exc:
-            raise ValueError(f"bad numeric field on line {lineno}") from exc
+            raise MoleculeFormatError(
+                "bad numeric field", line=lineno, field="x y z q r",
+                hint="the last five columns must parse as floats"
+            ) from exc
         pos.append([x, y, z])
         q.append(charge)
         r.append(radius)
     if not pos:
-        raise ValueError("no ATOM/HETATM records found")
+        raise MoleculeFormatError(
+            "no ATOM/HETATM records found",
+            hint="is this actually a PQR file?")
     return Molecule(np.array(pos), np.array(q), np.array(r), name=name)
 
 
@@ -75,14 +83,19 @@ def read_pdb(path_or_text: Union[PathLike, io.StringIO],
             y = float(line[38:46])
             z = float(line[46:54])
         except (ValueError, IndexError) as exc:
-            raise ValueError(f"bad coordinates on line {lineno}") from exc
+            raise MoleculeFormatError(
+                "bad coordinates", line=lineno, field="x y z",
+                hint="PDB coordinate columns 31-54 must parse as floats"
+            ) from exc
         element = line[76:78].strip() if len(line) >= 78 else ""
         if not element:
             element = _element_from_pdb_atom_name(line[12:16])
         radii.append(VDW_RADII.get(element.upper(), VDW_RADII["C"]))
         pos.append([x, y, z])
     if not pos:
-        raise ValueError("no ATOM/HETATM records found")
+        raise MoleculeFormatError(
+            "no ATOM/HETATM records found",
+            hint="is this actually a PDB file?")
     return Molecule(np.array(pos), np.zeros(len(pos)), np.array(radii),
                     name=name)
 
@@ -98,11 +111,19 @@ def read_xyzqr(path_or_text: Union[PathLike, io.StringIO],
             continue
         parts = body.split()
         if len(parts) != 5:
-            raise ValueError(f"expected 5 columns on line {lineno}, "
-                             f"got {len(parts)}")
-        rows.append([float(v) for v in parts])
+            raise MoleculeFormatError(
+                f"expected 5 columns, got {len(parts)}", line=lineno,
+                field="x y z q r")
+        try:
+            rows.append([float(v) for v in parts])
+        except ValueError as exc:
+            raise MoleculeFormatError(
+                "bad numeric field", line=lineno, field="x y z q r"
+            ) from exc
     if not rows:
-        raise ValueError("no data rows found")
+        raise MoleculeFormatError(
+            "no data rows found",
+            hint="every non-comment line must be 'x y z q r'")
     arr = np.array(rows)
     return Molecule(arr[:, :3], arr[:, 3], arr[:, 4], name=name)
 

@@ -71,7 +71,8 @@ def dunavant_rule(degree: int) -> Tuple[np.ndarray, np.ndarray]:
     suffices).
     """
     if degree < 1:
-        raise ValueError("quadrature degree must be >= 1")
+        raise ValueError(  # lint: ignore[RPR007] — API arg check
+            "quadrature degree must be >= 1")
     key = min(degree, 5)
     bary, w = _RULES[key]
     return bary.copy(), w.copy()
@@ -99,7 +100,9 @@ def triangle_quadrature(vertices: np.ndarray, degree: int = 2
     """
     vertices = np.asarray(vertices, dtype=np.float64)
     if vertices.ndim != 3 or vertices.shape[1:] != (3, 3):
-        raise ValueError("vertices must have shape (t, 3, 3)")
+        from repro.guard.errors import MoleculeFormatError
+        raise MoleculeFormatError("vertices must have shape (t, 3, 3)",
+                                  field="vertices")
     bary, w = dunavant_rule(degree)
     # points: (t, n, 3) = bary (n,3) @ verts (t,3,3)
     pts = np.einsum("nk,tkx->tnx", bary, vertices)
@@ -118,5 +121,8 @@ def triangle_normals(vertices: np.ndarray) -> np.ndarray:
     n = np.cross(e1, e2)
     norm = np.linalg.norm(n, axis=1, keepdims=True)
     if np.any(norm == 0):
-        raise ValueError("degenerate triangle (zero area)")
+        from repro.guard.errors import DegenerateGeometryError
+        raise DegenerateGeometryError(
+            "degenerate triangle (zero area)",
+            indices=np.flatnonzero(norm.ravel() == 0))
     return n / norm

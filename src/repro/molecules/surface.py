@@ -113,9 +113,12 @@ def sample_surface(molecule: Molecule,
                 np.logical_and.at(keep, idx.ravel(), ~buried.ravel())
 
     if not keep.any():
-        raise ValueError(
+        from repro.guard.errors import DegenerateGeometryError
+        raise DegenerateGeometryError(
             f"molecule {molecule.name!r}: every surface sample was buried; "
-            "geometry is degenerate (all atoms mutually contained)")
+            "geometry is degenerate (all atoms mutually contained)",
+            phase="sample_surface",
+            hint="run repro doctor — atoms likely coincide or nest")
 
     surface = SurfaceSamples(pts[keep], normals[keep], weights[keep])
     out = molecule.with_surface(surface)

@@ -28,14 +28,21 @@ class RigidTransform:
     def __post_init__(self) -> None:
         R = np.asarray(self.rotation, dtype=np.float64)
         t = np.asarray(self.translation, dtype=np.float64)
+        from repro.guard.errors import (
+            DegenerateGeometryError,
+            MoleculeFormatError,
+        )
         if R.shape != (3, 3):
-            raise ValueError("rotation must be 3x3")
+            raise MoleculeFormatError("rotation must be 3x3",
+                                      field="rotation")
         if t.shape != (3,):
-            raise ValueError("translation must be a 3-vector")
+            raise MoleculeFormatError("translation must be a 3-vector",
+                                      field="translation")
         if not np.allclose(R @ R.T, np.eye(3), atol=1e-8):
-            raise ValueError("rotation must be orthogonal")
+            raise DegenerateGeometryError("rotation must be orthogonal")
         if np.linalg.det(R) < 0:
-            raise ValueError("rotation must be proper (det = +1)")
+            raise DegenerateGeometryError(
+                "rotation must be proper (det = +1)")
         object.__setattr__(self, "rotation", R)
         object.__setattr__(self, "translation", t)
 
@@ -53,7 +60,8 @@ class RigidTransform:
         axis = np.asarray(axis, dtype=np.float64)
         n = np.linalg.norm(axis)
         if n == 0:
-            raise ValueError("axis must be nonzero")
+            from repro.guard.errors import DegenerateGeometryError
+            raise DegenerateGeometryError("axis must be nonzero")
         x, y, z = axis / n
         c, s = np.cos(angle), np.sin(angle)
         C = 1 - c

@@ -1,0 +1,83 @@
+"""DataCorruption specs and the seeded injection mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.faults import DataCorruption, FaultPlan
+from repro.guard.inject import apply_corruption, corruption_rng
+
+
+class TestSpecValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DataCorruption("born.radii", kind="flip")
+
+    def test_bad_fraction_rejected(self):
+        for frac in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                DataCorruption("born.radii", fraction=frac)
+
+
+class TestPlanQueries:
+    def test_occurrence_selects_one_production(self):
+        c = DataCorruption("born.radii", occurrence=1)
+        plan = FaultPlan([c], seed=3)
+        assert plan.has_corruptions
+        assert plan.corruption_for("born.radii", 0) is None
+        assert plan.corruption_for("born.radii", 1) is c
+        assert plan.corruption_for("born.radii", 2) is None
+        assert plan.corruption_for("epol.energy", 1) is None
+
+    def test_persistent_fires_from_occurrence_on(self):
+        c = DataCorruption("born.radii", occurrence=1, persistent=True)
+        plan = FaultPlan([c], seed=3)
+        assert plan.corruption_for("born.radii", 0) is None
+        assert all(plan.corruption_for("born.radii", k) is c
+                   for k in (1, 2, 7))
+
+    def test_plan_without_corruptions(self):
+        assert not FaultPlan().has_corruptions
+        assert FaultPlan().corruption_for("born.radii", 0) is None
+
+
+class TestApply:
+    SPEC = DataCorruption("born.radii", kind="nan", fraction=0.25)
+
+    def test_deterministic_per_seed_and_occurrence(self):
+        arr = np.arange(40, dtype=np.float64)
+        a1, i1 = apply_corruption(arr, self.SPEC, seed=5, occurrence=0)
+        a2, i2 = apply_corruption(arr, self.SPEC, seed=5, occurrence=0)
+        b, ib = apply_corruption(arr, self.SPEC, seed=5, occurrence=1)
+        c, ic = apply_corruption(arr, self.SPEC, seed=6, occurrence=0)
+        assert np.array_equal(i1, i2)
+        np.testing.assert_array_equal(a1, a2)
+        assert not np.array_equal(i1, ib) or not np.array_equal(i1, ic)
+
+    def test_input_not_mutated_and_fraction_honoured(self):
+        arr = np.arange(40, dtype=np.float64)
+        out, idx = apply_corruption(arr, self.SPEC, seed=5, occurrence=0)
+        assert not np.isnan(arr).any()  # corruption copies
+        assert len(idx) == 10  # 25 % of 40
+        assert np.isnan(out[idx]).all()
+        mask = np.ones(40, dtype=bool)
+        mask[idx] = False
+        np.testing.assert_array_equal(out[mask], arr[mask])
+
+    def test_scale_kind_multiplies(self):
+        spec = DataCorruption("born.radii", kind="scale", fraction=0.5,
+                              factor=8.0)
+        arr = np.ones(10, dtype=np.float64)
+        out, idx = apply_corruption(arr, spec, seed=5, occurrence=0)
+        assert len(idx) == 5
+        np.testing.assert_array_equal(out[idx], np.full(5, 8.0))
+
+    def test_scalar_corruption(self):
+        spec = DataCorruption("epol.energy", kind="nan", fraction=1.0)
+        out, idx = apply_corruption(-42.0, spec, seed=5, occurrence=0)
+        assert isinstance(out, float) and np.isnan(out)
+        assert np.array_equal(idx, [0])
+
+    def test_rng_keyed_by_array_name(self):
+        r1 = corruption_rng(5, "born.radii", 0).integers(1 << 30)
+        r2 = corruption_rng(5, "epol.energy", 0).integers(1 << 30)
+        assert r1 != r2

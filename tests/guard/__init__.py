@@ -1,0 +1,2 @@
+"""Tests for the guard layer (errors, checks, watchdog, checkpoint,
+GuardedSolver, MD restart)."""

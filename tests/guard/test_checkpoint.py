@@ -1,0 +1,135 @@
+"""Checkpoint files: round-trip fidelity, damage detection, atomicity."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.guard.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointStore,
+    molecule_fingerprint,
+)
+from repro.guard.errors import CheckpointError
+from repro.molecules import synthetic_protein
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+ARRAYS = {
+    "radii": np.array([1.5, 2.25, 3.125]),
+    "energy": np.asarray(-123.456789012345678),
+    "grid": np.arange(12, dtype=np.float64).reshape(3, 4),
+}
+
+
+class TestRoundTrip:
+    def test_arrays_bitwise_and_meta_exact(self, store):
+        meta = {"rung": "primary", "eps_born": 0.3, "step": 7}
+        store.save("born", ARRAYS, meta)
+        ck = store.load("born")
+        assert ck.kind == "born" and ck.schema == SCHEMA_VERSION
+        assert ck.meta == meta
+        assert set(ck.arrays) == set(ARRAYS)
+        for k, v in ARRAYS.items():
+            got = ck.arrays[k]
+            assert got.dtype == np.asarray(v).dtype
+            assert got.shape == np.asarray(v).shape
+            assert np.array_equal(got, v)  # bitwise: float64 round-trips
+
+    def test_save_overwrites_atomically(self, store):
+        store.save("born", {"radii": np.array([1.0])})
+        store.save("born", {"radii": np.array([2.0])})
+        assert store.load("born").arrays["radii"][0] == 2.0
+        # No temporary turds left next to the checkpoint.
+        names = [p.name for p in store.directory.iterdir()]
+        assert names == ["born.ckpt"]
+
+    def test_try_load_missing_is_none(self, store):
+        assert store.try_load("epol") is None
+        assert not store.has("epol")
+
+    def test_delete_is_idempotent(self, store):
+        store.save("born", {"radii": np.array([1.0])})
+        store.delete("born")
+        store.delete("born")
+        assert not store.has("born")
+
+    def test_load_missing_raises(self, store):
+        with pytest.raises(CheckpointError):
+            store.load("born")
+
+    def test_kind_validation_rejects_traversal(self, store):
+        for kind in ("", "a/b", "..", "x.y"):
+            with pytest.raises(CheckpointError):
+                store.path_for(kind)
+
+
+class TestDamageDetection:
+    def _write(self, store):
+        return store.save("born", ARRAYS, {"rung": "primary"})
+
+    def test_flipped_payload_byte_fails_checksum(self, store):
+        path = self._write(store)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            store.load("born")
+
+    def test_truncated_payload_detected(self, store):
+        path = self._write(store)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-32])
+        with pytest.raises(CheckpointError, match="truncated"):
+            store.load("born")
+
+    def test_bad_magic_detected(self, store):
+        path = self._write(store)
+        path.write_bytes(b"NOT-A-CKPT" + path.read_bytes())
+        with pytest.raises(CheckpointError, match="magic"):
+            store.load("born")
+
+    def test_unsupported_schema_refused(self, store):
+        path = self._write(store)
+        blob = path.read_bytes()
+        assert blob.count(b'"schema": 1') == 1
+        path.write_bytes(blob.replace(b'"schema": 1', b'"schema": 9'))
+        with pytest.raises(CheckpointError, match="schema 9"):
+            store.load("born")
+
+    def test_garbage_header_detected(self, store):
+        path = self._write(store)
+        blob = path.read_bytes()
+        magic_len = blob.find(b"\n") + 1
+        path.write_bytes(blob[:magic_len] + b"{broken json\n"
+                         + blob[magic_len:])
+        with pytest.raises(CheckpointError, match="header"):
+            store.load("born")
+
+
+class TestFingerprint:
+    def test_binds_molecule_and_config(self):
+        a = synthetic_protein(60, seed=1)
+        b = synthetic_protein(60, seed=2)
+        p = ApproxParams()
+        fp = molecule_fingerprint(a, p, "octree")
+        assert fp == molecule_fingerprint(a, p, "octree")
+        assert fp != molecule_fingerprint(b, p, "octree")
+        assert fp != molecule_fingerprint(a, p, "naive")
+        assert fp != molecule_fingerprint(a, ApproxParams(eps_born=0.1),
+                                          "octree")
+
+    def test_mismatched_fingerprint_refused(self, tmp_path):
+        writer = CheckpointStore(tmp_path, fingerprint="aaa")
+        writer.save("born", {"radii": np.array([1.0])})
+        reader = CheckpointStore(tmp_path, fingerprint="bbb")
+        with pytest.raises(CheckpointError, match="different"):
+            reader.load("born")
+
+    def test_unbound_reader_accepts(self, tmp_path):
+        writer = CheckpointStore(tmp_path, fingerprint="aaa")
+        writer.save("born", {"radii": np.array([1.0])})
+        assert CheckpointStore(tmp_path).load("born").fingerprint == "aaa"

@@ -1,0 +1,75 @@
+"""The typed diagnostic hierarchy: bases, context fields, rendering."""
+
+import pytest
+
+from repro.guard.errors import (
+    CheckpointError,
+    DegenerateGeometryError,
+    DiagnosticError,
+    MoleculeFormatError,
+    NumericalGuardError,
+    WatchdogBreachError,
+    format_indices,
+)
+
+
+class TestHierarchy:
+    """Every class keeps its historical builtin base so pre-guard
+    callers written against ValueError/RuntimeError keep working."""
+
+    def test_value_error_compat(self):
+        for cls in (MoleculeFormatError, DegenerateGeometryError,
+                    NumericalGuardError, WatchdogBreachError):
+            assert issubclass(cls, ValueError)
+            assert issubclass(cls, DiagnosticError)
+
+    def test_checkpoint_is_runtime_error(self):
+        assert issubclass(CheckpointError, RuntimeError)
+        assert issubclass(CheckpointError, DiagnosticError)
+        assert not issubclass(CheckpointError, ValueError)
+
+    def test_watchdog_is_numerical(self):
+        assert issubclass(WatchdogBreachError, NumericalGuardError)
+
+    def test_caught_as_value_error(self):
+        with pytest.raises(ValueError):
+            raise NumericalGuardError("boom", phase="epol")
+
+
+class TestContext:
+    def test_phase_and_indices_in_message(self):
+        exc = NumericalGuardError("non-finite values", phase="born",
+                                  indices=[3, 1, 4], hint="re-run")
+        s = str(exc)
+        assert "[born]" in s and "[3, 1, 4]" in s and "hint: re-run" in s
+        assert exc.phase == "born"
+        assert exc.indices == (3, 1, 4)
+
+    def test_format_error_carries_line_and_field(self):
+        exc = MoleculeFormatError("bad float", line=12, field="charge")
+        assert exc.line == 12 and exc.field == "charge"
+        assert "line 12" in str(exc) and "'charge'" in str(exc)
+
+    def test_watchdog_carries_observed_and_tolerance(self):
+        exc = WatchdogBreachError("disagrees", observed=0.5,
+                                  tolerance=0.1)
+        assert exc.observed == 0.5 and exc.tolerance == 0.1
+        assert "5.000e-01" in str(exc)
+
+    def test_checkpoint_carries_path(self):
+        exc = CheckpointError("checksum mismatch", path="/tmp/x.ckpt")
+        assert exc.path == "/tmp/x.ckpt"
+        assert "/tmp/x.ckpt" in str(exc)
+
+
+class TestFormatIndices:
+    def test_empty(self):
+        assert format_indices([]) == "[]"
+
+    def test_short_list_verbatim(self):
+        assert format_indices([1, 2, 3]) == "[1, 2, 3]"
+
+    def test_long_list_truncated_with_total(self):
+        out = format_indices(list(range(100)))
+        assert out.startswith("[0, 1, 2, 3, 4, 5, 6, 7,")
+        assert "… 100 total" in out

@@ -1,0 +1,164 @@
+"""GuardedSolver: clean-path fidelity, the degradation ladder, resume."""
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.core.solver import PolarizationSolver
+from repro.faults import DataCorruption, FaultPlan
+from repro.guard import GuardedSolver, GuardPolicy
+from repro.guard.errors import CheckpointError, NumericalGuardError
+from repro.molecules import synthetic_protein
+
+
+@pytest.fixture(scope="module")
+def mol():
+    return synthetic_protein(150, seed=9)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ApproxParams()
+
+
+def actions(report):
+    return [e.action for e in report.events]
+
+
+class TestCleanPath:
+    def test_matches_plain_solver_bitwise(self, mol, params):
+        plain = PolarizationSolver(mol, params)
+        g = GuardedSolver(mol, params)
+        report = g.report()
+        assert report.energy == plain.energy()
+        assert np.array_equal(report.born_radii, plain.born_radii())
+        assert report.rung == "primary" and report.attempts == 1
+        assert report.degradations == 0
+        assert report.watchdog is not None and report.watchdog.ok
+
+    def test_surface_sampled_when_missing(self, params):
+        bare = synthetic_protein(60, seed=5, with_surface=False)
+        g = GuardedSolver(bare, params)
+        assert g.molecule.surface is not None
+        assert np.isfinite(g.energy())
+
+    def test_invalid_method_rejected(self, mol, params):
+        with pytest.raises(ValueError):
+            GuardedSolver(mol, params, method="magic")
+
+
+class TestLadder:
+    def test_transient_nan_cleared_by_retry(self, mol, params):
+        plan = FaultPlan([DataCorruption("born.radii", kind="nan",
+                                         fraction=0.1)], seed=11)
+        g = GuardedSolver(mol, params, fault_plan=plan)
+        report = g.report()
+        # One breach, one retry, then a clean rung — and because the
+        # retry reruns identical arithmetic, the answer is bitwise
+        # identical to an unfaulted run.
+        assert report.rung == "retry-1"
+        assert "sentinel-breach" in actions(report)
+        assert report.degradations == 1
+        assert report.energy == GuardedSolver(mol, params).energy()
+
+    def test_scale_corruption_caught_by_watchdog(self, mol, params):
+        plan = FaultPlan([DataCorruption("born.radii", kind="scale",
+                                         fraction=0.5, factor=8.0)],
+                         seed=11)
+        g = GuardedSolver(mol, params, fault_plan=plan)
+        report = g.report()
+        assert "watchdog-breach" in actions(report)
+        assert report.degradations >= 1
+
+    def test_persistent_corruption_falls_back_to_naive(self, mol, params):
+        plan = FaultPlan([DataCorruption("born.radii", kind="nan",
+                                         fraction=0.1, persistent=True)],
+                         seed=11)
+        g = GuardedSolver(mol, params, fault_plan=plan)
+        report = g.report()
+        assert report.rung == "naive" and report.method == "naive"
+        assert "fallback-naive" in actions(report)
+        exact = PolarizationSolver(mol, params, method="naive").energy()
+        assert report.energy == exact
+
+    def test_ladder_exhaustion_reraises_typed(self, mol, params):
+        plan = FaultPlan([DataCorruption("born.radii", kind="nan",
+                                         fraction=0.1, persistent=True)],
+                         seed=11)
+        policy = GuardPolicy(allow_naive_fallback=False)
+        g = GuardedSolver(mol, params, policy=policy, fault_plan=plan)
+        with pytest.raises(NumericalGuardError):
+            g.energy()
+        assert g.degradations >= 2  # retry + tighten were both tried
+
+    def test_energy_nan_caught_by_sentinel(self, mol, params):
+        plan = FaultPlan([DataCorruption("epol.energy", kind="nan",
+                                         fraction=1.0)], seed=11)
+        report = GuardedSolver(mol, params, fault_plan=plan).report()
+        assert np.isfinite(report.energy)
+        assert "sentinel-breach" in actions(report)
+
+    def test_corruption_events_recorded(self, mol, params):
+        plan = FaultPlan([DataCorruption("born.radii", kind="nan",
+                                         fraction=0.1)], seed=11)
+        g = GuardedSolver(mol, params, fault_plan=plan)
+        g.report()
+        assert g.injected_faults == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            GuardPolicy(tighten_factor=1.5)
+        with pytest.raises(ValueError):
+            GuardPolicy(watchdog_samples=0)
+
+
+class TestResume:
+    def test_resume_after_full_solve_is_bitwise(self, mol, params,
+                                                tmp_path):
+        d = tmp_path / "ck"
+        first = GuardedSolver(mol, params, checkpoint=d).report()
+        resumed = GuardedSolver(mol, params, checkpoint=d,
+                                resume=True).report()
+        assert resumed.attempts == 0  # nothing recomputed
+        assert resumed.energy == first.energy
+        assert np.array_equal(resumed.born_radii, first.born_radii)
+        assert "checkpoint-load" in actions(resumed)
+
+    def test_resume_from_born_snapshot_is_bitwise(self, mol, params,
+                                                  tmp_path):
+        d = tmp_path / "ck"
+        interrupted = GuardedSolver(mol, params, checkpoint=d)
+        interrupted.born_phase_only()  # simulated interruption
+        store = interrupted.checkpoint
+        assert store.has("born") and not store.has("epol")
+        resumed = GuardedSolver(mol, params, checkpoint=d,
+                                resume=True).report()
+        fresh = GuardedSolver(mol, params).report()
+        assert resumed.energy == fresh.energy
+        assert np.array_equal(resumed.born_radii, fresh.born_radii)
+
+    def test_checkpoints_written_per_phase(self, mol, params, tmp_path):
+        d = tmp_path / "ck"
+        g = GuardedSolver(mol, params, checkpoint=d)
+        g.report()
+        assert g.checkpoint.has("born") and g.checkpoint.has("epol")
+
+    def test_wrong_molecule_checkpoint_refused(self, mol, params,
+                                               tmp_path):
+        d = tmp_path / "ck"
+        GuardedSolver(mol, params, checkpoint=d).report()
+        other = synthetic_protein(80, seed=2)
+        with pytest.raises(CheckpointError, match="different"):
+            GuardedSolver(other, params, checkpoint=d,
+                          resume=True).report()
+
+    def test_without_resume_flag_checkpoints_are_ignored(self, mol,
+                                                         params,
+                                                         tmp_path):
+        d = tmp_path / "ck"
+        first = GuardedSolver(mol, params, checkpoint=d).report()
+        again = GuardedSolver(mol, params, checkpoint=d).report()
+        assert again.attempts == 1  # recomputed, not loaded
+        assert again.energy == first.energy

@@ -1,0 +1,107 @@
+"""Property tests: the guarded solver on degenerate / random inputs.
+
+The contract under test: for any molecule the constructors accept, a
+guarded solve either returns a finite energy or raises a typed
+:class:`~repro.guard.errors.DiagnosticError` — it never hands back NaN.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ApproxParams
+from repro.guard import GuardedSolver
+from repro.guard.errors import DiagnosticError, MoleculeFormatError
+from repro.molecules import sample_surface
+from repro.molecules.molecule import Molecule
+
+# Surface sampling dominates per-example cost; stay tiny and exact.
+_SETTINGS = dict(max_examples=15, deadline=None)
+
+
+def _solve(mol):
+    mol = sample_surface(mol, subdivisions=0, degree=1)
+    return GuardedSolver(mol, ApproxParams(), method="naive").energy()
+
+
+@given(natoms=st.integers(1, 6), seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_random_molecule_finite_or_typed(natoms, seed):
+    rng = np.random.default_rng(seed)
+    mol = Molecule(rng.uniform(-8.0, 8.0, size=(natoms, 3)),
+                   rng.uniform(-1.5, 1.5, size=natoms),
+                   rng.uniform(0.8, 2.5, size=natoms), name="hyp")
+    try:
+        energy = _solve(mol)
+    except DiagnosticError:
+        return  # a typed refusal is an allowed outcome
+    assert np.isfinite(energy)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_coincident_atoms_refused_not_nan(seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-6.0, 6.0, size=(4, 3))
+    pos[1] = pos[0]  # exact duplicate
+    mol = Molecule(pos, rng.uniform(-1.0, 1.0, size=4),
+                   rng.uniform(0.8, 2.0, size=4), name="dup")
+    with pytest.raises(DiagnosticError):
+        _solve(mol)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_zero_charges_give_exactly_zero(seed):
+    rng = np.random.default_rng(seed)
+    mol = Molecule(rng.uniform(-8.0, 8.0, size=(3, 3)),
+                   np.zeros(3), rng.uniform(0.8, 2.5, size=3),
+                   name="neutral")
+    try:
+        energy = _solve(mol)
+    except DiagnosticError:
+        return  # random coordinates may still be degenerate
+    assert energy == 0.0
+
+
+@given(radius=st.floats(0.8, 4.0), charge=st.floats(-2.0, 2.0))
+@settings(**_SETTINGS)
+def test_single_atom_is_analytic(radius, charge):
+    """One sphere: E = −τ/2 · q²/R (the Born ion), R = intrinsic."""
+    mol = Molecule(np.zeros((1, 3)), np.array([charge]),
+                   np.array([radius]), name="ion")
+    mol = sample_surface(mol, subdivisions=2, degree=2)
+    g = GuardedSolver(mol, ApproxParams(), method="naive")
+    report = g.report()
+    assert report.born_radii[0] == pytest.approx(radius, rel=5e-3)
+    from repro.core.gb import energy_prefactor
+
+    expected = energy_prefactor(g.tau) * charge ** 2 / radius
+    assert report.energy == pytest.approx(expected, rel=1e-2)
+
+
+@pytest.mark.filterwarnings("ignore:overflow:RuntimeWarning")
+@given(scale=st.floats(2e6, 1e8), seed=st.integers(0, 1000))
+@settings(**_SETTINGS)
+def test_extreme_coordinates_finite_or_typed(scale, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-1.0, 1.0, size=(3, 3)) * scale
+    mol = Molecule(pos, rng.uniform(-1.0, 1.0, size=3),
+                   rng.uniform(0.8, 2.0, size=3), name="far")
+    try:
+        energy = _solve(mol)
+    except DiagnosticError:
+        return
+    assert np.isfinite(energy)
+
+
+@given(n=st.integers(1, 4))
+@settings(**_SETTINGS)
+def test_nonpositive_radii_rejected_at_construction(n):
+    pos = np.zeros((n, 3))
+    pos[:, 0] = np.arange(n) * 5.0
+    radii = np.full(n, 1.5)
+    radii[-1] = 0.0
+    with pytest.raises(MoleculeFormatError):
+        Molecule(pos, np.ones(n), radii)

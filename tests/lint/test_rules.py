@@ -255,3 +255,72 @@ def test_rpr006_ignore_comment_suppresses():
            "raise queue.Empty  # lint: ignore[RPR006]\n")
     assert ids(lint_source(src, filename=CLUSTER_FILE,
                            select=["RPR006"])) == []
+
+
+# -- RPR007: typed diagnostics in core/molecules ------------------------
+
+CORE_FILE = "src/repro/core/foo.py"
+MOL_FILE = "src/repro/molecules/foo.py"
+
+
+def test_rpr007_bare_valueerror_flagged():
+    src = "def f():\n    raise ValueError('bad radii')\n"
+    assert ids(lint_source(src, filename=CORE_FILE,
+                           select=["RPR007"])) == ["RPR007"]
+
+
+def test_rpr007_bare_runtimeerror_flagged():
+    src = "def f():\n    raise RuntimeError('boom')\n"
+    assert ids(lint_source(src, filename=MOL_FILE,
+                           select=["RPR007"])) == ["RPR007"]
+
+
+def test_rpr007_typed_guard_errors_clean():
+    src = textwrap.dedent("""\
+        from repro.guard.errors import NumericalGuardError
+
+        def f():
+            raise NumericalGuardError('bad', phase='born', indices=[1])
+    """)
+    assert ids(lint_source(src, filename=CORE_FILE,
+                           select=["RPR007"])) == []
+
+
+def test_rpr007_other_builtins_clean():
+    src = "def f():\n    raise TypeError('not our business')\n"
+    assert ids(lint_source(src, filename=CORE_FILE,
+                           select=["RPR007"])) == []
+
+
+def test_rpr007_bare_reraise_clean():
+    src = textwrap.dedent("""\
+        def f():
+            try:
+                g()
+            except ValueError:
+                raise
+    """)
+    assert ids(lint_source(src, filename=CORE_FILE,
+                           select=["RPR007"])) == []
+
+
+def test_rpr007_scope_limited_to_core_and_molecules():
+    src = "def f():\n    raise ValueError('fine elsewhere')\n"
+    for fn in ("src/repro/cluster/foo.py", "src/repro/octree/foo.py",
+               "src/repro/cli.py"):
+        assert ids(lint_source(src, filename=fn,
+                               select=["RPR007"])) == []
+
+
+def test_rpr007_test_modules_exempt():
+    src = "def f():\n    raise ValueError('x')\n"
+    assert ids(lint_source(src, filename="tests/core/test_foo.py",
+                           select=["RPR007"])) == []
+
+
+def test_rpr007_ignore_comment_suppresses():
+    src = ("def f(method):\n"
+           "    raise ValueError(  # lint: ignore[RPR007] — arg check\n"
+           "        f'unknown method {method!r}')\n")
+    assert ids(lint_source(src, filename=CORE_FILE,
+                           select=["RPR007"])) == []

@@ -50,3 +50,67 @@ class TestCommands:
         assert main(["scale", "--atoms", "300", "--nodes", "12"]) == 0
         out = capsys.readouterr().out
         assert "OCT_MPI" in out and "144" in out
+
+
+class TestDoctor:
+    def test_healthy_molecule_exits_zero(self, capsys):
+        assert main(["doctor", "--atoms", "200", "--seed", "3"]) == 0
+        assert "doctor:" in capsys.readouterr().out
+
+    def test_degenerate_file_reports_and_fails(self, tmp_path, capsys):
+        mol = synthetic_protein(60, seed=2, with_surface=False)
+        mol.positions[1] = mol.positions[0]  # coincident pair
+        path = tmp_path / "dup.xyzqr"
+        pdbio.write_xyzqr(mol, path)
+        assert main(["doctor", "--file", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "GRD105" in out and "coincident" in out
+
+    def test_unreadable_molecule_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.xyzqr"
+        path.write_text("0.0 0.0 0.0 1.0 0.0\n")  # zero radius
+        assert main(["doctor", "--file", str(path)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+
+class TestGuardedSolve:
+    ARGS = ["solve", "--atoms", "250", "--seed", "3"]
+
+    def test_checkpoint_roundtrip_bitwise(self, tmp_path, capsys):
+        import json
+
+        ck = tmp_path / "ck"
+        fresh = tmp_path / "fresh.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(self.ARGS + ["--json", str(fresh)]) == 0
+        assert main(self.ARGS + ["--checkpoint", str(ck),
+                                 "--stop-after", "born"]) == 0
+        assert "stopped after the Born phase" in capsys.readouterr().out
+        assert main(self.ARGS + ["--checkpoint", str(ck), "--resume",
+                                 "--json", str(resumed)]) == 0
+        d1 = json.loads(fresh.read_text())
+        d2 = json.loads(resumed.read_text())
+        assert d1["guarded"] and d2["guarded"]
+        assert d2["energy"] == d1["energy"]  # bitwise-identical resume
+        assert d2["born_mean"] == d1["born_mean"]
+
+    def test_no_guard_conflicts_with_checkpoint(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--no-guard", "--checkpoint",
+                                 str(tmp_path / "ck")]) == 2
+        assert "--no-guard" in capsys.readouterr().err
+
+    def test_stop_after_requires_checkpoint(self, capsys):
+        assert main(self.ARGS + ["--stop-after", "born"]) == 2
+        assert "--stop-after" in capsys.readouterr().err
+
+    def test_no_guard_still_solves(self, capsys):
+        assert main(self.ARGS + ["--no-guard"]) == 0
+        assert "E_pol" in capsys.readouterr().out
+
+    def test_preflight_failure_exits_one(self, tmp_path, capsys):
+        mol = synthetic_protein(60, seed=2, with_surface=False)
+        mol.positions[1] = mol.positions[0]
+        path = tmp_path / "dup.xyzqr"
+        pdbio.write_xyzqr(mol, path)
+        assert main(["solve", "--file", str(path)]) == 1
+        assert "coincident" in capsys.readouterr().err
