@@ -1,0 +1,96 @@
+"""Serve-layer throughput: cold vs warm, across worker counts.
+
+The service's value proposition is the artifact cache: a warm repeat
+of a request must skip the surface/octree/Born phases entirely (a full
+``epol`` hit) and hand back the bitwise-identical energy.  This bench
+pushes one repeated workload through :class:`repro.serve.SolveService`
+at 1/2/4 workers, cold (fresh cache) and warm (same requests again),
+and records throughput plus the p50/p99 service latency the service
+itself measured.
+
+Acceptance: warm throughput ≥ 5× cold at every worker count, warm
+energies bitwise equal to cold.
+"""
+
+from conftest import run_once
+
+from repro.molecules import synthetic_protein
+from repro.serve import SolveRequest, SolveService
+
+WORKERS = (1, 2, 4)
+MOLECULES = 3
+REPEATS = 4  # each molecule requested this many times per pass
+ATOMS = 500
+
+
+def _requests():
+    pool = [synthetic_protein(ATOMS + 80 * i, seed=20 + i)
+            for i in range(MOLECULES)]
+    # Distinct idempotency keys so repeats exercise the *cache*, not
+    # in-flight coalescing (which would hide the artifact reuse).
+    return [SolveRequest(molecule=pool[i % MOLECULES],
+                         idempotency_key=f"bench-{i}")
+            for i in range(MOLECULES * REPEATS)]
+
+
+def _pass(service, requests):
+    tickets = [service.submit(req) for req in requests]
+    service.drain(timeout=600.0)
+    results = [t.result(timeout=1.0) for t in tickets]
+    stats = service.stats()
+    assert all(r.status == "ok" for r in results)
+    wall = sum(r.service_seconds for r in results)
+    return results, stats, wall
+
+
+def _run():
+    rows = []
+    for workers in WORKERS:
+        service = SolveService(workers=workers, queue_capacity=256,
+                               batch_size=4)
+        try:
+            requests = _requests()
+            cold_res, _, cold_busy = _pass(service, requests)
+            warm_res, stats, warm_busy = _pass(service, _requests())
+        finally:
+            service.close()
+        for c, w in zip(cold_res, warm_res):
+            assert w.energy == c.energy, "warm energy must be bitwise"
+        assert all(r.cache == "epol" for r in warm_res)
+        n = len(requests)
+        rows.append({
+            "workers": workers,
+            "requests": n,
+            "cold_busy_seconds": cold_busy,
+            "warm_busy_seconds": warm_busy,
+            "speedup": cold_busy / warm_busy,
+            "cold_service_p50": sorted(
+                r.service_seconds for r in cold_res)[n // 2],
+            "warm_service_p50": sorted(
+                r.service_seconds for r in warm_res)[n // 2],
+            "cold_service_p99": max(r.service_seconds for r in cold_res),
+            "warm_service_p99": max(r.service_seconds for r in warm_res),
+            "hit_rate": stats.hit_rate,
+        })
+    return rows
+
+
+def test_serve_throughput(benchmark, record_table):
+    rows = run_once(benchmark, _run)
+    lines = [f"serve throughput ({MOLECULES} molecules × {REPEATS} "
+             f"requests, {ATOMS}+ atoms): cold vs warm"]
+    for r in rows:
+        lines.append(
+            f"{r['workers']} worker(s): cold {r['cold_busy_seconds']:7.3f} s "
+            f"(p50 {r['cold_service_p50'] * 1e3:7.2f} ms)  "
+            f"warm {r['warm_busy_seconds']:7.3f} s "
+            f"(p50 {r['warm_service_p50'] * 1e3:7.2f} ms)  "
+            f"{r['speedup']:6.1f}x  hit rate {r['hit_rate']:.0%}")
+    record_table("bench_serve_throughput", "\n".join(lines), rows=rows,
+                 config={"workers": list(WORKERS),
+                         "molecules": MOLECULES, "repeats": REPEATS,
+                         "atoms": ATOMS})
+    for r in rows:
+        assert r["speedup"] >= 5.0, \
+            f"warm pass only {r['speedup']:.1f}x faster at " \
+            f"{r['workers']} workers"

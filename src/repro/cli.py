@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional
 
 import repro.obs as obs
@@ -331,6 +332,100 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        QueueFullError,
+        SolveService,
+        load_workload,
+        synthetic_workload,
+    )
+    if args.workload:
+        requests = load_workload(args.workload)
+        source = args.workload
+    else:
+        requests = synthetic_workload(
+            args.synthetic, seed=args.seed, molecules=args.molecules,
+            atoms=args.atoms)
+        source = f"synthetic (seed {args.seed})"
+    obs.enable(reset=True)
+    service = SolveService(workers=args.workers,
+                           queue_capacity=args.queue_size,
+                           batch_size=args.batch_size,
+                           cache_bytes=args.cache_mb * 1024 * 1024,
+                           cache_dir=args.cache_dir)
+    tickets = []
+    t0 = time.perf_counter()
+    with obs.span("serve", cat="serve", workers=args.workers,
+                  requests=len(requests)):
+        for req in requests:
+            try:
+                tickets.append(
+                    service.submit(req, wait_timeout=args.submit_timeout))
+            except QueueFullError as exc:
+                print(f"rejected (queue full): {exc}", file=sys.stderr)
+        service.drain(timeout=args.drain_timeout)
+    wall = time.perf_counter() - t0
+    results = [t.result(timeout=1.0) for t in tickets]
+    stats = service.stats()
+    service.close()
+
+    table = Table(["requests", "ok", "degraded", "failed", "expired",
+                   "coalesced", "rejected"],
+                  title=f"serve: {len(requests)} requests from {source} — "
+                        f"{args.workers} worker(s), queue "
+                        f"{args.queue_size}, batch {args.batch_size}")
+    ok = sum(1 for r in results if r.status == "ok")
+    table.add_row(stats.submitted, ok, stats.degraded, stats.failed,
+                  stats.expired, stats.coalesced, stats.rejected)
+    print(table.render())
+
+    lat = Table(["metric", "p50 (ms)", "p99 (ms)"])
+    lat.add_row("queue wait", stats.wait_p50 * 1e3, stats.wait_p99 * 1e3)
+    lat.add_row("service", stats.service_p50 * 1e3,
+                stats.service_p99 * 1e3)
+    print(lat.render())
+
+    levels = ", ".join(f"{k}: {v}"
+                       for k, v in sorted(stats.by_level.items()))
+    print(f"cache: hit rate {stats.hit_rate:.1%} "
+          f"({stats.cache.hits} hits / {stats.cache.misses} misses, "
+          f"{stats.cache.evictions} evictions, "
+          f"{stats.cache.entries} entries, "
+          f"{stats.cache.bytes / 1e6:.1f} MB)")
+    print(f"served from: {levels}")
+    print(f"throughput: {len(results) / wall:.1f} req/s "
+          f"({wall:.2f} s wall)")
+
+    if args.json:
+        import json
+        doc = {"source": source, "workers": args.workers,
+               "requests": stats.submitted, "ok": ok,
+               "degraded": stats.degraded, "failed": stats.failed,
+               "expired": stats.expired, "coalesced": stats.coalesced,
+               "rejected": stats.rejected, "hit_rate": stats.hit_rate,
+               "by_level": dict(stats.by_level),
+               "wait_p50_ms": stats.wait_p50 * 1e3,
+               "wait_p99_ms": stats.wait_p99 * 1e3,
+               "service_p50_ms": stats.service_p50 * 1e3,
+               "service_p99_ms": stats.service_p99 * 1e3,
+               "throughput_rps": len(results) / wall,
+               "wall_seconds": wall}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote summary to {args.json}")
+    if args.trace:
+        obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
+                               metrics=obs.registry)
+        print(f"wrote trace to {args.trace}")
+    _write_metrics(args)
+    obs.disable()
+    if stats.failed or stats.expired:
+        print(f"{stats.failed} failed, {stats.expired} expired",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_packages(args: argparse.Namespace) -> int:
     mol = _load_molecule(args)
     table = Table(["package", "GB model", "time (s)", "E (kcal/mol)",
@@ -464,6 +559,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome trace with fault instants and "
                         "recovery spans")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("serve", help="run a workload through the "
+                                     "batched solve service + artifact "
+                                     "cache")
+    _add_obs_args(p)
+    src_group = p.add_mutually_exclusive_group()
+    src_group.add_argument("--synthetic", type=int, default=20,
+                           metavar="N",
+                           help="generate N mixed synthetic requests "
+                                "(default 20)")
+    src_group.add_argument("--workload", type=str, default=None,
+                           metavar="FILE",
+                           help="JSON workload file (see repro.serve."
+                                "workload.load_workload)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads (default 2)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="admission queue capacity; a full queue "
+                        "rejects with QueueFullError (default 64)")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="max requests a worker takes per pass "
+                        "(default 4)")
+    p.add_argument("--cache-mb", type=int, default=256,
+                   help="memory-tier artifact cache budget in MB "
+                        "(default 256)")
+    p.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                   help="disk tier: persist array artifacts as "
+                        "REPRO-CKPT files under DIR")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic workload seed (default 0)")
+    p.add_argument("--atoms", type=int, default=300,
+                   help="smallest synthetic molecule (default 300)")
+    p.add_argument("--molecules", type=int, default=3,
+                   help="synthetic molecule pool size (default 3)")
+    p.add_argument("--submit-timeout", type=float, default=30.0,
+                   help="seconds to wait for queue space before "
+                        "rejecting (default 30)")
+    p.add_argument("--drain-timeout", type=float, default=600.0,
+                   help="seconds to wait for the queue to drain "
+                        "(default 600)")
+    p.add_argument("--json", type=str, default=None, metavar="FILE",
+                   help="write the latency/hit-rate summary as JSON")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("packages", help="run the MD-package emulators")
     _add_molecule_args(p)

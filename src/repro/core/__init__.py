@@ -1,5 +1,6 @@
 """Core algorithms: GB kernels, naive references, octree solvers."""
 
+from repro.core.fingerprint import arrays_fingerprint, molecule_fingerprint
 from repro.core.gb import fgb_still, pair_energy_matrix, fast_exp, fast_rsqrt
 from repro.core.born_naive import born_radii_naive_r6, born_radii_naive_r4
 from repro.core.energy_naive import epol_naive
@@ -10,6 +11,8 @@ from repro.core.forces import forces_naive, forces_octree, ForcesResult
 from repro.core.solver import PolarizationSolver, SolverReport
 
 __all__ = [
+    "arrays_fingerprint",
+    "molecule_fingerprint",
     "fgb_still",
     "pair_energy_matrix",
     "fast_exp",

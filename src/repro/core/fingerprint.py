@@ -1,0 +1,65 @@
+"""Content fingerprints shared by checkpointing and the solve service.
+
+A fingerprint is a SHA-256 over the raw bytes of the arrays that
+determine a computation's output, plus the ``repr`` of any
+configuration that steers it.  Both are deterministic, so the same
+molecule + parameters hash identically across runs and machines — the
+property ``repro.guard`` relies on to bind a checkpoint to the run
+that wrote it, and ``repro.serve`` relies on to key cached artifacts
+(surface samples, octrees, Born radii, energies) so a stale entry can
+never be returned for changed inputs.
+
+The helpers live in ``repro.core`` (not ``repro.guard``) because both
+the guard layer and the serve layer import them; guard's checkpoint
+format is unchanged (the same bytes are hashed, so existing
+checkpoints keep their fingerprints).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["arrays_fingerprint", "molecule_fingerprint"]
+
+
+def arrays_fingerprint(*arrays: Any, extra: str = "") -> str:
+    """SHA-256 over the raw bytes of ``arrays`` plus an ``extra`` tag.
+
+    ``None`` entries are skipped (callers can pass optional arrays
+    unconditionally); everything else is made contiguous and hashed
+    byte-for-byte, so bitwise-equal inputs — and only those — collide.
+    """
+    h = hashlib.sha256()
+    for arr in arrays:
+        if arr is None:
+            continue
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(extra.encode())
+    return h.hexdigest()
+
+
+def molecule_fingerprint(molecule: Any,
+                         params: Any = None,
+                         method: str = "",
+                         extra: str = "") -> str:
+    """SHA-256 binding a checkpoint/artifact to molecule + configuration.
+
+    Hashes the raw bytes of the molecule's arrays (and surface, when
+    present) plus the repr of the approximation parameters — both are
+    deterministic, so the fingerprint is stable across runs and
+    machines with the same inputs.
+    """
+    h = hashlib.sha256()
+    for arr in (molecule.positions, molecule.charges, molecule.radii):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    surf = getattr(molecule, "surface", None)
+    if surf is not None:
+        for arr in (surf.points, surf.normals, surf.weights):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(repr(params).encode())
+    h.update(method.encode())
+    h.update(extra.encode())
+    return h.hexdigest()

@@ -54,6 +54,7 @@ __all__ = [
     "GuardEvent",
     "GuardedReport",
     "GuardedSolver",
+    "WarmStart",
 ]
 
 _HOMES = {
@@ -81,6 +82,7 @@ _HOMES = {
     "GuardEvent": "repro.guard.solver",
     "GuardedReport": "repro.guard.solver",
     "GuardedSolver": "repro.guard.solver",
+    "WarmStart": "repro.guard.solver",
 }
 
 

@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.core.fingerprint import molecule_fingerprint
 from repro.guard.errors import CheckpointError
 
 __all__ = ["Checkpoint", "CheckpointStore", "SCHEMA_VERSION",
@@ -50,30 +51,6 @@ __all__ = ["Checkpoint", "CheckpointStore", "SCHEMA_VERSION",
 SCHEMA_VERSION = 1
 
 _MAGIC = b"REPRO-CKPT v1\n"
-
-
-def molecule_fingerprint(molecule: Any,
-                         params: Any = None,
-                         method: str = "",
-                         extra: str = "") -> str:
-    """SHA-256 binding a checkpoint to molecule + configuration.
-
-    Hashes the raw bytes of the molecule's arrays (and surface, when
-    present) plus the repr of the approximation parameters — both are
-    deterministic, so the fingerprint is stable across runs and
-    machines with the same inputs.
-    """
-    h = hashlib.sha256()
-    for arr in (molecule.positions, molecule.charges, molecule.radii):
-        h.update(np.ascontiguousarray(arr).tobytes())
-    surf = getattr(molecule, "surface", None)
-    if surf is not None:
-        for arr in (surf.points, surf.normals, surf.weights):
-            h.update(np.ascontiguousarray(arr).tobytes())
-    h.update(repr(params).encode())
-    h.update(method.encode())
-    h.update(extra.encode())
-    return h.hexdigest()
 
 
 @dataclass

@@ -65,7 +65,27 @@ from repro.guard.watchdog import (
 from repro.molecules.molecule import Molecule
 from repro.molecules.surface import sample_surface
 
-__all__ = ["GuardPolicy", "GuardEvent", "GuardedReport", "GuardedSolver"]
+__all__ = ["GuardPolicy", "GuardEvent", "GuardedReport", "GuardedSolver",
+           "WarmStart"]
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Artifacts a caller already holds for this exact molecule + params.
+
+    ``repro.serve`` passes cached octrees and Born radii here so a warm
+    repeat solve skips the corresponding construction phases.  The
+    trees depend only on the point sets and ``leaf_size``/``max_depth``
+    — which the degradation ladder never changes — so they are adopted
+    on every non-naive rung; warm Born radii are only trusted on the
+    *first* attempt and still pass through the sentinels and the
+    accuracy watchdog, so a corrupt cache entry degrades into a fresh
+    recompute instead of corrupting the result.
+    """
+
+    atoms_tree: Optional[object] = None
+    q_tree: Optional[object] = None
+    born_radii: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)
@@ -141,6 +161,9 @@ class GuardedSolver:
         durable post-phase snapshots.
     resume:
         Restart from the newest valid snapshot in ``checkpoint``.
+    warm:
+        Optional :class:`WarmStart` of artifacts already built for this
+        exact molecule + params (cached octrees, Born radii).
     """
 
     def __init__(self,
@@ -151,7 +174,8 @@ class GuardedSolver:
                  policy: Optional[GuardPolicy] = None,
                  fault_plan=None,
                  checkpoint=None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 warm: Optional[WarmStart] = None) -> None:
         if method not in METHODS:
             raise ValueError(  # lint: ignore[RPR007] — arg check, not data
                 f"method must be one of {METHODS}")
@@ -163,8 +187,10 @@ class GuardedSolver:
         self.tau = tau
         self.policy = policy or GuardPolicy()
         self.fault_plan = fault_plan
+        self.warm = warm
         self.events: List[GuardEvent] = []
         self._occurrences: dict = {}
+        self._last_inner: Optional[PolarizationSolver] = None
         self._report: Optional[GuardedReport] = None
         self._preflight: List[Diagnostic] = []
         if self.policy.preflight:
@@ -201,6 +227,14 @@ class GuardedSolver:
             self._report = self._solve()
         return self._report
 
+    @property
+    def inner_solver(self) -> Optional[PolarizationSolver]:
+        """The :class:`PolarizationSolver` of the rung that succeeded
+        (None before :meth:`report`, or after a pure checkpoint/epol
+        resume).  ``repro.serve`` harvests its built octrees from here
+        into the artifact cache."""
+        return self._last_inner
+
     # -- ladder ------------------------------------------------------------
 
     def _rungs(self) -> List[Tuple[str, str, ApproxParams]]:
@@ -215,11 +249,30 @@ class GuardedSolver:
             rungs.append(("naive", "naive", self.params))
         return rungs
 
+    def _make_inner(self, method: str,
+                    params: ApproxParams) -> PolarizationSolver:
+        """Inner solver for one rung, seeded with any warm octrees.
+
+        The trees depend only on the point sets and ``leaf_size``/
+        ``max_depth`` (never on ε), so warm trees stay valid on every
+        non-naive rung of the ladder.
+        """
+        inner = PolarizationSolver(self.molecule, params, method=method,
+                                   tau=self.tau)
+        if self.warm is not None and method != "naive":
+            if self.warm.atoms_tree is not None:
+                inner._atoms_tree = self.warm.atoms_tree
+            if self.warm.q_tree is not None:
+                inner._q_tree = self.warm.q_tree
+        return inner
+
     def _solve(self) -> GuardedReport:
         resumed = self._try_resume()
         if resumed is not None:
             return resumed
         rungs = self._rungs()
+        warm_radii = (self.warm.born_radii if self.warm is not None
+                      else None)
         last_error: Optional[DiagnosticError] = None
         for i, (rung, method, params) in enumerate(rungs):
             if i > 0:
@@ -229,7 +282,12 @@ class GuardedSolver:
                              f"after {type(last_error).__name__}: "
                              f"{rungs[i - 1][0]} -> {rung}")
             try:
-                return self._attempt(rung, method, params, attempts=i + 1)
+                # Warm radii are only trusted on the first attempt —
+                # once they (or anything else) breach a guard, every
+                # later rung recomputes from scratch.
+                return self._attempt(rung, method, params, attempts=i + 1,
+                                     preset_radii=(warm_radii if i == 0
+                                                   else None))
             except (NumericalGuardError, DegenerateGeometryError) as exc:
                 breach = ("watchdog-breach" if exc.phase == "watchdog"
                           else "sentinel-breach")
@@ -254,8 +312,7 @@ class GuardedSolver:
         if preset_radii is not None:
             radii = np.asarray(preset_radii, dtype=np.float64)
         else:
-            inner = PolarizationSolver(self.molecule, params,
-                                       method=method, tau=self.tau)
+            inner = self._make_inner(method, params)
             with np.errstate(invalid="ignore", over="ignore",
                              divide="ignore"):
                 radii = inner.born_radii()
@@ -302,8 +359,7 @@ class GuardedSolver:
         radii, watchdog_report, inner = self._born_phase(
             rung, method, params, preset_radii)
         if inner is None:
-            inner = PolarizationSolver(self.molecule, params, method=method,
-                                       tau=self.tau)
+            inner = self._make_inner(method, params)
         inner._born = radii
 
         # Energy phase.
@@ -321,6 +377,7 @@ class GuardedSolver:
                    {"rung": rung, "method": method,
                     "eps_born": params.eps_born,
                     "eps_epol": params.eps_epol})
+        self._last_inner = inner
         return GuardedReport(
             energy=float(energy), born_radii=inner._born, method=method,
             params=params, rung=rung, attempts=attempts,

@@ -20,6 +20,7 @@ from repro.lint.rules import (
     FaultBoundaryRule,
     MutableDefaultRule,
     OverbroadExceptRule,
+    ServeQueueDisciplineRule,
     TypedDiagnosticRule,
     UnseededRandomRule,
 )
@@ -42,6 +43,7 @@ def all_rules() -> List[Rule]:
         DunderAllRule(),
         FaultBoundaryRule(),
         TypedDiagnosticRule(),
+        ServeQueueDisciplineRule(),
         CollectiveOrderRule(),
     ]
     rules.sort(key=lambda r: r.id)

@@ -28,6 +28,12 @@ The headline collective-ordering verifier (RPR101) lives in
   must use the typed :mod:`repro.guard.errors` hierarchy instead
   (phase + offending indices + hint); genuine API argument checks
   may keep the builtin under ``# lint: ignore[RPR007]``.
+* **RPR008** — serve-queue discipline: inside ``repro/serve``, no
+  unbounded ``queue.Queue()``/``deque()`` (the service's backpressure
+  contract is an explicit ``QueueFullError``, which an unbounded
+  buffer silently defeats) and no ``time.sleep`` polling loops
+  (condition/timeout-based waits only — a sleep loop trades latency
+  for CPU on every idle worker).
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ __all__ = [
     "DunderAllRule",
     "FaultBoundaryRule",
     "TypedDiagnosticRule",
+    "ServeQueueDisciplineRule",
 ]
 
 #: ``np.random`` attributes that are *not* legacy global-state entry
@@ -446,3 +453,103 @@ class TypedDiagnosticRule(Rule):
                     f"DegenerateGeometryError, NumericalGuardError) "
                     f"naming the phase and offending indices — they "
                     f"subclass {dn}, so callers keep working")
+
+
+#: Package whose queues must be bounded and waits condition-based.
+_SERVE_PACKAGES = ("serve",)
+
+#: ``queue`` module constructors that default to an unbounded buffer
+#: when ``maxsize`` is omitted or <= 0.
+_BOUNDED_QUEUE_CLASSES = {"Queue", "LifoQueue", "PriorityQueue"}
+
+
+def _int_const(node: Optional[ast.AST]) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+class ServeQueueDisciplineRule(Rule):
+    """RPR008: serve buffers are bounded and waits are condition-based.
+
+    The service's admission contract is *explicit backpressure*: a full
+    queue raises :class:`repro.serve.errors.QueueFullError` so the
+    caller can shed or retry.  An unbounded ``queue.Queue()`` or
+    ``collections.deque()`` silently voids that contract (memory grows
+    until the OOM killer is the backpressure).  Likewise, a
+    ``time.sleep`` inside a loop is a polling wait — it burns CPU on
+    every idle worker and adds up to one sleep-period of latency per
+    hand-off; use ``threading.Condition.wait_for``/``Event.wait`` with
+    a timeout instead.  A deliberately unbounded internal buffer must
+    carry ``# lint: ignore[RPR008]`` explaining why it cannot grow.
+    """
+
+    id = "RPR008"
+    description = ("unbounded queue.Queue()/deque() or time.sleep "
+                   "polling loop inside repro/serve; bound the buffer "
+                   "and wait on a Condition/Event with a timeout")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return any(pkg in parts for pkg in _SERVE_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            yield from self._check_buffer(ctx, call, name.split("."))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                dn = dotted_name(inner.func)
+                if dn in ("time.sleep", "sleep"):
+                    yield self.finding(
+                        ctx, inner,
+                        "time.sleep inside a loop is a polling wait; "
+                        "use threading.Condition.wait_for / Event.wait "
+                        "with a timeout so wake-up is immediate and "
+                        "idle workers cost nothing")
+
+    def _check_buffer(self, ctx: FileContext, call: ast.Call,
+                      parts: List[str]) -> Iterator[Finding]:
+        tail = parts[-1]
+        qualifier_ok = len(parts) == 1 or parts[0] in (
+            "queue", "collections")
+        if not qualifier_ok:
+            return
+        if tail == "SimpleQueue" and parts[0:1] in ([], ["queue"]):
+            yield self.finding(
+                ctx, call,
+                "queue.SimpleQueue is always unbounded; use a bounded "
+                "queue.Queue(maxsize=...) or the service's "
+                "BoundedPriorityQueue")
+            return
+        if tail in _BOUNDED_QUEUE_CLASSES:
+            maxsize = next((kw.value for kw in call.keywords
+                            if kw.arg == "maxsize"),
+                           call.args[0] if call.args else None)
+            bound = _int_const(maxsize)
+            if maxsize is None or (bound is not None and bound <= 0):
+                yield self.finding(
+                    ctx, call,
+                    f"{tail}() without a positive maxsize is unbounded; "
+                    f"backpressure must be explicit (QueueFullError), "
+                    f"not an eventual OOM")
+        elif tail == "deque":
+            maxlen = next((kw.value for kw in call.keywords
+                           if kw.arg == "maxlen"),
+                          call.args[1] if len(call.args) > 1 else None)
+            if maxlen is None or _is_none(maxlen):
+                yield self.finding(
+                    ctx, call,
+                    "deque() without maxlen is unbounded inside "
+                    "repro/serve; give it a maxlen or use the bounded "
+                    "priority queue")

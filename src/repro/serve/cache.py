@@ -1,0 +1,299 @@
+"""Fingerprint-keyed two-tier artifact cache.
+
+The solve pipeline decomposes into cacheable phases (paper Figs. 2–4):
+surface sampling → octree construction → Born radii → energy.  Each
+phase's output depends on a *subset* of the request, so artifacts are
+keyed in layers — and a parameter change invalidates exactly the
+layers it touches:
+
+========  =================================================  =========
+artifact  key covers                                         disk tier
+========  =================================================  =========
+surface   positions, radii, sampling knobs                   yes
+trees     positions, surface points, leaf_size, max_depth    no
+born      geometry + surface, eps_born, born_mac,            yes
+          approx_math, leaf/depth, method
+epol      everything (adds charges, eps_epol, tau)           yes
+========  =================================================  =========
+
+Changing ``eps_epol`` therefore re-runs only the energy pass on warm
+radii and trees; changing the molecule misses every layer.  Charges
+deliberately do not enter the surface/trees/born keys — Born radii are
+a pure geometry integral — so re-charged variants of one scaffold
+share the expensive artifacts.
+
+The memory tier is an LRU bounded by a byte budget.  The optional disk
+tier reuses the ``REPRO-CKPT`` checkpoint format from
+:mod:`repro.guard.checkpoint` (versioned, checksummed, atomic writes)
+for array artifacts, so a restarted service re-warms from disk and a
+corrupt file surfaces as a counted miss, never as wrong physics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+import repro.obs as obs
+from repro.config import ApproxParams
+from repro.core.fingerprint import arrays_fingerprint
+from repro.guard.checkpoint import CheckpointStore
+from repro.guard.errors import CheckpointError
+from repro.molecules.molecule import Molecule
+
+__all__ = ["ArtifactCache", "CachedArrays", "CacheStats",
+           "surface_key", "trees_key", "born_key", "epol_key",
+           "DEFAULT_CACHE_BYTES"]
+
+#: Default memory-tier budget: enough for a few hundred protein-sized
+#: artifact sets without threatening a laptop.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+# -- layered keys ----------------------------------------------------------
+
+def surface_key(molecule: Molecule, subdivisions: int = 1,
+                degree: int = 1, probe_radius: float = 0.0,
+                cull_tolerance: float = 1e-9) -> str:
+    """Key of the sampled surface: geometry + sampling knobs only."""
+    return "surface-" + arrays_fingerprint(
+        molecule.positions, molecule.radii,
+        extra=f"surf:{subdivisions},{degree},{probe_radius!r},"
+              f"{cull_tolerance!r}")
+
+
+def trees_key(molecule: Molecule, params: ApproxParams) -> str:
+    """Key of the (atoms, quadrature-points) octree pair."""
+    surf = molecule.require_surface()
+    return "trees-" + arrays_fingerprint(
+        molecule.positions, surf.points,
+        extra=f"trees:{params.leaf_size},{params.max_depth}")
+
+
+def born_key(molecule: Molecule, params: ApproxParams,
+             method: str) -> str:
+    """Key of the Born radii: geometry + Born-phase knobs (no charges,
+    no ``eps_epol`` — radii do not depend on either)."""
+    surf = molecule.require_surface()
+    return "born-" + arrays_fingerprint(
+        molecule.positions, molecule.radii,
+        surf.points, surf.normals, surf.weights,
+        extra=f"born:{method},{params.eps_born!r},{params.born_mac},"
+              f"{params.approx_math},{params.leaf_size},"
+              f"{params.max_depth}")
+
+
+def epol_key(molecule: Molecule, params: ApproxParams, method: str,
+             tau: float) -> str:
+    """Key of the full result: every input that steers the energy."""
+    surf = molecule.require_surface()
+    return "epol-" + arrays_fingerprint(
+        molecule.positions, molecule.charges, molecule.radii,
+        surf.points, surf.normals, surf.weights,
+        extra=f"epol:{method},{params!r},tau={tau!r}")
+
+
+# -- values ----------------------------------------------------------------
+
+@dataclass
+class CachedArrays:
+    """An array-valued artifact (the disk-tierable kind)."""
+
+    arrays: Dict[str, np.ndarray]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        return sum(int(np.asarray(a).nbytes)
+                   for a in self.arrays.values())
+
+
+def _estimate_nbytes(value: Any) -> int:
+    """Bytes a cache entry occupies (LRU budget accounting)."""
+    if isinstance(value, CachedArrays):
+        return value.nbytes()
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        return sum(_estimate_nbytes(v) for v in value.values())
+    if isinstance(value, (tuple, list)):
+        return sum(_estimate_nbytes(v) for v in value)
+    nbytes = getattr(value, "nbytes", None)
+    if callable(nbytes):
+        return int(nbytes())
+    return 64  # scalars / small metadata
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time snapshot of the cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactCache:
+    """Byte-budgeted LRU over fingerprint keys, with a disk tier.
+
+    ``get``/``put`` are thread-safe; workers of one service share one
+    instance.  Disk persistence applies to :class:`CachedArrays`
+    values only (octrees stay memory-resident — they are cheap to
+    rebuild relative to their serialized size).  A memory eviction
+    does not touch the disk tier: disk is the slower, larger second
+    level, bounded separately by ``disk_max_bytes`` (oldest files
+    dropped first).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES,
+                 disk_dir: Union[str, Path, None] = None,
+                 disk_max_bytes: Optional[int] = None) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = int(max_bytes)
+        self.disk_max_bytes = disk_max_bytes
+        self._lru: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+        self._disk: Optional[CheckpointStore] = None
+        if disk_dir is not None:
+            self._disk = CheckpointStore(disk_dir)
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, what: str, key: str) -> None:
+        setattr(self._stats, what, getattr(self._stats, what) + 1)
+        if obs.is_enabled():
+            obs.registry.counter(f"serve.cache.{what}",
+                                 "artifact-cache events by kind").inc()
+            artifact = key.split("-", 1)[0]
+            obs.registry.counter(
+                f"serve.cache.{what}.{artifact}",
+                "artifact-cache events by artifact layer").inc()
+
+    def _update_gauges(self) -> None:
+        if obs.is_enabled():
+            obs.registry.gauge("serve.cache.bytes",
+                               "memory-tier bytes held").set(self._bytes)
+            obs.registry.gauge("serve.cache.entries",
+                               "memory-tier entry count").set(
+                                   len(self._lru))
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            snap = CacheStats(**vars(self._stats))
+            snap.entries = len(self._lru)
+            snap.bytes = self._bytes
+            return snap
+
+    # -- the two tiers -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Memory tier first, then disk (promoting on a disk hit)."""
+        with self._lock:
+            entry = self._lru.get(key)
+            if entry is not None:
+                self._lru.move_to_end(key)
+                self._count("hits", key)
+                return entry[0]
+        value = self._disk_load(key)
+        if value is not None:
+            self._count("disk_hits", key)
+            self._count("hits", key)
+            self._insert(key, value)  # promote
+            return value
+        with self._lock:
+            self._count("misses", key)
+        return None
+
+    def put(self, key: str, value: Any,
+            nbytes: Optional[int] = None) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries past the
+        byte budget and mirrors array artifacts to the disk tier."""
+        self._insert(key, value, nbytes)
+        if isinstance(value, CachedArrays):
+            self._disk_save(key, value)
+
+    def _insert(self, key: str, value: Any,
+                nbytes: Optional[int] = None) -> None:
+        size = int(nbytes) if nbytes is not None \
+            else _estimate_nbytes(value)
+        with self._lock:
+            old = self._lru.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._lru[key] = (value, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._lru:
+                _, (_, evicted_size) = self._lru.popitem(last=False)
+                self._bytes -= evicted_size
+                self._count("evictions", key)
+            self._update_gauges()
+
+    def clear(self) -> None:
+        """Drop the memory tier (counters and disk files are kept)."""
+        with self._lock:
+            self._lru.clear()
+            self._bytes = 0
+            self._update_gauges()
+
+    # -- disk tier ---------------------------------------------------------
+
+    @staticmethod
+    def _kind(key: str) -> str:
+        # REPRO-CKPT kinds forbid "/\\."; fingerprints are hex + "-".
+        return key
+
+    def _disk_load(self, key: str) -> Optional[CachedArrays]:
+        if self._disk is None:
+            return None
+        try:
+            ck = self._disk.try_load(self._kind(key))
+        except CheckpointError:
+            # Torn/corrupt file: a counted miss, never wrong physics.
+            self._count("disk_errors", key)
+            self._disk.delete(self._kind(key))
+            return None
+        if ck is None:
+            return None
+        meta = dict(ck.meta)
+        if meta.pop("key", key) != key:
+            self._count("disk_errors", key)
+            return None
+        return CachedArrays(arrays=ck.arrays, meta=meta)
+
+    def _disk_save(self, key: str, value: CachedArrays) -> None:
+        if self._disk is None:
+            return
+        meta = dict(value.meta)
+        meta["key"] = key
+        self._disk.save(self._kind(key), value.arrays, meta)
+        self._count("disk_writes", key)
+        self._trim_disk()
+
+    def _trim_disk(self) -> None:
+        if self._disk is None or self.disk_max_bytes is None:
+            return
+        files = sorted(self._disk.directory.glob("*.ckpt"),
+                       key=lambda p: p.stat().st_mtime)
+        total = sum(p.stat().st_size for p in files)
+        for path in files:
+            if total <= self.disk_max_bytes:
+                break
+            total -= path.stat().st_size
+            path.unlink(missing_ok=True)

@@ -1,0 +1,73 @@
+"""Typed errors of the solve service.
+
+Every error follows the :class:`~repro.guard.errors.DiagnosticError`
+conventions established in the guard layer: it names *where* the
+problem happened (``phase="serve"``), carries whatever quantitative
+context a caller needs to write policy against it (queue depth and
+capacity, deadline and lateness), and — where one exists — a concrete
+fix hint.  Each class keeps a ``RuntimeError`` base so pre-serve
+callers written against the builtin keep working.
+"""
+
+from __future__ import annotations
+
+from repro.guard.errors import DiagnosticError
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
+]
+
+
+class ServeError(DiagnosticError, RuntimeError):
+    """Base of every error the solve service raises."""
+
+    def __init__(self, message: str, *, phase: str = "serve",
+                 hint: str = "") -> None:
+        super().__init__(message, phase=phase, hint=hint)
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue is at capacity — explicit backpressure.
+
+    The service never blocks a submitter forever and never drops a
+    request silently: a full queue is *this* error, carrying the
+    observed ``depth`` and configured ``capacity`` so the caller can
+    shed load, retry with backoff, or raise the capacity.
+    """
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"job queue full ({depth} of {capacity} slots)",
+            hint="retry with backoff, lower the request rate, or "
+                 "raise queue_capacity")
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline passed before (or while) it was served.
+
+    ``late_by`` is how many seconds past the deadline the service
+    noticed; the request was *not* executed past this point.
+    """
+
+    def __init__(self, deadline_s: float, late_by: float) -> None:
+        self.deadline_s = float(deadline_s)
+        self.late_by = float(late_by)
+        super().__init__(
+            f"deadline of {deadline_s:g}s exceeded by {late_by:.3f}s "
+            f"before the solve ran",
+            hint="raise the deadline, the worker count, or the "
+                 "request priority")
+
+
+class ServiceClosedError(ServeError):
+    """Submit/drain called on a service that was already closed."""
+
+    def __init__(self) -> None:
+        super().__init__("the solve service is closed",
+                         hint="create a new SolveService (or use it as "
+                              "a context manager)")

@@ -1,0 +1,130 @@
+"""Bounded priority job queue with explicit backpressure.
+
+The service's admission policy lives here and is deliberately blunt:
+
+* the queue holds at most ``capacity`` jobs — a ``put`` into a full
+  queue raises :class:`~repro.serve.errors.QueueFullError` *immediately*
+  (it never blocks forever and never drops silently); callers that
+  prefer to wait do so explicitly via :meth:`wait_not_full` with a
+  timeout;
+* jobs pop lowest ``priority`` first, FIFO within a priority (a
+  monotonically increasing sequence number breaks ties, so equal
+  priorities can never compare the payloads);
+* all waiting is :class:`threading.Condition` based — there are no
+  ``time.sleep`` polling loops anywhere in this package, a property
+  lint rule RPR008 enforces.
+
+``close()`` wakes every waiter; a closed queue still *drains* — ``get``
+keeps returning queued jobs until the heap is empty and only then
+returns ``None``, the worker-shutdown sentinel — so closing the
+service never abandons accepted work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.serve.errors import QueueFullError, ServiceClosedError
+
+__all__ = ["BoundedPriorityQueue"]
+
+
+class BoundedPriorityQueue:
+    """Thread-safe bounded min-heap of ``(priority, seq, item)``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _observe_depth(self) -> None:
+        if obs.is_enabled():
+            obs.registry.gauge("serve.queue.depth",
+                               "jobs waiting in the solve-service "
+                               "queue").set(len(self._heap))
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, item: Any, priority: int = 0) -> None:
+        """Enqueue ``item``; :class:`QueueFullError` at capacity."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError()
+            if len(self._heap) >= self.capacity:
+                raise QueueFullError(len(self._heap), self.capacity)
+            heapq.heappush(self._heap,
+                           (int(priority), next(self._seq), item))
+            self._observe_depth()
+            self._not_empty.notify()
+
+    def wait_not_full(self, timeout: Optional[float]) -> bool:
+        """Block (condition wait) until a slot frees up, the queue
+        closes, or ``timeout`` elapses; True iff a slot is free."""
+        with self._lock:
+            self._not_full.wait_for(
+                lambda: self._closed or len(self._heap) < self.capacity,
+                timeout)
+            if self._closed:
+                raise ServiceClosedError()
+            return len(self._heap) < self.capacity
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the best job, waiting while the queue is open but empty.
+
+        Returns ``None`` when the queue is closed *and* drained (the
+        worker-shutdown sentinel) or when ``timeout`` elapses first.
+        """
+        with self._lock:
+            self._not_empty.wait_for(
+                lambda: self._heap or self._closed, timeout)
+            if not self._heap:
+                return None
+            _, _, item = heapq.heappop(self._heap)
+            self._observe_depth()
+            self._not_full.notify()
+            return item
+
+    def get_batch(self, max_items: int,
+                  timeout: Optional[float] = None) -> Optional[List[Any]]:
+        """Pop up to ``max_items`` jobs: one blocking :meth:`get`, then
+        whatever else is immediately available (no further waiting), in
+        priority order.  ``None`` only when the queue is closed and
+        drained."""
+        first = self.get(timeout)
+        if first is None:
+            return None
+        batch = [first]
+        with self._lock:
+            while self._heap and len(batch) < max_items:
+                _, _, item = heapq.heappop(self._heap)
+                batch.append(item)
+            self._observe_depth()
+            self._not_full.notify_all()
+        return batch
+
+    def close(self) -> None:
+        """Refuse new puts and wake every waiter; queued jobs drain."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

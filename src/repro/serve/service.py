@@ -1,0 +1,478 @@
+"""The in-process solve service: queue → worker pool → guarded solver.
+
+One :class:`SolveService` turns the one-shot CLI pipeline into a
+multi-tenant request server:
+
+* :meth:`~SolveService.submit` admits a
+  :class:`~repro.serve.request.SolveRequest` into a bounded priority
+  queue (full → typed :class:`~repro.serve.errors.QueueFullError`,
+  explicit backpressure) and returns a :class:`Ticket`;
+* duplicate in-flight requests **coalesce**: submits whose idempotency
+  key matches a queued/running request get the *same* ticket, so one
+  computation's result fans out to every caller;
+* ``workers`` threads pop priority **batches** and execute each
+  request through :class:`~repro.guard.solver.GuardedSolver` —
+  preflight, sentinels, watchdog and the degradation ladder all apply,
+  and guard events are propagated into the result ``status``;
+* every phase output lands in the shared
+  :class:`~repro.serve.cache.ArtifactCache`, so a warm repeat solve
+  starts from cached octrees or Born radii — or skips computation
+  entirely on a full-result hit, returning the bitwise-identical
+  energy (stored float64 arrays round-trip exactly).
+
+Everything is observable through :mod:`repro.obs`: queue depth, wait
+and service time histograms, cache hit/miss/eviction counters, and a
+``serve.request`` span per executed request (solver phase spans nest
+inside it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+import repro.obs as obs
+from repro.guard.errors import DiagnosticError
+from repro.guard.solver import GuardPolicy, GuardedSolver, WarmStart
+from repro.molecules.molecule import Molecule, SurfaceSamples
+from repro.molecules.surface import sample_surface
+from repro.serve.cache import (
+    ArtifactCache,
+    CachedArrays,
+    CacheStats,
+    DEFAULT_CACHE_BYTES,
+    born_key,
+    epol_key,
+    surface_key,
+    trees_key,
+)
+from repro.serve.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serve.queueing import BoundedPriorityQueue
+from repro.serve.request import SolveRequest, SolveResult
+
+__all__ = ["SolveService", "Ticket", "ServeStats",
+           "LATENCY_BOUNDS_SECONDS"]
+
+#: Histogram bucket edges for wait/service time (seconds) — the count
+#: grid in :data:`repro.obs.metrics.DEFAULT_BOUNDS` is tuned for
+#: operation counts, not latencies.
+LATENCY_BOUNDS_SECONDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class Ticket:
+    """Handle to one (possibly shared) in-flight computation."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._done = threading.Event()
+        self._result: Optional[SolveResult] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> SolveResult:
+        """Block until the result lands; ``TimeoutError`` otherwise."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"no result for {self.key[:24]}… within {timeout}s")
+        assert self._result is not None
+        return self._result
+
+    def _set(self, result: SolveResult) -> None:
+        self._result = result
+        self._done.set()
+
+
+@dataclass
+class _Job:
+    """A ticketed request inside the queue."""
+
+    request: SolveRequest
+    ticket: Ticket
+    enqueued_at: float
+    deadline_at: Optional[float]
+
+
+@dataclass
+class ServeStats:
+    """Aggregate service counters + latency quantiles (at drain time)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    expired: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    degraded: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+    by_level: Dict[str, int] = field(default_factory=dict)
+    wait_p50: float = 0.0
+    wait_p99: float = 0.0
+    service_p50: float = 0.0
+    service_p99: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class SolveService:
+    """Batched multi-tenant polarization-energy solve service.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads executing requests.
+    queue_capacity:
+        Bounded queue size; a full queue raises
+        :class:`QueueFullError` at submit.
+    batch_size:
+        Max requests one worker pops per queue round-trip; batching
+        amortises wake-ups and lets back-to-back repeats of one
+        molecule run against a cache its predecessor just filled.
+    cache:
+        Shared :class:`ArtifactCache`; built from ``cache_bytes`` /
+        ``cache_dir`` when omitted.
+    policy:
+        :class:`GuardPolicy` for every solve (None → defaults).
+    """
+
+    def __init__(self, workers: int = 2, queue_capacity: int = 64,
+                 batch_size: int = 4,
+                 cache: Optional[ArtifactCache] = None,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 cache_dir: Optional[str] = None,
+                 policy: Optional[GuardPolicy] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.cache = cache if cache is not None else ArtifactCache(
+            max_bytes=cache_bytes, disk_dir=cache_dir)
+        self.policy = policy
+        self.batch_size = int(batch_size)
+        self._queue = BoundedPriorityQueue(queue_capacity)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: Dict[str, Ticket] = {}
+        self._pending = 0
+        self._closed = False
+        self._stats = ServeStats()
+        self._waits: List[float] = []
+        self._services: List[float] = []
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,),
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(int(workers))
+        ]
+        for t in self._threads:
+            t.start()
+        if obs.is_enabled():
+            obs.registry.gauge("serve.workers",
+                               "solve-service worker threads").set(
+                                   len(self._threads))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop admitting work, drain what was accepted, join workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.close()
+        for t in self._threads:
+            t.join()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Condition-wait until every accepted request has a result."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0,
+                                       timeout)
+
+    # -- producer side -----------------------------------------------------
+
+    def submit(self, request: SolveRequest,
+               wait_timeout: Optional[float] = None) -> Ticket:
+        """Admit ``request``; returns a (possibly shared) ticket.
+
+        A full queue raises :class:`QueueFullError` immediately;
+        passing ``wait_timeout`` instead waits (condition-based) up to
+        that long for a slot before raising — the service never blocks
+        a submitter forever and never drops silently.
+        """
+        if self._closed:
+            raise ServiceClosedError()
+        key = request.key()
+        with self._lock:
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                self._stats.coalesced += 1
+                self._observe_counter("serve.coalesced")
+                return ticket
+            ticket = Ticket(key)
+            self._inflight[key] = ticket
+        job = _Job(request=request, ticket=ticket,
+                   enqueued_at=time.monotonic(),
+                   deadline_at=(time.monotonic() + request.deadline_s
+                                if request.deadline_s is not None
+                                else None))
+        try:
+            self._put_with_wait(job, request.priority, wait_timeout)
+        except QueueFullError:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._stats.rejected += 1
+            self._observe_counter("serve.rejected")
+            raise
+        except ServiceClosedError:
+            with self._lock:
+                self._inflight.pop(key, None)
+            raise
+        with self._lock:
+            self._pending += 1
+            self._stats.submitted += 1
+        self._observe_counter("serve.requests")
+        return ticket
+
+    def _put_with_wait(self, job: _Job, priority: int,
+                       wait_timeout: Optional[float]) -> None:
+        if wait_timeout is None:
+            self._queue.put(job, priority)
+            return
+        deadline = time.monotonic() + wait_timeout
+        while True:
+            try:
+                self._queue.put(job, priority)
+                return
+            except QueueFullError:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                self._queue.wait_not_full(remaining)
+
+    # -- consumer side -----------------------------------------------------
+
+    def _worker(self, wid: int) -> None:
+        while True:
+            batch = self._queue.get_batch(self.batch_size)
+            if batch is None:
+                return
+            for job in batch:
+                self._execute(job, wid)
+
+    def _execute(self, job: _Job, wid: int) -> None:
+        req, started = job.request, time.monotonic()
+        wait = started - job.enqueued_at
+        try:
+            if job.deadline_at is not None and started > job.deadline_at:
+                exc = DeadlineExceededError(req.deadline_s or 0.0,
+                                            started - job.deadline_at)
+                result = SolveResult(key=job.ticket.key, status="expired",
+                                     method=req.method, error=str(exc))
+                self._observe_counter("serve.expired")
+                with self._lock:
+                    self._stats.expired += 1
+            else:
+                try:
+                    with obs.span("serve.request", cat="serve",
+                                  method=req.method,
+                                  natoms=req.molecule.natoms,
+                                  key=job.ticket.key[:16]):
+                        result = self._solve(req, job.ticket.key)
+                except DiagnosticError as exc:
+                    result = SolveResult(key=job.ticket.key,
+                                         status="failed",
+                                         method=req.method,
+                                         error=str(exc))
+                    self._observe_counter("serve.failures")
+                    with self._lock:
+                        self._stats.failed += 1
+            result.wait_seconds = wait
+            result.service_seconds = time.monotonic() - started
+            result.worker = wid
+            self._record_latency(result)
+            job.ticket._set(result)
+        finally:
+            # The ticket always resolves — even if bookkeeping threw.
+            if not job.ticket.done():
+                job.ticket._set(SolveResult(
+                    key=job.ticket.key, status="failed",
+                    error="internal error before a result was built"))
+            with self._lock:
+                self._inflight.pop(job.ticket.key, None)
+                self._pending -= 1
+                self._idle.notify_all()
+
+    def _record_latency(self, result: SolveResult) -> None:
+        with self._lock:
+            if result.ok:
+                self._stats.completed += 1
+                if result.status == "degraded":
+                    self._stats.degraded += 1
+            level = result.cache
+            self._stats.by_level[level] = \
+                self._stats.by_level.get(level, 0) + 1
+            self._waits.append(result.wait_seconds)
+            self._services.append(result.service_seconds)
+        if obs.is_enabled():
+            obs.registry.histogram(
+                "serve.wait_seconds", "queue wait per request",
+                bounds=LATENCY_BOUNDS_SECONDS).observe(result.wait_seconds)
+            obs.registry.histogram(
+                "serve.service_seconds", "execution time per request",
+                bounds=LATENCY_BOUNDS_SECONDS).observe(
+                    result.service_seconds)
+            obs.registry.counter("serve.completed",
+                                 "requests that reached a terminal "
+                                 "status").inc()
+
+    # -- the solve ---------------------------------------------------------
+
+    def _surfaced(self, molecule: Molecule) -> Molecule:
+        """Attach a surface, reusing the cached samples when present."""
+        if molecule.surface is not None:
+            return molecule
+        skey = surface_key(molecule)
+        hit = self.cache.get(skey)
+        if isinstance(hit, CachedArrays):
+            return Molecule(molecule.positions, molecule.charges,
+                            molecule.radii,
+                            surface=SurfaceSamples(**hit.arrays),
+                            name=molecule.name)
+        with obs.span("serve.sample_surface", cat="serve",
+                      natoms=molecule.natoms):
+            molecule = sample_surface(molecule)
+        surf = molecule.require_surface()
+        self.cache.put(skey, CachedArrays(
+            {"points": surf.points, "normals": surf.normals,
+             "weights": surf.weights}))
+        return molecule
+
+    def _solve(self, req: SolveRequest, key: str) -> SolveResult:
+        mol = self._surfaced(req.molecule)
+        ekey = epol_key(mol, req.params, req.method, req.tau)
+        hit = self.cache.get(ekey)
+        if isinstance(hit, CachedArrays):
+            # Full-result hit: stored float64 arrays are bit-exact, so
+            # this is the cold result, byte for byte.
+            return SolveResult(
+                key=key, status=str(hit.meta.get("status", "ok")),
+                energy=float(hit.arrays["energy"]),
+                born_radii=np.asarray(hit.arrays["radii"],
+                                      dtype=np.float64),
+                method=str(hit.meta.get("method", req.method)),
+                rung=str(hit.meta.get("rung", "")),
+                degradations=int(hit.meta.get("degradations", 0)),
+                cache="epol")
+
+        warm, level = self._warm_start(mol, req)
+        guarded = GuardedSolver(mol, req.params, method=req.method,
+                                tau=req.tau, policy=self.policy,
+                                warm=warm)
+        report = guarded.report()
+        self._store_artifacts(mol, req, ekey, report, guarded, warm)
+        status = "degraded" if report.degradations else "ok"
+        return SolveResult(
+            key=key, status=status, energy=report.energy,
+            born_radii=report.born_radii, method=report.method,
+            rung=report.rung, degradations=report.degradations,
+            guard_events=list(report.events), cache=level)
+
+    def _warm_start(self, mol: Molecule,
+                    req: SolveRequest) -> "tuple[Optional[WarmStart], str]":
+        """Deepest cached artifacts for this request, plus the level
+        label ('born' ⊃ 'trees' ⊃ 'cold')."""
+        if req.method == "naive":
+            return None, "cold"
+        atoms_tree = q_tree = None
+        trees = self.cache.get(trees_key(mol, req.params))
+        if isinstance(trees, tuple) and len(trees) == 2:
+            atoms_tree, q_tree = trees
+        radii = None
+        born = self.cache.get(born_key(mol, req.params, req.method))
+        if isinstance(born, CachedArrays):
+            radii = np.asarray(born.arrays["radii"], dtype=np.float64)
+        if atoms_tree is None and radii is None:
+            return None, "cold"
+        level = "born" if radii is not None else "trees"
+        return WarmStart(atoms_tree=atoms_tree, q_tree=q_tree,
+                         born_radii=radii), level
+
+    def _store_artifacts(self, mol: Molecule, req: SolveRequest,
+                         ekey: str, report, guarded: GuardedSolver,
+                         warm: Optional[WarmStart]) -> None:
+        primary = report.rung == "primary" or \
+            report.rung.startswith("retry")
+        inner = guarded.inner_solver
+        if inner is not None and req.method != "naive" \
+                and inner._atoms_tree is not None \
+                and inner._q_tree is not None \
+                and (warm is None or warm.atoms_tree is None):
+            self.cache.put(trees_key(mol, req.params),
+                           (inner._atoms_tree, inner._q_tree))
+        if primary and (warm is None or warm.born_radii is None):
+            # Radii of the requested (un-tightened) params only — a
+            # degraded rung's radii answer different parameters and
+            # must not poison the primary key.
+            self.cache.put(
+                born_key(mol, req.params, req.method),
+                CachedArrays({"radii": np.asarray(report.born_radii,
+                                                  dtype=np.float64)}))
+        self.cache.put(ekey, CachedArrays(
+            {"radii": np.asarray(report.born_radii, dtype=np.float64),
+             "energy": np.asarray(float(report.energy))},
+            meta={"status": ("degraded" if report.degradations
+                             else "ok"),
+                  "method": report.method, "rung": report.rung,
+                  "degradations": int(report.degradations)}))
+
+    # -- stats -------------------------------------------------------------
+
+    @staticmethod
+    def _observe_counter(name: str) -> None:
+        if obs.is_enabled():
+            obs.registry.counter(name, "solve-service request "
+                                       "accounting").inc()
+
+    def stats(self) -> ServeStats:
+        """Snapshot (meaningful after :meth:`drain` for quantiles)."""
+        with self._lock:
+            snap = ServeStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                expired=self._stats.expired,
+                coalesced=self._stats.coalesced,
+                rejected=self._stats.rejected,
+                degraded=self._stats.degraded,
+                by_level=dict(self._stats.by_level),
+                wait_p50=_quantile(self._waits, 50),
+                wait_p99=_quantile(self._waits, 99),
+                service_p50=_quantile(self._services, 50),
+                service_p99=_quantile(self._services, 99),
+            )
+        snap.cache = self.cache.stats()
+        return snap

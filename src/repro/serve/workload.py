@@ -1,0 +1,114 @@
+"""Workload generation and loading for the solve service.
+
+Two sources of requests:
+
+* :func:`synthetic_workload` — a seeded mixed-tenant stream: a small
+  pool of distinct molecules × an ε grid, drawn with repetition, so a
+  realistic fraction of the stream re-asks recent questions (the
+  cache-hit opportunity the service exists for);
+* :func:`load_workload` — a JSON workload file (one document holding a
+  ``requests`` list, or a bare list), each entry naming a molecule
+  recipe (``atoms``/``seed``/``capsid``) plus per-request knobs.
+
+Both return plain :class:`~repro.serve.request.SolveRequest` lists;
+molecules are built once per distinct recipe and shared across the
+requests that reference them, so fingerprints (and therefore cache
+keys and coalescing) line up without re-hashing identical arrays from
+separate constructions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import ApproxParams
+from repro.molecules.generator import synthetic_protein, virus_capsid
+from repro.molecules.molecule import Molecule
+from repro.serve.request import SolveRequest
+
+__all__ = ["synthetic_workload", "load_workload"]
+
+#: (atoms, seed, capsid) → built molecule, shared within one loader call.
+_Recipe = Tuple[int, int, bool]
+
+
+def _molecule(cache: Dict[_Recipe, Molecule], atoms: int, seed: int,
+              capsid: bool = False) -> Molecule:
+    recipe = (int(atoms), int(seed), bool(capsid))
+    mol = cache.get(recipe)
+    if mol is None:
+        mol = (virus_capsid(recipe[0], seed=recipe[1]) if capsid
+               else synthetic_protein(recipe[0], seed=recipe[1]))
+        cache[recipe] = mol
+    return mol
+
+
+def synthetic_workload(n: int, seed: int = 0, molecules: int = 3,
+                       atoms: int = 300,
+                       eps_grid: Sequence[float] = (0.9, 0.5),
+                       deadline_s: Union[float, None] = None
+                       ) -> List[SolveRequest]:
+    """A seeded stream of ``n`` mixed requests over a molecule pool.
+
+    Molecule sizes step up from ``atoms`` so the pool is heterogeneous;
+    priorities 0–2 and the ε grid are drawn per request.  With
+    ``n >> molecules × len(eps_grid)`` the stream necessarily repeats
+    itself, which is what exercises coalescing and the artifact cache.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    built: Dict[_Recipe, Molecule] = {}
+    pool = [_molecule(built, atoms + 60 * i, seed + i)
+            for i in range(max(1, molecules))]
+    requests = []
+    for _ in range(n):
+        mol = pool[int(rng.integers(len(pool)))]
+        params = ApproxParams(
+            eps_epol=float(eps_grid[int(rng.integers(len(eps_grid)))]))
+        requests.append(SolveRequest(
+            molecule=mol, params=params, method="octree",
+            priority=int(rng.integers(3)), deadline_s=deadline_s))
+    return requests
+
+
+def load_workload(path: Union[str, Path]) -> List[SolveRequest]:
+    """Read a JSON workload file into requests.
+
+    Entry schema (all fields optional except ``atoms``)::
+
+        {"atoms": 300, "seed": 0, "capsid": false,
+         "eps_born": 0.9, "eps_epol": 0.9, "method": "octree",
+         "priority": 0, "deadline_s": null, "repeat": 1}
+
+    ``repeat`` expands one entry into that many identical requests
+    (the canonical way to script cache-hit traffic).
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = doc.get("requests", []) if isinstance(doc, dict) else doc
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: expected a non-empty list of "
+                         f"request entries (or {{'requests': [...]}})")
+    built: Dict[_Recipe, Molecule] = {}
+    requests: List[SolveRequest] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "atoms" not in entry:
+            raise ValueError(f"{path}: entry {i} must be an object "
+                             f"with at least an 'atoms' field")
+        mol = _molecule(built, entry["atoms"], entry.get("seed", 0),
+                        entry.get("capsid", False))
+        params = ApproxParams(
+            eps_born=float(entry.get("eps_born", 0.9)),
+            eps_epol=float(entry.get("eps_epol", 0.9)),
+            approx_math=bool(entry.get("approx_math", False)))
+        req = SolveRequest(
+            molecule=mol, params=params,
+            method=str(entry.get("method", "octree")),
+            priority=int(entry.get("priority", 0)),
+            deadline_s=entry.get("deadline_s"))
+        requests.extend([req] * max(1, int(entry.get("repeat", 1))))
+    return requests

@@ -324,3 +324,95 @@ def test_rpr007_ignore_comment_suppresses():
            "        f'unknown method {method!r}')\n")
     assert ids(lint_source(src, filename=CORE_FILE,
                            select=["RPR007"])) == []
+
+
+# -- RPR008: serve-queue discipline -------------------------------------
+
+SERVE_FILE = "src/repro/serve/service.py"
+
+
+def test_rpr008_unbounded_queue_flagged():
+    src = "import queue\nq = queue.Queue()\n"
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=SERVE_FILE)) == ["RPR008"]
+
+
+def test_rpr008_zero_maxsize_flagged():
+    src = ("import queue\n"
+           "a = queue.Queue(maxsize=0)\n"
+           "b = queue.PriorityQueue(0)\n"
+           "c = queue.LifoQueue()\n")
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=SERVE_FILE)) == ["RPR008"] * 3
+
+
+def test_rpr008_simplequeue_always_flagged():
+    src = "import queue\nq = queue.SimpleQueue()\n"
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=SERVE_FILE)) == ["RPR008"]
+
+
+def test_rpr008_bounded_queue_clean():
+    src = ("import queue\n"
+           "a = queue.Queue(maxsize=64)\n"
+           "b = queue.PriorityQueue(16)\n"
+           "c = queue.Queue(maxsize=capacity)\n")
+    assert lint_source(src, select=["RPR008"], filename=SERVE_FILE) == []
+
+
+def test_rpr008_unbounded_deque_flagged():
+    src = ("from collections import deque\n"
+           "a = deque()\n"
+           "b = deque([1, 2], maxlen=None)\n")
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=SERVE_FILE)) == ["RPR008"] * 2
+
+
+def test_rpr008_bounded_deque_clean():
+    src = ("import collections\n"
+           "a = collections.deque(maxlen=128)\n"
+           "b = collections.deque([1], 8)\n")
+    assert lint_source(src, select=["RPR008"], filename=SERVE_FILE) == []
+
+
+def test_rpr008_sleep_polling_loop_flagged():
+    src = textwrap.dedent("""\
+        import time
+        def wait_done(job):
+            while not job.done:
+                time.sleep(0.01)
+        def retry(fn):
+            for _ in range(3):
+                time.sleep(1.0)
+                fn()
+    """)
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=SERVE_FILE)) == ["RPR008"] * 2
+
+
+def test_rpr008_condition_wait_clean():
+    src = textwrap.dedent("""\
+        import threading
+        def wait_done(cond, job):
+            with cond:
+                while not job.done:
+                    cond.wait(timeout=0.5)
+        def one_shot_sleep():
+            import time
+            time.sleep(0.1)
+    """)
+    assert lint_source(src, select=["RPR008"], filename=SERVE_FILE) == []
+
+
+def test_rpr008_scope_limited_to_serve():
+    src = "import queue\nq = queue.Queue()\nimport time\n" \
+          "while True:\n    time.sleep(1)\n"
+    for fn in ("src/repro/cluster/comm.py", "src/repro/cli.py",
+               "tests/serve/test_service.py"):
+        assert lint_source(src, select=["RPR008"], filename=fn) == []
+
+
+def test_rpr008_suppressible():
+    src = ("import collections\n"
+           "log = collections.deque()  # lint: ignore[RPR008]\n")
+    assert lint_source(src, select=["RPR008"], filename=SERVE_FILE) == []

@@ -1,0 +1,162 @@
+"""Artifact cache: layered keys, LRU budget, disk tier, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.molecules.molecule import Molecule
+from repro.serve import (
+    ArtifactCache,
+    CachedArrays,
+    born_key,
+    epol_key,
+    surface_key,
+    trees_key,
+)
+
+
+def _arr(n: int, fill: float) -> np.ndarray:
+    return np.full(n, fill, dtype=np.float64)
+
+
+# -- layered keys -------------------------------------------------------
+
+
+def test_epol_key_changes_with_eps_epol(protein_small):
+    p = ApproxParams()
+    assert epol_key(protein_small, p, "octree", 1.0) \
+        != epol_key(protein_small, p.with_(eps_epol=0.5), "octree", 1.0)
+
+
+def test_born_key_ignores_eps_epol_and_charges(protein_small):
+    p = ApproxParams()
+    assert born_key(protein_small, p, "octree") \
+        == born_key(protein_small, p.with_(eps_epol=0.5), "octree")
+    recharged = Molecule(protein_small.positions,
+                         -protein_small.charges,
+                         protein_small.radii,
+                         surface=protein_small.surface)
+    assert born_key(protein_small, p, "octree") \
+        == born_key(recharged, p, "octree")
+    # …but the full-result key sees both changes.
+    assert epol_key(protein_small, p, "octree", 1.0) \
+        != epol_key(recharged, p, "octree", 1.0)
+
+
+def test_born_key_changes_with_eps_born_and_method(protein_small):
+    p = ApproxParams()
+    assert born_key(protein_small, p, "octree") \
+        != born_key(protein_small, p.with_(eps_born=0.5), "octree")
+    assert born_key(protein_small, p, "octree") \
+        != born_key(protein_small, p, "dualtree")
+
+
+def test_trees_key_ignores_every_eps(protein_small):
+    p = ApproxParams()
+    assert trees_key(protein_small, p) \
+        == trees_key(protein_small,
+                     p.with_(eps_born=0.3, eps_epol=0.3))
+    assert trees_key(protein_small, p) \
+        != trees_key(protein_small, p.with_(leaf_size=2))
+
+
+def test_keys_change_with_molecule(protein_small, protein_medium):
+    p = ApproxParams()
+    for fn in (surface_key,):
+        assert fn(protein_small) != fn(protein_medium)
+    assert trees_key(protein_small, p) != trees_key(protein_medium, p)
+    assert born_key(protein_small, p, "octree") \
+        != born_key(protein_medium, p, "octree")
+
+
+# -- memory tier --------------------------------------------------------
+
+
+def test_lru_evicts_oldest_under_byte_budget():
+    cache = ArtifactCache(max_bytes=3000)  # three 1000-byte arrays
+    for i in range(4):
+        cache.put(f"born-{i}", _arr(125, float(i)))  # 1000 B each
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert cache.get("born-0") is None  # the oldest went
+    assert cache.get("born-3") is not None
+
+
+def test_get_refreshes_recency():
+    cache = ArtifactCache(max_bytes=3000)
+    for i in range(3):
+        cache.put(f"born-{i}", _arr(125, float(i)))
+    assert cache.get("born-0") is not None  # touch the oldest
+    cache.put("born-3", _arr(125, 3.0))     # forces one eviction
+    assert cache.get("born-0") is not None  # survived (recently used)
+    assert cache.get("born-1") is None      # the true LRU went
+
+
+def test_put_same_key_replaces_without_double_counting():
+    cache = ArtifactCache(max_bytes=10_000)
+    cache.put("epol-a", _arr(125, 1.0))
+    cache.put("epol-a", _arr(250, 2.0))
+    stats = cache.stats()
+    assert stats.entries == 1
+    assert stats.bytes == 2000
+
+
+def test_hit_rate_accounting():
+    cache = ArtifactCache(max_bytes=10_000)
+    cache.put("trees-a", _arr(10, 1.0))
+    assert cache.get("trees-a") is not None
+    assert cache.get("trees-missing") is None
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.misses == 1
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+# -- disk tier ----------------------------------------------------------
+
+
+def test_disk_round_trip_is_bitwise(tmp_path):
+    rng = np.random.default_rng(7)
+    value = CachedArrays({"radii": rng.normal(size=64)},
+                         meta={"method": "octree"})
+    warm = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path)
+    warm.put("born-deadbeef", value)
+    # A fresh instance (restarted service) re-warms from disk.
+    cold = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path)
+    hit = cold.get("born-deadbeef")
+    assert isinstance(hit, CachedArrays)
+    assert np.array_equal(hit.arrays["radii"], value.arrays["radii"])
+    assert hit.meta["method"] == "octree"
+    stats = cold.stats()
+    assert stats.disk_hits == 1 and stats.hits == 1
+
+
+def test_corrupt_disk_entry_is_counted_miss(tmp_path):
+    cache = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path)
+    cache.put("born-cafe", CachedArrays({"radii": _arr(16, 1.0)}))
+    for ckpt in tmp_path.glob("*.ckpt"):
+        ckpt.write_bytes(b"REPRO-CKPT\x01garbage")
+    fresh = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path)
+    assert fresh.get("born-cafe") is None
+    assert fresh.stats().disk_errors == 1
+
+
+def test_disk_budget_drops_oldest_files(tmp_path):
+    cache = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path,
+                          disk_max_bytes=1)  # everything over budget
+    cache.put("born-one", CachedArrays({"radii": _arr(16, 1.0)}))
+    cache.put("born-two", CachedArrays({"radii": _arr(16, 2.0)}))
+    assert len(list(tmp_path.glob("*.ckpt"))) <= 1
+
+
+def test_memory_eviction_keeps_disk_copy(tmp_path):
+    cache = ArtifactCache(max_bytes=200, disk_dir=tmp_path)
+    a = CachedArrays({"radii": _arr(20, 1.0)})  # 160 B
+    b = CachedArrays({"radii": _arr(20, 2.0)})
+    cache.put("born-a", a)
+    cache.put("born-b", b)  # evicts born-a from memory
+    hit = cache.get("born-a")  # …but disk still has it
+    assert isinstance(hit, CachedArrays)
+    assert np.array_equal(hit.arrays["radii"], a.arrays["radii"])
+    assert cache.stats().disk_hits == 1

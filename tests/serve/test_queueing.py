@@ -1,0 +1,90 @@
+"""Bounded priority queue: ordering, backpressure, close semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import BoundedPriorityQueue, QueueFullError, \
+    ServiceClosedError
+
+
+def test_priority_order_lowest_first():
+    q = BoundedPriorityQueue(8)
+    q.put("low", priority=2)
+    q.put("high", priority=0)
+    q.put("mid", priority=1)
+    assert [q.get(timeout=0.1) for _ in range(3)] \
+        == ["high", "mid", "low"]
+
+
+def test_fifo_within_a_priority():
+    q = BoundedPriorityQueue(8)
+    for item in "abc":
+        q.put(item, priority=1)
+    assert [q.get(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_full_queue_raises_queue_full():
+    q = BoundedPriorityQueue(2)
+    q.put(1)
+    q.put(2)
+    with pytest.raises(QueueFullError) as exc:
+        q.put(3)
+    assert exc.value.depth == 2
+    assert exc.value.capacity == 2
+    assert "2 of 2" in str(exc.value)
+
+
+def test_wait_not_full_times_out_and_unblocks():
+    q = BoundedPriorityQueue(1)
+    q.put("x")
+    assert q.wait_not_full(timeout=0.05) is False
+    drained = threading.Event()
+
+    def consumer():
+        q.get(timeout=1.0)
+        drained.set()
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    assert q.wait_not_full(timeout=2.0) is True
+    t.join()
+    assert drained.is_set()
+
+
+def test_put_after_close_raises():
+    q = BoundedPriorityQueue(4)
+    q.close()
+    with pytest.raises(ServiceClosedError):
+        q.put("late")
+
+
+def test_close_drains_accepted_items():
+    q = BoundedPriorityQueue(4)
+    q.put("a")
+    q.put("b")
+    q.close()
+    assert q.get(timeout=0.1) == "a"
+    assert q.get(timeout=0.1) == "b"
+    assert q.get(timeout=0.1) is None  # closed + empty → sentinel
+
+
+def test_get_batch_takes_up_to_max_items():
+    q = BoundedPriorityQueue(8)
+    for i in range(5):
+        q.put(i)
+    batch = q.get_batch(3, timeout=0.1)
+    assert batch == [0, 1, 2]
+    assert q.get_batch(3, timeout=0.1) == [3, 4]
+
+
+def test_get_times_out_on_empty_queue():
+    q = BoundedPriorityQueue(2)
+    assert q.get(timeout=0.01) is None
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedPriorityQueue(0)

@@ -1,0 +1,160 @@
+"""SolveService end-to-end: warm == cold bitwise, coalescing,
+invalidation, deadlines, backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ApproxParams
+from repro.molecules import synthetic_protein
+from repro.serve import (
+    QueueFullError,
+    ServiceClosedError,
+    SolveRequest,
+    SolveService,
+)
+
+
+@pytest.fixture()
+def service():
+    svc = SolveService(workers=2, queue_capacity=32, batch_size=2,
+                       cache_bytes=1 << 26)
+    yield svc
+    svc.close()
+
+
+def _solve(service, request, timeout=120.0):
+    ticket = service.submit(request)
+    return ticket.result(timeout=timeout)
+
+
+def test_warm_repeat_is_bitwise_identical(service, protein_small):
+    req = SolveRequest(molecule=protein_small)
+    cold = _solve(service, req)
+    assert cold.status == "ok"
+    assert cold.cache == "cold"
+    service.drain(timeout=60.0)
+    warm = _solve(service, SolveRequest(molecule=protein_small))
+    assert warm.cache == "epol"
+    assert warm.energy == cold.energy  # bitwise, not approx
+    assert np.array_equal(warm.born_radii, cold.born_radii)
+
+
+def test_eps_epol_change_reuses_born_level(service, protein_small):
+    cold = _solve(service, SolveRequest(molecule=protein_small))
+    service.drain(timeout=60.0)
+    shifted = _solve(service, SolveRequest(
+        molecule=protein_small,
+        params=ApproxParams(eps_epol=0.5)))
+    assert shifted.status == "ok"
+    # ε_epol only steers the energy pass: Born radii come warm…
+    assert shifted.cache == "born"
+    assert np.array_equal(shifted.born_radii, cold.born_radii)
+
+
+def test_molecule_change_misses_every_level(service, protein_small):
+    _solve(service, SolveRequest(molecule=protein_small))
+    service.drain(timeout=60.0)
+    other = synthetic_protein(420, seed=9)
+    res = _solve(service, SolveRequest(molecule=other))
+    assert res.cache == "cold"
+    assert res.status == "ok"
+
+
+def test_naive_method_unaffected_by_tree_cache(service, protein_small):
+    res = _solve(service, SolveRequest(molecule=protein_small,
+                                       method="naive"))
+    assert res.status == "ok" and res.cache == "cold"
+
+
+def test_coalescing_returns_one_computation_to_all(protein_small,
+                                                   protein_medium):
+    svc = SolveService(workers=1, queue_capacity=32, batch_size=1)
+    try:
+        # Occupy the single worker so the duplicates stay queued…
+        blocker = svc.submit(SolveRequest(molecule=protein_medium))
+        dup = SolveRequest(molecule=protein_small)
+        t1 = svc.submit(dup)
+        t2 = svc.submit(dup)
+        assert t2 is t1  # the same ticket, not merely an equal one
+        r1, r2 = t1.result(timeout=120.0), t2.result(timeout=120.0)
+        assert r1 is r2
+        assert svc.stats().coalesced == 1
+        blocker.result(timeout=120.0)
+    finally:
+        svc.close()
+
+
+def test_explicit_idempotency_key_coalesces(protein_small,
+                                            protein_medium):
+    svc = SolveService(workers=1, queue_capacity=32, batch_size=1)
+    try:
+        svc.submit(SolveRequest(molecule=protein_medium))
+        t1 = svc.submit(SolveRequest(molecule=protein_small,
+                                     idempotency_key="tenant-a/job-1"))
+        t2 = svc.submit(SolveRequest(molecule=protein_small,
+                                     params=ApproxParams(eps_epol=0.5),
+                                     idempotency_key="tenant-a/job-1"))
+        assert t2 is t1
+    finally:
+        svc.close()
+
+
+def test_queue_saturation_raises_queue_full(protein_small,
+                                            protein_medium):
+    svc = SolveService(workers=1, queue_capacity=1, batch_size=1)
+    try:
+        svc.submit(SolveRequest(molecule=protein_medium))  # worker busy
+        svc._queue.wait_not_full(timeout=10.0)  # worker picked it up
+        svc.submit(SolveRequest(molecule=protein_small))   # fills slot
+        with pytest.raises(QueueFullError):
+            svc.submit(SolveRequest(molecule=protein_small,
+                                    params=ApproxParams(eps_epol=0.7)))
+        assert svc.stats().rejected == 1
+    finally:
+        svc.close()
+
+
+def test_expired_deadline_is_a_status_not_an_exception(protein_small,
+                                                       protein_medium):
+    svc = SolveService(workers=1, queue_capacity=8, batch_size=1)
+    try:
+        svc.submit(SolveRequest(molecule=protein_medium))  # worker busy
+        late = svc.submit(SolveRequest(molecule=protein_small,
+                                       deadline_s=1e-4))
+        res = late.result(timeout=120.0)
+        assert res.status == "expired"
+        assert not res.ok
+        assert res.energy is None
+    finally:
+        svc.close()
+
+
+def test_submit_after_close_raises(protein_small):
+    svc = SolveService(workers=1)
+    svc.close()
+    with pytest.raises(ServiceClosedError):
+        svc.submit(SolveRequest(molecule=protein_small))
+
+
+def test_disk_tier_survives_restart(tmp_path, protein_small):
+    with SolveService(workers=1, cache_dir=str(tmp_path)) as first:
+        cold = _solve(first, SolveRequest(molecule=protein_small))
+    with SolveService(workers=1, cache_dir=str(tmp_path)) as revived:
+        warm = _solve(revived, SolveRequest(molecule=protein_small))
+    assert warm.cache == "epol"
+    assert warm.energy == cold.energy
+    assert np.array_equal(warm.born_radii, cold.born_radii)
+
+
+def test_stats_quantiles_and_levels(service, protein_small):
+    for _ in range(2):
+        _solve(service, SolveRequest(molecule=protein_small))
+        service.drain(timeout=60.0)
+    stats = service.stats()
+    assert stats.completed == 2
+    assert stats.by_level.get("cold") == 1
+    assert stats.by_level.get("epol") == 1
+    assert stats.service_p99 >= stats.service_p50 >= 0.0
+    assert 0.0 < stats.hit_rate <= 1.0

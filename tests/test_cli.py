@@ -114,3 +114,45 @@ class TestGuardedSolve:
         pdbio.write_xyzqr(mol, path)
         assert main(["solve", "--file", str(path)]) == 1
         assert "coincident" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_synthetic_smoke(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        assert main(["serve", "--synthetic", "12", "--atoms", "120",
+                     "--molecules", "2", "--workers", "2",
+                     "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "hit rate" in text and "throughput" in text
+        import json
+        doc = json.loads(out.read_text())
+        assert doc["failed"] == 0 and doc["expired"] == 0
+        assert doc["ok"] + doc["rejected"] >= 12
+
+    def test_workload_file_warm_hits(self, tmp_path, capsys):
+        import json
+        workload = tmp_path / "wl.json"
+        workload.write_text(json.dumps({"requests": [
+            {"atoms": 120, "seed": 4, "repeat": 3},
+            {"atoms": 120, "seed": 4, "eps_epol": 0.5},
+        ]}))
+        out = tmp_path / "serve.json"
+        # One worker, batch 1: the repeats run strictly after the first
+        # completes, so they must come from the cache or coalesce.
+        assert main(["serve", "--workload", str(workload),
+                     "--workers", "1", "--batch-size", "1",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["failed"] == 0
+        assert doc["hit_rate"] > 0 or doc["coalesced"] > 0
+
+    def test_metrics_out_includes_serve_counters(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve", "--synthetic", "6", "--atoms", "120",
+                     "--molecules", "1",
+                     "--metrics-out", str(metrics)]) == 0
+        import json
+        doc = json.loads(metrics.read_text())
+        assert "serve.requests" in doc
+        assert "serve.wait_seconds" in doc
+        assert doc["serve.wait_seconds"]["type"] == "histogram"
