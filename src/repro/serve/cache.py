@@ -169,6 +169,7 @@ class ArtifactCache:
         self._lru: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
+        self._disk_lock = threading.Lock()
         self._stats = CacheStats()
         self._disk: Optional[CheckpointStore] = None
         if disk_dir is not None:
@@ -213,8 +214,9 @@ class ArtifactCache:
                 return entry[0]
         value = self._disk_load(key)
         if value is not None:
-            self._count("disk_hits", key)
-            self._count("hits", key)
+            with self._lock:
+                self._count("disk_hits", key)
+                self._count("hits", key)
             self._insert(key, value)  # promote
             return value
         with self._lock:
@@ -240,9 +242,10 @@ class ArtifactCache:
             self._lru[key] = (value, size)
             self._bytes += size
             while self._bytes > self.max_bytes and self._lru:
-                _, (_, evicted_size) = self._lru.popitem(last=False)
+                evicted_key, (_, evicted_size) = \
+                    self._lru.popitem(last=False)
                 self._bytes -= evicted_size
-                self._count("evictions", key)
+                self._count("evictions", evicted_key)
             self._update_gauges()
 
     def clear(self) -> None:
@@ -266,14 +269,16 @@ class ArtifactCache:
             ck = self._disk.try_load(self._kind(key))
         except CheckpointError:
             # Torn/corrupt file: a counted miss, never wrong physics.
-            self._count("disk_errors", key)
+            with self._lock:
+                self._count("disk_errors", key)
             self._disk.delete(self._kind(key))
             return None
         if ck is None:
             return None
         meta = dict(ck.meta)
         if meta.pop("key", key) != key:
-            self._count("disk_errors", key)
+            with self._lock:
+                self._count("disk_errors", key)
             return None
         return CachedArrays(arrays=ck.arrays, meta=meta)
 
@@ -282,18 +287,37 @@ class ArtifactCache:
             return
         meta = dict(value.meta)
         meta["key"] = key
-        self._disk.save(self._kind(key), value.arrays, meta)
-        self._count("disk_writes", key)
+        try:
+            self._disk.save(self._kind(key), value.arrays, meta)
+        except (CheckpointError, OSError):
+            # Disk-tier trouble (full disk, permissions, torn write)
+            # must never fail a solve that already produced physics —
+            # the artifact simply is not persisted this time.
+            with self._lock:
+                self._count("disk_errors", key)
+            return
+        with self._lock:
+            self._count("disk_writes", key)
         self._trim_disk()
 
     def _trim_disk(self) -> None:
         if self._disk is None or self.disk_max_bytes is None:
             return
-        files = sorted(self._disk.directory.glob("*.ckpt"),
-                       key=lambda p: p.stat().st_mtime)
-        total = sum(p.stat().st_size for p in files)
-        for path in files:
-            if total <= self.disk_max_bytes:
-                break
-            total -= path.stat().st_size
-            path.unlink(missing_ok=True)
+        # Serialized: concurrent trims from multiple workers would
+        # race each other's unlinks; stat() is still guarded because
+        # the service process is not the only possible writer.
+        with self._disk_lock:
+            entries = []
+            for path in self._disk.directory.glob("*.ckpt"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # unlinked underneath us
+                entries.append((st.st_mtime, st.st_size, path))
+            entries.sort(key=lambda e: e[0])
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.disk_max_bytes:
+                    break
+                total -= size
+                path.unlink(missing_ok=True)

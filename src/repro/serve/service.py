@@ -234,6 +234,11 @@ class SolveService:
                 return ticket
             ticket = Ticket(key)
             self._inflight[key] = ticket
+            # Counted as pending from the instant the ticket becomes
+            # visible for coalescing: a fast worker can then never
+            # drive _pending negative, and a drain() waiter can never
+            # observe zero while an accepted job is still queued.
+            self._pending += 1
         job = _Job(request=request, ticket=ticket,
                    enqueued_at=time.monotonic(),
                    deadline_at=(time.monotonic() + request.deadline_s
@@ -242,20 +247,35 @@ class SolveService:
         try:
             self._put_with_wait(job, request.priority, wait_timeout)
         except QueueFullError:
+            self._withdraw(ticket, "queue full: request rejected with "
+                                   "backpressure")
             with self._lock:
-                self._inflight.pop(key, None)
                 self._stats.rejected += 1
             self._observe_counter("serve.rejected")
             raise
         except ServiceClosedError:
-            with self._lock:
-                self._inflight.pop(key, None)
+            self._withdraw(ticket, "service closed before the request "
+                                   "was enqueued")
             raise
         with self._lock:
-            self._pending += 1
             self._stats.submitted += 1
         self._observe_counter("serve.requests")
         return ticket
+
+    def _withdraw(self, ticket: Ticket, reason: str) -> None:
+        """Retract a published ticket whose enqueue failed.
+
+        Between publication in ``_inflight`` and the failed queue put,
+        concurrent submitters may have coalesced onto this ticket and
+        already returned it to their callers — so it must still reach
+        a terminal result, or those callers block forever.
+        """
+        with self._lock:
+            self._inflight.pop(ticket.key, None)
+            self._pending -= 1
+            self._idle.notify_all()
+        ticket._set(SolveResult(key=ticket.key, status="failed",
+                                error=reason))
 
     def _put_with_wait(self, job: _Job, priority: int,
                        wait_timeout: Optional[float]) -> None:
@@ -281,7 +301,13 @@ class SolveService:
             if batch is None:
                 return
             for job in batch:
-                self._execute(job, wid)
+                try:
+                    self._execute(job, wid)
+                except Exception:  # lint: ignore[RPR003]
+                    # _execute's finally already resolved the ticket;
+                    # a bookkeeping failure in one job must not strand
+                    # the rest of the batch or kill the worker thread.
+                    continue
 
     def _execute(self, job: _Job, wid: int) -> None:
         req, started = job.request, time.monotonic()
@@ -310,11 +336,27 @@ class SolveService:
                     self._observe_counter("serve.failures")
                     with self._lock:
                         self._stats.failed += 1
+                except Exception as exc:  # lint: ignore[RPR003]
+                    # Anything a solve can throw — OSError from the
+                    # disk cache tier, a numpy shape error — is a
+                    # failed *result*, never a dead worker thread:
+                    # the rest of the popped batch must still run and
+                    # every ticket must resolve.
+                    result = SolveResult(
+                        key=job.ticket.key, status="failed",
+                        method=req.method,
+                        error=f"{type(exc).__name__}: {exc}")
+                    self._observe_counter("serve.failures")
+                    with self._lock:
+                        self._stats.failed += 1
             result.wait_seconds = wait
             result.service_seconds = time.monotonic() - started
             result.worker = wid
-            self._record_latency(result)
+            # Resolve before recording: a failure in the (obs-touching)
+            # latency bookkeeping must not replace a good result with
+            # the finally-block's "internal error" fallback.
             job.ticket._set(result)
+            self._record_latency(result)
         finally:
             # The ticket always resolves — even if bookkeeping threw.
             if not job.ticket.done():

@@ -103,6 +103,21 @@ def test_put_same_key_replaces_without_double_counting():
     assert stats.bytes == 2000
 
 
+def test_eviction_counter_names_the_evicted_layer():
+    import repro.obs as obs
+    obs.enable(reset=True)
+    try:
+        cache = ArtifactCache(max_bytes=1000)
+        cache.put("born-a", _arr(125, 1.0))  # 1000 B fills the budget
+        cache.put("epol-b", _arr(125, 2.0))  # evicts born-a
+        assert obs.registry.counter(
+            "serve.cache.evictions.born").value == 1
+        assert obs.registry.counter(
+            "serve.cache.evictions.epol").value == 0
+    finally:
+        obs.disable()
+
+
 def test_hit_rate_accounting():
     cache = ArtifactCache(max_bytes=10_000)
     cache.put("trees-a", _arr(10, 1.0))
@@ -148,6 +163,34 @@ def test_disk_budget_drops_oldest_files(tmp_path):
     cache.put("born-one", CachedArrays({"radii": _arr(16, 1.0)}))
     cache.put("born-two", CachedArrays({"radii": _arr(16, 2.0)}))
     assert len(list(tmp_path.glob("*.ckpt"))) <= 1
+
+
+def test_disk_save_failure_never_fails_the_put(tmp_path, monkeypatch):
+    cache = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path)
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(cache._disk, "save", boom)
+    cache.put("born-x", CachedArrays({"radii": _arr(16, 1.0)}))
+    assert cache.stats().disk_errors == 1
+    assert isinstance(cache.get("born-x"), CachedArrays)  # memory tier
+
+
+def test_trim_survives_files_vanishing(tmp_path, monkeypatch):
+    import pathlib
+    cache = ArtifactCache(max_bytes=1 << 20, disk_dir=tmp_path,
+                          disk_max_bytes=1)
+    cache.put("born-one", CachedArrays({"radii": _arr(16, 1.0)}))
+    real_stat = pathlib.Path.stat
+
+    def racing_stat(self, **kwargs):
+        if self.suffix == ".ckpt":
+            raise FileNotFoundError(self)  # a peer trim unlinked it
+        return real_stat(self, **kwargs)
+
+    monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+    cache._trim_disk()  # must not raise
 
 
 def test_memory_eviction_keeps_disk_copy(tmp_path):

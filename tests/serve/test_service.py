@@ -116,6 +116,68 @@ def test_queue_saturation_raises_queue_full(protein_small,
         svc.close()
 
 
+def test_unexpected_exception_is_failed_result_not_dead_worker(
+        protein_small, monkeypatch):
+    svc = SolveService(workers=1, queue_capacity=8, batch_size=4)
+    try:
+        orig = svc._solve
+        calls = {"n": 0}
+
+        def flaky(req, key):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("disk tier exploded")
+            return orig(req, key)
+
+        monkeypatch.setattr(svc, "_solve", flaky)
+        bad = svc.submit(SolveRequest(molecule=protein_small))
+        good = svc.submit(SolveRequest(molecule=protein_small,
+                                       params=ApproxParams(eps_epol=0.5)))
+        r_bad = bad.result(timeout=120.0)
+        assert r_bad.status == "failed"
+        assert "OSError" in r_bad.error
+        # The worker thread survived and the batch-mate still ran.
+        r_good = good.result(timeout=120.0)
+        assert r_good.status == "ok"
+        assert svc.drain(timeout=30.0)
+        stats = svc.stats()
+        assert stats.failed == 1 and stats.completed == 1
+    finally:
+        svc.close()
+
+
+def test_rejected_submit_resolves_coalesced_ticket(
+        protein_small, protein_medium, monkeypatch):
+    svc = SolveService(workers=1, queue_capacity=1, batch_size=1)
+    try:
+        blocker = svc.submit(SolveRequest(molecule=protein_medium))
+        svc._queue.wait_not_full(timeout=10.0)  # worker picked it up
+        svc.submit(SolveRequest(molecule=protein_small))  # fills slot
+        dup = SolveRequest(molecule=protein_small,
+                           params=ApproxParams(eps_epol=0.7))
+        coalesced = []
+        orig_put = svc._put_with_wait
+
+        def racing_put(job, priority, wait_timeout):
+            # A concurrent submitter coalesces onto the just-published
+            # ticket in the window before the put is rejected…
+            coalesced.append(svc.submit(dup))
+            orig_put(job, priority, wait_timeout)
+
+        monkeypatch.setattr(svc, "_put_with_wait", racing_put)
+        with pytest.raises(QueueFullError):
+            svc.submit(dup)
+        # …and must still reach a terminal result, never hang.
+        res = coalesced[0].result(timeout=10.0)
+        assert res.status == "failed"
+        assert "queue full" in res.error
+        blocker.result(timeout=120.0)
+        assert svc.drain(timeout=60.0)  # withdrawn job left no debt
+        assert svc._pending == 0
+    finally:
+        svc.close()
+
+
 def test_expired_deadline_is_a_status_not_an_exception(protein_small,
                                                        protein_medium):
     svc = SolveService(workers=1, queue_capacity=8, batch_size=1)
