@@ -348,6 +348,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             atoms=args.atoms)
         source = f"synthetic (seed {args.seed})"
     obs.enable(reset=True)
+    witness = None
+    if args.lock_witness:
+        from repro.obs import lockwitness
+
+        # Installed before the service is built: the named_lock /
+        # named_condition factories consult the active witness at
+        # construction time, so every serve-stack lock is wrapped.
+        witness = lockwitness.install(lockwitness.LockWitness())
     service = SolveService(workers=args.workers,
                            queue_capacity=args.queue_size,
                            batch_size=args.batch_size,
@@ -418,12 +426,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                metrics=obs.registry)
         print(f"wrote trace to {args.trace}")
     _write_metrics(args)
+    cyclic = False
+    if witness is not None:
+        from repro.obs import lockwitness
+
+        lockwitness.uninstall()
+        print(witness.summary())
+        if args.lock_trace:
+            witness.write_chrome_trace(args.lock_trace)
+            print(f"wrote lock trace to {args.lock_trace}")
+        found = witness.cycles()
+        if found:
+            cyclic = True
+            for cycle in found:
+                print("lock-order cycle: " + " -> ".join(cycle),
+                      file=sys.stderr)
     obs.disable()
     if stats.failed or stats.expired:
         print(f"{stats.failed} failed, {stats.expired} expired",
               file=sys.stderr)
         return 1
-    return 0
+    return 1 if cyclic else 0
 
 
 def cmd_packages(args: argparse.Namespace) -> int:
@@ -601,6 +624,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 600)")
     p.add_argument("--json", type=str, default=None, metavar="FILE",
                    help="write the latency/hit-rate summary as JSON")
+    p.add_argument("--lock-witness", action="store_true",
+                   help="wrap the serve-stack locks in the runtime "
+                        "LockWitness: record the acquisition-order "
+                        "graph, assert it is acyclic at exit (exit 1 "
+                        "on a cycle) and export lock.held_seconds / "
+                        "lock.contention metrics")
+    p.add_argument("--lock-trace", type=str, default=None,
+                   metavar="FILE",
+                   help="with --lock-witness: dump held-lock spans + "
+                        "the witnessed graph as Chrome trace JSON")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("packages", help="run the MD-package emulators")
@@ -620,9 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("lint", help="run the project static analyzer "
-                                    "(rules RPR001-RPR101)")
+                                    "(rules RPR001-RPR205)")
     p.add_argument("paths", nargs="*", default=["src"])
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
     p.add_argument("--select", type=str, default=None)
     p.add_argument("--ignore", type=str, default=None)
     p.add_argument("--statistics", action="store_true")

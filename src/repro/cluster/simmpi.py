@@ -682,14 +682,20 @@ class SimCluster:
     # -- shared run state ------------------------------------------------
 
     def _reset_run_state(self) -> None:
-        """Fresh collective group, queues, dead set and fault log."""
-        self._dead: Dict[int, bool] = {}
-        self._groups: Dict[int, _Group] = {
+        """Fresh collective group, queues, dead set and fault log.
+
+        Runs lock-free by design: it is only called from ``__init__``
+        and from :meth:`run` *before* the rank threads start, so no
+        other thread can observe the torn state — hence the per-line
+        RPR204 suppressions on the guarded fields below.
+        """
+        self._dead: Dict[int, bool] = {}  # guarded-by: _state_lock  # lint: ignore[RPR204] — pre-thread reset
+        self._groups: Dict[int, _Group] = {  # guarded-by: _state_lock  # lint: ignore[RPR204] — pre-thread reset
             0: _Group(0, tuple(range(self.processes)), self.timeout)}
         self._latest_group = self._groups[0]
-        self._queues: Dict[Tuple[int, int, int], queue.Queue] = {}
-        self._fault_events: List[FaultEvent] = []
-        self._recoveries = 0
+        self._queues: Dict[Tuple[int, int, int], queue.Queue] = {}  # guarded-by: _queues_lock  # lint: ignore[RPR204] — pre-thread reset
+        self._fault_events: List[FaultEvent] = []  # guarded-by: _state_lock  # lint: ignore[RPR204] — pre-thread reset
+        self._recoveries = 0  # guarded-by: _state_lock  # lint: ignore[RPR204] — pre-thread reset
 
     def dead_ranks(self) -> Tuple[int, ...]:
         """Ranks currently known dead (sorted)."""

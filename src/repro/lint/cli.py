@@ -21,11 +21,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Project-aware static analysis for the repro codebase "
-                    "(rules RPR001-RPR005 + the RPR101 simulated-MPI "
-                    "collective-ordering verifier).")
+                    "(rules RPR001-RPR005, the RPR101 simulated-MPI "
+                    "collective-ordering verifier and the RPR201-RPR205 "
+                    "lock-discipline rules).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--select", type=str, default=None,
                         help="comma-separated rule ids to run exclusively")
@@ -76,6 +77,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "findings": [f.to_json() for f in findings],
             "count": len(findings),
         }, indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import findings_to_sarif
+
+        print(findings_to_sarif(findings))
     else:
         for f in findings:
             print(f.render())

@@ -1,0 +1,788 @@
+"""RPR201–RPR205 — lock-discipline analysis for ``threading`` code.
+
+PR 5's review caught four concurrency bugs in ``repro.serve`` by hand
+(stranded coalesced tickets, dead worker threads, racing disk trims,
+unlocked stats).  These rules encode that review: a per-module,
+interprocedural *lock-model* pass plus five checks over it.
+
+The lock model
+--------------
+For every class the pass collects, from ``__init__``:
+
+* **lock attributes** — ``self._lock = threading.Lock()`` /
+  ``RLock()`` / ``Condition(...)``, and the witness factories
+  ``named_lock(...)`` / ``named_condition(...)``
+  (:mod:`repro.obs.lockwitness`).  A ``Condition(self._lock)``
+  *aliases* its lock: acquiring ``self._idle`` and acquiring
+  ``self._lock`` are the same event, so both resolve to one canonical
+  **root**;
+* **guarded fields** — a trailing ``# guarded-by: _lock`` comment on
+  a field's ``__init__`` assignment declares which lock protects it;
+* **guarded regions** — ``with self._lock:`` blocks (per method, with
+  the full nesting structure).
+
+The pass is interprocedural within the class: a private helper that
+is only ever called with ``self._lock`` held (every call site sits
+inside a ``with self._lock:`` region) *inherits* that lock as held at
+entry — so ``_count``-style helpers need no annotations — and locks a
+helper may acquire propagate order edges to call sites that hold
+other locks.  The fixpoint is per module; cross-module object graphs
+(service → queue) are out of scope by design.
+
+The rules
+---------
+* **RPR201** — inconsistent lock acquisition order: the module's
+  static lock-order graph (edge ``A → B`` = ``B`` acquired while
+  holding ``A``, directly or through a helper call) must be acyclic;
+  re-acquiring a held non-reentrant ``Lock`` is flagged too.
+* **RPR202** — blocking call (solver invocation, ``Condition.wait``,
+  file/disk-tier I/O, queue ops, thread joins, ticket waits) while
+  holding a *hot* lock — one that guards fields or backs a
+  ``Condition``.  A cold pure-serialization mutex (e.g. the cache's
+  ``_disk_lock``, which exists to serialize trims) may legitimately
+  be held across the I/O it serializes.
+* **RPR203** — ``Condition.wait()`` outside a ``while``-predicate
+  loop (spurious wake-ups make a bare or ``if``-guarded wait wrong);
+  ``wait_for`` is exempt — it loops internally.
+* **RPR204** — a ``# guarded-by:``-annotated field written outside a
+  guarded region of its lock (``__init__`` is exempt: the object is
+  not shared yet).  Mutating method calls (``.append``, ``.pop``,
+  ``setdefault`` …), ``setattr`` and ``heapq.heappush(self._f, …)``
+  count as writes.
+* **RPR205** — ``Condition.notify()`` / ``notify_all()`` without the
+  condition's lock held (a silent no-op race: the waiter re-checks
+  its predicate before the notify lands, then sleeps forever).
+
+Suppress a deliberate exception with the standard
+``# lint: ignore[RPR20x]`` trailing comment, with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, \
+    Set, Tuple
+
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    dotted_name,
+)
+
+__all__ = [
+    "LockOrderRule",
+    "BlockingUnderLockRule",
+    "WaitPredicateRule",
+    "GuardedFieldRule",
+    "NotifyWithoutLockRule",
+]
+
+#: ``# guarded-by: _lock`` — field annotation consumed by RPR204.
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Method names that mutate their receiver (RPR204 write detection).
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "popitem", "clear", "update", "add", "discard",
+    "setdefault", "move_to_end", "sort", "reverse", "push",
+})
+
+#: Module functions that mutate their *first argument* in place.
+_ARG_MUTATORS = frozenset({"heapq.heappush", "heapq.heappop",
+                           "heapq.heapify", "heappush", "heappop",
+                           "heapify"})
+
+#: Path/file-object methods that hit the filesystem.
+_PATH_IO = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes", "stat",
+    "unlink", "rename", "replace", "mkdir", "rmdir", "touch", "glob",
+    "rglob",
+})
+
+#: Blocking queue operations (matched when the receiver names a queue).
+_QUEUE_OPS = frozenset({"put", "get", "get_nowait", "put_nowait",
+                        "get_batch", "wait_not_full", "join",
+                        "task_done"})
+
+#: Calls that run a whole solve (seconds, not microseconds).
+_SOLVER_CALLS = frozenset({"GuardedSolver", "PolarizationSolver",
+                           "sample_surface", "simulate_fig4"})
+_SOLVER_METHODS = frozenset({"report", "born_phase_only"})
+
+
+# ---------------------------------------------------------------------------
+# Lock model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LockInfo:
+    """One lock-like attribute of a class."""
+
+    attr: str
+    root: str       # canonical lock (conditions alias the lock they wrap)
+    kind: str       # "lock" | "rlock" | "condition"
+    lineno: int
+
+
+@dataclass
+class ClassModel:
+    """Locks, aliases and guarded fields of one class."""
+
+    name: str
+    node: ast.ClassDef
+    locks: Dict[str, LockInfo] = field(default_factory=dict)
+    guarded: Dict[str, str] = field(default_factory=dict)  # field → root
+    guard_errors: List[Tuple[int, str]] = field(default_factory=list)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def root_of(self, attr: str) -> Optional[str]:
+        info = self.locks.get(attr)
+        return info.root if info is not None else None
+
+    def hot_roots(self) -> Set[str]:
+        """Roots that guard fields or back a condition — locks whose
+        holders other threads actively wait on."""
+        hot = set(self.guarded.values())
+        for info in self.locks.values():
+            if info.kind == "condition":
+                hot.add(info.root)
+        return hot
+
+    def reentrant(self, root: str) -> bool:
+        info = self.locks.get(root)
+        return info is None or info.kind != "lock"
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _kw(call: ast.Call, name: str) -> Optional[ast.AST]:
+    return next((kw.value for kw in call.keywords if kw.arg == name),
+                None)
+
+
+def _lock_ctor(call: ast.Call) -> Optional[Tuple[str, Optional[ast.AST]]]:
+    """(kind, wrapped-lock expr) when ``call`` constructs a lock."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    tail = parts[-1]
+    threading_ok = len(parts) == 1 or parts[-2] == "threading"
+    if tail == "Lock" and threading_ok:
+        return ("lock", None)
+    if tail == "RLock" and threading_ok:
+        return ("rlock", None)
+    if tail == "Condition" and threading_ok:
+        return ("condition",
+                call.args[0] if call.args else _kw(call, "lock"))
+    if tail == "named_lock":
+        return ("lock", None)
+    if tail == "named_condition":
+        return ("condition",
+                call.args[1] if len(call.args) > 1
+                else _kw(call, "lock"))
+    return None
+
+
+def _guard_lines(source: str) -> Dict[int, str]:
+    """Line number → lock name for every ``# guarded-by:`` comment."""
+    out: Dict[int, str] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _GUARDED_RE.search(line)
+        if m:
+            out[i] = m.group(1)
+    return out
+
+
+def build_class_model(ctx: FileContext,
+                      cls: ast.ClassDef,
+                      guard_lines: Dict[int, str]) -> ClassModel:
+    model = ClassModel(name=cls.name, node=cls)
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            model.methods[stmt.name] = stmt  # type: ignore[assignment]
+    init = model.methods.get("__init__")
+    assigns: List[Tuple[ast.stmt, ast.AST, Optional[ast.AST]]] = []
+    if init is not None:
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                assigns.append((node, node.targets[0], node.value))
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None:
+                assigns.append((node, node.target, node.value))
+    assigns.sort(key=lambda t: t[0].lineno)
+    # Pass 1: lock attributes (in source order, so Condition(self._x)
+    # can resolve the alias of an earlier lock).
+    for stmt, target, value in assigns:
+        attr = _self_attr(target)
+        if attr is None or not isinstance(value, ast.Call):
+            continue
+        ctor = _lock_ctor(value)
+        if ctor is None:
+            continue
+        kind, lock_arg = ctor
+        root = attr
+        if kind == "condition" and lock_arg is not None:
+            wrapped = _self_attr(lock_arg)
+            if wrapped is not None and wrapped in model.locks:
+                root = model.locks[wrapped].root
+        model.locks[attr] = LockInfo(attr=attr, root=root, kind=kind,
+                                     lineno=stmt.lineno)
+    # Pass 2: guarded-by annotations on field assignments — scanned
+    # across *every* method, not just __init__, so fields first bound
+    # in a reset/clear helper can still declare their lock.
+    annotated: List[Tuple[ast.stmt, ast.AST, Optional[ast.AST]]] = \
+        list(assigns)
+    for name, fn in model.methods.items():
+        if name == "__init__":
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                annotated.append((node, node.targets[0], node.value))
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None:
+                annotated.append((node, node.target, node.value))
+    for stmt, target, value in annotated:
+        attr = _self_attr(target)
+        if attr is None or attr in model.locks:
+            continue
+        end = getattr(stmt, "end_lineno", None) or stmt.lineno
+        for line in range(stmt.lineno, end + 1):
+            lock_name = guard_lines.get(line)
+            if lock_name is None:
+                continue
+            root = model.root_of(lock_name)
+            if root is None:
+                model.guard_errors.append((line, lock_name))
+            else:
+                model.guarded[attr] = root
+            break
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Per-method symbolic walk
+# ---------------------------------------------------------------------------
+
+Held = Tuple[str, ...]
+
+
+@dataclass
+class MethodWalk:
+    """Everything one method does that the rules care about."""
+
+    name: str
+    #: (held-before, acquired-root, node)
+    acquisitions: List[Tuple[Held, str, ast.AST]] = \
+        field(default_factory=list)
+    #: (callee, held, node) for ``self.callee(...)``
+    self_calls: List[Tuple[str, Held, ast.AST]] = \
+        field(default_factory=list)
+    #: (description, held, exempt-root, node)
+    blocking: List[Tuple[str, Held, Optional[str], ast.AST]] = \
+        field(default_factory=list)
+    #: (cond-root, held, inside-while, node) for bare ``wait()``
+    waits: List[Tuple[str, Held, bool, ast.AST]] = \
+        field(default_factory=list)
+    #: (cond-root, held, node)
+    notifies: List[Tuple[str, Held, ast.AST]] = \
+        field(default_factory=list)
+    #: (field, held, node)
+    writes: List[Tuple[str, Held, ast.AST]] = field(default_factory=list)
+
+
+class _MethodWalker:
+    """Walks one method body tracking the held-lock set."""
+
+    def __init__(self, model: ClassModel, fn: ast.FunctionDef,
+                 entry_held: FrozenSet[str]) -> None:
+        self.model = model
+        self.fn = fn
+        self.out = MethodWalk(name=fn.name)
+        self._entry = tuple(sorted(entry_held))
+
+    def run(self) -> MethodWalk:
+        self._stmts(self.fn.body, self._entry, in_while=False)
+        return self.out
+
+    # -- statements --------------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt], held: Held,
+               in_while: bool) -> None:
+        for stmt in body:
+            self._stmt(stmt, held, in_while)
+
+    def _stmt(self, stmt: ast.stmt, held: Held, in_while: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly on another thread:
+            # analyze it as a fresh scope holding nothing.
+            self._stmts(stmt.body, (), in_while=False)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._expr(item.context_expr, inner, in_while)
+                attr = _self_attr(item.context_expr)
+                root = self.model.root_of(attr) if attr else None
+                if root is not None:
+                    self.out.acquisitions.append(
+                        (inner, root, item.context_expr))
+                    if root not in inner:
+                        inner = inner + (root,)
+            self._stmts(stmt.body, inner, in_while)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, held, in_while)
+            self._stmts(stmt.body, held, in_while)
+            self._stmts(stmt.orelse, held, in_while)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, held, True)
+            self._stmts(stmt.body, held, True)
+            self._stmts(stmt.orelse, held, in_while)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held, in_while)
+            self._stmts(stmt.body, held, in_while)
+            self._stmts(stmt.orelse, held, in_while)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body, held, in_while)
+            for handler in stmt.handlers:
+                self._stmts(handler.body, held, in_while)
+            self._stmts(stmt.orelse, held, in_while)
+            self._stmts(stmt.finalbody, held, in_while)
+            return
+        match_cases = getattr(stmt, "cases", None)
+        if match_cases is not None:  # ast.Match (3.10+)
+            self._expr(stmt.subject, held, in_while)  # type: ignore
+            for case in match_cases:
+                self._stmts(case.body, held, in_while)
+            return
+        # Simple statement: scan calls, then writes.
+        self._expr(stmt, held, in_while)
+        self._writes(stmt, held)
+
+    # -- expressions / calls -----------------------------------------------
+
+    def _expr(self, node: ast.AST, held: Held, in_while: bool) -> None:
+        stack: List[ast.AST] = [node]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._stmts(n.body, (), in_while=False)
+                continue
+            if isinstance(n, ast.Lambda):
+                self._expr(n.body, (), in_while=False)
+                continue
+            if isinstance(n, ast.Call):
+                self._call(n, held, in_while)
+            stack.extend(ast.iter_child_nodes(n))
+
+    def _call(self, call: ast.Call, held: Held, in_while: bool) -> None:
+        name = dotted_name(call.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] == "self" and len(parts) == 3:
+            attr, meth = parts[1], parts[2]
+            root = self.model.root_of(attr)
+            if root is not None:
+                self._lock_method(call, attr, root, meth, held, in_while)
+                return
+            if attr in self.model.guarded and meth in _MUTATORS:
+                self.out.writes.append((attr, held, call))
+                return
+        if parts[0] == "self" and len(parts) == 2:
+            self.out.self_calls.append((parts[1], held, call))
+            return
+        if name == "setattr" and call.args:
+            target = _self_attr(call.args[0])
+            if target is not None and target in self.model.guarded:
+                self.out.writes.append((target, held, call))
+        if name in _ARG_MUTATORS and call.args:
+            target = _outer_self_field(call.args[0])
+            if target is not None and target in self.model.guarded:
+                self.out.writes.append((target, held, call))
+        desc = _blocking_desc(name, parts)
+        if desc is not None and held:
+            self.out.blocking.append((desc, held, None, call))
+
+    def _lock_method(self, call: ast.Call, attr: str, root: str,
+                     meth: str, held: Held, in_while: bool) -> None:
+        if meth in ("wait", "wait_for"):
+            if meth == "wait":
+                self.out.waits.append((root, held, in_while, call))
+            self.out.blocking.append(
+                (f"self.{attr}.{meth}()", held, root, call))
+        elif meth in ("notify", "notify_all"):
+            self.out.notifies.append((root, held, call))
+        elif meth == "acquire":
+            self.out.acquisitions.append((held, root, call))
+
+    # -- writes ------------------------------------------------------------
+
+    def _writes(self, stmt: ast.stmt, held: Held) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            for t in _flatten_targets(target):
+                name = _outer_self_field(t)
+                if name is not None and name in self.model.guarded:
+                    self.out.writes.append((name, held, t))
+
+
+def _flatten_targets(target: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target
+
+
+def _outer_self_field(node: ast.AST) -> Optional[str]:
+    """``self.F``, ``self.F.g``, ``self.F[k]`` … → ``F``."""
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    last = None
+    while isinstance(node, ast.Attribute):
+        last = node.attr
+        node = node.value
+        while isinstance(node, ast.Subscript):
+            node = node.value
+    if isinstance(node, ast.Name) and node.id == "self":
+        return last
+    return None
+
+
+def _blocking_desc(name: str, parts: List[str]) -> Optional[str]:
+    tail = parts[-1]
+    receiver = ".".join(parts[:-1])
+    rlow = receiver.lower()
+    if name == "time.sleep":
+        return "time.sleep()"
+    if name == "open":
+        return "open()"
+    if tail in _PATH_IO and receiver:
+        return f"file I/O .{tail}()"
+    if tail in ("save", "try_load", "delete") and "disk" in rlow:
+        return f"disk-tier I/O .{tail}()"
+    if tail in _QUEUE_OPS and "queue" in rlow:
+        return f"queue op .{tail}()"
+    if tail == "join" and ("thread" in rlow or "worker" in rlow
+                           or receiver == "t"):
+        return "thread join"
+    if tail == "result" and "ticket" in rlow:
+        return "ticket result() wait"
+    if name in _SOLVER_CALLS or (receiver and tail in _SOLVER_METHODS):
+        return f"solver invocation {tail}()"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Class fixpoint + module analysis
+# ---------------------------------------------------------------------------
+
+def _fixpoint_walks(model: ClassModel) -> Dict[str, MethodWalk]:
+    """Walk every method, iterating entry-held sets to a fixpoint.
+
+    A private helper's entry-held set is the *intersection* of the
+    held sets at all of its internal call sites — the locks provably
+    held no matter who called it.  Public (non-underscore) methods and
+    dunders always start with nothing held: they are the external API.
+    """
+    entry: Dict[str, FrozenSet[str]] = {
+        m: frozenset() for m in model.methods}
+    walks: Dict[str, MethodWalk] = {}
+    for _ in range(5):
+        walks = {
+            name: _MethodWalker(model, fn, entry[name]).run()
+            for name, fn in model.methods.items()
+        }
+        sites: Dict[str, List[Held]] = {}
+        for walk in walks.values():
+            for callee, held, _node in walk.self_calls:
+                if callee in model.methods:
+                    sites.setdefault(callee, []).append(held)
+        new_entry: Dict[str, FrozenSet[str]] = {}
+        for name in model.methods:
+            if not name.startswith("_") or name.startswith("__"):
+                new_entry[name] = frozenset()
+            elif name in sites:
+                common = frozenset(sites[name][0])
+                for held in sites[name][1:]:
+                    common &= frozenset(held)
+                new_entry[name] = common
+            else:
+                new_entry[name] = frozenset()
+        if new_entry == entry:
+            break
+        entry = new_entry
+    return walks
+
+
+def _reachable_locks(model: ClassModel,
+                     walks: Dict[str, MethodWalk]) -> Dict[str, Set[str]]:
+    """Locks each method may acquire, transitively through self-calls."""
+    reach = {name: {root for _, root, _ in walk.acquisitions}
+             for name, walk in walks.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, walk in walks.items():
+            for callee, _held, _node in walk.self_calls:
+                extra = reach.get(callee, set()) - reach[name]
+                if extra:
+                    reach[name] |= extra
+                    changed = True
+    return reach
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    node: ast.AST
+    detail: str
+
+
+def _finding(ctx: FileContext, rule_id: str, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(path=ctx.relpath,
+                   line=getattr(node, "lineno", 1),
+                   col=getattr(node, "col_offset", 0) + 1,
+                   rule_id=rule_id, severity=Severity.ERROR,
+                   message=message)
+
+
+def _class_findings(ctx: FileContext, model: ClassModel,
+                    walks: Dict[str, MethodWalk]) -> List[Finding]:
+    out: List[Finding] = []
+    hot = model.hot_roots()
+    cname = model.name
+    for line, lock_name in model.guard_errors:
+        anchor = ast.Module(body=[], type_ignores=[])
+        anchor.lineno = line          # type: ignore[attr-defined]
+        anchor.col_offset = 0         # type: ignore[attr-defined]
+        out.append(_finding(
+            ctx, "RPR204", anchor,
+            f"guarded-by names {lock_name!r}, which is not a lock "
+            f"attribute of {cname} (no threading.Lock/RLock/Condition "
+            f"assigned to self.{lock_name} in __init__)"))
+    for name, walk in walks.items():
+        in_init = name == "__init__"
+        for held, root, node in walk.acquisitions:
+            if root in held and not model.reentrant(root):
+                out.append(_finding(
+                    ctx, "RPR201", node,
+                    f"{cname}.{root} acquired while already held — "
+                    f"self-deadlock on a non-reentrant Lock"))
+        for desc, held, exempt, node in walk.blocking:
+            others = [h for h in held if h in hot and h != exempt]
+            if others:
+                locks = ", ".join(f"{cname}.{h}" for h in others)
+                out.append(_finding(
+                    ctx, "RPR202", node,
+                    f"blocking {desc} while holding {locks}; threads "
+                    f"waiting on that lock stall for the full call — "
+                    f"move the blocking work outside the guarded "
+                    f"region"))
+        for root, held, in_while, node in walk.waits:
+            info = next((i for i in model.locks.values()
+                         if i.root == root and i.kind == "condition"),
+                        None)
+            if info is not None and not in_while:
+                out.append(_finding(
+                    ctx, "RPR203", node,
+                    f"Condition.wait() outside a while-predicate "
+                    f"loop; spurious wake-ups and stolen wake-ups "
+                    f"make this wrong — use `while not pred: "
+                    f"wait()` or wait_for(pred)"))
+        for root, held, node in walk.notifies:
+            if root not in held:
+                out.append(_finding(
+                    ctx, "RPR205", node,
+                    f"Condition.notify called without holding "
+                    f"{cname}.{root}; the wake-up can race the "
+                    f"waiter's predicate check and be lost"))
+        if not in_init:
+            for fname, held, node in walk.writes:
+                root = model.guarded[fname]
+                if root not in held:
+                    out.append(_finding(
+                        ctx, "RPR204", node,
+                        f"write to self.{fname} (guarded-by "
+                        f"{cname}.{root}) outside its lock; wrap the "
+                        f"mutation in `with self.{root}:`"))
+    return out
+
+
+def _class_edges(model: ClassModel,
+                 walks: Dict[str, MethodWalk]) -> List[_Edge]:
+    reach = _reachable_locks(model, walks)
+    edges: List[_Edge] = []
+    cname = model.name
+    for name, walk in walks.items():
+        for held, root, node in walk.acquisitions:
+            for h in held:
+                if h != root:
+                    edges.append(_Edge(
+                        f"{cname}.{h}", f"{cname}.{root}", node,
+                        f"{cname}.{root} acquired while holding "
+                        f"{cname}.{h} (in {name})"))
+        for callee, held, node in walk.self_calls:
+            if callee not in reach:
+                continue
+            for h in held:
+                for r in reach[callee]:
+                    if r == h:
+                        if not model.reentrant(r):
+                            edges.append(_Edge(
+                                f"{cname}.{h}", f"{cname}.{r}", node,
+                                f"self.{callee}() re-acquires held "
+                                f"non-reentrant {cname}.{r}"))
+                        continue
+                    edges.append(_Edge(
+                        f"{cname}.{h}", f"{cname}.{r}", node,
+                        f"self.{callee}() may acquire {cname}.{r} "
+                        f"while {cname}.{h} is held (in {name})"))
+    return edges
+
+
+def _cycle_findings(ctx: FileContext,
+                    edges: List[_Edge]) -> List[Finding]:
+    adj: Dict[str, Set[str]] = {}
+    for e in edges:
+        adj.setdefault(e.src, set()).add(e.dst)
+        adj.setdefault(e.dst, set())
+    # Nodes reachable from themselves = nodes on some cycle.
+    out: List[Finding] = []
+    cyclic_edges: List[_Edge] = []
+    for e in edges:
+        if e.src == e.dst:
+            # A call chain that re-acquires a held non-reentrant Lock
+            # deadlocks against itself — no second thread required.
+            out.append(_finding(
+                ctx, "RPR201", e.node,
+                f"{e.detail} — self-deadlock, the inner acquire "
+                f"blocks forever"))
+            continue
+        # e is on a cycle iff src is reachable from dst.
+        seen: Set[str] = set()
+        stack = [e.dst]
+        on_cycle = False
+        while stack:
+            n = stack.pop()
+            if n == e.src:
+                on_cycle = True
+                break
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(adj.get(n, ()))
+        if on_cycle:
+            cyclic_edges.append(e)
+    for e in cyclic_edges:
+        out.append(_finding(
+            ctx, "RPR201", e.node,
+            f"inconsistent lock order: {e.detail}, but the opposite "
+            f"order {e.dst} → {e.src} also occurs in this module — "
+            f"two threads taking these paths concurrently deadlock; "
+            f"pick one global order"))
+    return out
+
+
+def _module_findings(ctx: FileContext) -> List[Finding]:
+    cached = getattr(ctx, "_rpr2_findings", None)
+    if cached is not None:
+        return cached
+    findings: List[Finding] = []
+    edges: List[_Edge] = []
+    guard_lines = _guard_lines(ctx.source)
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = build_class_model(ctx, node, guard_lines)
+        if not model.locks:
+            continue
+        walks = _fixpoint_walks(model)
+        findings.extend(_class_findings(ctx, model, walks))
+        edges.extend(_class_edges(model, walks))
+    findings.extend(_cycle_findings(ctx, edges))
+    ctx._rpr2_findings = findings  # type: ignore[attr-defined]
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule shells (one per id, all driven by the shared analysis)
+# ---------------------------------------------------------------------------
+
+class _LockDisciplineRule(Rule):
+    """Base: filters the shared module analysis down to one rule id."""
+
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test:
+            return
+        for finding in _module_findings(ctx):
+            if finding.rule_id == self.id:
+                yield finding
+
+
+class LockOrderRule(_LockDisciplineRule):
+    """RPR201: the module's static lock-order graph must be acyclic."""
+
+    id = "RPR201"
+    description = ("inconsistent lock acquisition order (cycle in the "
+                   "module's lock-order graph) or re-acquired "
+                   "non-reentrant Lock")
+
+
+class BlockingUnderLockRule(_LockDisciplineRule):
+    """RPR202: no blocking calls while holding a hot lock."""
+
+    id = "RPR202"
+    description = ("blocking call (solver, Condition.wait, file/disk "
+                   "I/O, queue op, join) while holding another hot "
+                   "lock")
+
+
+class WaitPredicateRule(_LockDisciplineRule):
+    """RPR203: Condition.wait() must sit in a while-predicate loop."""
+
+    id = "RPR203"
+    description = ("Condition.wait() not wrapped in a while-predicate "
+                   "loop (use wait_for or `while not pred: wait()`)")
+
+
+class GuardedFieldRule(_LockDisciplineRule):
+    """RPR204: guarded-by fields are only written under their lock."""
+
+    id = "RPR204"
+    description = ("field annotated `# guarded-by: <lock>` written "
+                   "outside a `with self.<lock>:` region")
+
+
+class NotifyWithoutLockRule(_LockDisciplineRule):
+    """RPR205: notify/notify_all require the condition's lock."""
+
+    id = "RPR205"
+    description = ("Condition.notify/notify_all called without the "
+                   "condition's lock held")

@@ -7,6 +7,13 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.lint.collectives import CollectiveOrderRule
+from repro.lint.concurrency import (
+    BlockingUnderLockRule,
+    GuardedFieldRule,
+    LockOrderRule,
+    NotifyWithoutLockRule,
+    WaitPredicateRule,
+)
 from repro.lint.framework import (
     FileContext,
     Finding,
@@ -45,6 +52,11 @@ def all_rules() -> List[Rule]:
         TypedDiagnosticRule(),
         ServeQueueDisciplineRule(),
         CollectiveOrderRule(),
+        LockOrderRule(),
+        BlockingUnderLockRule(),
+        WaitPredicateRule(),
+        GuardedFieldRule(),
+        NotifyWithoutLockRule(),
     ]
     rules.sort(key=lambda r: r.id)
     return rules

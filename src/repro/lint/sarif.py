@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 export for ``repro.lint`` findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_ is the
+interchange format GitHub code scanning ingests; emitting it lets the
+CI lock-discipline job surface RPR findings as annotations on the PR
+diff instead of a log line.  The document is self-contained: the
+``tool.driver.rules`` table carries every registered rule (id + short
+description) so viewers can render help text, and each result points
+back into it via ``ruleIndex``.
+
+Only structures code-scanning actually reads are emitted — one run,
+one artifact location per finding, ``level`` mapped from
+:class:`~repro.lint.framework.Severity` (``error``/``warning``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.framework import Finding, Severity
+from repro.lint.engine import all_rules
+
+__all__ = ["findings_to_sarif", "sarif_document"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity >= Severity.ERROR else "warning"
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Build the SARIF run as a plain dict (one run, one tool)."""
+    rules = all_rules()
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    rule_defs: List[Dict[str, object]] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in rules
+    ]
+    results: List[Dict[str, object]] = []
+    for f in findings:
+        result: Dict[str, object] = {
+            "ruleId": f.rule_id,
+            "level": _level(f.severity),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col,
+                    },
+                },
+            }],
+        }
+        # RPR999 (syntax error) has no registered rule object.
+        if f.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[f.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/"
+                        "STATIC_ANALYSIS.md",
+                    "rules": rule_defs,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding],
+                      indent: int = 2) -> str:
+    """Render findings as a SARIF 2.1.0 JSON string."""
+    return json.dumps(sarif_document(findings), indent=indent,
+                      sort_keys=False)

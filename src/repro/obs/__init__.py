@@ -55,6 +55,13 @@ from repro.obs.instrument import (
     record_steal_stats,
     record_traversal_metrics,
 )
+from repro.obs.lockwitness import (
+    LockOrderError,
+    LockWitness,
+    WitnessedLock,
+    named_condition,
+    named_lock,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -132,6 +139,11 @@ __all__ = [
     "traced",
     "metrics_to_json",
     "metrics_to_prometheus",
+    "LockOrderError",
+    "LockWitness",
+    "WitnessedLock",
+    "named_condition",
+    "named_lock",
     "record_traversal_metrics",
     "record_bucket_metrics",
     "record_steal_stats",

@@ -1,0 +1,402 @@
+"""Runtime lock-order witness for the threaded serve stack.
+
+The static analyzer (:mod:`repro.lint.concurrency`, rules
+RPR201–RPR205) proves lock discipline over the *source*; this module
+witnesses it over an actual *execution*.  A :class:`LockWitness`
+records, per thread, the order in which named locks are acquired and
+folds every observation into a runtime lock-order graph:
+
+* an edge ``A → B`` means some thread acquired ``B`` while holding
+  ``A``;
+* a cycle in that graph is a deadlock schedule the run merely got
+  lucky with — :meth:`LockWitness.assert_acyclic` turns it into a
+  hard failure at teardown (the pytest fixture ``lock_witness`` and
+  ``repro serve --lock-witness`` both do this);
+* held-time histograms (``lock.held_seconds.<name>``), acquisition
+  and contention counters are exported to the :mod:`repro.obs`
+  metrics registry, and the witnessed timeline dumps as a
+  Chrome-trace-compatible artifact (one ``lock:<name>`` slice per
+  held region).
+
+Instrumentation is **feature-flagged at construction time**: the
+serve stack builds its primitives through :func:`named_lock` /
+:func:`named_condition`.  While no witness is installed those return
+raw ``threading.Lock`` / ``threading.Condition`` objects — the
+disabled path adds *zero* per-acquisition work, keeping the repo's
+<2 % overhead bound trivially (guarded by
+``tests/obs/test_lockwitness.py``).  With a witness installed they
+return :class:`WitnessedLock` wrappers (and conditions bound to
+them), so even a ``Condition.wait`` shows up as the release/reacquire
+pair it really is.
+
+Lock *names* are the identity: every ``SolveService`` names its lock
+``serve.service._lock``, so the witnessed graph speaks the same
+per-class vocabulary as the static rules.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "HELD_BOUNDS_SECONDS",
+    "LockOrderError",
+    "LockWitness",
+    "WitnessedLock",
+    "named_lock",
+    "named_condition",
+    "install",
+    "uninstall",
+    "active_witness",
+]
+
+#: Histogram bucket edges for lock held time (seconds): lock regions
+#: are short, so the grid starts at 1 µs.
+HELD_BOUNDS_SECONDS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 5.0)
+
+#: Cap on stored Chrome-trace events; edges and counters keep
+#: accumulating after the cap (dropped events are counted).
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class LockOrderError(AssertionError):
+    """The witnessed lock-order graph contains a cycle."""
+
+    def __init__(self, cycles: List[List[str]]) -> None:
+        self.cycles = cycles
+        rendered = "; ".join(" -> ".join(c + [c[0]]) for c in cycles)
+        super().__init__(
+            f"witnessed lock-order graph is cyclic: {rendered} — two "
+            f"threads taking these locks in opposite orders can "
+            f"deadlock")
+
+
+class WitnessedLock:
+    """A ``threading.Lock`` that reports to a :class:`LockWitness`.
+
+    Implements the full lock protocol (``acquire``/``release``/
+    context manager/``locked``), so a ``threading.Condition`` built on
+    top of one keeps working — including ``wait()``, whose internal
+    release/reacquire is witnessed like any other transition.
+    """
+
+    __slots__ = ("name", "_raw", "_witness")
+
+    def __init__(self, witness: "LockWitness", name: str) -> None:
+        self.name = name
+        self._raw = threading.Lock()
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._raw.acquire(False)
+        contended = not got
+        if not got:
+            if not blocking:
+                # Condition._is_owned probes with acquire(False); a
+                # failed non-blocking try is not contention.
+                return False
+            got = self._raw.acquire(True, timeout)
+        if got:
+            self._witness._on_acquire(self.name, contended)
+        return got
+
+    def release(self) -> None:
+        self._witness._on_release(self.name)
+        self._raw.release()
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # noqa: D105 — debugging aid
+        state = "locked" if self._raw.locked() else "unlocked"
+        return f"<WitnessedLock {self.name!r} {state}>"
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of (lock name, acquire perf_counter_ns)."""
+
+    def __init__(self) -> None:
+        self.stack: List[Tuple[str, int]] = []
+
+
+class LockWitness:
+    """Records actual lock-acquisition order into a runtime graph.
+
+    Thread-safe; one instance witnesses every lock it wrapped, across
+    however many services/queues/caches were built while it was
+    installed.  The witness's own bookkeeping lock is a raw
+    ``threading.Lock`` and is never witnessed (no recursion).
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.max_events = int(max_events)
+        self._lock = threading.Lock()
+        self._held = _HeldStack()
+        self._edges: Dict[Tuple[str, str], int] = {}   # guarded-by: _lock
+        self._events: List[Dict[str, Any]] = []        # guarded-by: _lock
+        self._tids: Dict[int, int] = {}                # guarded-by: _lock
+        self._acquisitions: Dict[str, int] = {}        # guarded-by: _lock
+        self._contentions: Dict[str, int] = {}         # guarded-by: _lock
+        self._dropped_events = 0                       # guarded-by: _lock
+        self._epoch_ns = time.perf_counter_ns()
+
+    # -- instrumentation callbacks -----------------------------------------
+
+    def _on_acquire(self, name: str, contended: bool) -> None:
+        now = time.perf_counter_ns()
+        stack = self._held.stack
+        new_edges = [(held, name) for held, _ in stack if held != name]
+        stack.append((name, now))
+        with self._lock:
+            self._acquisitions[name] = \
+                self._acquisitions.get(name, 0) + 1
+            if contended:
+                self._contentions[name] = \
+                    self._contentions.get(name, 0) + 1
+            for edge in new_edges:
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+        if contended and get_tracer().enabled:
+            get_registry().counter(
+                f"lock.contention.{name}",
+                "acquisitions that found the lock held").inc()
+
+    def _on_release(self, name: str) -> None:
+        now = time.perf_counter_ns()
+        stack = self._held.stack
+        t0 = None
+        # Releases are almost always LIFO, but scan backwards so a
+        # non-nested release cannot corrupt the stack.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == name:
+                t0 = stack[i][1]
+                del stack[i]
+                break
+        if t0 is None:
+            return  # release of a lock acquired before installation
+        held_s = (now - t0) / 1e9
+        self._record_event(name, t0, now)
+        if get_tracer().enabled:
+            get_registry().histogram(
+                f"lock.held_seconds.{name}",
+                "time the lock was held per acquisition",
+                bounds=HELD_BOUNDS_SECONDS).observe(held_s)
+
+    def _record_event(self, name: str, t0_ns: int, t1_ns: int) -> None:
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self._dropped_events += 1
+                return
+            ident = threading.get_ident()
+            tid = self._tids.setdefault(ident, len(self._tids))
+            self._events.append({
+                "name": f"lock:{name}", "cat": "lock", "ph": "X",
+                "ts": (t0_ns - self._epoch_ns) / 1e3,
+                "dur": (t1_ns - t0_ns) / 1e3,
+                "pid": 2, "tid": tid})
+
+    # -- the witnessed graph -----------------------------------------------
+
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot of edge → observation count."""
+        with self._lock:
+            return dict(self._edges)
+
+    def graph(self) -> Dict[str, List[str]]:
+        """Adjacency view: lock name → sorted successor names."""
+        adj: Dict[str, List[str]] = {}
+        for (a, b) in self.edges():
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, [])
+        return {k: sorted(v) for k, v in sorted(adj.items())}
+
+    def lock_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._acquisitions)
+
+    def contention(self, name: str) -> int:
+        with self._lock:
+            return self._contentions.get(name, 0)
+
+    def cycles(self) -> List[List[str]]:
+        """Cycles in the witnessed graph ([] = acyclic).
+
+        Returns each strongly connected component with more than one
+        node (plus self-loops) as a node list.
+        """
+        adj = self.graph()
+        return _cyclic_components(adj)
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderError` if any cycle was witnessed."""
+        found = self.cycles()
+        if found:
+            raise LockOrderError(found)
+
+    # -- export ------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        with self._lock:
+            n_locks = len(self._acquisitions)
+            n_acq = sum(self._acquisitions.values())
+            n_con = sum(self._contentions.values())
+            n_edges = len(self._edges)
+        found = self.cycles()
+        verdict = "acyclic" if not found else \
+            f"CYCLIC ({len(found)} cycle(s))"
+        return (f"lock witness: {n_locks} locks, {n_acq} acquisitions "
+                f"({n_con} contended), {n_edges} order edges — "
+                f"{verdict}")
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Perfetto-loadable document: held-region slices per thread,
+        plus the witnessed graph under ``otherData.lockGraph``."""
+        with self._lock:
+            events = list(self._events)
+            tids = dict(self._tids)
+            dropped = self._dropped_events
+        meta = [{"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+                 "args": {"name": "lock witness"}}]
+        for ident, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            meta.append({"name": "thread_name", "ph": "M", "pid": 2,
+                         "tid": tid, "args": {"name": f"thread {tid}"}})
+        doc: Dict[str, Any] = {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "lockGraph": {f"{a} -> {b}": n
+                              for (a, b), n in sorted(self.edges().items())},
+                "cycles": [" -> ".join(c) for c in self.cycles()],
+            },
+        }
+        if dropped:
+            doc["otherData"]["droppedEvents"] = dropped
+        return doc
+
+    def write_chrome_trace(self, path: str) -> str:
+        import json
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh, indent=None,
+                      separators=(",", ":"))
+        return path
+
+
+def _cyclic_components(adj: Dict[str, List[str]]) -> List[List[str]]:
+    """Tarjan SCC, keeping components that contain a cycle."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # Iterative DFS (lock graphs are tiny, but recursion limits
+        # are a silly way to die in a linter).
+        work: List[Tuple[str, int]] = [(v, 0)]
+        while work:
+            node, pi = work.pop()
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            succs = adj.get(node, [])
+            for i in range(pi, len(succs)):
+                w = succs[i]
+                if w not in index:
+                    work.append((node, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack.get(w):
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                comp: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == node:
+                        break
+                comp.reverse()
+                if len(comp) > 1 or node in adj.get(node, []):
+                    out.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(adj):
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Feature flag + construction-time factories
+# ---------------------------------------------------------------------------
+
+#: The installed witness (None = instrumentation off).  Only read at
+#: *construction* time by the factories below, so installing/removing
+#: a witness never changes the behaviour of locks that already exist.
+_active: Optional[LockWitness] = None
+
+
+def install(witness: LockWitness) -> LockWitness:
+    """Make ``witness`` the active one; locks built from now on are
+    witnessed.  Install *before* constructing the service under test."""
+    global _active
+    _active = witness
+    return witness
+
+
+def uninstall() -> None:
+    """Deactivate witnessing; existing witnessed locks keep reporting
+    to the witness they were built with."""
+    global _active
+    _active = None
+
+
+def active_witness() -> Optional[LockWitness]:
+    return _active
+
+
+def named_lock(name: str) -> Union[threading.Lock, WitnessedLock]:
+    """A lock called ``name``: raw ``threading.Lock`` while no witness
+    is installed (zero overhead), witnessed wrapper otherwise."""
+    witness = _active
+    if witness is None:
+        return threading.Lock()
+    return WitnessedLock(witness, name)
+
+
+def named_condition(name: str,
+                    lock: Union[threading.Lock, WitnessedLock, None]
+                    = None) -> threading.Condition:
+    """A condition called ``name`` over ``lock`` (or a fresh
+    :func:`named_lock` when omitted).
+
+    Pass the owning object's (possibly witnessed) lock so waiters and
+    mutators share one witness identity — ``Condition.wait`` then
+    records the release/reacquire of *that* lock, exactly what the
+    runtime order graph needs.
+    """
+    if lock is None:
+        lock = named_lock(name)
+    return threading.Condition(lock)

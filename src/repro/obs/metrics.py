@@ -37,7 +37,7 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._value = 0.0
+        self._value = 0.0                            # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
@@ -59,7 +59,7 @@ class Gauge:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._value = 0.0
+        self._value = 0.0                            # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
@@ -93,9 +93,10 @@ class Histogram:
         if not edges:
             raise ValueError("histogram needs at least one bucket edge")
         self.bounds = tuple(edges)
-        self._counts = np.zeros(len(edges) + 1, dtype=np.int64)
-        self._sum = 0.0
-        self._count = 0
+        self._counts = np.zeros(len(edges) + 1,
+                                dtype=np.int64)      # guarded-by: _lock
+        self._sum = 0.0                              # guarded-by: _lock
+        self._count = 0                              # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -134,7 +135,7 @@ class MetricsRegistry:
     """Name → metric store with get-or-create accessors."""
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, Metric] = {}        # guarded-by: _lock
         self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:

@@ -110,10 +110,10 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self._lock = threading.Lock()
-        self._events: List[Dict[str, Any]] = []
+        self._events: List[Dict[str, Any]] = []      # guarded-by: _lock
         self._ids = itertools.count(1)
-        self._tids: Dict[int, int] = {}
-        self._thread_names: Dict[int, str] = {}
+        self._tids: Dict[int, int] = {}              # guarded-by: _lock
+        self._thread_names: Dict[int, str] = {}      # guarded-by: _lock
         self._epoch_ns = time.perf_counter_ns()
 
     # -- lifecycle ---------------------------------------------------------

@@ -181,7 +181,7 @@ class _Checkpoint:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._store: Dict[str, Any] = {}
+        self._store: Dict[str, Any] = {}             # guarded-by: _lock
 
     def put(self, name: str, value: Any) -> None:
         with self._lock:

@@ -31,7 +31,6 @@ corrupt file surfaces as a counted miss, never as wrong physics.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -166,11 +165,17 @@ class ArtifactCache:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
         self.disk_max_bytes = disk_max_bytes
-        self._lru: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
-        self._bytes = 0
-        self._lock = threading.Lock()
-        self._disk_lock = threading.Lock()
-        self._stats = CacheStats()
+        self._lru: "OrderedDict[str, Tuple[Any, int]]" = \
+            OrderedDict()                      # guarded-by: _lock
+        self._bytes = 0                        # guarded-by: _lock
+        # Witness-aware: plain threading primitives unless a
+        # LockWitness is installed (repro.obs.lockwitness).
+        self._lock = obs.named_lock("serve.cache._lock")
+        # Cold pure-serialization mutex: guards no fields, only keeps
+        # concurrent disk trims from racing each other's unlinks — it
+        # may legitimately be held across the I/O it serializes.
+        self._disk_lock = obs.named_lock("serve.cache._disk_lock")
+        self._stats = CacheStats()             # guarded-by: _lock
         self._disk: Optional[CheckpointStore] = None
         if disk_dir is not None:
             self._disk = CheckpointStore(disk_dir)

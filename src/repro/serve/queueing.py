@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import threading
 from typing import Any, List, Optional, Tuple
 
 import repro.obs as obs
@@ -40,12 +39,16 @@ class BoundedPriorityQueue:
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = int(capacity)
-        self._heap: List[Tuple[int, int, Any]] = []
+        self._heap: List[Tuple[int, int, Any]] = []  # guarded-by: _lock
         self._seq = itertools.count()
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._not_full = threading.Condition(self._lock)
-        self._closed = False
+        # Witness-aware: plain threading primitives unless a
+        # LockWitness is installed (repro.obs.lockwitness).
+        self._lock = obs.named_lock("serve.queue._lock")
+        self._not_empty = obs.named_condition("serve.queue._not_empty",
+                                              self._lock)
+        self._not_full = obs.named_condition("serve.queue._not_full",
+                                             self._lock)
+        self._closed = False                         # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

@@ -168,14 +168,17 @@ class SolveService:
         self.policy = policy
         self.batch_size = int(batch_size)
         self._queue = BoundedPriorityQueue(queue_capacity)
-        self._lock = threading.Lock()
-        self._idle = threading.Condition(self._lock)
-        self._inflight: Dict[str, Ticket] = {}
-        self._pending = 0
-        self._closed = False
-        self._stats = ServeStats()
-        self._waits: List[float] = []
-        self._services: List[float] = []
+        # Witness-aware factories: plain threading primitives unless a
+        # LockWitness is installed (repro.obs.lockwitness).
+        self._lock = obs.named_lock("serve.service._lock")
+        self._idle = obs.named_condition("serve.service._idle",
+                                         self._lock)
+        self._inflight: Dict[str, Ticket] = {}   # guarded-by: _lock
+        self._pending = 0                        # guarded-by: _lock
+        self._closed = False                     # guarded-by: _lock
+        self._stats = ServeStats()               # guarded-by: _lock
+        self._waits: List[float] = []            # guarded-by: _lock
+        self._services: List[float] = []         # guarded-by: _lock
         self._threads = [
             threading.Thread(target=self._worker, args=(i,),
                              name=f"serve-worker-{i}", daemon=True)

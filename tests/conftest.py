@@ -49,3 +49,19 @@ def default_params() -> ApproxParams:
 def tight_params() -> ApproxParams:
     """ε small enough that octree results coincide with naive."""
     return ApproxParams(eps_born=0.05, eps_epol=0.05)
+
+
+@pytest.fixture()
+def lock_witness():
+    """Install a :class:`repro.obs.lockwitness.LockWitness` around the
+    test: ``named_lock``/``named_condition`` objects created inside it
+    are wrapped, and teardown asserts the witnessed acquisition-order
+    graph is acyclic (raising ``LockOrderError`` fails the test)."""
+    from repro.obs import lockwitness
+
+    witness = lockwitness.install(lockwitness.LockWitness())
+    try:
+        yield witness
+    finally:
+        lockwitness.uninstall()
+        witness.assert_acyclic()

@@ -1,0 +1,499 @@
+"""RPR201–RPR205: the lock-discipline rules (repro.lint.concurrency)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import lint_source
+
+RPR2XX = ["RPR201", "RPR202", "RPR203", "RPR204", "RPR205"]
+
+
+def findings(source, select=RPR2XX, filename="fixture.py"):
+    return lint_source(textwrap.dedent(source), filename, select=select)
+
+
+def ids(source, **kw):
+    return sorted({f.rule_id for f in findings(source, **kw)})
+
+
+# -- RPR201: lock-order cycles ---------------------------------------------
+
+def test_rpr201_flags_opposite_acquisition_orders():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+    """
+    found = findings(src)
+    assert {f.rule_id for f in found} == {"RPR201"}
+    assert len(found) == 2  # one per conflicting edge
+    assert "opposite order" in found[0].message
+
+
+def test_rpr201_sees_through_helper_calls():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def _grab_b(self):
+            with self._b:
+                pass
+
+        def forward(self):
+            with self._a:
+                self._grab_b()
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+    """
+    assert ids(src) == ["RPR201"]
+
+
+def test_rpr201_flags_nonreentrant_self_deadlock():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def _locked_op(self):
+            with self._lock:
+                pass
+
+        def outer(self):
+            with self._lock:
+                self._locked_op()
+    """
+    found = findings(src)
+    assert all(f.rule_id == "RPR201" for f in found)
+    assert any("self-deadlock" in f.message for f in found)
+
+
+def test_rpr201_rlock_reentry_is_fine():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.RLock()
+
+        def _locked_op(self):
+            with self._lock:
+                pass
+
+        def outer(self):
+            with self._lock:
+                self._locked_op()
+    """
+    assert ids(src) == []
+
+
+def test_rpr201_consistent_nesting_is_fine():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def one(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def two(self):
+            with self._a:
+                with self._b:
+                    pass
+    """
+    assert ids(src) == []
+
+
+# -- RPR202: blocking while holding a hot lock -----------------------------
+
+def test_rpr202_flags_file_io_under_hot_lock():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._stats = {}  # guarded-by: _lock
+
+        def persist(self, path, payload):
+            with self._lock:
+                path.write_text(payload)
+    """
+    found = findings(src)
+    assert ids(src) == ["RPR202"]
+    assert "write_text" in found[0].message
+
+
+def test_rpr202_cold_serialization_mutex_is_exempt():
+    # A mutex guarding no fields exists purely to serialize the I/O it
+    # wraps (the artifact cache's _disk_lock pattern) — not a finding.
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._disk_lock = threading.Lock()
+
+        def trim(self, path):
+            with self._disk_lock:
+                path.unlink()
+    """
+    assert ids(src) == []
+
+
+def test_rpr202_queue_and_solver_ops_flagged():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0  # guarded-by: _lock
+            self._queue = object()
+
+        def a(self):
+            with self._lock:
+                self._queue.put(1)
+
+        def b(self, solver):
+            with self._lock:
+                solver.report()
+    """
+    assert ids(src) == ["RPR202"]
+    assert len(findings(src)) == 2
+
+
+def test_rpr202_waiting_on_own_condition_lock_is_fine():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cv = threading.Condition(self._lock)
+
+        def drain(self):
+            with self._cv:
+                self._cv.wait_for(lambda: True, 1.0)
+    """
+    assert ids(src) == []
+
+
+def test_rpr202_condition_wait_under_other_lock_flagged():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._cv = threading.Condition()
+            self._n = 0  # guarded-by: _a
+
+        def bad(self):
+            with self._a:
+                with self._cv:
+                    self._cv.wait_for(lambda: True, 1.0)
+    """
+    assert "RPR202" in ids(src)
+
+
+# -- RPR203: wait without a predicate loop ---------------------------------
+
+def test_rpr203_bare_wait_flagged_while_loop_ok():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cv = threading.Condition(self._lock)
+            self.ready = False
+
+        def bad(self):
+            with self._cv:
+                if not self.ready:
+                    self._cv.wait()
+
+        def good(self):
+            with self._cv:
+                while not self.ready:
+                    self._cv.wait()
+    """
+    found = findings(src, select=["RPR203"])
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR203"
+
+
+def test_rpr203_wait_for_is_exempt():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cv = threading.Condition(self._lock)
+
+        def fine(self):
+            with self._cv:
+                self._cv.wait_for(lambda: True, 0.1)
+    """
+    assert ids(src, select=["RPR203"]) == []
+
+
+# -- RPR204: guarded fields written outside their lock ---------------------
+
+def test_rpr204_flags_unguarded_writes_various_forms():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0          # guarded-by: _lock
+            self._items = []     # guarded-by: _lock
+            self._map = {}       # guarded-by: _lock
+
+        def bad(self):
+            self._n += 1
+            self._items.append(1)
+            self._map["k"] = 2
+
+        def good(self):
+            with self._lock:
+                self._n += 1
+                self._items.append(1)
+                self._map["k"] = 2
+    """
+    found = findings(src, select=["RPR204"])
+    assert len(found) == 3
+    assert all(f.rule_id == "RPR204" for f in found)
+
+
+def test_rpr204_init_and_private_helper_under_lock_exempt():
+    # __init__ runs before the object is shared; a private helper only
+    # ever called under the lock inherits it interprocedurally.
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._stats = {}  # guarded-by: _lock
+
+        def _count(self, k):
+            self._stats[k] = self._stats.get(k, 0) + 1
+
+        def hit(self):
+            with self._lock:
+                self._count("hits")
+
+        def miss(self):
+            with self._lock:
+                self._count("misses")
+    """
+    assert ids(src, select=["RPR204"]) == []
+
+
+def test_rpr204_helper_also_called_unlocked_is_flagged():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._stats = {}  # guarded-by: _lock
+
+        def _count(self, k):
+            self._stats[k] = self._stats.get(k, 0) + 1
+
+        def locked(self):
+            with self._lock:
+                self._count("a")
+
+        def unlocked(self):
+            self._count("b")
+    """
+    assert ids(src, select=["RPR204"]) == ["RPR204"]
+
+
+def test_rpr204_unknown_lock_name_in_annotation():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0  # guarded-by: _mutex
+    """
+    found = findings(src, select=["RPR204"])
+    assert len(found) == 1
+    assert "_mutex" in found[0].message
+
+
+def test_rpr204_suppression_comment_works():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0  # guarded-by: _lock
+
+        def _reset(self):
+            self._n = 0  # lint: ignore[RPR204] — pre-thread reset
+    """
+    assert ids(src, select=["RPR204"]) == []
+
+
+# -- RPR205: notify without the lock ---------------------------------------
+
+def test_rpr205_notify_without_lock_flagged():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cv = threading.Condition(self._lock)
+
+        def bad(self):
+            self._cv.notify_all()
+
+        def good(self):
+            with self._lock:
+                self._cv.notify_all()
+
+        def also_good(self):
+            with self._cv:
+                self._cv.notify()
+    """
+    found = findings(src, select=["RPR205"])
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR205"
+
+
+# -- witness factories are modeled like threading primitives ---------------
+
+def test_named_lock_factories_are_recognized():
+    src = """
+    from repro.obs.lockwitness import named_condition, named_lock
+
+    class S:
+        def __init__(self):
+            self._lock = named_lock("s._lock")
+            self._cv = named_condition("s._cv", self._lock)
+            self._n = 0  # guarded-by: _lock
+
+        def bad(self):
+            self._n += 1
+            self._cv.notify_all()
+    """
+    assert ids(src) == ["RPR204", "RPR205"]
+
+
+# -- the PR 5 bug class, reintroduced as a fixture -------------------------
+
+def test_stranded_coalesced_ticket_pattern_is_flagged():
+    """Regression seed: the stranded-coalesced-ticket shape from PR 5.
+
+    ``submit`` publishes the ticket then calls into the queue *while
+    still holding the service lock*; the worker drains the queue under
+    the queue lock and then takes the service lock to retire the
+    ticket — an A→B / B→A cycle (RPR201).  The failure path retracts
+    the published ticket without any lock at all (RPR204), exactly the
+    unguarded-mutation half of the original bug.
+    """
+    src = """
+    import threading
+
+    class StrandedService:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._qlock = threading.Lock()
+            self._inflight = {}   # guarded-by: _lock
+            self._pending = []    # guarded-by: _qlock
+
+        def submit(self, key, job):
+            with self._lock:
+                if key in self._inflight:
+                    return self._inflight[key]
+                self._inflight[key] = job
+                with self._qlock:
+                    self._pending.append(job)
+            return job
+
+        def _retire(self, key):
+            with self._lock:
+                self._inflight.pop(key, None)
+
+        def worker(self):
+            with self._qlock:
+                while self._pending:
+                    job = self._pending.pop()
+                    self._retire(job)
+
+        def withdraw(self, key):
+            # The PR 5 bug: retracting a published ticket with no lock,
+            # so a concurrent coalescing submit strands its caller.
+            self._inflight.pop(key, None)
+    """
+    found = findings(src)
+    by_rule = {f.rule_id for f in found}
+    assert "RPR201" in by_rule, found
+    assert "RPR204" in by_rule, found
+
+
+# -- general behavior ------------------------------------------------------
+
+def test_rules_skip_test_files():
+    src = """
+    import threading
+
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0  # guarded-by: _lock
+
+        def bad(self):
+            self._n += 1
+    """
+    assert ids(src, filename="test_fixture.py") == []
+
+
+def test_classes_without_locks_are_ignored():
+    src = """
+    class Plain:
+        def __init__(self):
+            self._n = 0  # guarded-by: _lock
+
+        def touch(self):
+            self._n += 1
+    """
+    assert ids(src) == []

@@ -61,5 +61,30 @@ def test_list_rules_names_every_rule():
     proc = run_lint("--list-rules")
     assert proc.returncode == 0
     for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                    "RPR101"):
+                    "RPR101", "RPR201", "RPR202", "RPR203", "RPR204",
+                    "RPR205"):
         assert rule_id in proc.stdout
+
+
+def test_sarif_output_is_valid_sarif(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    proc = run_lint(str(bad), "--format", "sarif")
+    assert proc.returncode == 1  # exit codes unchanged by the format
+    doc = json.loads(proc.stdout)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "RPR201" in rule_ids and "RPR002" in rule_ids
+    (result,) = [r for r in run["results"] if r["ruleId"] == "RPR002"]
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 1
+    assert result["ruleIndex"] == rule_ids.index("RPR002")
+
+
+def test_sarif_clean_run_has_no_results():
+    proc = run_lint("src", "--format", "sarif")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["runs"][0]["results"] == []

@@ -3,11 +3,29 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.serve import BoundedPriorityQueue, QueueFullError, \
     ServiceClosedError
+
+
+@pytest.fixture(params=["bare", "witnessed"])
+def maybe_witness(request):
+    """Run a test twice: on raw locks and under the LockWitness (the
+    witnessed pass also asserts the runtime order graph is acyclic)."""
+    if request.param == "bare":
+        yield None
+        return
+    from repro.obs import lockwitness
+
+    witness = lockwitness.install(lockwitness.LockWitness())
+    try:
+        yield witness
+    finally:
+        lockwitness.uninstall()
+        witness.assert_acyclic()
 
 
 def test_priority_order_lowest_first():
@@ -85,6 +103,94 @@ def test_get_times_out_on_empty_queue():
     assert q.get(timeout=0.01) is None
 
 
-def test_capacity_must_be_positive():
+@pytest.mark.parametrize("capacity", [0, -1])
+def test_capacity_must_be_positive(capacity):
     with pytest.raises(ValueError):
-        BoundedPriorityQueue(0)
+        BoundedPriorityQueue(capacity)
+
+
+def test_close_unblocks_waiting_getter(maybe_witness):
+    q = BoundedPriorityQueue(4)
+    got = []
+
+    def getter():
+        got.append(q.get(timeout=30.0))
+
+    t = threading.Thread(target=getter)
+    t.start()
+    time.sleep(0.05)  # let the getter reach the condition wait
+    t0 = time.monotonic()
+    q.close()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert time.monotonic() - t0 < 5.0  # woke on notify, not timeout
+    assert got == [None]  # closed + empty → shutdown sentinel
+
+
+def test_close_unblocks_wait_not_full(maybe_witness):
+    q = BoundedPriorityQueue(1)
+    q.put("occupies the only slot")
+    outcome = []
+
+    def waiter():
+        try:
+            outcome.append(q.wait_not_full(timeout=30.0))
+        except ServiceClosedError:
+            outcome.append("closed")
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.05)
+    q.close()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert outcome == ["closed"]
+
+
+def test_capacity_one_cycles_through_full_and_empty(maybe_witness):
+    q = BoundedPriorityQueue(1)
+    for item in range(3):
+        q.put(item)
+        with pytest.raises(QueueFullError):
+            q.put("overflow")
+        assert q.get(timeout=0.1) == item
+    assert q.get(timeout=0.01) is None  # empty again
+
+
+def test_concurrent_producers_consumers_under_witness(maybe_witness):
+    q = BoundedPriorityQueue(8)
+    per_producer, consumed = 25, []
+    sink_lock = threading.Lock()
+
+    def producer(base):
+        for i in range(per_producer):
+            while True:
+                try:
+                    q.put((base, i))
+                    break
+                except QueueFullError:
+                    q.wait_not_full(timeout=5.0)
+
+    def consumer():
+        while True:
+            item = q.get(timeout=5.0)
+            if item is None:
+                return
+            with sink_lock:
+                consumed.append(item)
+
+    producers = [threading.Thread(target=producer, args=(b,))
+                 for b in range(2)]
+    consumers = [threading.Thread(target=consumer) for _ in range(2)]
+    for t in producers + consumers:
+        t.start()
+    for t in producers:
+        t.join(timeout=30.0)
+    q.close()
+    for t in consumers:
+        t.join(timeout=30.0)
+    assert not any(t.is_alive() for t in producers + consumers)
+    assert sorted(consumed) == sorted(
+        (b, i) for b in range(2) for i in range(per_producer))
+    if maybe_witness is not None:
+        assert "serve.queue._lock" in maybe_witness.lock_names()
