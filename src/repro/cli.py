@@ -307,12 +307,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults import chaos
     if args.trace:
         obs.enable(reset=True)
-    report = chaos.run_chaos(seed=args.seed, processes=args.processes,
-                             atoms=args.atoms, quick=args.quick,
-                             tolerance=args.tolerance)
+    witness = None
+    if args.serve and args.lock_witness:
+        from repro.obs import lockwitness
+
+        # Installed before any service is built so every serve-stack
+        # lock is wrapped (factories consult the active witness at
+        # construction time).
+        witness = lockwitness.install(lockwitness.LockWitness())
+    if args.serve:
+        from repro.faults import servechaos
+        report = servechaos.run_serve_chaos(
+            seed=args.seed, atoms=args.atoms, quick=args.quick,
+            workers=args.workers)
+    else:
+        from repro.faults import chaos
+        report = chaos.run_chaos(seed=args.seed,
+                                 processes=args.processes,
+                                 atoms=args.atoms, quick=args.quick,
+                                 tolerance=args.tolerance)
     print(report.table())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -323,18 +338,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                                metrics=obs.registry)
         obs.disable()
         print(f"wrote trace to {args.trace}")
+    cyclic = False
+    if witness is not None:
+        from repro.obs import lockwitness
+
+        lockwitness.uninstall()
+        print(witness.summary())
+        found = witness.cycles()
+        if found:
+            cyclic = True
+            for cycle in found:
+                print("lock-order cycle: " + " -> ".join(cycle),
+                      file=sys.stderr)
     if not report.all_passed:
         failed = [r.name for r in report.results if not r.passed]
         print(f"FAILED scenarios: {', '.join(failed)}", file=sys.stderr)
         return 1
-    print(f"all {len(report.results)} scenarios recovered within "
-          f"{report.tolerance:g} of E_pol = {report.ref_energy:.6f}")
-    return 0
+    if args.serve:
+        print(f"all {len(report.results)} serve scenarios passed: "
+              f"zero stranded tickets, bitwise parity with the "
+              f"fault-free twin, same-seed determinism")
+    else:
+        print(f"all {len(report.results)} scenarios recovered within "
+              f"{report.tolerance:g} of E_pol = {report.ref_energy:.6f}")
+    return 1 if cyclic else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         QueueFullError,
+        ServiceOverloadedError,
+        SolveResult,
         SolveService,
         load_workload,
         synthetic_workload,
@@ -356,11 +390,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # named_condition factories consult the active witness at
         # construction time, so every serve-stack lock is wrapped.
         witness = lockwitness.install(lockwitness.LockWitness())
+    retry = None
+    if args.retries > 1 or args.hedge_after is not None:
+        from repro.serve import RetryPolicy
+        retry = RetryPolicy(max_attempts=max(2, args.retries),
+                            seed=args.seed,
+                            hedge_after_s=args.hedge_after)
+    admission = None
+    if (args.shed_queue_depth is not None
+            or args.shed_wait_seconds is not None):
+        from repro.serve import AdmissionPolicy
+        admission = AdmissionPolicy(
+            max_queue_depth=args.shed_queue_depth,
+            max_wait_seconds=args.shed_wait_seconds)
     service = SolveService(workers=args.workers,
                            queue_capacity=args.queue_size,
                            batch_size=args.batch_size,
                            cache_bytes=args.cache_mb * 1024 * 1024,
-                           cache_dir=args.cache_dir)
+                           cache_dir=args.cache_dir,
+                           retry=retry, admission=admission)
     tickets = []
     t0 = time.perf_counter()
     with obs.span("serve", cat="serve", workers=args.workers,
@@ -369,11 +417,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             try:
                 tickets.append(
                     service.submit(req, wait_timeout=args.submit_timeout))
+            except ServiceOverloadedError as exc:
+                print(f"shed (overloaded): {exc}", file=sys.stderr)
             except QueueFullError as exc:
                 print(f"rejected (queue full): {exc}", file=sys.stderr)
         service.drain(timeout=args.drain_timeout)
     wall = time.perf_counter() - t0
-    results = [t.result(timeout=1.0) for t in tickets]
+    # Collect against the *remaining* drain budget, not a hardcoded
+    # per-ticket second: a slow straggler that drain() already waited
+    # on must not get a fresh second per ticket, and a fast run should
+    # not be capped below its budget.  A ticket that still misses the
+    # deadline yields a typed timeout result instead of an exception.
+    collect_deadline = t0 + args.drain_timeout
+    results = []
+    for t in tickets:
+        remaining = max(0.0, collect_deadline - time.perf_counter())
+        try:
+            results.append(t.result(timeout=remaining))
+        except TimeoutError:
+            results.append(SolveResult(
+                key=t.key, status="failed",
+                error=f"result not available within the "
+                      f"{args.drain_timeout:g}s drain budget"))
     stats = service.stats()
     service.close()
 
@@ -565,7 +630,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("chaos", help="fault-injection scenario matrix "
-                                     "over the fault-tolerant solver")
+                                     "over the fault-tolerant solver "
+                                     "(--serve: over the solve service)")
     p.add_argument("--seed", type=int, default=0,
                    help="derives every scenario's faults (default 0)")
     p.add_argument("--processes", type=int, default=4,
@@ -576,6 +642,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small molecule — the CI smoke configuration")
     p.add_argument("--tolerance", type=float, default=1e-9,
                    help="relative E_pol agreement required (default 1e-9)")
+    p.add_argument("--serve", action="store_true",
+                   help="run the serve-tier matrix instead (worker "
+                        "crashes, stragglers+hedging, disk-error "
+                        "storms, cache poison, overload shedding)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="--serve: clean-baseline worker pool "
+                        "(fault scenarios pin their own; default 2)")
+    p.add_argument("--lock-witness", action="store_true",
+                   help="--serve: wrap serve-stack locks in the "
+                        "runtime LockWitness and fail on an "
+                        "acquisition-order cycle")
     p.add_argument("--json", type=str, default=None, metavar="FILE",
                    help="write the scenario report as JSON")
     p.add_argument("--trace", type=str, default=None, metavar="FILE",
@@ -620,8 +697,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for queue space before "
                         "rejecting (default 30)")
     p.add_argument("--drain-timeout", type=float, default=600.0,
-                   help="seconds to wait for the queue to drain "
-                        "(default 600)")
+                   help="seconds to wait for the queue to drain; also "
+                        "bounds result collection (default 600)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="max delivery attempts per request; >1 "
+                        "enables bounded retry with seeded "
+                        "exponential backoff (default 1 = off)")
+    p.add_argument("--hedge-after", type=float, default=None,
+                   metavar="SECONDS",
+                   help="hedge a straggling attempt after this many "
+                        "seconds; first completed result wins "
+                        "(default off)")
+    p.add_argument("--shed-queue-depth", type=int, default=None,
+                   metavar="N", help="shed submissions (typed "
+                        "ServiceOverloadedError with a retry-after "
+                        "hint) once the queue is deeper than N")
+    p.add_argument("--shed-wait-seconds", type=float, default=None,
+                   metavar="SLO", help="shed once the projected queue "
+                        "wait (EMA service time x depth / workers) "
+                        "exceeds SLO seconds")
     p.add_argument("--json", type=str, default=None, metavar="FILE",
                    help="write the latency/hit-rate summary as JSON")
     p.add_argument("--lock-witness", action="store_true",

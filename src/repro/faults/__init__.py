@@ -14,25 +14,39 @@ Three layers (see ``docs/ROBUSTNESS.md`` for the full model):
   and asserts energy agreement with the fault-free run (exposed as
   ``repro chaos``).  Imported lazily (``from repro.faults import
   chaos``) because it pulls in the distributed drivers.
+
+The same discipline reaches the serve tier: a
+:class:`ServeFaultPlan` (worker crashes, stragglers, disk faults,
+cache poison — all seeded and keyed on deterministic serve-side
+state) is consumed by :class:`repro.serve.service.SolveService`, and
+:mod:`repro.faults.servechaos` (also lazy — it pulls in the serve
+stack) runs the ``repro chaos --serve`` scenario matrix.
 """
 
 from __future__ import annotations
 
 from repro.faults.errors import (
     CollectiveAbortedError,
+    DiskFaultError,
     FaultError,
     NoSurvivorsError,
     RankCrashedError,
     RecvTimeoutError,
+    WorkerCrashedError,
 )
 from repro.faults.plan import (
+    CachePoison,
     DataCorruption,
+    DiskIOFault,
     FaultEvent,
     FaultPlan,
     MessageDelay,
     MessageDrop,
     RankCrash,
+    ServeFaultPlan,
+    SlowWorker,
     Straggler,
+    WorkerCrash,
 )
 
 __all__ = [
@@ -41,6 +55,8 @@ __all__ = [
     "RecvTimeoutError",
     "CollectiveAbortedError",
     "NoSurvivorsError",
+    "WorkerCrashedError",
+    "DiskFaultError",
     "FaultEvent",
     "FaultPlan",
     "RankCrash",
@@ -48,4 +64,9 @@ __all__ = [
     "MessageDelay",
     "Straggler",
     "DataCorruption",
+    "ServeFaultPlan",
+    "WorkerCrash",
+    "SlowWorker",
+    "DiskIOFault",
+    "CachePoison",
 ]

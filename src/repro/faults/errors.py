@@ -25,6 +25,8 @@ __all__ = [
     "RecvTimeoutError",
     "CollectiveAbortedError",
     "NoSurvivorsError",
+    "WorkerCrashedError",
+    "DiskFaultError",
 ]
 
 
@@ -121,3 +123,37 @@ class NoSurvivorsError(FaultError):
         self.dead = tuple(dead)
         super().__init__(
             f"all ranks dead ({list(self.dead)}); nothing to recover")
+
+
+class WorkerCrashedError(FaultError):
+    """A serve worker thread died with this job in flight.
+
+    Injected by a :class:`repro.faults.plan.WorkerCrash`.  Supervision
+    requeues the in-flight batch exactly once (via idempotency keys);
+    a job that loses its worker a *second* time surfaces this error in
+    its :class:`~repro.serve.request.SolveResult` instead of being
+    requeued forever.
+    """
+
+    def __init__(self, worker: int, batch_seq: int, key: str) -> None:
+        self.worker = worker
+        self.batch_seq = batch_seq
+        self.key = key
+        super().__init__(
+            f"worker {worker} crashed during batch {batch_seq} with "
+            f"request {key!r} in flight")
+
+
+class DiskFaultError(FaultError, OSError):
+    """An injected disk-tier I/O failure (checkpoint load/save/delete).
+
+    Keeps an :class:`OSError` base so the artifact cache's existing
+    disk-error containment (``except (CheckpointError, OSError)``)
+    treats an injected fault exactly like a real one.
+    """
+
+    def __init__(self, op: str, seq: int) -> None:
+        self.op = op
+        self.seq = seq
+        FaultError.__init__(
+            self, f"injected disk fault on {op} op #{seq}")

@@ -33,6 +33,7 @@ fault fires, so Perfetto timelines show exactly when and where.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,6 +47,11 @@ __all__ = [
     "DataCorruption",
     "FaultEvent",
     "FaultPlan",
+    "WorkerCrash",
+    "SlowWorker",
+    "DiskIOFault",
+    "CachePoison",
+    "ServeFaultPlan",
 ]
 
 
@@ -302,3 +308,210 @@ class FaultPlan:
                 rank=int(rng.integers(0, ranks)),
                 factor=float(rng.uniform(1.5, max_slowdown))))
         return cls(faults, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Serve-tier faults (consumed by repro.serve, not the simulated cluster)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill a :class:`~repro.serve.service.SolveService` worker thread.
+
+    ``worker`` is the worker id; the initial pool is ids ``0..n-1`` and
+    every replacement takes the next id, so a spec never re-fires on
+    the thread spawned to replace its victim and a double-crash
+    scenario addresses the replacement explicitly.  ``batch_seq``
+    selects the *n*-th batch the worker pops (each worker counts its
+    own batches deterministically); ``after_jobs`` is how many jobs of
+    that batch complete before the thread dies — the rest are in-flight
+    and must be requeued exactly once by supervision.
+    """
+
+    worker: int
+    batch_seq: int = 0
+    after_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after_jobs < 0:
+            raise ValueError("after_jobs must be >= 0")
+
+
+@dataclass(frozen=True)
+class SlowWorker:
+    """Inject a straggler delay into matching job executions.
+
+    All given selectors must match: ``worker`` (None = any),
+    ``key_prefix`` (request key startswith, "" = any) and ``attempt``
+    (None = any).  Pinning ``attempt=1`` makes a hedged re-submit of
+    the same request run at full speed — the deterministic straggler
+    scenario for first-completed-wins coalescing.
+    """
+
+    seconds: float
+    worker: Optional[int] = None
+    key_prefix: str = ""
+    attempt: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("slow-worker seconds must be positive")
+
+
+@dataclass(frozen=True)
+class DiskIOFault:
+    """Fail disk-tier :class:`~repro.serve.cache.ArtifactCache` ops.
+
+    ``op`` is ``"load"``, ``"save"``, ``"delete"`` or ``"*"``; the
+    cache keeps a per-op sequence counter and the fault fires on ops
+    ``index .. index+count-1`` (``count=None`` = every op from
+    ``index`` on — a persistently failing disk, the breaker-storm
+    scenario).
+    """
+
+    op: str = "*"
+    index: int = 0
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("load", "save", "delete", "*"):
+            raise ValueError("disk fault op must be load/save/delete/*")
+        if self.count is not None and self.count <= 0:
+            raise ValueError("disk fault count must be positive")
+
+
+@dataclass(frozen=True)
+class CachePoison:
+    """Corrupt arrays served from a named cache layer on ``get``.
+
+    ``layer`` matches the layered-key prefix (``"born"``, ``"trees"``,
+    ``"surface"``); ``occurrence`` selects the *n*-th hit on that layer
+    (memory or disk); ``key_prefix`` further restricts to matching
+    keys.  ``kind`` follows :class:`DataCorruption`: ``"nan"`` for the
+    sentinels, ``"scale"`` for the accuracy watchdog.  Which entries
+    are hit is a pure function of ``(plan seed, layer, occurrence)``.
+    The guard layer treats warm data as untrusted, so a poisoned hit
+    must degrade — never change the returned energy bits.
+    """
+
+    layer: str = "born"
+    kind: str = "scale"
+    fraction: float = 0.25
+    factor: float = 8.0
+    occurrence: int = 0
+    key_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("nan", "scale"):
+            raise ValueError("poison kind must be 'nan' or 'scale'")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("poison fraction must be in (0, 1]")
+
+
+class ServeFaultPlan:
+    """Immutable serve-tier fault set plus the seed that derived it.
+
+    Query methods are pure functions of deterministic state the serve
+    stack maintains itself (per-worker batch sequence numbers, per-op
+    disk sequence numbers, per-layer hit occurrence counts, request
+    fingerprints and attempt numbers) — never wall-clock time — so the
+    same plan over the same workload yields the same faults, the same
+    recoveries and the same energies, run after run.
+    """
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.faults: Tuple[object, ...] = tuple(faults)
+        self.seed = seed
+        self._crashes = [f for f in self.faults
+                         if isinstance(f, WorkerCrash)]
+        self._slow = [f for f in self.faults if isinstance(f, SlowWorker)]
+        self._disk = [f for f in self.faults if isinstance(f, DiskIOFault)]
+        self._poisons = [f for f in self.faults
+                         if isinstance(f, CachePoison)]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    @property
+    def has_disk_faults(self) -> bool:
+        return bool(self._disk)
+
+    @property
+    def has_poisons(self) -> bool:
+        return bool(self._poisons)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"ServeFaultPlan(seed={self.seed}, "
+                f"faults={list(self.faults)})")
+
+    # -- queries used by the serve injection hooks -------------------------
+
+    def crash_for(self, worker: int, batch_seq: int
+                  ) -> Optional[WorkerCrash]:
+        """The crash (if any) firing on ``worker``'s ``batch_seq``-th
+        batch."""
+        for c in self._crashes:
+            if c.worker == worker and c.batch_seq == batch_seq:
+                return c
+        return None
+
+    def slow_seconds(self, worker: int, key: str, attempt: int) -> float:
+        """Total injected delay for one job execution (0.0 = healthy)."""
+        total = 0.0
+        for s in self._slow:
+            if s.worker is not None and s.worker != worker:
+                continue
+            if s.key_prefix and not key.startswith(s.key_prefix):
+                continue
+            if s.attempt is not None and s.attempt != attempt:
+                continue
+            total += s.seconds
+        return total
+
+    def disk_fault(self, op: str, seq: int) -> Optional[DiskIOFault]:
+        """The fault (if any) hitting the ``seq``-th disk op of kind
+        ``op`` (the cache counts load/save/delete separately)."""
+        for f in self._disk:
+            if f.op != "*" and f.op != op:
+                continue
+            if seq < f.index:
+                continue
+            if f.count is not None and seq >= f.index + f.count:
+                continue
+            return f
+        return None
+
+    def poison_for(self, layer: str, occurrence: int,
+                   key: str) -> Optional[CachePoison]:
+        """The poison (if any) hitting the ``occurrence``-th hit on a
+        cache layer for ``key``."""
+        for p in self._poisons:
+            if p.layer != layer or p.occurrence != occurrence:
+                continue
+            if p.key_prefix and not key.startswith(p.key_prefix):
+                continue
+            return p
+        return None
+
+    def poison_array(self, poison: CachePoison, layer: str,
+                     arr: np.ndarray) -> np.ndarray:
+        """Corrupted copy of ``arr`` — entries chosen by a pure
+        function of ``(seed, layer, occurrence)``, mirroring
+        :class:`DataCorruption` semantics so the guard layer's
+        sentinels and watchdog see realistic bit-rot."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{layer}:{poison.occurrence}".encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+        out = np.array(arr, copy=True)
+        flat = out.reshape(-1)
+        n = max(1, int(round(poison.fraction * flat.size)))
+        idx = rng.choice(flat.size, size=min(n, flat.size), replace=False)
+        if poison.kind == "nan":
+            flat[idx] = np.nan
+        else:
+            flat[idx] = flat[idx] * poison.factor
+        return out

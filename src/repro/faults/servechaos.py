@@ -1,0 +1,530 @@
+"""Serve-tier chaos harness: a seeded fault matrix over SolveService.
+
+The cluster chaos matrix (:mod:`repro.faults.chaos`) proves the
+simulated MPI runtime recovers bitwise; this module proves the same
+discipline for the serve stack.  Each scenario builds a
+:class:`~repro.serve.service.SolveService` wired with a
+:class:`~repro.faults.plan.ServeFaultPlan` and asserts three
+properties:
+
+* **zero stranded tickets** — every submitted ticket resolves and the
+  service's pending count is zero after drain + close;
+* **parity** — every energy produced under faults is *bitwise* equal
+  to the same request solved by a fault-free twin service;
+* **determinism** — two same-seed runs of the scenario produce
+  identical JSON summaries (statuses, attempts, energies as
+  ``float.hex()``, fault/recovery counters — never wall-clock times).
+
+Scenario shapes that depend on queue composition (which jobs share the
+crashed batch) first stall the single worker on a *hold* request via
+an injected :class:`~repro.faults.plan.SlowWorker` delay, so the whole
+workload is queued before the worker pops its next batch — making
+batch composition a pure function of the workload, not of submission
+timing.  The hold delay is generous relative to the microseconds the
+submissions take; the stall on the hedge scenario is interruptible
+(first-completed-wins wakes the loser), so large margins cost nothing.
+
+``repro chaos --serve`` exposes this as a CLI with a pass table and a
+JSON report; CI runs it bare and under ``--lock-witness`` and diffs
+two same-seed JSON reports byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ApproxParams
+from repro.faults.plan import (
+    CachePoison,
+    DiskIOFault,
+    ServeFaultPlan,
+    SlowWorker,
+    WorkerCrash,
+)
+from repro.molecules import synthetic_protein
+from repro.serve.cache import ArtifactCache
+from repro.serve.errors import ServiceOverloadedError
+from repro.serve.request import SolveRequest
+from repro.serve.resilience import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.serve.service import SolveService, Ticket
+
+__all__ = ["ServeScenarioResult", "ServeChaosReport", "SERVE_SCENARIOS",
+           "run_serve_chaos"]
+
+#: Worker stall (seconds) used to freeze queue composition.  Must
+#: comfortably exceed the wall time of submitting a handful of
+#: requests (microseconds–milliseconds); it is fully paid once per
+#: faulted run, so it is kept modest.
+HOLD_SECONDS = 1.0
+
+#: Straggler stall for the hedge scenario.  Interruptible — the loser
+#: wakes the moment the hedge wins — so a huge margin is free.
+STALL_SECONDS = 30.0
+
+#: Names of the scenario matrix, in run order.
+SERVE_SCENARIOS = ("clean", "crash-mid-batch", "crash-double",
+                   "straggler-hedge", "disk-storm", "cache-poison",
+                   "overload-shed")
+
+
+@dataclass(frozen=True)
+class ServeScenarioResult:
+    """Outcome of one serve scenario (two same-seed runs + twin)."""
+
+    name: str
+    description: str
+    stranded: int
+    pending: int
+    parity: bool
+    deterministic: bool
+    summary: Dict[str, Any]
+    notes: str
+    passed: bool
+
+
+@dataclass
+class ServeChaosReport:
+    """Matrix results plus everything needed to reproduce them.
+
+    ``to_json`` is wall-clock-free by construction: two same-seed runs
+    of the matrix must serialize byte-identically.
+    """
+
+    seed: int
+    natoms: int
+    workers: int
+    results: List[ServeScenarioResult]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def table(self) -> str:
+        from repro.analysis.tables import Table
+        t = Table(["scenario", "stranded", "parity", "determ.",
+                   "notes", "status"],
+                  title=f"serve chaos matrix seed={self.seed} "
+                        f"({self.natoms} atoms/request)")
+        for r in self.results:
+            t.add_row(r.name, r.stranded,
+                      "yes" if r.parity else "NO",
+                      "yes" if r.deterministic else "NO",
+                      r.notes, "PASS" if r.passed else "FAIL")
+        return t.render()
+
+    def to_json(self, indent: int = 2) -> str:
+        doc = {"seed": self.seed, "natoms": self.natoms,
+               "workers": self.workers,
+               "all_passed": self.all_passed,
+               "scenarios": [{
+                   "name": r.name, "description": r.description,
+                   "stranded": r.stranded, "pending": r.pending,
+                   "parity": r.parity,
+                   "deterministic": r.deterministic,
+                   "summary": r.summary, "notes": r.notes,
+                   "passed": r.passed,
+               } for r in self.results]}
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# workload + twin helpers
+# ---------------------------------------------------------------------------
+
+
+def _requests(prefix: str, count: int, seed: int, natoms: int,
+              params: Optional[ApproxParams] = None
+              ) -> List[SolveRequest]:
+    """``count`` distinct-molecule requests with deterministic keys."""
+    params = params or ApproxParams()
+    return [SolveRequest(molecule=synthetic_protein(natoms,
+                                                    seed=seed + 101 * i),
+                         params=params,
+                         idempotency_key=f"{prefix}-{i}")
+            for i in range(count)]
+
+
+def _collect(svc: SolveService,
+             tickets: Sequence[Ticket]) -> Dict[str, Any]:
+    """Drain + close, then summarize — deterministic fields only."""
+    drained = svc.drain(timeout=120.0)
+    svc.close()
+    stranded = sum(0 if t.done() else 1 for t in tickets)
+    pending = svc.pending
+    by_key: Dict[str, Dict[str, Any]] = {}
+    for t in tickets:
+        if not t.done():
+            continue
+        r = t.result(timeout=0.0)
+        by_key[t.key] = {
+            "status": r.status,
+            "attempt": r.attempt,
+            "energy_hex": (float(r.energy).hex()
+                           if r.energy is not None else None),
+            "degraded": r.degradations > 0,
+        }
+    return {"drained": drained, "stranded": stranded,
+            "pending": pending, "results": by_key}
+
+
+def _clean_energies(requests: Sequence[SolveRequest],
+                    natoms: int) -> Dict[str, str]:
+    """Fault-free twin: the bitwise reference energy per key."""
+    svc = SolveService(workers=1, batch_size=4,
+                       queue_capacity=max(8, 2 * len(requests)))
+    tickets = [svc.submit(r) for r in requests]
+    svc.drain(timeout=120.0)
+    svc.close()
+    out: Dict[str, str] = {}
+    for t in tickets:
+        r = t.result(timeout=0.0)
+        if r.energy is not None:
+            out[t.key] = float(r.energy).hex()
+    return out
+
+
+def _parity(summary: Dict[str, Any],
+            ref: Dict[str, str]) -> Tuple[bool, str]:
+    """Every faulted-run energy must bitwise match the clean twin."""
+    for key, row in summary["results"].items():
+        e = row["energy_hex"]
+        if e is None:
+            continue
+        if ref.get(key) != e:
+            return False, f"energy mismatch for {key}"
+    return True, ""
+
+
+def _result(name: str, description: str, summary: Dict[str, Any],
+            summary2: Dict[str, Any], ref: Dict[str, str],
+            extra_ok: bool, notes: str) -> ServeScenarioResult:
+    parity, why = _parity(summary, ref)
+    deterministic = summary == summary2
+    stranded = int(summary["stranded"])
+    pending = int(summary["pending"])
+    passed = (bool(summary["drained"]) and stranded == 0
+              and pending == 0 and parity and deterministic
+              and extra_ok)
+    if why:
+        notes = f"{notes}; {why}" if notes else why
+    return ServeScenarioResult(
+        name=name, description=description, stranded=stranded,
+        pending=pending, parity=parity, deterministic=deterministic,
+        summary=summary, notes=notes, passed=passed)
+
+
+def _hold_request(seed: int, natoms: int) -> SolveRequest:
+    """The request a SlowWorker stalls on to freeze the queue."""
+    return SolveRequest(molecule=synthetic_protein(natoms,
+                                                   seed=seed + 7919),
+                        idempotency_key="hold-0")
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+def _run_clean(seed: int, natoms: int, workers: int
+               ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                          Dict[str, str], bool, str]:
+    """Baseline — every resilience knob armed, empty fault plan: the
+    machinery must not perturb a healthy run."""
+    reqs = _requests("clean", 4, seed, natoms)
+
+    def once() -> Dict[str, Any]:
+        svc = SolveService(
+            workers=workers, batch_size=2, queue_capacity=16,
+            fault_plan=ServeFaultPlan(seed=seed),
+            retry=RetryPolicy(seed=seed),
+            admission=AdmissionPolicy(max_queue_depth=1000),
+            breaker=CircuitBreaker(BreakerPolicy()))
+        tickets = [svc.submit(r) for r in reqs]
+        summary = _collect(svc, tickets)
+        st = svc.stats()
+        summary["counters"] = {"worker_crashes": st.worker_crashes,
+                               "retries": st.retries,
+                               "hedges": st.hedges, "shed": st.shed}
+        return summary
+
+    s1, s2 = once(), once()
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["counters"] == {"worker_crashes": 0, "retries": 0,
+                                 "hedges": 0, "shed": 0})
+    return s1, s2, _clean_energies(reqs, natoms), ok, "no-op machinery"
+
+
+def _run_crash(seed: int, natoms: int, double: bool
+               ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                          Dict[str, str], bool, str]:
+    """Worker crash mid-batch (and optionally a second crash on the
+    replacement): in-flight jobs requeued exactly once, all ok."""
+    prefix = "crash2" if double else "crash"
+    reqs = _requests(prefix, 4, seed, natoms)
+    hold = _hold_request(seed, natoms)
+    faults: List[object] = [
+        SlowWorker(seconds=HOLD_SECONDS, key_prefix="hold-"),
+        # Batch 0 is the hold request alone; the crash takes batch 1
+        # after its first job completes.
+        WorkerCrash(worker=0, batch_seq=1, after_jobs=1),
+    ]
+    if double:
+        # The replacement (worker id 1) dies on *its* first batch too.
+        faults.append(WorkerCrash(worker=1, batch_seq=0, after_jobs=1))
+    plan = ServeFaultPlan(faults, seed=seed)
+
+    def once() -> Dict[str, Any]:
+        svc = SolveService(workers=1, batch_size=2, queue_capacity=16,
+                           fault_plan=plan)
+        t0 = svc.submit(hold)
+        # The worker has popped the hold batch once the heap is empty;
+        # it now stalls HOLD_SECONDS while the real workload queues.
+        svc._queue.wait_empty(timeout=30.0)
+        tickets = [t0] + [svc.submit(r) for r in reqs]
+        summary = _collect(svc, tickets)
+        st = svc.stats()
+        summary["counters"] = {"worker_crashes": st.worker_crashes,
+                               "worker_restarts": st.worker_restarts,
+                               "requeued": st.requeued,
+                               "failed": st.failed}
+        return summary
+
+    s1, s2 = once(), once()
+    crashes = 2 if double else 1
+    ok = (s1["counters"] == {"worker_crashes": crashes,
+                             "worker_restarts": crashes,
+                             "requeued": crashes, "failed": 0}
+          and all(r["status"] == "ok"
+                  for r in s1["results"].values()))
+    ref = _clean_energies([hold] + reqs, natoms)
+    notes = (f"{crashes} crash(es), {s1['counters']['requeued']} "
+             f"requeued once")
+    return s1, s2, ref, ok, notes
+
+
+def _run_hedge(seed: int, natoms: int
+               ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                          Dict[str, str], bool, str]:
+    """A straggling first attempt is hedged; the hedge wins bitwise
+    and the straggler is cancelled at its next checkpoint."""
+    reqs = _requests("hedge-slow", 1, seed, natoms)
+    plan = ServeFaultPlan(
+        [SlowWorker(seconds=STALL_SECONDS, key_prefix="hedge-slow",
+                    attempt=1)], seed=seed)
+
+    def once() -> Dict[str, Any]:
+        svc = SolveService(
+            workers=2, batch_size=1, queue_capacity=8,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, seed=seed,
+                              hedge_after_s=0.25))
+        tickets = [svc.submit(r) for r in reqs]
+        summary = _collect(svc, tickets)
+        st = svc.stats()
+        summary["counters"] = {"hedges": st.hedges,
+                               "hedge_wins": st.hedge_wins,
+                               "hedge_cancelled": st.hedge_cancelled}
+        return summary
+
+    s1, s2 = once(), once()
+    row = s1["results"].get("hedge-slow-0", {})
+    ok = (s1["counters"] == {"hedges": 1, "hedge_wins": 1,
+                             "hedge_cancelled": 1}
+          and row.get("status") == "ok" and row.get("attempt") == 2)
+    ref = _clean_energies(reqs, natoms)
+    return s1, s2, ref, ok, "hedge won on attempt 2"
+
+
+def _run_disk_storm(seed: int, natoms: int, tmpdir: str
+                    ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                               Dict[str, str], bool, str]:
+    """Every disk op fails: the breaker opens after ``min_samples``
+    errors and the service degrades to memory-only caching."""
+    reqs = _requests("disk", 5, seed, natoms)
+    plan = ServeFaultPlan([DiskIOFault(op="*", index=0, count=None)],
+                          seed=seed)
+    pol = BreakerPolicy(window=4, failure_threshold=1.0, min_samples=4,
+                        open_seconds=600.0, half_open_probes=1)
+
+    def once(run: int) -> Dict[str, Any]:
+        breaker = CircuitBreaker(pol)
+        cache = ArtifactCache(disk_dir=f"{tmpdir}/run{run}",
+                              breaker=breaker, fault_plan=plan)
+        svc = SolveService(workers=1, batch_size=2, queue_capacity=16,
+                           cache=cache, fault_plan=plan)
+        tickets = [svc.submit(r) for r in reqs]
+        summary = _collect(svc, tickets)
+        cs = cache.stats()
+        summary["counters"] = {"disk_errors": cs.disk_errors,
+                               "disk_writes": cs.disk_writes,
+                               "breaker_opens": breaker.open_count,
+                               "breaker_state": breaker.state,
+                               "shorted": breaker.short_circuited > 0}
+        return summary
+
+    s1, s2 = once(1), once(2)
+    ok = (s1["counters"]["disk_errors"] == pol.min_samples
+          and s1["counters"]["disk_writes"] == 0
+          and s1["counters"]["breaker_opens"] == 1
+          and s1["counters"]["breaker_state"] == "open"
+          and s1["counters"]["shorted"]
+          and all(r["status"] == "ok"
+                  for r in s1["results"].values()))
+    ref = _clean_energies(reqs, natoms)
+    return s1, s2, ref, ok, (f"breaker open after "
+                             f"{pol.min_samples} errors")
+
+
+def _run_poison(seed: int, natoms: int
+                ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                           Dict[str, str], bool, str]:
+    """A poisoned warm Born-radii hit: the guard watchdog catches the
+    corruption, degrades, and recomputes the clean energy bitwise."""
+    mol = synthetic_protein(natoms, seed=seed + 31)
+    cold = SolveRequest(molecule=mol, idempotency_key="poison-a")
+    # Same geometry, different eps_epol: the born layer stays warm (it
+    # excludes eps_epol), the epol layer misses — the classic
+    # warm-start path the poison targets.
+    warm = SolveRequest(molecule=mol,
+                        params=ApproxParams(eps_epol=1e-7),
+                        idempotency_key="poison-b")
+    plan = ServeFaultPlan(
+        [CachePoison(layer="born", kind="scale", fraction=0.25,
+                     factor=8.0, occurrence=0)], seed=seed)
+
+    def once() -> Dict[str, Any]:
+        svc = SolveService(workers=1, batch_size=1, queue_capacity=8,
+                           fault_plan=plan)
+        t_cold = svc.submit(cold)
+        t_cold.result(timeout=60.0)  # fills the born layer first
+        t_warm = svc.submit(warm)
+        return _collect(svc, [t_cold, t_warm])
+
+    s1, s2 = once(), once()
+    row = s1["results"].get("poison-b", {})
+    ok = (row.get("status") == "degraded" and row.get("degraded")
+          and s1["results"].get("poison-a", {}).get("status") == "ok")
+    ref = _clean_energies([cold, warm], natoms)
+    return s1, s2, ref, ok, "watchdog caught poisoned warm radii"
+
+
+def _run_shed(seed: int, natoms: int
+              ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                         Dict[str, str], bool, str]:
+    """Admission control sheds the overload with typed errors carrying
+    a retry-after hint, ahead of hard queue backpressure."""
+    reqs = _requests("shed", 8, seed, natoms)
+    hold = _hold_request(seed, natoms)
+    plan = ServeFaultPlan(
+        [SlowWorker(seconds=HOLD_SECONDS, key_prefix="hold-")],
+        seed=seed)
+
+    def once() -> Dict[str, Any]:
+        svc = SolveService(workers=1, batch_size=2, queue_capacity=32,
+                           fault_plan=plan,
+                           admission=AdmissionPolicy(max_queue_depth=3))
+        t0 = svc.submit(hold)
+        svc._queue.wait_empty(timeout=30.0)
+        tickets = [t0]
+        shed = 0
+        hints_ok = True
+        for r in reqs:
+            try:
+                tickets.append(svc.submit(r))
+            except ServiceOverloadedError as exc:
+                shed += 1
+                hints_ok = hints_ok and exc.retry_after_s > 0 \
+                    and exc.depth >= exc.limit
+        summary = _collect(svc, tickets)
+        summary["counters"] = {"shed": shed,
+                               "stats_shed": svc.stats().shed,
+                               "hints_ok": hints_ok}
+        return summary
+
+    s1, s2 = once(), once()
+    # Depth seen by request i is i (single held worker): 0,1,2 admit,
+    # 3..7 shed — deterministically 5.
+    ok = (s1["counters"]["shed"] == 5
+          and s1["counters"]["stats_shed"] == 5
+          and s1["counters"]["hints_ok"]
+          and all(r["status"] == "ok"
+                  for r in s1["results"].values()))
+    ref = _clean_energies([hold] + reqs, natoms)
+    return s1, s2, ref, ok, "5 of 8 shed with retry-after hints"
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+
+
+def run_serve_chaos(seed: int = 0, atoms: int = 200,
+                    quick: bool = False, workers: int = 2,
+                    tmpdir: Optional[str] = None) -> ServeChaosReport:
+    """Run the full serve scenario matrix; returns the report (never
+    raises on scenario failure — check ``report.all_passed``).
+
+    ``workers`` steers the clean baseline; fault scenarios pin their
+    own pool sizes (supervision and hedging shapes require it).
+    ``tmpdir`` hosts the disk-storm checkpoint directories (a
+    temporary directory is created when omitted).
+    """
+    natoms = 80 if quick else atoms
+    if tmpdir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="servechaos-") as td:
+            return run_serve_chaos(seed=seed, atoms=atoms, quick=quick,
+                                   workers=workers, tmpdir=td)
+
+    results: List[ServeScenarioResult] = []
+
+    s1, s2, ref, ok, notes = _run_clean(seed, natoms, workers)
+    results.append(_result(
+        "clean", "no faults; resilience machinery armed but idle",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_crash(seed, natoms, double=False)
+    results.append(_result(
+        "crash-mid-batch", "worker dies mid-batch; in-flight jobs "
+        "requeued exactly once; replacement spawned",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_crash(seed, natoms, double=True)
+    results.append(_result(
+        "crash-double", "the replacement worker dies too; distinct "
+        "jobs each requeued exactly once",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_hedge(seed, natoms)
+    results.append(_result(
+        "straggler-hedge", "straggling attempt hedged; first "
+        "completed wins, loser cancelled",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_disk_storm(seed, natoms, tmpdir)
+    results.append(_result(
+        "disk-storm", "every disk op fails; breaker opens; service "
+        "degrades to memory-only caching",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_poison(seed, natoms)
+    results.append(_result(
+        "cache-poison", "poisoned warm cache hit caught by the guard "
+        "watchdog; degraded recompute is bitwise clean",
+        s1, s2, ref, ok, notes))
+
+    s1, s2, ref, ok, notes = _run_shed(seed, natoms)
+    results.append(_result(
+        "overload-shed", "SLO breach sheds load with typed "
+        "retry-after errors ahead of hard backpressure",
+        s1, s2, ref, ok, notes))
+
+    return ServeChaosReport(seed=seed, natoms=natoms, workers=workers,
+                            results=results)

@@ -25,6 +25,7 @@ from repro.lint.rules import (
     DtypeDisciplineRule,
     DunderAllRule,
     FaultBoundaryRule,
+    MonotonicClockRule,
     MutableDefaultRule,
     OverbroadExceptRule,
     ServeQueueDisciplineRule,
@@ -51,6 +52,7 @@ def all_rules() -> List[Rule]:
         FaultBoundaryRule(),
         TypedDiagnosticRule(),
         ServeQueueDisciplineRule(),
+        MonotonicClockRule(),
         CollectiveOrderRule(),
         LockOrderRule(),
         BlockingUnderLockRule(),

@@ -34,6 +34,16 @@ The headline collective-ordering verifier (RPR101) lives in
   buffer silently defeats) and no ``time.sleep`` polling loops
   (condition/timeout-based waits only — a sleep loop trades latency
   for CPU on every idle worker).
+* **RPR009** — monotonic-clock + bounded-retry discipline: inside
+  ``repro/serve`` and ``repro/faults``, (a) no ``time.time()`` — every
+  deadline, backoff and breaker-cooldown computation must use
+  ``time.monotonic()``, because the wall clock jumps under NTP slew
+  and DST and a backwards jump turns a 50 ms backoff into a negative
+  (or hour-long) one; and (b) no ``while True`` loop whose exception
+  handler silently ``pass``/``continue``\\ s — that is an unbounded
+  retry loop with no attempt budget, no backoff and no escalation
+  path (use :class:`repro.serve.resilience.RetryPolicy` or carry a
+  ``# lint: ignore[RPR009]`` explaining the loop's exit guarantee).
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ __all__ = [
     "FaultBoundaryRule",
     "TypedDiagnosticRule",
     "ServeQueueDisciplineRule",
+    "MonotonicClockRule",
 ]
 
 #: ``np.random`` attributes that are *not* legacy global-state entry
@@ -553,3 +564,77 @@ class ServeQueueDisciplineRule(Rule):
                     "deque() without maxlen is unbounded inside "
                     "repro/serve; give it a maxlen or use the bounded "
                     "priority queue")
+
+
+#: Packages whose clocks must be monotonic and retries bounded.
+_MONOTONIC_PACKAGES = ("serve", "faults")
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body only passes/continues (no logging,
+    no counter, no re-raise — the error simply vanishes)."""
+    return all(isinstance(stmt, (ast.Pass, ast.Continue))
+               for stmt in handler.body)
+
+
+class MonotonicClockRule(Rule):
+    """RPR009: monotonic clocks and bounded retries in serve/faults.
+
+    Deadline, backoff and breaker-cooldown arithmetic lives in
+    ``repro/serve`` and ``repro/faults``.  ``time.time()`` reads the
+    *wall* clock, which NTP slew, manual resets and DST can move in
+    either direction — a backwards jump makes a deadline that never
+    expires or a negative backoff; ``time.monotonic()`` cannot go
+    backwards and is the only clock these computations may use.
+
+    Separately, a ``while True:`` loop whose exception handler is just
+    ``pass``/``continue`` is an *unbounded* retry: no attempt budget,
+    no backoff, no escalation — under a persistent fault it spins
+    forever and the error evidence is destroyed.  Route retries
+    through :class:`repro.serve.resilience.RetryPolicy` (bounded
+    attempts, seeded exponential backoff, deadline-aware) or annotate
+    the loop's exit guarantee with ``# lint: ignore[RPR009]``.
+    """
+
+    id = "RPR009"
+    description = ("time.time() or a while-True loop that silently "
+                   "swallows exceptions inside repro/serve + "
+                   "repro/faults; use time.monotonic() and bounded "
+                   "RetryPolicy-style retries")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return any(pkg in parts for pkg in _MONOTONIC_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for call in iter_calls(ctx.tree):
+            if dotted_name(call.func) == "time.time":
+                yield self.finding(
+                    ctx, call,
+                    "time.time() is the wall clock — NTP slew or a "
+                    "manual reset can move it backwards, turning a "
+                    "deadline or backoff negative; use "
+                    "time.monotonic() for all deadline/backoff/"
+                    "cooldown arithmetic")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant)
+                    and test.value is True):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.ExceptHandler):
+                    continue
+                if _handler_swallows(inner):
+                    yield self.finding(
+                        ctx, inner,
+                        "while-True loop swallowing exceptions with "
+                        "bare pass/continue is an unbounded retry — "
+                        "no attempt budget, no backoff, no error "
+                        "evidence; bound it with RetryPolicy or "
+                        "document the exit guarantee under "
+                        "# lint: ignore[RPR009]")

@@ -9,6 +9,14 @@ fingerprint in a two-tier :class:`ArtifactCache` — so a warm repeat
 solve skips straight to (or past) the energy pass and returns the
 bitwise-identical energy.
 
+Resilience (:mod:`repro.serve.resilience`) is opt-in and
+pay-for-what-you-use: deterministic fault injection via
+:class:`~repro.faults.plan.ServeFaultPlan`, worker supervision,
+deadline-aware retry/hedging (:class:`RetryPolicy`), a disk-tier
+:class:`CircuitBreaker` and admission-control load shedding
+(:class:`AdmissionController`), exercised end-to-end by
+``repro chaos --serve``.
+
 See ``docs/SERVING.md`` for the architecture, cache-key layering,
 backpressure semantics and the metrics reference; ``repro serve`` is
 the CLI surface.
@@ -29,9 +37,18 @@ from repro.serve.errors import (
     QueueFullError,
     ServeError,
     ServiceClosedError,
+    ServiceOverloadedError,
 )
 from repro.serve.queueing import BoundedPriorityQueue
 from repro.serve.request import CACHE_LEVELS, STATUSES, SolveRequest, SolveResult
+from repro.serve.resilience import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    DelayTimer,
+    RetryPolicy,
+)
 from repro.serve.service import (
     LATENCY_BOUNDS_SECONDS,
     ServeStats,
@@ -53,7 +70,14 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "ServiceClosedError",
+    "ServiceOverloadedError",
     "BoundedPriorityQueue",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "DelayTimer",
     "SolveRequest",
     "SolveResult",
     "STATUSES",

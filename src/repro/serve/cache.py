@@ -41,9 +41,12 @@ import numpy as np
 import repro.obs as obs
 from repro.config import ApproxParams
 from repro.core.fingerprint import arrays_fingerprint
+from repro.faults.errors import DiskFaultError
+from repro.faults.plan import ServeFaultPlan
 from repro.guard.checkpoint import CheckpointStore
 from repro.guard.errors import CheckpointError
 from repro.molecules.molecule import Molecule
+from repro.serve.resilience import CircuitBreaker
 
 __all__ = ["ArtifactCache", "CachedArrays", "CacheStats",
            "surface_key", "trees_key", "born_key", "epol_key",
@@ -137,6 +140,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     disk_errors: int = 0
+    disk_skipped: int = 0
     entries: int = 0
     bytes: int = 0
 
@@ -160,11 +164,21 @@ class ArtifactCache:
 
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES,
                  disk_dir: Union[str, Path, None] = None,
-                 disk_max_bytes: Optional[int] = None) -> None:
+                 disk_max_bytes: Optional[int] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 fault_plan: Optional[ServeFaultPlan] = None) -> None:
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
         self.disk_max_bytes = disk_max_bytes
+        #: Optional breaker around the disk tier: when open, loads and
+        #: saves are skipped (counted in ``disk_skipped``) instead of
+        #: charging an error and a filesystem round-trip per request.
+        self.breaker = breaker
+        self._fault_plan = fault_plan
+        self._disk_seq = {"load": 0, "save": 0,
+                          "delete": 0}              # guarded-by: _lock
+        self._layer_hits: Dict[str, int] = {}       # guarded-by: _lock
         self._lru: "OrderedDict[str, Tuple[Any, int]]" = \
             OrderedDict()                      # guarded-by: _lock
         self._bytes = 0                        # guarded-by: _lock
@@ -216,14 +230,18 @@ class ArtifactCache:
             if entry is not None:
                 self._lru.move_to_end(key)
                 self._count("hits", key)
-                return entry[0]
+                hit = entry[0]
+            else:
+                hit = None
+        if hit is not None:
+            return self._maybe_poison(key, hit)
         value = self._disk_load(key)
         if value is not None:
             with self._lock:
                 self._count("disk_hits", key)
                 self._count("hits", key)
             self._insert(key, value)  # promote
-            return value
+            return self._maybe_poison(key, value)
         with self._lock:
             self._count("misses", key)
         return None
@@ -260,6 +278,56 @@ class ArtifactCache:
             self._bytes = 0
             self._update_gauges()
 
+    # -- fault injection ---------------------------------------------------
+
+    def _inject_disk_fault(self, op: str) -> None:
+        """Raise :class:`DiskFaultError` if the plan targets this op.
+
+        The per-op sequence numbers advance only while a plan with
+        disk faults is installed, so injection is a pure function of
+        the op order the workload itself determines.
+        """
+        plan = self._fault_plan
+        if plan is None or not plan.has_disk_faults:
+            return
+        with self._lock:
+            seq = self._disk_seq[op]
+            self._disk_seq[op] = seq + 1
+        if plan.disk_fault(op, seq) is not None:
+            obs.instant(f"cache.disk_fault[{op}#{seq}]", cat="fault")
+            raise DiskFaultError(op, seq)
+
+    def _maybe_poison(self, key: str, value: Any) -> Any:
+        """Return a corrupted *copy* on a poisoned hit (the cached
+        entry itself stays pristine — this models a read-path flip).
+
+        Only float arrays of :class:`CachedArrays` are corrupted; the
+        guard layer treats warm data as untrusted, so a poisoned hit
+        degrades the ladder, never the returned energy bits.
+        """
+        plan = self._fault_plan
+        if plan is None or not plan.has_poisons:
+            return value
+        layer = key.split("-", 1)[0]
+        with self._lock:
+            occ = self._layer_hits.get(layer, 0)
+            self._layer_hits[layer] = occ + 1
+        poison = plan.poison_for(layer, occ, key)
+        if poison is None or not isinstance(value, CachedArrays):
+            return value
+        obs.instant(f"cache.poison[{layer}#{occ}]", cat="fault")
+        if obs.is_enabled():
+            obs.registry.counter(
+                "serve.cache.poisoned",
+                "cache hits served with injected corruption").inc()
+        arrays: Dict[str, np.ndarray] = {}
+        for name, arr in value.arrays.items():
+            a = np.asarray(arr)
+            arrays[name] = (plan.poison_array(poison, layer, a)
+                            if np.issubdtype(a.dtype, np.floating)
+                            else a)
+        return CachedArrays(arrays=arrays, meta=dict(value.meta))
+
     # -- disk tier ---------------------------------------------------------
 
     @staticmethod
@@ -267,17 +335,39 @@ class ArtifactCache:
         # REPRO-CKPT kinds forbid "/\\."; fingerprints are hex + "-".
         return key
 
+    def _allow_disk(self, key: str) -> bool:
+        """Breaker gate: False means skip the disk op entirely."""
+        if self.breaker is None or self.breaker.allow():
+            return True
+        with self._lock:
+            self._count("disk_skipped", key)
+        return False
+
+    def _note_disk(self, ok: bool) -> None:
+        if self.breaker is None:
+            return
+        if ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
     def _disk_load(self, key: str) -> Optional[CachedArrays]:
         if self._disk is None:
             return None
+        if not self._allow_disk(key):
+            return None
         try:
+            self._inject_disk_fault("load")
             ck = self._disk.try_load(self._kind(key))
-        except CheckpointError:
+        except (CheckpointError, OSError) as exc:
             # Torn/corrupt file: a counted miss, never wrong physics.
             with self._lock:
                 self._count("disk_errors", key)
-            self._disk.delete(self._kind(key))
+            self._note_disk(False)
+            if isinstance(exc, CheckpointError):
+                self._disk.delete(self._kind(key))
             return None
+        self._note_disk(True)
         if ck is None:
             return None
         meta = dict(ck.meta)
@@ -290,9 +380,12 @@ class ArtifactCache:
     def _disk_save(self, key: str, value: CachedArrays) -> None:
         if self._disk is None:
             return
+        if not self._allow_disk(key):
+            return
         meta = dict(value.meta)
         meta["key"] = key
         try:
+            self._inject_disk_fault("save")
             self._disk.save(self._kind(key), value.arrays, meta)
         except (CheckpointError, OSError):
             # Disk-tier trouble (full disk, permissions, torn write)
@@ -300,9 +393,11 @@ class ArtifactCache:
             # the artifact simply is not persisted this time.
             with self._lock:
                 self._count("disk_errors", key)
+            self._note_disk(False)
             return
         with self._lock:
             self._count("disk_writes", key)
+        self._note_disk(True)
         self._trim_disk()
 
     def _trim_disk(self) -> None:

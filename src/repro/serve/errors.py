@@ -18,6 +18,7 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "ServiceClosedError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -71,3 +72,25 @@ class ServiceClosedError(ServeError):
         super().__init__("the solve service is closed",
                          hint="create a new SolveService (or use it as "
                               "a context manager)")
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control shed this request — soft backpressure.
+
+    Raised *ahead* of :class:`QueueFullError` when the configured SLO
+    thresholds (queue depth, projected wait) are breached: the queue
+    still has slots, but accepting the request would blow its latency
+    budget anyway.  ``retry_after_s`` is the controller's estimate of
+    when the backlog will have drained enough to admit it.
+    """
+
+    def __init__(self, retry_after_s: float, depth: int,
+                 limit: int) -> None:
+        self.retry_after_s = float(retry_after_s)
+        self.depth = int(depth)
+        self.limit = int(limit)
+        super().__init__(
+            f"service overloaded (queue depth {depth}, admission "
+            f"limit {limit}); retry after {retry_after_s:.3f}s",
+            hint="back off for retry_after_s, lower the request rate, "
+                 "or raise the admission thresholds")

@@ -78,6 +78,31 @@ class BoundedPriorityQueue:
             self._observe_depth()
             self._not_empty.notify()
 
+    def requeue(self, item: Any, priority: int = 0) -> None:
+        """Re-enqueue recovered work, bypassing capacity *and* close.
+
+        Supervision and retry use this for jobs the service already
+        accepted (their tickets are outstanding): rejecting them at a
+        full or closing queue would strand a ticket, so recovered jobs
+        always land — the transient over-capacity is bounded by the
+        in-flight batch size.
+        """
+        with self._lock:
+            heapq.heappush(self._heap,
+                           (int(priority), next(self._seq), item))
+            self._observe_depth()
+            self._not_empty.notify()
+
+    def wait_empty(self, timeout: Optional[float] = None) -> bool:
+        """Block until the heap is empty (all queued jobs picked up by
+        workers — *not* necessarily completed) or ``timeout`` elapses;
+        True iff empty."""
+        with self._lock:
+            # get()/get_batch() notify _not_full on every pop, so an
+            # emptying heap always wakes this waiter.
+            self._not_full.wait_for(lambda: not self._heap, timeout)
+            return not self._heap
+
     def wait_not_full(self, timeout: Optional[float]) -> bool:
         """Block (condition wait) until a slot frees up, the queue
         closes, or ``timeout`` elapses; True iff a slot is free."""
@@ -104,7 +129,10 @@ class BoundedPriorityQueue:
                 return None
             _, _, item = heapq.heappop(self._heap)
             self._observe_depth()
-            self._not_full.notify()
+            # notify_all: both wait_not_full and wait_empty waiters
+            # share this condition; a single notify could wake only
+            # the one whose predicate is still false.
+            self._not_full.notify_all()
             return item
 
     def get_batch(self, max_items: int,

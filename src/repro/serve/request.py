@@ -116,6 +116,9 @@ class SolveResult:
     service_seconds: float = 0.0
     worker: int = -1
     error: str = ""
+    #: Which delivery attempt produced this result (1 = first try;
+    #: higher after retries, hedges or a crash requeue).
+    attempt: int = 1
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,498 @@
+"""Recovery machinery for the solve service.
+
+Four pieces, all pay-for-what-you-use (a service constructed without
+them takes no locks and runs no extra threads):
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *seeded deterministic* jitter: the jitter for attempt *k* of request
+  *key* is a pure function of ``(seed, key, k)``, so two same-seed runs
+  produce identical backoff schedules (property-tested in
+  ``tests/serve/test_resilience.py``).  Deadline math uses
+  ``time.monotonic()`` exclusively (lint rule RPR009).  Optional
+  ``hedge_after_s`` arms a hedged re-submit for requests stuck behind a
+  straggling worker; the first completed attempt wins (tickets are
+  first-set-wins) and the loser is cancelled at its next checkpoint.
+
+* :class:`CircuitBreaker` — classic closed → open → half-open state
+  machine over a count-based sliding window, wrapped around the
+  :class:`~repro.serve.cache.ArtifactCache` disk tier so a failing
+  disk degrades to memory-only caching instead of charging
+  ``disk_errors`` (and a filesystem round-trip) on every request.
+
+* :class:`AdmissionController` — sheds load with a typed
+  :class:`~repro.serve.errors.ServiceOverloadedError` carrying a
+  retry-after hint when queue depth or projected wait breach the
+  configured SLO thresholds, *ahead* of hard
+  :class:`~repro.serve.errors.QueueFullError` backpressure.
+
+* :class:`DelayTimer` — a single scheduler thread delivering delayed
+  callbacks (retry requeues, hedge arms) off the worker threads.  It
+  waits on a condition with a computed timeout (never sleep-polls) and
+  ``close()`` flushes every pending callback synchronously, so a retry
+  scheduled moments before shutdown still resolves its ticket — the
+  zero-stranded-tickets invariant survives the timer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro import obs
+from repro.serve.errors import ServiceOverloadedError
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "DelayTimer",
+]
+
+
+# ---------------------------------------------------------------------------
+# Retry / hedging
+# ---------------------------------------------------------------------------
+
+
+def _unit_jitter(seed: int, key: str, attempt: int) -> float:
+    """Uniform in [0, 1) as a pure function of (seed, key, attempt)."""
+    digest = hashlib.sha256(f"{seed}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware bounded retry with deterministic jitter.
+
+    ``backoff(key, attempt)`` is the pause before re-queueing attempt
+    ``attempt + 1`` (attempts are 1-based; attempt 1 needs no backoff).
+    The base grows geometrically and is modulated by ±``jitter`` using
+    the seeded hash above — deterministic, but de-synchronized across
+    keys so a burst of failures does not retry in lockstep.
+
+    ``hedge_after_s`` (optional) arms a duplicate submission if the
+    first attempt has not completed after that long in execution —
+    the straggler escape hatch.  Hedges consume an attempt.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    hedge_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError("hedge_after_s must be positive")
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Seconds to wait after ``attempt`` failed (attempt >= 1)."""
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * self.multiplier ** (attempt - 1))
+        u = _unit_jitter(self.seed, key, attempt)
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def next_backoff(self, key: str, attempt: int,
+                     remaining_s: Optional[float]) -> Optional[float]:
+        """Backoff before attempt ``attempt + 1``, or None to give up.
+
+        ``remaining_s`` is the monotonic-clock budget left before the
+        request's deadline (None = no deadline); a retry whose backoff
+        alone would overrun it is pointless and is not scheduled.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        pause = self.backoff(key, attempt)
+        if remaining_s is not None and pause >= remaining_s:
+            return None
+        return pause
+
+    def schedule(self, key: str,
+                 deadline_s: Optional[float] = None) -> List[float]:
+        """The full backoff schedule this policy would produce for
+        ``key`` — one pause per failed attempt, truncated so the
+        cumulative pause never exceeds ``deadline_s``."""
+        out: List[float] = []
+        spent = 0.0
+        for attempt in range(1, self.max_attempts):
+            remaining = (None if deadline_s is None
+                         else deadline_s - spent)
+            pause = self.next_backoff(key, attempt, remaining)
+            if pause is None:
+                break
+            out.append(pause)
+            spent += pause
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker (disk tier)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds for :class:`CircuitBreaker`.
+
+    The window is count-based (last ``window`` outcomes); the breaker
+    opens when at least ``min_samples`` outcomes are recorded and the
+    failure fraction reaches ``failure_threshold``.  After
+    ``open_seconds`` it lets ``half_open_probes`` calls through: all
+    succeed → closed, any fails → open again.
+    """
+
+    window: int = 20
+    failure_threshold: float = 0.5
+    min_samples: int = 5
+    open_seconds: float = 5.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        if self.min_samples > self.window:
+            raise ValueError("min_samples cannot exceed window")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.open_seconds < 0:
+            raise ValueError("open_seconds must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """closed → open → half-open state machine over recent outcomes.
+
+    ``allow()`` asks permission before an operation; the caller then
+    reports ``record_success()`` / ``record_failure()``.  ``clock`` is
+    injectable (monotonic by default) so the state machine is unit-
+    testable without real waits.  Thread-safe; its lock is leaf-level
+    (nothing else is ever acquired under it).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None, *,
+                 name: str = "serve.cache.disk",
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.name = name
+        self._clock = clock
+        self._lock = obs.named_lock(f"serve.breaker[{name}]._lock")
+        self._state = self.CLOSED          # guarded-by: _lock
+        self._outcomes: List[bool] = []    # guarded-by: _lock
+        self._opened_at = 0.0              # guarded-by: _lock
+        self._probes_left = 0              # guarded-by: _lock
+        self._open_count = 0               # guarded-by: _lock
+        self._shorted = 0                  # guarded-by: _lock
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._maybe_half_open()
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return self._open_count
+
+    @property
+    def short_circuited(self) -> int:
+        """Operations refused while open."""
+        with self._lock:
+            return self._shorted
+
+    def _maybe_half_open(self) -> str:
+        # guarded-by: _lock (callers hold it)
+        if (self._state == self.OPEN
+                and self._clock() - self._opened_at
+                >= self.policy.open_seconds):
+            self._state = self.HALF_OPEN
+            self._probes_left = self.policy.half_open_probes
+            obs.instant(f"breaker.half_open[{self.name}]", cat="fault")
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected operation now?"""
+        with self._lock:
+            state = self._maybe_half_open()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            self._shorted += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                if self._probes_left == 0:
+                    self._trip_closed()
+                return
+            self._push(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._trip_open()
+                return
+            self._push(False)
+            n = len(self._outcomes)
+            failures = n - sum(self._outcomes)
+            if (n >= self.policy.min_samples
+                    and failures / n >= self.policy.failure_threshold):
+                self._trip_open()
+
+    def _push(self, ok: bool) -> None:
+        # guarded-by: _lock (callers hold it)
+        self._outcomes.append(ok)
+        if len(self._outcomes) > self.policy.window:
+            del self._outcomes[0]
+
+    def _trip_open(self) -> None:
+        # guarded-by: _lock (callers hold it)
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self._open_count += 1
+        obs.registry.counter(
+            "serve.breaker.opens",
+            "circuit breaker closed/half-open -> open transitions").inc()
+        obs.instant(f"breaker.open[{self.name}]", cat="fault")
+
+    def _trip_closed(self) -> None:
+        # guarded-by: _lock (callers hold it)
+        self._state = self.CLOSED
+        self._outcomes.clear()
+        obs.registry.counter(
+            "serve.breaker.closes",
+            "circuit breaker half-open -> closed transitions").inc()
+        obs.instant(f"breaker.close[{self.name}]", cat="fault")
+
+
+# ---------------------------------------------------------------------------
+# Admission control (load shedding)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """SLO thresholds for :class:`AdmissionController`.
+
+    ``max_queue_depth`` sheds when the backlog (queued + executing)
+    reaches it; ``max_wait_seconds`` sheds when the projected wait —
+    backlog × smoothed per-job service time ÷ workers — would breach
+    the latency SLO.  Either may be None (unchecked).
+    """
+
+    max_queue_depth: Optional[int] = None
+    max_wait_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if (self.max_wait_seconds is not None
+                and self.max_wait_seconds <= 0):
+            raise ValueError("max_wait_seconds must be positive")
+
+
+class AdmissionController:
+    """Sheds load ahead of hard queue backpressure.
+
+    Service-time estimates come from an exponential moving average the
+    service feeds after every completed job; a fresh controller (no
+    samples yet) admits on depth alone.  Shedding raises
+    :class:`ServiceOverloadedError` whose ``retry_after_s`` projects
+    when the backlog will have drained below the threshold.
+    """
+
+    def __init__(self, policy: AdmissionPolicy, *,
+                 workers: int = 1, ema_alpha: float = 0.2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        self.policy = policy
+        self.workers = workers
+        self._alpha = ema_alpha
+        self._lock = obs.named_lock("serve.admission._lock")
+        self._ema_service_s: Optional[float] = None  # guarded-by: _lock
+        self._shed = 0                               # guarded-by: _lock
+
+    @property
+    def shed_count(self) -> int:
+        with self._lock:
+            return self._shed
+
+    def note_service_seconds(self, seconds: float) -> None:
+        """Feed one completed job's service time into the EMA."""
+        if seconds < 0:
+            return
+        with self._lock:
+            if self._ema_service_s is None:
+                self._ema_service_s = seconds
+            else:
+                self._ema_service_s += self._alpha * (
+                    seconds - self._ema_service_s)
+
+    def projected_wait(self, depth: int) -> Optional[float]:
+        """Projected queue wait for a request arriving at ``depth``."""
+        with self._lock:
+            ema = self._ema_service_s
+        if ema is None:
+            return None
+        return depth * ema / self.workers
+
+    def check(self, depth: int) -> None:
+        """Admit or shed a request seeing ``depth`` jobs ahead of it.
+
+        Raises :class:`ServiceOverloadedError` on shed.
+        """
+        pol = self.policy
+        limit = pol.max_queue_depth
+        if limit is not None and depth >= limit:
+            self._shed_one()
+            raise ServiceOverloadedError(
+                self._retry_after(depth, limit), depth, limit)
+        wait = (self.projected_wait(depth)
+                if pol.max_wait_seconds is not None else None)
+        if wait is not None and wait > pol.max_wait_seconds:
+            # express the wait SLO as an equivalent depth limit for
+            # the error payload
+            with self._lock:
+                ema = self._ema_service_s or 0.0
+            eq_limit = (max(1, int(pol.max_wait_seconds
+                                   * self.workers / ema))
+                        if ema > 0 else depth)
+            self._shed_one()
+            raise ServiceOverloadedError(
+                self._retry_after(depth, eq_limit), depth, eq_limit)
+
+    def _shed_one(self) -> None:
+        with self._lock:
+            self._shed += 1
+        obs.registry.counter(
+            "serve.shed.total",
+            "requests shed by admission control").inc()
+        obs.instant("serve.shed", cat="serve")
+
+    def _retry_after(self, depth: int, limit: int) -> float:
+        """Time for the backlog to drain from ``depth`` below
+        ``limit`` at the smoothed service rate (floor 1 ms)."""
+        with self._lock:
+            ema = self._ema_service_s
+        if ema is None or ema <= 0:
+            return 0.05
+        excess = max(1, depth - limit + 1)
+        return max(0.001, excess * ema / self.workers)
+
+
+# ---------------------------------------------------------------------------
+# Delayed-callback scheduler
+# ---------------------------------------------------------------------------
+
+
+class DelayTimer:
+    """One thread delivering delayed callbacks in due order.
+
+    Used by the service to arm retry requeues and hedge submissions
+    without blocking a worker.  Callbacks run on the timer thread with
+    no locks held; a callback that raises is counted and swallowed so
+    one bad retry cannot kill the scheduler.
+
+    ``close()`` runs every still-pending callback *synchronously*
+    before returning: a retry scheduled just before shutdown is
+    delivered early rather than dropped, letting the service resolve
+    the ticket (typically to a failed result) instead of stranding it.
+    After close, ``schedule`` runs the callback inline.
+    """
+
+    def __init__(self, name: str = "serve.timer") -> None:
+        self.name = name
+        self._lock = obs.named_lock(f"{name}._lock")
+        self._cond = obs.named_condition(f"{name}._cond", self._lock)
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        # guarded-by: _lock (heap, closed flag, error count)
+        self._closed = False
+        self._errors = 0
+        self._seq = itertools.count()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def callback_errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    def schedule(self, delay_s: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay_s`` (inline if already closed)."""
+        due = time.monotonic() + max(0.0, delay_s)
+        with self._lock:
+            if not self._closed:
+                heapq.heappush(self._heap, (due, next(self._seq), fn))
+                self._cond.notify()
+                return
+        self._invoke(fn)
+
+    def close(self) -> None:
+        """Stop the thread, flushing pending callbacks synchronously."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [fn for _, _, fn in sorted(self._heap)]
+            self._heap.clear()
+            self._cond.notify()
+        for fn in pending:
+            self._invoke(fn)
+        self._thread.join()
+
+    def _invoke(self, fn: Callable[[], None]) -> None:
+        try:
+            fn()
+        # Deliberate isolation boundary: a failing retry/hedge callback
+        # must not kill the shared timer thread; the failure is counted
+        # and surfaced as serve.timer.callback_errors.
+        except Exception:  # lint: ignore[RPR003]
+            with self._lock:
+                self._errors += 1
+            obs.registry.counter(
+                "serve.timer.callback_errors",
+                "exceptions raised by delayed callbacks").inc()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._closed and (
+                        not self._heap
+                        or self._heap[0][0] > time.monotonic()):
+                    if self._heap:
+                        timeout = self._heap[0][0] - time.monotonic()
+                        self._cond.wait(timeout=max(0.0, timeout))
+                    else:
+                        self._cond.wait()
+                if self._closed:
+                    return
+                _, _, fn = heapq.heappop(self._heap)
+            self._invoke(fn)

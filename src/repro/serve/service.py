@@ -20,6 +20,23 @@ multi-tenant request server:
   entirely on a full-result hit, returning the bitwise-identical
   energy (stored float64 arrays round-trip exactly).
 
+Resilience (all optional, pay-for-what-you-use — see
+:mod:`repro.serve.resilience` and ``docs/SERVING.md``):
+
+* a :class:`~repro.faults.plan.ServeFaultPlan` injects deterministic
+  worker crashes, stragglers, disk faults and cache poison;
+* **supervision** detects a dead worker, requeues its in-flight batch
+  exactly once (idempotency keys make the replay safe) and spawns a
+  replacement thread — replacement worker ids continue past the
+  initial pool so crash specs never re-fire on the replacement;
+* a :class:`~repro.serve.resilience.RetryPolicy` re-queues failed
+  attempts with deadline-aware, deterministically jittered backoff,
+  and optionally **hedges** a straggling attempt; tickets are
+  first-set-wins, so the loser's result is discarded and the loser
+  itself is cancelled at its next checkpoint;
+* an :class:`~repro.serve.resilience.AdmissionController` sheds load
+  (typed, with a retry-after hint) before hard queue backpressure.
+
 Everything is observable through :mod:`repro.obs`: queue depth, wait
 and service time histograms, cache hit/miss/eviction counters, and a
 ``serve.request`` span per executed request (solver phase spans nest
@@ -28,14 +45,17 @@ inside it).
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 import repro.obs as obs
+from repro.faults.errors import WorkerCrashedError
+from repro.faults.plan import ServeFaultPlan
 from repro.guard.errors import DiagnosticError
 from repro.guard.solver import GuardPolicy, GuardedSolver, WarmStart
 from repro.molecules.molecule import Molecule, SurfaceSamples
@@ -54,9 +74,17 @@ from repro.serve.errors import (
     DeadlineExceededError,
     QueueFullError,
     ServiceClosedError,
+    ServiceOverloadedError,
 )
 from repro.serve.queueing import BoundedPriorityQueue
 from repro.serve.request import SolveRequest, SolveResult
+from repro.serve.resilience import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    DelayTimer,
+    RetryPolicy,
+)
 
 __all__ = ["SolveService", "Ticket", "ServeStats",
            "LATENCY_BOUNDS_SECONDS"]
@@ -70,12 +98,19 @@ LATENCY_BOUNDS_SECONDS = (
 
 
 class Ticket:
-    """Handle to one (possibly shared) in-flight computation."""
+    """Handle to one (possibly shared) in-flight computation.
+
+    First set wins: with hedging, two attempts can race to deliver —
+    whichever lands first is the result every coalesced caller sees;
+    the loser's ``_set`` returns False and its result is discarded.
+    """
 
     def __init__(self, key: str) -> None:
         self.key = key
         self._done = threading.Event()
         self._result: Optional[SolveResult] = None
+        # Leaf-level: nothing is ever acquired under it.
+        self._win = threading.Lock()
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -88,9 +123,14 @@ class Ticket:
         assert self._result is not None
         return self._result
 
-    def _set(self, result: SolveResult) -> None:
-        self._result = result
-        self._done.set()
+    def _set(self, result: SolveResult) -> bool:
+        """Install ``result`` if none landed yet; True iff it won."""
+        with self._win:
+            if self._done.is_set():
+                return False
+            self._result = result
+            self._done.set()
+            return True
 
 
 @dataclass
@@ -101,6 +141,14 @@ class _Job:
     ticket: Ticket
     enqueued_at: float
     deadline_at: Optional[float]
+    #: 1-based delivery attempt (retries, hedges and crash requeues
+    #: each consume one).
+    attempt: int = 1
+    #: True for a hedged duplicate racing the original attempt.
+    hedge: bool = False
+    #: Set when supervision requeued this job after a worker crash —
+    #: a second crash fails it instead of requeueing forever.
+    crash_requeued: bool = False
 
 
 @dataclass
@@ -114,6 +162,14 @@ class ServeStats:
     coalesced: int = 0
     rejected: int = 0
     degraded: int = 0
+    shed: int = 0
+    worker_crashes: int = 0
+    worker_restarts: int = 0
+    requeued: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_cancelled: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     by_level: Dict[str, int] = field(default_factory=dict)
     wait_p50: float = 0.0
@@ -151,6 +207,21 @@ class SolveService:
         ``cache_dir`` when omitted.
     policy:
         :class:`GuardPolicy` for every solve (None → defaults).
+    fault_plan:
+        Optional :class:`ServeFaultPlan` driving deterministic crash /
+        straggler / disk / poison injection (chaos testing only).
+    retry:
+        Optional :class:`RetryPolicy`; enables bounded retry of failed
+        attempts and (via ``hedge_after_s``) hedged re-submits.  Also
+        starts the :class:`DelayTimer` thread.
+    admission:
+        Optional :class:`AdmissionPolicy` (or a prebuilt
+        :class:`AdmissionController`) shedding load ahead of
+        :class:`QueueFullError` backpressure.
+    breaker:
+        Optional :class:`CircuitBreaker` for the disk cache tier; only
+        applied when the service builds its own cache (pass a wired
+        :class:`ArtifactCache` otherwise).
     """
 
     def __init__(self, workers: int = 2, queue_capacity: int = 64,
@@ -158,15 +229,33 @@ class SolveService:
                  cache: Optional[ArtifactCache] = None,
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
                  cache_dir: Optional[str] = None,
-                 policy: Optional[GuardPolicy] = None) -> None:
+                 policy: Optional[GuardPolicy] = None,
+                 fault_plan: Optional[ServeFaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 admission: Union[AdmissionPolicy, AdmissionController,
+                                  None] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.cache = cache if cache is not None else ArtifactCache(
-            max_bytes=cache_bytes, disk_dir=cache_dir)
+            max_bytes=cache_bytes, disk_dir=cache_dir,
+            breaker=breaker, fault_plan=fault_plan)
         self.policy = policy
         self.batch_size = int(batch_size)
+        self._fault_plan = fault_plan
+        self._retry = retry
+        if isinstance(admission, AdmissionController):
+            self._admission: Optional[AdmissionController] = admission
+        elif admission is not None:
+            self._admission = AdmissionController(admission,
+                                                  workers=int(workers))
+        else:
+            self._admission = None
+        # The timer thread exists only when retry/hedging is on —
+        # fault-free services pay nothing for it.
+        self._timer = DelayTimer() if retry is not None else None
         self._queue = BoundedPriorityQueue(queue_capacity)
         # Witness-aware factories: plain threading primitives unless a
         # LockWitness is installed (repro.obs.lockwitness).
@@ -179,7 +268,10 @@ class SolveService:
         self._stats = ServeStats()               # guarded-by: _lock
         self._waits: List[float] = []            # guarded-by: _lock
         self._services: List[float] = []         # guarded-by: _lock
-        self._threads = [
+        # Replacement workers take ids past the initial pool, so a
+        # WorkerCrash spec can never re-fire on the replacement.
+        self._wid_counter = itertools.count(int(workers))
+        self._threads = [                        # guarded-by: _lock
             threading.Thread(target=self._worker, args=(i,),
                              name=f"serve-worker-{i}", daemon=True)
             for i in range(int(workers))
@@ -200,20 +292,44 @@ class SolveService:
         self.close()
 
     def close(self) -> None:
-        """Stop admitting work, drain what was accepted, join workers."""
+        """Stop admitting work, drain what was accepted, join workers.
+
+        Order matters: the delay timer is flushed *first* (its close
+        runs pending retry/hedge callbacks synchronously, requeueing
+        their jobs), then the queue closes and drains, then workers —
+        including replacements spawned by supervision during the drain
+        — are joined until the pool is stable.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        if self._timer is not None:
+            self._timer.close()
         self._queue.close()
-        for t in self._threads:
-            t.join()
+        while True:
+            with self._lock:
+                threads = list(self._threads)
+            for t in threads:
+                t.join()
+            with self._lock:
+                stable = len(self._threads) == len(threads)
+            if stable:
+                return
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Condition-wait until every accepted request has a result."""
         with self._idle:
             return self._idle.wait_for(lambda: self._pending == 0,
                                        timeout)
+
+    @property
+    def pending(self) -> int:
+        """Accepted-but-unresolved requests (0 after a clean drain —
+        the zero-stranded-tickets invariant ``repro chaos --serve``
+        asserts)."""
+        with self._lock:
+            return self._pending
 
     # -- producer side -----------------------------------------------------
 
@@ -229,9 +345,26 @@ class SolveService:
         if self._closed:
             raise ServiceClosedError()
         key = request.key()
+        if self._admission is not None:
+            with self._lock:
+                ticket = self._inflight.get(key)
+                if ticket is not None:
+                    self._stats.coalesced += 1
+                    self._observe_counter("serve.coalesced")
+                    return ticket
+            # Coalesced duplicates never reach this point — they cost
+            # no queue slot, so only genuinely new work can be shed.
+            try:
+                self._admission.check(len(self._queue))
+            except ServiceOverloadedError:
+                with self._lock:
+                    self._stats.shed += 1
+                raise
         with self._lock:
             ticket = self._inflight.get(key)
             if ticket is not None:
+                # A coalescing hit — or, with admission on, a race
+                # with an identical submit while the check ran.
                 self._stats.coalesced += 1
                 self._observe_counter("serve.coalesced")
                 return ticket
@@ -299,11 +432,18 @@ class SolveService:
     # -- consumer side -----------------------------------------------------
 
     def _worker(self, wid: int) -> None:
-        while True:
+        # The per-worker batch sequence number is deterministic state
+        # WorkerCrash specs key on (never wall clock).
+        for batch_seq in itertools.count():
             batch = self._queue.get_batch(self.batch_size)
             if batch is None:
                 return
-            for job in batch:
+            crash = (self._fault_plan.crash_for(wid, batch_seq)
+                     if self._fault_plan is not None else None)
+            for i, job in enumerate(batch):
+                if crash is not None and i >= crash.after_jobs:
+                    self._on_worker_crash(wid, batch_seq, batch[i:])
+                    return  # the thread dies mid-batch
                 try:
                     self._execute(job, wid)
                 except Exception:  # lint: ignore[RPR003]
@@ -312,27 +452,188 @@ class SolveService:
                     # the rest of the batch or kill the worker thread.
                     continue
 
+    # -- supervision -------------------------------------------------------
+
+    def _on_worker_crash(self, wid: int, batch_seq: int,
+                         jobs: Sequence[_Job]) -> None:
+        """A worker died with ``jobs`` in flight: requeue each exactly
+        once (idempotency keys make the replay safe) and spawn a
+        replacement thread.  A job that already survived one crash is
+        failed instead — never requeued forever."""
+        obs.instant(f"serve.worker.crash[{wid}]", cat="fault",
+                    batch_seq=batch_seq, inflight=len(jobs))
+        self._observe_counter("serve.worker.crashes")
+        with self._lock:
+            self._stats.worker_crashes += 1
+        for job in jobs:
+            if job.ticket.done():
+                self._finalize(job.ticket)
+                continue
+            if job.crash_requeued:
+                exc = WorkerCrashedError(wid, batch_seq, job.ticket.key)
+                self._fail(job, str(exc))
+                continue
+            job.crash_requeued = True
+            job.attempt += 1
+            job.enqueued_at = time.monotonic()
+            with self._lock:
+                self._stats.requeued += 1
+            self._observe_counter("serve.requeued")
+            self._queue.requeue(job, job.request.priority)
+        self._spawn_replacement()
+
+    def _spawn_replacement(self) -> None:
+        with self._lock:
+            wid = next(self._wid_counter)
+            t = threading.Thread(target=self._worker, args=(wid,),
+                                 name=f"serve-worker-{wid}", daemon=True)
+            self._threads.append(t)
+            self._stats.worker_restarts += 1
+        t.start()
+        self._observe_counter("serve.worker.restarts")
+        obs.instant(f"serve.worker.restart[{wid}]", cat="fault")
+
+    # -- job resolution ----------------------------------------------------
+
+    def _finalize(self, ticket: Ticket) -> None:
+        """Exactly-once completion bookkeeping for a ticket.
+
+        With hedging, two jobs share one ticket and both pass through
+        here; only the call that finds the ticket still published in
+        ``_inflight`` decrements ``_pending``.
+        """
+        with self._lock:
+            if self._inflight.get(ticket.key) is ticket:
+                del self._inflight[ticket.key]
+                self._pending -= 1
+                self._idle.notify_all()
+
+    def _fail(self, job: _Job, error: str) -> None:
+        """Terminal failure for a job (crash re-loss, exhausted retry)."""
+        result = SolveResult(key=job.ticket.key, status="failed",
+                             method=job.request.method, error=error,
+                             attempt=job.attempt)
+        if job.ticket._set(result):
+            self._observe_counter("serve.failures")
+            with self._lock:
+                self._stats.failed += 1
+        self._finalize(job.ticket)
+
+    # -- retry / hedging ---------------------------------------------------
+
+    def _maybe_retry(self, job: _Job, exc: Exception) -> bool:
+        """Schedule a retry of ``job`` after backoff; False = give up.
+
+        Deadline-aware: a backoff that alone would overrun the
+        request's remaining monotonic budget is not scheduled.
+        """
+        pol, timer = self._retry, self._timer
+        if pol is None or timer is None or job.ticket.done():
+            return False
+        remaining = (None if job.deadline_at is None
+                     else job.deadline_at - time.monotonic())
+        pause = pol.next_backoff(job.ticket.key, job.attempt, remaining)
+        if pause is None:
+            self._observe_counter("serve.retry.exhausted")
+            return False
+        job.attempt += 1
+        with self._lock:
+            self._stats.retries += 1
+        self._observe_counter("serve.retry.attempts")
+        obs.instant("serve.retry", cat="serve", key=job.ticket.key[:16],
+                    attempt=job.attempt, backoff_s=pause,
+                    error=type(exc).__name__)
+        timer.schedule(pause, lambda: self._requeue_job(job))
+        return True
+
+    def _requeue_job(self, job: _Job) -> None:
+        """Timer callback: put a retried job back on the queue."""
+        if job.ticket.done():
+            # A hedge (or the crash path) resolved it meanwhile.
+            self._finalize(job.ticket)
+            return
+        job.enqueued_at = time.monotonic()
+        self._queue.requeue(job, job.request.priority)
+
+    def _arm_hedge(self, job: _Job) -> None:
+        """Arm a hedged duplicate if this attempt straggles."""
+        pol, timer = self._retry, self._timer
+        if (pol is None or timer is None or pol.hedge_after_s is None
+                or job.hedge or job.crash_requeued
+                or job.attempt >= pol.max_attempts):
+            return
+        timer.schedule(pol.hedge_after_s,
+                       lambda: self._submit_hedge(job))
+
+    def _submit_hedge(self, job: _Job) -> None:
+        """Timer callback: the original attempt is still running —
+        race a duplicate against it (first completed wins)."""
+        if job.ticket.done():
+            return
+        with self._lock:
+            self._stats.hedges += 1
+        self._observe_counter("serve.hedge.armed")
+        obs.instant("serve.hedge", cat="serve",
+                    key=job.ticket.key[:16], attempt=job.attempt + 1)
+        self._queue.requeue(
+            _Job(request=job.request, ticket=job.ticket,
+                 enqueued_at=time.monotonic(),
+                 deadline_at=job.deadline_at,
+                 attempt=job.attempt + 1, hedge=True),
+            job.request.priority)
+
+    def _note_hedge_loss(self, job: _Job) -> None:
+        """This attempt lost the hedge race (cancelled or outpaced)."""
+        with self._lock:
+            self._stats.hedge_cancelled += 1
+        self._observe_counter("serve.hedge.cancelled")
+
+    # -- execution ---------------------------------------------------------
+
     def _execute(self, job: _Job, wid: int) -> None:
         req, started = job.request, time.monotonic()
+        ticket = job.ticket
+        if ticket.done():
+            # Hedge loser cancelled before it started (or a crash
+            # requeue raced a concurrent resolution).
+            if job.hedge or self._retry is not None:
+                self._note_hedge_loss(job)
+            self._finalize(ticket)
+            return
         wait = started - job.enqueued_at
+        retried = False
         try:
             if job.deadline_at is not None and started > job.deadline_at:
                 exc = DeadlineExceededError(req.deadline_s or 0.0,
                                             started - job.deadline_at)
-                result = SolveResult(key=job.ticket.key, status="expired",
+                result = SolveResult(key=ticket.key, status="expired",
                                      method=req.method, error=str(exc))
                 self._observe_counter("serve.expired")
                 with self._lock:
                     self._stats.expired += 1
             else:
+                if self._retry is not None:
+                    self._arm_hedge(job)
+                slow = (self._fault_plan.slow_seconds(
+                            wid, ticket.key, job.attempt)
+                        if self._fault_plan is not None else 0.0)
+                if slow > 0.0:
+                    obs.instant(f"serve.worker.slow[{wid}]", cat="fault",
+                                seconds=slow, key=ticket.key[:16])
+                    # Interruptible stall (never time.sleep — RPR008);
+                    # a hedge may win while this attempt is stuck.
+                    ticket._done.wait(slow)
+                    if ticket.done():
+                        self._note_hedge_loss(job)
+                        return
                 try:
                     with obs.span("serve.request", cat="serve",
                                   method=req.method,
                                   natoms=req.molecule.natoms,
-                                  key=job.ticket.key[:16]):
-                        result = self._solve(req, job.ticket.key)
+                                  key=ticket.key[:16]):
+                        result = self._solve(req, ticket.key)
                 except DiagnosticError as exc:
-                    result = SolveResult(key=job.ticket.key,
+                    result = SolveResult(key=ticket.key,
                                          status="failed",
                                          method=req.method,
                                          error=str(exc))
@@ -342,11 +643,15 @@ class SolveService:
                 except Exception as exc:  # lint: ignore[RPR003]
                     # Anything a solve can throw — OSError from the
                     # disk cache tier, a numpy shape error — is a
-                    # failed *result*, never a dead worker thread:
-                    # the rest of the popped batch must still run and
-                    # every ticket must resolve.
+                    # retryable failure when a RetryPolicy is armed,
+                    # and otherwise a failed *result*, never a dead
+                    # worker thread: the rest of the popped batch must
+                    # still run and every ticket must resolve.
+                    if self._maybe_retry(job, exc):
+                        retried = True
+                        return
                     result = SolveResult(
-                        key=job.ticket.key, status="failed",
+                        key=ticket.key, status="failed",
                         method=req.method,
                         error=f"{type(exc).__name__}: {exc}")
                     self._observe_counter("serve.failures")
@@ -355,21 +660,33 @@ class SolveService:
             result.wait_seconds = wait
             result.service_seconds = time.monotonic() - started
             result.worker = wid
+            result.attempt = job.attempt
             # Resolve before recording: a failure in the (obs-touching)
             # latency bookkeeping must not replace a good result with
             # the finally-block's "internal error" fallback.
-            job.ticket._set(result)
-            self._record_latency(result)
+            if ticket._set(result):
+                self._record_latency(result)
+                if self._admission is not None and result.ok:
+                    self._admission.note_service_seconds(
+                        result.service_seconds)
+                if job.hedge:
+                    with self._lock:
+                        self._stats.hedge_wins += 1
+                    self._observe_counter("serve.hedge.wins")
+            else:
+                # The other attempt landed first; this result is
+                # discarded (first-set-wins).
+                self._note_hedge_loss(job)
         finally:
-            # The ticket always resolves — even if bookkeeping threw.
-            if not job.ticket.done():
-                job.ticket._set(SolveResult(
-                    key=job.ticket.key, status="failed",
-                    error="internal error before a result was built"))
-            with self._lock:
-                self._inflight.pop(job.ticket.key, None)
-                self._pending -= 1
-                self._idle.notify_all()
+            if not retried:
+                # The ticket always resolves — even if bookkeeping
+                # threw — except when a retry now owns it.
+                if not ticket.done():
+                    ticket._set(SolveResult(
+                        key=ticket.key, status="failed",
+                        error="internal error before a result was "
+                              "built"))
+                self._finalize(ticket)
 
     def _record_latency(self, result: SolveResult) -> None:
         with self._lock:
@@ -513,6 +830,14 @@ class SolveService:
                 coalesced=self._stats.coalesced,
                 rejected=self._stats.rejected,
                 degraded=self._stats.degraded,
+                shed=self._stats.shed,
+                worker_crashes=self._stats.worker_crashes,
+                worker_restarts=self._stats.worker_restarts,
+                requeued=self._stats.requeued,
+                retries=self._stats.retries,
+                hedges=self._stats.hedges,
+                hedge_wins=self._stats.hedge_wins,
+                hedge_cancelled=self._stats.hedge_cancelled,
                 by_level=dict(self._stats.by_level),
                 wait_p50=_quantile(self._waits, 50),
                 wait_p99=_quantile(self._waits, 99),

@@ -416,3 +416,105 @@ def test_rpr008_suppressible():
     src = ("import collections\n"
            "log = collections.deque()  # lint: ignore[RPR008]\n")
     assert lint_source(src, select=["RPR008"], filename=SERVE_FILE) == []
+
+
+# -- RPR009: monotonic clocks + bounded retries in serve/faults ---------
+
+FAULTS_FILE = "src/repro/faults/plan.py"
+
+
+def test_rpr009_time_time_flagged_in_serve():
+    src = "import time\ndeadline = time.time() + 5.0\n"
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=SERVE_FILE)) == ["RPR009"]
+
+
+def test_rpr009_time_time_flagged_in_faults():
+    src = "import time\nstart = time.time()\n"
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=FAULTS_FILE)) == ["RPR009"]
+
+
+def test_rpr009_monotonic_clean():
+    src = ("import time\n"
+           "deadline = time.monotonic() + 5.0\n"
+           "t0 = time.perf_counter()\n")
+    assert lint_source(src, select=["RPR009"],
+                       filename=SERVE_FILE) == []
+
+
+def test_rpr009_while_true_swallowing_except_flagged():
+    src = textwrap.dedent("""
+        def forever():
+            while True:
+                try:
+                    attempt()
+                except Exception:
+                    continue
+    """)
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=SERVE_FILE)) == ["RPR009"]
+
+
+def test_rpr009_while_true_pass_handler_flagged():
+    src = textwrap.dedent("""
+        def forever():
+            while True:
+                try:
+                    attempt()
+                except OSError:
+                    pass
+    """)
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=FAULTS_FILE)) == ["RPR009"]
+
+
+def test_rpr009_handler_with_bookkeeping_clean():
+    # Counting / re-raising / breaking is not a silent retry loop.
+    src = textwrap.dedent("""
+        def bounded():
+            errors = 0
+            while True:
+                try:
+                    return attempt()
+                except OSError:
+                    errors += 1
+                    if errors >= 3:
+                        raise
+    """)
+    assert lint_source(src, select=["RPR009"],
+                       filename=SERVE_FILE) == []
+
+
+def test_rpr009_bounded_while_loop_clean():
+    src = textwrap.dedent("""
+        def bounded(n):
+            while n > 0:
+                try:
+                    attempt()
+                except OSError:
+                    continue
+                n -= 1
+    """)
+    assert lint_source(src, select=["RPR009"],
+                       filename=SERVE_FILE) == []
+
+
+def test_rpr009_scope_limited_to_serve_and_faults():
+    src = "import time\nt = time.time()\n"
+    for fn in ("src/repro/core/solver.py", "src/repro/cli.py",
+               "src/repro/obs/tracing.py"):
+        assert lint_source(src, select=["RPR009"], filename=fn) == []
+
+
+def test_rpr009_skips_tests():
+    src = "import time\nt = time.time()\n"
+    assert lint_source(src, select=["RPR009"],
+                       filename="tests/serve/test_service.py") == []
+
+
+def test_rpr009_suppressible():
+    src = ("import time\n"
+           "wall = time.time()  # lint: ignore[RPR009]\n")
+    assert lint_source(src, select=["RPR009"],
+                       filename=SERVE_FILE) == []

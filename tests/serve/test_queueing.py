@@ -194,3 +194,73 @@ def test_concurrent_producers_consumers_under_witness(maybe_witness):
         (b, i) for b in range(2) for i in range(per_producer))
     if maybe_witness is not None:
         assert "serve.queue._lock" in maybe_witness.lock_names()
+
+
+# -- requeue / wait_empty (resilience support surface) ------------------
+
+
+def test_requeue_bypasses_capacity():
+    q = BoundedPriorityQueue(1)
+    q.put("a")
+    # Accepted work being put back (crash recovery, retry) must never
+    # bounce off the capacity ceiling it already passed once.
+    q.requeue("b")
+    assert q.get(timeout=0.1) in ("a", "b")
+    assert q.get(timeout=0.1) in ("a", "b")
+
+
+def test_requeue_accepted_after_close():
+    q = BoundedPriorityQueue(4)
+    q.close()
+    with pytest.raises(ServiceClosedError):
+        q.put("rejected")
+    # requeue is exempt: the item was admitted before the close and
+    # close() guarantees accepted items drain.
+    q.requeue("recovered")
+    assert q.get(timeout=0.1) == "recovered"
+
+
+def test_wait_empty_blocks_until_drained():
+    q = BoundedPriorityQueue(4)
+    q.put("x")
+    assert not q.wait_empty(timeout=0.05)
+    assert q.get(timeout=0.1) == "x"
+    assert q.wait_empty(timeout=1.0)
+
+
+def test_requeue_wakes_blocked_getter(maybe_witness):
+    q = BoundedPriorityQueue(2)
+    got = []
+
+    def getter():
+        got.append(q.get(timeout=30.0))
+
+    t = threading.Thread(target=getter, name="requeue-getter")
+    t.start()
+    time.sleep(0.05)  # let the getter block in get()
+    q.requeue("retry-item")
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert got == ["retry-item"]
+
+
+def test_close_with_requeued_retry_never_strands(maybe_witness):
+    """A worker blocked in get() while a retry item is requeued during
+    close must still receive the item — accepted work never strands."""
+    q = BoundedPriorityQueue(2)
+    got = []
+
+    def worker():
+        # First pop blocks; close() must hand it the requeued retry
+        # item, and the next pop must observe the drained-closed None.
+        got.append(q.get(timeout=30.0))
+        got.append(q.get(timeout=30.0))
+
+    t = threading.Thread(target=worker, name="close-requeue-worker")
+    t.start()
+    time.sleep(0.05)  # park the worker inside get()
+    q.requeue("retried-job")
+    q.close()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert got == ["retried-job", None]
