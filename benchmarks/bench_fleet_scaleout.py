@@ -1,0 +1,152 @@
+"""Fleet scale-out: projected throughput vs shard count, cold vs warm.
+
+This container pins every thread to a single core, so fleet wall-clock
+cannot show scale-out directly.  What sharding actually buys — one
+core (or host) per shard — is captured by the **per-shard critical
+path**: the busiest shard's summed service seconds.  Projected
+throughput is ``requests / critical_path`` (the rate an N-core
+deployment sustains, since shards share nothing but the disk tier),
+reported alongside the raw wall-clock for honesty.
+
+Acceptance: warm projected throughput at 4 shards ≥ 1.5× the 1-shard
+fleet, warm energies bitwise equal to cold and identical across every
+shard count, and the machine-readable summary lands at the repo root
+as ``BENCH_fleet_scaleout.json``.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.fleet import ShardedFleet
+from repro.molecules import synthetic_protein
+from repro.serve import SolveRequest
+
+SHARDS = (1, 2, 4)
+MOLECULES = 12
+WARM_REPEATS = 2
+BASE_ATOMS = 180
+STEP_ATOMS = 12
+
+ROOT_JSON = Path(__file__).parents[1] / "BENCH_fleet_scaleout.json"
+
+
+def _pool():
+    return [synthetic_protein(BASE_ATOMS + STEP_ATOMS * i, seed=20 + i)
+            for i in range(MOLECULES)]
+
+
+def _requests(pool, tag, repeats=1):
+    # Distinct idempotency keys so warm repeats exercise the shard
+    # caches, not in-flight coalescing.
+    return [SolveRequest(molecule=pool[i % MOLECULES],
+                         idempotency_key=f"{tag}-{i}")
+            for i in range(MOLECULES * repeats)]
+
+
+def _pass(fleet, requests):
+    tickets = [fleet.submit(r) for r in requests]
+    assert fleet.drain(timeout=600.0)
+    results = [t.result(timeout=1.0) for t in tickets]
+    assert all(r.status == "ok" for r in results)
+    busy = {}
+    for r in results:
+        busy[r.shard] = busy.get(r.shard, 0.0) + r.service_seconds
+    critical = max(busy.values())
+    return results, busy, critical
+
+
+def _energy_map(results):
+    return {r.key.rsplit("-", 1)[-1]: float(r.energy).hex()
+            for r in results[:MOLECULES]}
+
+
+def _run():
+    rows = []
+    reference = None
+    pool = _pool()
+    for shards in SHARDS:
+        import time
+        with ShardedFleet(shards=shards, queue_capacity=256) as fleet:
+            t0 = time.perf_counter()
+            cold_res, cold_busy, cold_crit = _pass(
+                fleet, _requests(pool, f"cold{shards}"))
+            cold_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm_res, warm_busy, warm_crit = _pass(
+                fleet, _requests(pool, f"warm{shards}",
+                                 repeats=WARM_REPEATS))
+            warm_wall = time.perf_counter() - t0
+        assert all(r.cache == "epol" for r in warm_res), \
+            "warm pass must be full epol hits"
+        energies = _energy_map(cold_res)
+        assert energies == _energy_map(warm_res), \
+            "warm energies must be bitwise identical"
+        if reference is None:
+            reference = energies
+        assert energies == reference, \
+            "energies must not depend on the shard count"
+        n_cold, n_warm = len(cold_res), len(warm_res)
+        rows.append({
+            "shards": shards,
+            "cold_requests": n_cold,
+            "warm_requests": n_warm,
+            "cold_busy_seconds": sum(cold_busy.values()),
+            "warm_busy_seconds": sum(warm_busy.values()),
+            "cold_critical_path_seconds": cold_crit,
+            "warm_critical_path_seconds": warm_crit,
+            "cold_projected_rps": n_cold / cold_crit,
+            "warm_projected_rps": n_warm / warm_crit,
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "per_shard_requests": {
+                str(sid): sum(1 for r in cold_res if r.shard == sid)
+                for sid in sorted(cold_busy)},
+        })
+    return rows
+
+
+def test_fleet_scaleout(benchmark, record_table):
+    rows = run_once(benchmark, _run)
+    one = next(r for r in rows if r["shards"] == 1)
+    four = next(r for r in rows if r["shards"] == 4)
+    warm_speedup = (four["warm_projected_rps"]
+                    / one["warm_projected_rps"])
+    cold_speedup = (four["cold_projected_rps"]
+                    / one["cold_projected_rps"])
+
+    lines = [f"fleet scale-out ({MOLECULES} molecules, "
+             f"{BASE_ATOMS}-{BASE_ATOMS + STEP_ATOMS * (MOLECULES - 1)}"
+             f" atoms; projected = requests / busiest-shard seconds "
+             f"on a 1-core container)"]
+    for r in rows:
+        lines.append(
+            f"{r['shards']} shard(s): cold "
+            f"{r['cold_projected_rps']:8.2f} req/s projected "
+            f"(crit {r['cold_critical_path_seconds']:6.3f} s)   warm "
+            f"{r['warm_projected_rps']:8.2f} req/s projected "
+            f"(crit {r['warm_critical_path_seconds']:6.4f} s)")
+    lines.append(f"projected speedup 4 shards vs 1: "
+                 f"cold {cold_speedup:.2f}x, warm {warm_speedup:.2f}x "
+                 f"(acceptance: warm >= 1.5x)")
+    text = "\n".join(lines)
+    config = {"shards": list(SHARDS), "molecules": MOLECULES,
+              "warm_repeats": WARM_REPEATS,
+              "atoms": [BASE_ATOMS + STEP_ATOMS * i
+                        for i in range(MOLECULES)]}
+    record_table("bench_fleet_scaleout", text, rows=rows, config=config)
+
+    ROOT_JSON.write_text(json.dumps({
+        "name": "fleet_scaleout",
+        "config": config,
+        "rows": rows,
+        "warm_speedup_4v1": warm_speedup,
+        "cold_speedup_4v1": cold_speedup,
+        "acceptance": {"warm_speedup_4v1_min": 1.5,
+                       "passed": warm_speedup >= 1.5},
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    assert warm_speedup >= 1.5, (
+        f"4-shard warm projected throughput only {warm_speedup:.2f}x "
+        f"the single shard")

@@ -307,10 +307,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serve and args.fleet:
+        print("--serve and --fleet are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.trace:
         obs.enable(reset=True)
     witness = None
-    if args.serve and args.lock_witness:
+    if (args.serve or args.fleet) and args.lock_witness:
         from repro.obs import lockwitness
 
         # Installed before any service is built so every serve-stack
@@ -322,6 +326,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report = servechaos.run_serve_chaos(
             seed=args.seed, atoms=args.atoms, quick=args.quick,
             workers=args.workers)
+    elif args.fleet:
+        from repro.faults import fleetchaos
+        report = fleetchaos.run_fleet_chaos(
+            seed=args.seed, atoms=args.atoms, quick=args.quick)
     else:
         from repro.faults import chaos
         report = chaos.run_chaos(seed=args.seed,
@@ -358,13 +366,154 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"all {len(report.results)} serve scenarios passed: "
               f"zero stranded tickets, bitwise parity with the "
               f"fault-free twin, same-seed determinism")
+    elif args.fleet:
+        print(f"all {len(report.results)} fleet scenarios passed: "
+              f"zero stranded tickets, bitwise parity with the "
+              f"fault-free fleet twin AND the single-shard baseline, "
+              f"same-seed determinism")
     else:
         print(f"all {len(report.results)} scenarios recovered within "
               f"{report.tolerance:g} of E_pol = {report.ref_energy:.6f}")
     return 1 if cyclic else 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """``repro serve --shards N`` — the workload through a
+    :class:`~repro.fleet.fleet.ShardedFleet` front door instead of a
+    single service: consistent-hash routing, per-shard breakers,
+    fleet-level admission, heartbeat supervision."""
+    from repro.fleet import ShardedFleet
+    from repro.serve import (
+        QueueFullError,
+        ServiceOverloadedError,
+        SolveResult,
+        load_workload,
+        synthetic_workload,
+    )
+    if args.workload:
+        requests = load_workload(args.workload)
+        source = args.workload
+    else:
+        requests = synthetic_workload(
+            args.synthetic, seed=args.seed, molecules=args.molecules,
+            atoms=args.atoms)
+        source = f"synthetic (seed {args.seed})"
+    obs.enable(reset=True)
+    witness = None
+    if args.lock_witness:
+        from repro.obs import lockwitness
+
+        # Installed before the fleet is built so every serve- and
+        # fleet-stack lock is wrapped.
+        witness = lockwitness.install(lockwitness.LockWitness())
+    admission = None
+    if (args.shed_queue_depth is not None
+            or args.shed_wait_seconds is not None):
+        from repro.serve import AdmissionPolicy
+        admission = AdmissionPolicy(
+            max_queue_depth=args.shed_queue_depth,
+            max_wait_seconds=args.shed_wait_seconds)
+    fleet = ShardedFleet(
+        shards=args.shards, backend=args.shard_backend,
+        workers_per_shard=args.workers,
+        queue_capacity=args.queue_size, batch_size=args.batch_size,
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        admission=admission, supervise=True)
+    tickets = []
+    t0 = time.perf_counter()
+    with obs.span("serve.fleet", cat="serve", shards=args.shards,
+                  requests=len(requests)):
+        for req in requests:
+            try:
+                tickets.append(fleet.submit(req))
+            except ServiceOverloadedError as exc:
+                print(f"shed (overloaded): {exc}", file=sys.stderr)
+            except QueueFullError as exc:
+                print(f"rejected (queue full): {exc}", file=sys.stderr)
+        fleet.drain(timeout=args.drain_timeout)
+    wall = time.perf_counter() - t0
+    collect_deadline = t0 + args.drain_timeout
+    results = []
+    for t in tickets:
+        remaining = max(0.0, collect_deadline - time.perf_counter())
+        try:
+            results.append(t.result(timeout=remaining))
+        except TimeoutError:
+            results.append(SolveResult(
+                key=t.key, status="failed",
+                error=f"result not available within the "
+                      f"{args.drain_timeout:g}s drain budget"))
+    fstats = fleet.stats()
+    shard_stats = fleet.shard_stats()
+    fleet.close()
+
+    ok = sum(1 for r in results if r.status == "ok")
+    failed = sum(1 for r in results if r.status == "failed")
+    table = Table(["requests", "ok", "failed", "coalesced", "shed",
+                   "rerouted", "shards live"],
+                  title=f"fleet: {len(requests)} requests from "
+                        f"{source} — {args.shards} "
+                        f"{args.shard_backend} shard(s), "
+                        f"{args.workers} worker(s)/shard")
+    table.add_row(fstats.submitted, ok, failed, fstats.coalesced,
+                  fstats.shed, fstats.rerouted, fstats.shards_live)
+    print(table.render())
+
+    per = Table(["shard", "dispatched", "completed", "hit rate",
+                 "cache entries"])
+    for sid in sorted(shard_stats):
+        st = shard_stats[sid]
+        per.add_row(sid, fstats.dispatches.get(sid, 0), st.completed,
+                    f"{st.hit_rate:.1%}", st.cache.entries)
+    print(per.render())
+    print(f"throughput: {len(results) / wall:.1f} req/s "
+          f"({wall:.2f} s wall)")
+
+    if args.json:
+        import json
+        doc = {"source": source, "shards": args.shards,
+               "backend": args.shard_backend,
+               "requests": fstats.submitted, "ok": ok,
+               "failed": failed, "coalesced": fstats.coalesced,
+               "shed": fstats.shed, "rerouted": fstats.rerouted,
+               "dispatches": {str(k): v for k, v
+                              in sorted(fstats.dispatches.items())},
+               "throughput_rps": len(results) / wall,
+               "wall_seconds": wall}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote summary to {args.json}")
+    if args.trace:
+        obs.write_chrome_trace(args.trace, tracer=obs.get_tracer(),
+                               metrics=obs.registry)
+        print(f"wrote trace to {args.trace}")
+    _write_metrics(args)
+    cyclic = False
+    if witness is not None:
+        from repro.obs import lockwitness
+
+        lockwitness.uninstall()
+        print(witness.summary())
+        if args.lock_trace:
+            witness.write_chrome_trace(args.lock_trace)
+            print(f"wrote lock trace to {args.lock_trace}")
+        found = witness.cycles()
+        if found:
+            cyclic = True
+            for cycle in found:
+                print("lock-order cycle: " + " -> ".join(cycle),
+                      file=sys.stderr)
+    obs.disable()
+    if failed:
+        print(f"{failed} failed", file=sys.stderr)
+        return 1
+    return 1 if cyclic else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _cmd_serve_fleet(args)
     from repro.serve import (
         QueueFullError,
         ServiceOverloadedError,
@@ -631,7 +780,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("chaos", help="fault-injection scenario matrix "
                                      "over the fault-tolerant solver "
-                                     "(--serve: over the solve service)")
+                                     "(--serve: the solve service; "
+                                     "--fleet: the sharded fleet)")
     p.add_argument("--seed", type=int, default=0,
                    help="derives every scenario's faults (default 0)")
     p.add_argument("--processes", type=int, default=4,
@@ -646,12 +796,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the serve-tier matrix instead (worker "
                         "crashes, stragglers+hedging, disk-error "
                         "storms, cache poison, overload shedding)")
+    p.add_argument("--fleet", action="store_true",
+                   help="run the fleet-tier matrix instead (shard "
+                        "deaths mid-batch, stalled-shard quarantine, "
+                        "live rebalancing, overload shedding — "
+                        "parity vs fault-free fleet AND single-shard "
+                        "baseline)")
     p.add_argument("--workers", type=int, default=2,
                    help="--serve: clean-baseline worker pool "
                         "(fault scenarios pin their own; default 2)")
     p.add_argument("--lock-witness", action="store_true",
-                   help="--serve: wrap serve-stack locks in the "
-                        "runtime LockWitness and fail on an "
+                   help="--serve/--fleet: wrap serve-stack locks in "
+                        "the runtime LockWitness and fail on an "
                         "acquisition-order cycle")
     p.add_argument("--json", type=str, default=None, metavar="FILE",
                    help="write the scenario report as JSON")
@@ -674,7 +830,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="JSON workload file (see repro.serve."
                                 "workload.load_workload)")
     p.add_argument("--workers", type=int, default=2,
-                   help="worker threads (default 2)")
+                   help="worker threads (default 2; per shard with "
+                        "--shards)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="serve through an N-shard fleet (consistent-"
+                        "hash router, per-shard breakers, heartbeat "
+                        "supervision) instead of one service")
+    p.add_argument("--shard-backend", type=str, default="thread",
+                   choices=("thread", "process"),
+                   help="--shards: in-thread shards (deterministic) "
+                        "or one OS process per shard (default thread)")
     p.add_argument("--queue-size", type=int, default=64,
                    help="admission queue capacity; a full queue "
                         "rejects with QueueFullError (default 64)")

@@ -21,6 +21,14 @@ cache poison — all seeded and keyed on deterministic serve-side
 state) is consumed by :class:`repro.serve.service.SolveService`, and
 :mod:`repro.faults.servechaos` (also lazy — it pulls in the serve
 stack) runs the ``repro chaos --serve`` scenario matrix.
+
+One level further up, a :class:`FleetFaultPlan` (``ShardCrash`` /
+``ShardStall`` / ``RouterPartition``, keyed on per-shard dispatch
+sequence numbers) drives the sharded fleet of
+:mod:`repro.fleet`, and :mod:`repro.faults.fleetchaos` (lazy) runs
+the ``repro chaos --fleet`` matrix — shard deaths, stalled-shard
+quarantine, live rebalancing and overload shedding, all asserting
+bitwise energy parity against fault-free twins.
 """
 
 from __future__ import annotations
@@ -40,10 +48,14 @@ from repro.faults.plan import (
     DiskIOFault,
     FaultEvent,
     FaultPlan,
+    FleetFaultPlan,
     MessageDelay,
     MessageDrop,
     RankCrash,
+    RouterPartition,
     ServeFaultPlan,
+    ShardCrash,
+    ShardStall,
     SlowWorker,
     Straggler,
     WorkerCrash,
@@ -69,4 +81,8 @@ __all__ = [
     "SlowWorker",
     "DiskIOFault",
     "CachePoison",
+    "FleetFaultPlan",
+    "ShardCrash",
+    "ShardStall",
+    "RouterPartition",
 ]

@@ -1,0 +1,565 @@
+"""Fleet-scale chaos: a seeded fault matrix over the sharded fleet.
+
+:mod:`repro.faults.servechaos` proves one :class:`SolveService`
+survives its own failure modes; this module proves the *fleet* layer
+above it — consistent-hash routing, shard supervision and failover
+re-routing — holds the same three invariants under shard-scale
+faults:
+
+* **zero stranded tickets** — every accepted fleet ticket resolves
+  terminally and the router's outstanding count is zero after drain;
+* **parity** — every energy produced under faults is bitwise equal
+  (``float.hex``) to BOTH a fault-free fleet twin and a single-shard
+  baseline run: re-routing work across shards never changes a bit;
+* **determinism** — two same-seed runs produce identical JSON
+  summaries (statuses, energies, placements, re-route counters).
+
+Choreography: faults are :class:`~repro.faults.plan.FleetFaultPlan`
+specs keyed on per-shard *dispatch sequence numbers* — never wall
+clock.  Scenarios that depend on which requests are outstanding when
+a shard dies first freeze every shard with a *hold*: a request
+steered (by content-hash search) onto each shard whose
+:class:`~repro.faults.plan.ShardStall` at dispatch seq 0 parks the
+shard's single worker on an interruptible event.  With all workers
+held, the outstanding set at any dispatch count is a pure function of
+the workload, and a revocation (fleet cancel) wakes the held worker
+instantly — large hold margins cost nothing.
+
+``repro chaos --fleet`` exposes the matrix; CI runs it twice with the
+same seed and diffs the JSON reports byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FleetFaultPlan, ShardCrash, ShardStall
+from repro.fleet.fleet import ShardedFleet
+from repro.fleet.ring import HashRing
+from repro.molecules import synthetic_protein
+from repro.serve.errors import ServiceOverloadedError
+from repro.serve.request import SolveRequest
+from repro.serve.resilience import AdmissionPolicy, BreakerPolicy
+from repro.serve.service import SolveService, Ticket
+
+__all__ = ["FleetScenarioResult", "FleetChaosReport",
+           "FLEET_SCENARIOS", "run_fleet_chaos"]
+
+#: Hold stall (seconds) freezing a shard's worker while a scenario is
+#: choreographed.  Interruptible (a fleet cancel wakes it), and far
+#: longer than the milliseconds the submissions take.
+HOLD_SECONDS = 1.0
+
+#: Straggler stall for the supervisor scenario — alarm-grade (above
+#: :data:`repro.fleet.shard.STALL_ALARM_SECONDS`), interruptible.
+STALL_SECONDS = 30.0
+
+#: Names of the scenario matrix, in run order.
+FLEET_SCENARIOS = ("clean", "kill-shard-mid-batch", "kill-two",
+                   "stall-failover", "rebalance-under-load",
+                   "overload-shed")
+
+
+@dataclass(frozen=True)
+class FleetScenarioResult:
+    """Outcome of one fleet scenario (two same-seed runs + twins)."""
+
+    name: str
+    description: str
+    stranded: int
+    pending: int
+    parity: bool
+    deterministic: bool
+    summary: Dict[str, Any]
+    notes: str
+    passed: bool
+
+
+@dataclass
+class FleetChaosReport:
+    """Matrix results plus everything needed to reproduce them.
+
+    ``to_json`` is wall-clock-free by construction: two same-seed
+    runs must serialize byte-identically.
+    """
+
+    seed: int
+    natoms: int
+    results: List[FleetScenarioResult]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def table(self) -> str:
+        from repro.analysis.tables import Table
+        t = Table(["scenario", "stranded", "parity", "determ.",
+                   "notes", "status"],
+                  title=f"fleet chaos matrix seed={self.seed} "
+                        f"({self.natoms} atoms/request)")
+        for r in self.results:
+            t.add_row(r.name, r.stranded,
+                      "yes" if r.parity else "NO",
+                      "yes" if r.deterministic else "NO",
+                      r.notes, "PASS" if r.passed else "FAIL")
+        return t.render()
+
+    def to_json(self, indent: int = 2) -> str:
+        doc = {"seed": self.seed, "natoms": self.natoms,
+               "backend": "thread",
+               "all_passed": self.all_passed,
+               "scenarios": [{
+                   "name": r.name, "description": r.description,
+                   "stranded": r.stranded, "pending": r.pending,
+                   "parity": r.parity,
+                   "deterministic": r.deterministic,
+                   "summary": r.summary, "notes": r.notes,
+                   "passed": r.passed,
+               } for r in self.results]}
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# workload helpers
+# ---------------------------------------------------------------------------
+
+
+def _requests(prefix: str, count: int, seed: int,
+              natoms: int) -> List[SolveRequest]:
+    """``count`` distinct-molecule requests with deterministic keys."""
+    return [SolveRequest(molecule=synthetic_protein(natoms,
+                                                    seed=seed + 101 * i),
+                         idempotency_key=f"{prefix}-{i}")
+            for i in range(count)]
+
+
+def _holds(shard_ids: Sequence[int], seed: int,
+           natoms: int) -> Dict[int, SolveRequest]:
+    """One hold request *per shard*, steered by content-hash search.
+
+    Routing hashes the molecule fingerprint, so steering a request
+    onto shard ``s`` means searching molecule seeds until one lands
+    there — a pure, deterministic search (a handful of candidates per
+    shard on average).
+    """
+    ring = HashRing(shard_ids)
+    out: Dict[int, SolveRequest] = {}
+    j = 0
+    while len(out) < len(shard_ids):
+        req = SolveRequest(
+            molecule=synthetic_protein(natoms, seed=seed + 7919 + j),
+            idempotency_key=f"hold-{j}")
+        sid = ring.route(req.route_key())
+        if sid not in out:
+            out[sid] = req
+        j += 1
+    return out
+
+
+def _route_counts(shard_ids: Sequence[int],
+                  ordered: Sequence[SolveRequest]) -> Dict[int, int]:
+    """Fault-free dispatch counts per shard for an ordered workload —
+    the pure precomputation crash sequence numbers are chosen from."""
+    ring = HashRing(shard_ids)
+    counts = {sid: 0 for sid in shard_ids}
+    for req in ordered:
+        counts[ring.route(req.route_key())] += 1
+    return counts
+
+
+def _collect(fleet: ShardedFleet,
+             tickets: Sequence[Ticket]) -> Dict[str, Any]:
+    """Drain + close, then summarize — deterministic fields only."""
+    drained = fleet.drain(timeout=120.0)
+    stats = fleet.stats()
+    stranded = sum(0 if t.done() else 1 for t in tickets)
+    pending = fleet.router.outstanding
+    fleet.close()
+    by_key: Dict[str, Dict[str, Any]] = {}
+    for t in tickets:
+        if not t.done():
+            continue
+        r = t.result(timeout=0.0)
+        by_key[t.key] = {
+            "status": r.status,
+            "shard": r.shard,
+            "energy_hex": (float(r.energy).hex()
+                           if r.energy is not None else None),
+        }
+    return {"drained": drained, "stranded": stranded,
+            "pending": pending, "results": by_key,
+            "fleet": {"submitted": stats.submitted,
+                      "rerouted": stats.rerouted,
+                      "rebalance_moves": stats.rebalance_moves,
+                      "shed": stats.shed,
+                      "dead": stats.dead,
+                      "degraded": stats.degraded,
+                      "shards_live": stats.shards_live,
+                      "dispatches": {str(k): v for k, v
+                                     in sorted(stats.dispatches.items())}}}
+
+
+def _single_shard_ref(requests: Sequence[SolveRequest]
+                      ) -> Dict[str, str]:
+    """Single-shard baseline: the bitwise reference energy per key."""
+    svc = SolveService(workers=1, batch_size=4,
+                       queue_capacity=max(8, 2 * len(requests)))
+    tickets = [svc.submit(r) for r in requests]
+    svc.drain(timeout=120.0)
+    svc.close()
+    out: Dict[str, str] = {}
+    for t in tickets:
+        r = t.result(timeout=0.0)
+        if r.energy is not None:
+            out[t.key] = float(r.energy).hex()
+    return out
+
+
+def _fleet_ref(requests: Sequence[SolveRequest],
+               shards: int) -> Dict[str, str]:
+    """Fault-free fleet twin: same shard count, empty fault plan."""
+    fleet = ShardedFleet(shards=shards, queue_capacity=max(
+        16, 2 * len(requests)))
+    tickets = [fleet.submit(r) for r in requests]
+    fleet.drain(timeout=120.0)
+    fleet.close()
+    out: Dict[str, str] = {}
+    for t in tickets:
+        r = t.result(timeout=0.0)
+        if r.energy is not None:
+            out[t.key] = float(r.energy).hex()
+    return out
+
+
+def _parity(summary: Dict[str, Any], *refs: Dict[str, str]
+            ) -> Tuple[bool, str]:
+    """Every faulted-run energy must bitwise match every reference."""
+    for key, row in summary["results"].items():
+        e = row["energy_hex"]
+        if e is None:
+            continue
+        for i, ref in enumerate(refs):
+            if key in ref and ref[key] != e:
+                which = "fleet twin" if i == 0 else "single-shard"
+                return False, f"energy mismatch vs {which} for {key}"
+    return True, ""
+
+
+def _result(name: str, description: str, summary: Dict[str, Any],
+            summary2: Dict[str, Any], refs: Sequence[Dict[str, str]],
+            extra_ok: bool, notes: str) -> FleetScenarioResult:
+    parity, why = _parity(summary, *refs)
+    deterministic = summary == summary2
+    stranded = int(summary["stranded"])
+    pending = int(summary["pending"])
+    passed = (bool(summary["drained"]) and stranded == 0
+              and pending == 0 and parity and deterministic
+              and extra_ok)
+    if why:
+        notes = f"{notes}; {why}" if notes else why
+    return FleetScenarioResult(
+        name=name, description=description, stranded=stranded,
+        pending=pending, parity=parity, deterministic=deterministic,
+        summary=summary, notes=notes, passed=passed)
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+def _run_clean(seed: int, natoms: int, tmpdir: str
+               ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                          List[Dict[str, str]], bool, str]:
+    """Baseline — breakers and an (ample) admission limit armed, empty
+    fault plan: the fleet machinery must not perturb a healthy run."""
+    reqs = _requests("clean", 6, seed, natoms)
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(
+            shards=2, cache_dir=f"{tmpdir}/clean{run}",
+            fault_plan=FleetFaultPlan(seed=seed),
+            breaker_policy=BreakerPolicy(),
+            admission=AdmissionPolicy(max_queue_depth=1000))
+        tickets = [fleet.submit(r) for r in reqs]
+        return _collect(fleet, tickets)
+
+    s1, s2 = once(1), once(2)
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["fleet"]["rerouted"] == 0
+          and s1["fleet"]["dead"] == []
+          and s1["fleet"]["shed"] == 0)
+    refs = [_fleet_ref(reqs, shards=2), _single_shard_ref(reqs)]
+    return s1, s2, refs, ok, "no-op machinery"
+
+
+def _run_kill(seed: int, natoms: int, tmpdir: str
+              ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                         List[Dict[str, str]], bool, str]:
+    """Kill the busiest shard just before its last dispatch: every
+    outstanding request re-routes exactly once and lands bitwise."""
+    reqs = _requests("kill", 8, seed, natoms)
+    holds = _holds([0, 1], seed, natoms)
+    ordered = [holds[0], holds[1]] + reqs
+    counts = _route_counts([0, 1], ordered)
+    victim = max(counts, key=lambda s: (counts[s], -s))
+    # Fires just before the victim's final dispatch: outstanding =
+    # everything dispatched to it so far (all frozen by the holds).
+    plan = FleetFaultPlan(
+        [ShardStall(0, HOLD_SECONDS, 0), ShardStall(1, HOLD_SECONDS, 0),
+         ShardCrash(victim, counts[victim] - 1)], seed=seed)
+    expected_moves = counts[victim] - 1
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(shards=2, fault_plan=plan,
+                             cache_dir=f"{tmpdir}/kill{run}")
+        tickets = [fleet.submit(r) for r in ordered]
+        return _collect(fleet, tickets)
+
+    s1, s2 = once(1), once(2)
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["fleet"]["dead"] == [victim]
+          and s1["fleet"]["rerouted"] == expected_moves
+          and all(r["shard"] != victim
+                  for r in s1["results"].values()))
+    refs = [_fleet_ref(ordered, shards=2), _single_shard_ref(ordered)]
+    notes = (f"shard {victim} killed; {expected_moves} re-routed "
+             f"exactly once")
+    return s1, s2, refs, ok, notes
+
+
+def _run_kill_two(seed: int, natoms: int, tmpdir: str
+                  ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                             List[Dict[str, str]], bool, str]:
+    """Two of four shards die; work re-routes across both deaths
+    (some requests move twice) and still lands bitwise."""
+    shard_ids = [0, 1, 2, 3]
+    reqs = _requests("kill2", 12, seed, natoms)
+    holds = _holds(shard_ids, seed, natoms)
+    ordered = [holds[s] for s in shard_ids] + reqs
+    counts = _route_counts(shard_ids, ordered)
+    by_load = sorted(shard_ids, key=lambda s: (-counts[s], s))
+    a, b = by_load[0], by_load[1]
+    # Consistent hashing keeps b's fault-free traffic on b after a
+    # dies, so b's dispatch counter still passes counts[b]-1 and the
+    # second crash is guaranteed to fire.
+    plan = FleetFaultPlan(
+        [ShardStall(s, HOLD_SECONDS, 0) for s in shard_ids]
+        + [ShardCrash(a, counts[a] - 1), ShardCrash(b, counts[b] - 1)],
+        seed=seed)
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(shards=4, fault_plan=plan,
+                             cache_dir=f"{tmpdir}/kill2{run}")
+        tickets = [fleet.submit(r) for r in ordered]
+        return _collect(fleet, tickets)
+
+    s1, s2 = once(1), once(2)
+    survivors = [s for s in shard_ids if s not in (a, b)]
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["fleet"]["dead"] == sorted((a, b))
+          and s1["fleet"]["rerouted"] >= counts[a] + counts[b] - 2
+          and all(r["shard"] in survivors
+                  for r in s1["results"].values()))
+    refs = [_fleet_ref(ordered, shards=4), _single_shard_ref(ordered)]
+    notes = (f"shards {sorted((a, b))} killed; "
+             f"{s1['fleet']['rerouted']} re-routes incl. double moves")
+    return s1, s2, refs, ok, notes
+
+
+def _run_stall_failover(seed: int, natoms: int, tmpdir: str
+                        ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                                   List[Dict[str, str]], bool, str]:
+    """An alarm-grade straggler parks one shard; a supervisor probe
+    marks it degraded and quarantines it — the cancel wakes the
+    stalled worker, the work re-routes, the shard stays alive."""
+    reqs = _requests("stall", 8, seed, natoms)
+    stalled = HashRing([0, 1]).route(reqs[0].route_key())
+    healthy = 1 - stalled
+    counts = _route_counts([0, 1], reqs)
+    plan = FleetFaultPlan([ShardStall(stalled, STALL_SECONDS, 0)],
+                          seed=seed)
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(shards=2, fault_plan=plan,
+                             cache_dir=f"{tmpdir}/stall{run}")
+        tickets = [fleet.submit(r) for r in reqs]
+        verdicts = fleet.supervisor.probe()
+        summary = _collect(fleet, tickets)
+        summary["verdicts"] = {str(k): v
+                               for k, v in sorted(verdicts.items())}
+        summary["stalled_alive"] = fleet.shards[stalled].ping()
+        return summary
+
+    s1, s2 = once(1), once(2)
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["verdicts"][str(stalled)] == "degraded"
+          and s1["fleet"]["degraded"] == [stalled]
+          and s1["fleet"]["dead"] == []
+          and s1["fleet"]["rerouted"] == counts[stalled]
+          and s1["stalled_alive"]
+          and all(r["shard"] == healthy
+                  for r in s1["results"].values()))
+    refs = [_fleet_ref(reqs, shards=2), _single_shard_ref(reqs)]
+    notes = (f"shard {stalled} quarantined; {counts[stalled]} "
+             f"re-routed; shard stayed alive")
+    return s1, s2, refs, ok, notes
+
+
+def _run_rebalance(seed: int, natoms: int, tmpdir: str
+                   ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                              List[Dict[str, str]], bool, str]:
+    """A shard joins mid-load: only keys the new ring assigns to the
+    newcomer move (consistent-hashing minimality), revoked from their
+    old shard and re-dispatched without losing a ticket."""
+    first = _requests("reb", 6, seed, natoms)
+    second = _requests("reb2", 6, seed, natoms)
+    holds = _holds([0, 1], seed, natoms)
+    ordered = [holds[0], holds[1]] + first
+    # Minimality, precomputed: of the entries in flight at join time,
+    # exactly those whose 3-ring owner is the newcomer move.
+    ring2, ring3 = HashRing([0, 1]), HashRing([0, 1, 2])
+    expected_moved = sorted(
+        r.key() for r in ordered
+        if ring2.route(r.route_key()) != ring3.route(r.route_key()))
+    assert all(ring3.route(r.route_key()) == 2 for r in ordered
+               if r.key() in expected_moved)
+    plan = FleetFaultPlan(
+        [ShardStall(0, HOLD_SECONDS, 0), ShardStall(1, HOLD_SECONDS, 0)],
+        seed=seed)
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(shards=2, fault_plan=plan,
+                             cache_dir=f"{tmpdir}/reb{run}")
+        tickets = [fleet.submit(r) for r in ordered]
+        moves = fleet.spawn_shard(2)
+        tickets += [fleet.submit(r) for r in second]
+        summary = _collect(fleet, tickets)
+        summary["moves"] = moves
+        return summary
+
+    s1, s2 = once(1), once(2)
+    in_flight_keys = {r.key() for r in ordered}
+    moved_rows = sorted(k for k, r in s1["results"].items()
+                        if r["shard"] == 2 and k in in_flight_keys)
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["moves"] == len(expected_moved)
+          and s1["fleet"]["rebalance_moves"] == len(expected_moved)
+          and moved_rows == expected_moved)
+    refs = [_fleet_ref(ordered + second, shards=2),
+            _single_shard_ref(ordered + second)]
+    notes = (f"{len(expected_moved)} of {len(ordered)} in-flight keys "
+             f"moved, all to the new shard")
+    return s1, s2, refs, ok, notes
+
+
+def _run_shed(seed: int, natoms: int, tmpdir: str
+              ) -> Tuple[Dict[str, Any], Dict[str, Any],
+                         List[Dict[str, str]], bool, str]:
+    """Fleet-level admission sheds the overload with typed retry-after
+    errors while both shards are frozen; admitted work still lands
+    bitwise once the holds lift."""
+    reqs = _requests("shed", 12, seed, natoms)
+    holds = _holds([0, 1], seed, natoms)
+    plan = FleetFaultPlan(
+        [ShardStall(0, HOLD_SECONDS, 0), ShardStall(1, HOLD_SECONDS, 0)],
+        seed=seed)
+    limit = 6
+
+    def once(run: int) -> Dict[str, Any]:
+        fleet = ShardedFleet(
+            shards=2, fault_plan=plan,
+            cache_dir=f"{tmpdir}/shed{run}",
+            admission=AdmissionPolicy(max_queue_depth=limit))
+        tickets = [fleet.submit(holds[0]), fleet.submit(holds[1])]
+        shed = 0
+        hints_ok = True
+        for r in reqs:
+            try:
+                tickets.append(fleet.submit(r))
+            except ServiceOverloadedError as exc:
+                shed += 1
+                hints_ok = hints_ok and exc.retry_after_s > 0 \
+                    and exc.depth >= exc.limit
+        summary = _collect(fleet, tickets)
+        summary["shed_seen"] = shed
+        summary["hints_ok"] = hints_ok
+        return summary
+
+    s1, s2 = once(1), once(2)
+    # Outstanding entries at the i-th request submit (0-based) is
+    # 2 + i with both shards frozen: 0..3 admit, 4..11 shed — 8.
+    expected_shed = len(reqs) - (limit - len(holds))
+    ok = (all(r["status"] == "ok" for r in s1["results"].values())
+          and s1["shed_seen"] == expected_shed
+          and s1["fleet"]["shed"] == expected_shed
+          and s1["hints_ok"])
+    admitted = [holds[0], holds[1]] + reqs[:limit - len(holds)]
+    refs = [_fleet_ref(admitted, shards=2),
+            _single_shard_ref(admitted)]
+    notes = (f"{expected_shed} of {len(reqs)} shed with retry-after "
+             f"hints")
+    return s1, s2, refs, ok, notes
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_chaos(seed: int = 0, atoms: int = 160,
+                    quick: bool = False,
+                    tmpdir: Optional[str] = None) -> FleetChaosReport:
+    """Run the full fleet scenario matrix; returns the report (never
+    raises on scenario failure — check ``report.all_passed``).
+
+    ``tmpdir`` hosts the per-run shared disk tiers (a temporary
+    directory is created when omitted).
+    """
+    natoms = 60 if quick else atoms
+    if tmpdir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="fleetchaos-") as td:
+            return run_fleet_chaos(seed=seed, atoms=atoms, quick=quick,
+                                   tmpdir=td)
+
+    results: List[FleetScenarioResult] = []
+
+    s1, s2, refs, ok, notes = _run_clean(seed, natoms, tmpdir)
+    results.append(_result(
+        "clean", "no faults; breakers + admission armed but idle",
+        s1, s2, refs, ok, notes))
+
+    s1, s2, refs, ok, notes = _run_kill(seed, natoms, tmpdir)
+    results.append(_result(
+        "kill-shard-mid-batch", "busiest shard dies mid-batch; "
+        "outstanding work re-routes exactly once, energies bitwise",
+        s1, s2, refs, ok, notes))
+
+    s1, s2, refs, ok, notes = _run_kill_two(seed, natoms, tmpdir)
+    results.append(_result(
+        "kill-two", "two of four shards die; double-moved requests "
+        "still land bitwise on the survivors",
+        s1, s2, refs, ok, notes))
+
+    s1, s2, refs, ok, notes = _run_stall_failover(seed, natoms, tmpdir)
+    results.append(_result(
+        "stall-failover", "supervisor probe quarantines a stalled "
+        "shard; cancel wakes it; work re-routes, shard stays alive",
+        s1, s2, refs, ok, notes))
+
+    s1, s2, refs, ok, notes = _run_rebalance(seed, natoms, tmpdir)
+    results.append(_result(
+        "rebalance-under-load", "a shard joins mid-load; only the "
+        "minimal key range moves, all of it to the newcomer",
+        s1, s2, refs, ok, notes))
+
+    s1, s2, refs, ok, notes = _run_shed(seed, natoms, tmpdir)
+    results.append(_result(
+        "overload-shed", "fleet admission sheds load with typed "
+        "retry-after errors while every shard is busy",
+        s1, s2, refs, ok, notes))
+
+    return FleetChaosReport(seed=seed, natoms=natoms, results=results)

@@ -52,6 +52,10 @@ __all__ = [
     "DiskIOFault",
     "CachePoison",
     "ServeFaultPlan",
+    "ShardCrash",
+    "ShardStall",
+    "RouterPartition",
+    "FleetFaultPlan",
 ]
 
 
@@ -515,3 +519,134 @@ class ServeFaultPlan:
         else:
             flat[idx] = flat[idx] * poison.factor
         return out
+
+
+# ---------------------------------------------------------------------------
+# Fleet-tier faults (consumed by repro.fleet, not a single SolveService)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardCrash:
+    """Kill an entire shard just before its ``dispatch_seq``-th dispatch.
+
+    The :class:`~repro.fleet.router.ShardRouter` keeps a per-shard
+    dispatch sequence counter (how many requests it has handed that
+    shard since fleet start); when the counter for ``shard`` reaches
+    ``dispatch_seq`` the router kills the shard *before* dispatching
+    the triggering request, so requests ``0 .. dispatch_seq-1`` form
+    the deterministic outstanding set that failover must re-route.
+    Keyed on dispatch order, never wall clock.
+    """
+
+    shard: int
+    dispatch_seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dispatch_seq < 0:
+            raise ValueError("dispatch_seq must be >= 0")
+
+
+@dataclass(frozen=True)
+class ShardStall:
+    """Stall a shard's worker on its ``dispatch_seq``-th dispatched job.
+
+    The shard's in-service straggler hook sleeps ``seconds`` (on the
+    interruptible ticket event, so a fleet-level cancel wakes it) while
+    executing the job the router dispatched as sequence number
+    ``dispatch_seq``.  A long stall makes the shard's ``stalled()``
+    probe trip, which is how the supervisor-detects-degraded scenario
+    is choreographed without wall-clock dependence.
+    """
+
+    shard: int
+    seconds: float
+    dispatch_seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("shard-stall seconds must be positive")
+        if self.dispatch_seq < 0:
+            raise ValueError("dispatch_seq must be >= 0")
+
+
+@dataclass(frozen=True)
+class RouterPartition:
+    """Make the router↔shard link look down for a dispatch window.
+
+    Dispatches ``dispatch_seq .. dispatch_seq+count-1`` to ``shard``
+    fail at the router edge (recorded against the shard's circuit
+    breaker) and the requests re-route to the ring successor — the
+    shard itself stays healthy, modelling a network partition rather
+    than a death.
+    """
+
+    shard: int
+    dispatch_seq: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dispatch_seq < 0:
+            raise ValueError("dispatch_seq must be >= 0")
+        if self.count <= 0:
+            raise ValueError("partition count must be positive")
+
+
+class FleetFaultPlan:
+    """Immutable fleet-tier fault set plus the seed that derived it.
+
+    Query methods are pure functions of the per-shard dispatch
+    sequence counters the router maintains deterministically — never
+    wall-clock time — so the same plan over the same workload kills,
+    stalls and partitions the same shards at the same points, and the
+    re-routed energies land bitwise identical, run after run.
+    """
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.faults: Tuple[object, ...] = tuple(faults)
+        self.seed = seed
+        self._crashes = [f for f in self.faults if isinstance(f, ShardCrash)]
+        self._stalls = [f for f in self.faults if isinstance(f, ShardStall)]
+        self._partitions = [f for f in self.faults
+                            if isinstance(f, RouterPartition)]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"FleetFaultPlan(seed={self.seed}, "
+                f"faults={list(self.faults)})")
+
+    # -- queries used by the router / shard injection hooks ----------------
+
+    def crash_at(self, shard: int, dispatch_seq: int
+                 ) -> Optional[ShardCrash]:
+        """The crash (if any) firing just before ``shard``'s
+        ``dispatch_seq``-th dispatch."""
+        for c in self._crashes:
+            if c.shard == shard and c.dispatch_seq == dispatch_seq:
+                return c
+        return None
+
+    def stall_seconds(self, shard: int, dispatch_seq: int) -> float:
+        """Injected straggler delay for one dispatched job (0 = healthy)."""
+        total = 0.0
+        for s in self._stalls:
+            if s.shard == shard and s.dispatch_seq == dispatch_seq:
+                total += s.seconds
+        return total
+
+    def partitioned(self, shard: int, dispatch_seq: int
+                    ) -> Optional[RouterPartition]:
+        """The partition (if any) blackholing ``shard``'s
+        ``dispatch_seq``-th dispatch at the router edge."""
+        for p in self._partitions:
+            if p.shard != shard:
+                continue
+            if dispatch_seq < p.dispatch_seq:
+                continue
+            if dispatch_seq >= p.dispatch_seq + p.count:
+                continue
+            return p
+        return None

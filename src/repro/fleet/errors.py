@@ -1,0 +1,50 @@
+"""Typed errors of the sharded serve fleet.
+
+Fleet errors extend the serve hierarchy
+(:class:`~repro.serve.errors.ServeError`) so callers written against
+one in-process :class:`~repro.serve.service.SolveService` keep working
+unchanged against a :class:`~repro.fleet.fleet.ShardedFleet`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serve.errors import ServeError
+
+__all__ = ["FleetError", "NoLiveShardsError", "ShardLostError"]
+
+
+class FleetError(ServeError):
+    """Base of every error the fleet router raises."""
+
+    def __init__(self, message: str, *, hint: str = "") -> None:
+        super().__init__(message, phase="fleet", hint=hint)
+
+
+class NoLiveShardsError(FleetError):
+    """Every shard is dead or unroutable — the fleet cannot place work."""
+
+    def __init__(self, dead: Sequence[int] = ()) -> None:
+        self.dead = tuple(sorted(int(s) for s in dead))
+        super().__init__(
+            f"no live shards remain (dead: {list(self.dead)})",
+            hint="add a shard (router.add_shard) or restart the fleet")
+
+
+class ShardLostError(FleetError):
+    """A request was re-routed ``moves`` times and ran out of budget.
+
+    Failover re-submits a revoked request to the ring successor; a
+    request that keeps landing on dying shards is failed with this
+    error after ``max_moves`` moves instead of bouncing forever.
+    """
+
+    def __init__(self, key: str, moves: int, max_moves: int) -> None:
+        self.key = key
+        self.moves = int(moves)
+        self.max_moves = int(max_moves)
+        super().__init__(
+            f"request {key[:24]}… re-routed {moves} times "
+            f"(max_moves={max_moves}) without finding a stable shard",
+            hint="raise max_moves or stop killing shards")

@@ -1,0 +1,98 @@
+"""Consistent-hash ring with virtual nodes.
+
+The router hashes a request's *content* fingerprint
+(:meth:`repro.serve.request.SolveRequest.route_key`) onto the ring, so
+repeats of one molecule land on the same shard and hit its memory-tier
+cache.  Hashing is SHA-256 over ``"{shard}#{vnode}"`` / the key bytes
+— a pure function of the shard ids, so every router instance built
+from the same ids routes identically (the same-seed ⇒ same-assignment
+determinism the chaos matrix asserts) and adding or removing one shard
+moves only the minimal key range (the classic consistent-hashing
+property, tested in ``tests/fleet/test_ring.py``).
+
+The ring itself is an unlocked pure data structure; the router guards
+it with its own lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per shard — enough that a 4-shard ring is balanced to
+#: a few percent, cheap enough that rebuilds are free.
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """64-bit ring position of a label (stable across processes)."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Sorted ring of ``(point, shard)`` virtual nodes."""
+
+    def __init__(self, shards: Iterable[int] = (),
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._vnodes: Dict[int, List[int]] = {}
+        self._points: List[Tuple[int, int]] = []
+        for s in shards:
+            self.add(int(s))
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[int, ...]:
+        """Live shard ids, sorted."""
+        return tuple(sorted(self._vnodes))
+
+    def __len__(self) -> int:
+        return len(self._vnodes)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._vnodes
+
+    def add(self, shard: int) -> None:
+        if shard in self._vnodes:
+            raise ValueError(f"shard {shard} is already on the ring")
+        pts = [_point(f"{shard}#{v}") for v in range(self.replicas)]
+        self._vnodes[shard] = pts
+        for p in pts:
+            bisect.insort(self._points, (p, shard))
+
+    def remove(self, shard: int) -> None:
+        pts = set(self._vnodes.pop(shard))
+        self._points = [(p, s) for p, s in self._points
+                        if s != shard or p not in pts]
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, key: str, excluding: Iterable[int] = ()) -> int:
+        """Owner of ``key``: first vnode clockwise of the key's point.
+
+        ``excluding`` skips shards (dead, partitioned, breaker-open) by
+        walking further clockwise — the consistent *successor* a
+        failed-over request re-routes to.  Raises ``KeyError`` when no
+        eligible shard remains.
+        """
+        skip = set(excluding)
+        eligible = [s for s in self._vnodes if s not in skip]
+        if not eligible:
+            raise KeyError("no eligible shard on the ring")
+        if len(eligible) == 1:
+            return eligible[0]
+        p = _point(key)
+        i = bisect.bisect_right(self._points, (p, -1))
+        n = len(self._points)
+        for step in range(n):
+            _, s = self._points[(i + step) % n]
+            if s not in skip:
+                return s
+        raise KeyError("no eligible shard on the ring")

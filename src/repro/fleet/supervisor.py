@@ -1,0 +1,137 @@
+"""Heartbeat supervision of the fleet's shards.
+
+The :class:`FleetSupervisor` owns nothing but a probe loop: each
+:meth:`probe` sweep pings every live shard and
+
+* a shard whose ping has failed ``max_misses`` consecutive sweeps is
+  declared **dead** → :meth:`ShardRouter.fail_over` (ring removal +
+  exactly-once re-routing of its outstanding work);
+* a live shard reporting ``stalled()`` (an alarm-grade injected stall
+  whose ticket never resolved) is declared **degraded** →
+  :meth:`ShardRouter.quarantine` (same re-routing; the shard stays
+  up).
+
+The clock is injectable and only ever *monotonic* — it stamps
+heartbeat ages for :meth:`status`, while the dead/degraded decisions
+themselves are pure functions of probe outcomes (miss counts), so
+scripted tests and the chaos matrix drive supervision by calling
+:meth:`probe` directly and get identical decisions every run.  An
+optional background thread (:meth:`start`) probes on a condition-wait
+cadence for live deployments.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+import repro.obs as obs
+
+__all__ = ["FleetSupervisor"]
+
+
+class FleetSupervisor:
+    """Probe-driven health state machine over a
+    :class:`~repro.fleet.router.ShardRouter`."""
+
+    def __init__(self, router, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 probe_interval_s: float = 0.05,
+                 max_misses: int = 2) -> None:
+        if max_misses < 1:
+            raise ValueError("max_misses must be >= 1")
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        self.router = router
+        self.max_misses = int(max_misses)
+        self.probe_interval_s = float(probe_interval_s)
+        self._clock = clock
+        self._lock = obs.named_lock("fleet.supervisor._lock")
+        self._stop = obs.named_condition("fleet.supervisor._stop",
+                                         self._lock)
+        self._misses: Dict[int, int] = {}     # guarded-by: _lock
+        self._beats: Dict[int, float] = {}    # guarded-by: _lock
+        self._probes = 0                      # guarded-by: _lock
+        self._closed = False                  # guarded-by: _lock
+        self._thread: Optional[threading.Thread] = None
+
+    # -- the probe sweep ---------------------------------------------------
+
+    def probe(self) -> Dict[int, str]:
+        """One sweep; returns ``{shard_id: "live"|"degraded"|"dead"}``.
+
+        Decisions are pure functions of the shards' ``ping()`` /
+        ``stalled()`` answers and the consecutive-miss counters — no
+        wall-clock thresholds — so choreographed chaos runs supervise
+        identically every time.
+        """
+        now = self._clock()
+        verdicts: Dict[int, str] = {}
+        with self._lock:
+            self._probes += 1
+        live = self.router.live_shards
+        for sid in live:
+            shard = self.router.shard(sid)
+            if shard.ping():
+                with self._lock:
+                    self._misses[sid] = 0
+                    self._beats[sid] = now
+                if shard.stalled():
+                    verdicts[sid] = "degraded"
+                else:
+                    verdicts[sid] = "live"
+            else:
+                with self._lock:
+                    self._misses[sid] = self._misses.get(sid, 0) + 1
+                    missed = self._misses[sid]
+                obs.instant(f"fleet.heartbeat.miss[shard{sid}]",
+                            cat="fault", misses=missed)
+                verdicts[sid] = ("dead" if missed >= self.max_misses
+                                 else "live")
+        # Act after the sweep: fail-over mutates the live set.
+        for sid, verdict in verdicts.items():
+            if verdict == "dead":
+                self.router.fail_over(
+                    sid, reason=f"{self.max_misses} missed heartbeats")
+            elif verdict == "degraded":
+                self.router.quarantine(sid, reason="stalled worker")
+        return verdicts
+
+    def status(self) -> Dict[int, float]:
+        """Heartbeat age per shard (seconds on the injected clock)."""
+        now = self._clock()
+        with self._lock:
+            return {sid: now - beat
+                    for sid, beat in sorted(self._beats.items())}
+
+    @property
+    def probes(self) -> int:
+        with self._lock:
+            return self._probes
+
+    # -- background loop ---------------------------------------------------
+
+    def start(self) -> None:
+        """Run :meth:`probe` every ``probe_interval_s`` until closed."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-supervisor", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._stop:
+                if self._stop.wait_for(lambda: self._closed,
+                                       timeout=self.probe_interval_s):
+                    return
+            self.probe()
+
+    def close(self) -> None:
+        with self._stop:
+            self._closed = True
+            self._stop.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

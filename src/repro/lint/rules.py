@@ -35,7 +35,8 @@ The headline collective-ordering verifier (RPR101) lives in
   (condition/timeout-based waits only — a sleep loop trades latency
   for CPU on every idle worker).
 * **RPR009** — monotonic-clock + bounded-retry discipline: inside
-  ``repro/serve`` and ``repro/faults``, (a) no ``time.time()`` — every
+  ``repro/serve``, ``repro/faults`` and ``repro/fleet``, (a) no
+  ``time.time()`` — every
   deadline, backoff and breaker-cooldown computation must use
   ``time.monotonic()``, because the wall clock jumps under NTP slew
   and DST and a backwards jump turns a 50 ms backoff into a negative
@@ -567,7 +568,7 @@ class ServeQueueDisciplineRule(Rule):
 
 
 #: Packages whose clocks must be monotonic and retries bounded.
-_MONOTONIC_PACKAGES = ("serve", "faults")
+_MONOTONIC_PACKAGES = ("serve", "faults", "fleet")
 
 
 def _handler_swallows(handler: ast.ExceptHandler) -> bool:
@@ -578,10 +579,12 @@ def _handler_swallows(handler: ast.ExceptHandler) -> bool:
 
 
 class MonotonicClockRule(Rule):
-    """RPR009: monotonic clocks and bounded retries in serve/faults.
+    """RPR009: monotonic clocks and bounded retries in
+    serve/faults/fleet.
 
     Deadline, backoff and breaker-cooldown arithmetic lives in
-    ``repro/serve`` and ``repro/faults``.  ``time.time()`` reads the
+    ``repro/serve``, ``repro/faults`` and ``repro/fleet`` (heartbeat
+    ages, probe cadences, stall alarms).  ``time.time()`` reads the
     *wall* clock, which NTP slew, manual resets and DST can move in
     either direction — a backwards jump makes a deadline that never
     expires or a negative backoff; ``time.monotonic()`` cannot go
@@ -599,7 +602,8 @@ class MonotonicClockRule(Rule):
     id = "RPR009"
     description = ("time.time() or a while-True loop that silently "
                    "swallows exceptions inside repro/serve + "
-                   "repro/faults; use time.monotonic() and bounded "
+                   "repro/faults + repro/fleet; use time.monotonic() "
+                   "and bounded "
                    "RetryPolicy-style retries")
     severity = Severity.ERROR
 

@@ -166,9 +166,16 @@ class ArtifactCache:
                  disk_dir: Union[str, Path, None] = None,
                  disk_max_bytes: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 fault_plan: Optional[ServeFaultPlan] = None) -> None:
+                 fault_plan: Optional[ServeFaultPlan] = None,
+                 name: str = "") -> None:
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
+        #: Optional instance label ("shard3"): metric names gain a
+        #: ``.<name>`` suffix so each fleet shard's hit/miss/byte
+        #: series stays distinguishable.  Empty (the default) keeps
+        #: the original single-service metric names.
+        self.name = str(name)
+        self._suffix = f".{self.name}" if self.name else ""
         self.max_bytes = int(max_bytes)
         self.disk_max_bytes = disk_max_bytes
         #: Optional breaker around the disk tier: when open, loads and
@@ -199,18 +206,18 @@ class ArtifactCache:
     def _count(self, what: str, key: str) -> None:
         setattr(self._stats, what, getattr(self._stats, what) + 1)
         if obs.is_enabled():
-            obs.registry.counter(f"serve.cache.{what}",
+            obs.registry.counter(f"serve.cache.{what}{self._suffix}",
                                  "artifact-cache events by kind").inc()
             artifact = key.split("-", 1)[0]
             obs.registry.counter(
-                f"serve.cache.{what}.{artifact}",
+                f"serve.cache.{what}.{artifact}{self._suffix}",
                 "artifact-cache events by artifact layer").inc()
 
     def _update_gauges(self) -> None:
         if obs.is_enabled():
-            obs.registry.gauge("serve.cache.bytes",
+            obs.registry.gauge(f"serve.cache.bytes{self._suffix}",
                                "memory-tier bytes held").set(self._bytes)
-            obs.registry.gauge("serve.cache.entries",
+            obs.registry.gauge(f"serve.cache.entries{self._suffix}",
                                "memory-tier entry count").set(
                                    len(self._lru))
 

@@ -83,6 +83,14 @@ class SolveRequest:
         """Idempotency key: explicit, else a content fingerprint."""
         if self.idempotency_key:
             return self.idempotency_key
+        return self.route_key()
+
+    def route_key(self) -> str:
+        """Content fingerprint of the inputs, ignoring the idempotency
+        key.  The fleet router hashes this onto its ring so that
+        repeats of the same molecule land on the same shard (memory-
+        tier cache affinity) even when tenants attach distinct
+        idempotency keys."""
         mol, surf = self.molecule, self.molecule.surface
         return "req-" + arrays_fingerprint(
             mol.positions, mol.charges, mol.radii,
@@ -119,6 +127,8 @@ class SolveResult:
     #: Which delivery attempt produced this result (1 = first try;
     #: higher after retries, hedges or a crash requeue).
     attempt: int = 1
+    #: Fleet shard that produced the result (-1 = not fleet-served).
+    shard: int = -1
 
     @property
     def ok(self) -> bool:

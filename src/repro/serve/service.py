@@ -87,7 +87,12 @@ from repro.serve.resilience import (
 )
 
 __all__ = ["SolveService", "Ticket", "ServeStats",
-           "LATENCY_BOUNDS_SECONDS"]
+           "LATENCY_BOUNDS_SECONDS", "CANCELLED_MARK"]
+
+#: Error prefix marking a result produced by :meth:`SolveService.cancel`
+#: rather than by execution — the fleet router skips these when
+#: propagating shard results to fleet tickets.
+CANCELLED_MARK = "[cancelled]"
 
 #: Histogram bucket edges for wait/service time (seconds) — the count
 #: grid in :data:`repro.obs.metrics.DEFAULT_BOUNDS` is tuned for
@@ -109,11 +114,28 @@ class Ticket:
         self.key = key
         self._done = threading.Event()
         self._result: Optional[SolveResult] = None
-        # Leaf-level: nothing is ever acquired under it.
+        # Leaf-level: nothing is ever acquired under it (done
+        # callbacks are invoked after it is released).
         self._win = threading.Lock()
+        self._callbacks: List["object"] = []     # guarded-by: _win
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def on_done(self, fn) -> None:
+        """Register ``fn(ticket)`` to run once the result lands.
+
+        Fires on the resolving thread (worker, canceller or timer) with
+        no ticket lock held; when the ticket is already resolved the
+        callback runs immediately on the caller's thread.  The fleet
+        router uses this to propagate shard results without a
+        collector thread per request.
+        """
+        with self._win:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: Optional[float] = None) -> SolveResult:
         """Block until the result lands; ``TimeoutError`` otherwise."""
@@ -130,7 +152,10 @@ class Ticket:
                 return False
             self._result = result
             self._done.set()
-            return True
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return True
 
 
 @dataclass
@@ -163,6 +188,7 @@ class ServeStats:
     rejected: int = 0
     degraded: int = 0
     shed: int = 0
+    cancelled: int = 0
     worker_crashes: int = 0
     worker_restarts: int = 0
     requeued: int = 0
@@ -330,6 +356,39 @@ class SolveService:
         asserts)."""
         with self._lock:
             return self._pending
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests sitting in the bounded queue right now (the
+        per-shard gauge the fleet router exports)."""
+        return len(self._queue)
+
+    def cancel(self, key: str, reason: str = "cancelled") -> bool:
+        """Revoke an in-flight request; True iff the cancel won.
+
+        The cancelled ticket resolves immediately with a ``failed``
+        result whose error carries :data:`CANCELLED_MARK`, which also
+        wakes any worker stalled on the ticket's interruptible event.
+        A worker that later pops the revoked job sees a done ticket
+        and discards its work, and a completion racing the cancel
+        simply wins first (``False`` return) — the caller must then
+        treat the request as served, not revoked.  This is the fleet
+        failover primitive: cancel on the old shard, and only if the
+        cancel won, re-submit on the new one (exactly-once).
+        """
+        with self._lock:
+            ticket = self._inflight.get(key)
+        if ticket is None:
+            return False
+        won = ticket._set(SolveResult(
+            key=key, status="failed",
+            error=f"{CANCELLED_MARK} {reason}"))
+        if won:
+            with self._lock:
+                self._stats.cancelled += 1
+            self._observe_counter("serve.cancelled")
+        self._finalize(ticket)
+        return won
 
     # -- producer side -----------------------------------------------------
 
@@ -831,6 +890,7 @@ class SolveService:
                 rejected=self._stats.rejected,
                 degraded=self._stats.degraded,
                 shed=self._stats.shed,
+                cancelled=self._stats.cancelled,
                 worker_crashes=self._stats.worker_crashes,
                 worker_restarts=self._stats.worker_restarts,
                 requeued=self._stats.requeued,

@@ -1,0 +1,66 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"req-key-{i}" for i in range(400)]
+
+
+def test_same_shards_same_assignment():
+    a = HashRing([0, 1, 2])
+    b = HashRing([2, 0, 1])  # construction order must not matter
+    assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+
+def test_every_shard_owns_keys():
+    ring = HashRing([0, 1, 2, 3])
+    owners = {ring.route(k) for k in KEYS}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_add_moves_only_to_newcomer():
+    ring = HashRing([0, 1])
+    before = {k: ring.route(k) for k in KEYS}
+    ring.add(2)
+    moved = {k for k in KEYS if ring.route(k) != before[k]}
+    assert moved, "a 64-vnode ring should claim some of 400 keys"
+    # Minimality: every moved key lands on the newcomer, every other
+    # key keeps its old owner.
+    assert all(ring.route(k) == 2 for k in moved)
+    assert all(ring.route(k) == before[k] for k in KEYS
+               if k not in moved)
+
+
+def test_remove_moves_only_victims_keys():
+    ring = HashRing([0, 1, 2])
+    before = {k: ring.route(k) for k in KEYS}
+    ring.remove(1)
+    for k in KEYS:
+        if before[k] == 1:
+            assert ring.route(k) in (0, 2)
+        else:
+            assert ring.route(k) == before[k]
+
+
+def test_excluding_skips_dead_shards():
+    ring = HashRing([0, 1, 2])
+    for k in KEYS[:50]:
+        assert ring.route(k, excluding={0, 1}) == 2
+    with pytest.raises(KeyError):
+        ring.route(KEYS[0], excluding={0, 1, 2})
+
+
+def test_duplicate_add_rejected():
+    ring = HashRing([0])
+    with pytest.raises(ValueError):
+        ring.add(0)
+
+
+def test_replicas_shape():
+    ring = HashRing([0, 1])
+    assert ring.shards == (0, 1)
+    ring.remove(0)
+    assert ring.shards == (1,)
+    # each shard contributes DEFAULT_REPLICAS virtual nodes
+    assert len(HashRing([7])._points) == DEFAULT_REPLICAS

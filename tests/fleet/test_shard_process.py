@@ -1,0 +1,67 @@
+"""ProcessShard: the multiprocessing backend keeps the shard contract
+(bitwise energies, cancellation, death detection) across a real OS
+process boundary."""
+
+import pytest
+
+from repro.fleet import ProcessShard, ShardedFleet, ThreadShard
+from repro.molecules import synthetic_protein
+from repro.serve import SolveRequest
+
+ATOMS = 60
+
+
+def _req(i, key=None):
+    return SolveRequest(molecule=synthetic_protein(ATOMS, seed=40 + i),
+                        idempotency_key=key or f"proc-{i}")
+
+
+def test_process_shard_energy_matches_thread_shard_bitwise():
+    ts, ps = ThreadShard(0), ProcessShard(1)
+    try:
+        want = ts.submit(_req(0, key="a")).result(timeout=120.0)
+        got = ps.submit(_req(0, key="a")).result(timeout=120.0)
+        assert want.status == "ok" and got.status == "ok"
+        assert float(want.energy).hex() == float(got.energy).hex()
+        assert got.shard == 1
+    finally:
+        ts.close()
+        ps.close()
+
+
+def test_process_shard_ping_stats_and_pending():
+    shard = ProcessShard(0)
+    try:
+        assert shard.ping()
+        t = shard.submit(_req(1))
+        assert t.result(timeout=120.0).status == "ok"
+        assert shard.pending == 0   # on_done pruned the ticket map
+        stats = shard.stats()
+        assert stats.submitted == 1 and stats.completed == 1
+    finally:
+        shard.close()
+
+
+def test_killed_process_shard_fails_fast_and_pings_dead():
+    shard = ProcessShard(0)
+    try:
+        assert shard.submit(_req(2)).result(timeout=120.0).status == "ok"
+        shard.kill()
+        assert not shard.ping()
+        # a request fed to the dead child is failed by the feeder, not
+        # stranded
+        res = shard.submit(_req(3)).result(timeout=30.0)
+        assert res.status == "failed"
+        assert "died" in res.error
+    finally:
+        shard.close()
+
+
+def test_fleet_process_backend_end_to_end():
+    reqs = [_req(10 + i) for i in range(4)]
+    with ShardedFleet(shards=2, backend="process") as fleet:
+        tickets = [fleet.submit(r) for r in reqs]
+        assert fleet.drain(timeout=120.0)
+        results = [t.result(timeout=0.0) for t in tickets]
+        assert all(r.status == "ok" for r in results)
+        assert {r.shard for r in results} <= {0, 1}

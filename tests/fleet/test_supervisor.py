@@ -1,0 +1,109 @@
+"""FleetSupervisor: probe-driven dead/degraded state machine with a
+scripted clock and scripted shard health — no wall-clock coupling."""
+
+from repro.fleet.supervisor import FleetSupervisor
+
+
+class StubShard:
+    """Shard whose health answers follow a script (then hold)."""
+
+    def __init__(self, shard_id, pings=(), stalls=()):
+        self.shard_id = shard_id
+        self._pings = list(pings)
+        self._stalls = list(stalls)
+
+    def ping(self):
+        return self._pings.pop(0) if self._pings else True
+
+    def stalled(self):
+        return self._stalls.pop(0) if self._stalls else False
+
+
+class StubRouter:
+    """Just enough router surface for the supervisor."""
+
+    def __init__(self, shards):
+        self._shards = {s.shard_id: s for s in shards}
+        self._off = set()
+        self.failed_over = []
+        self.quarantined = []
+
+    @property
+    def live_shards(self):
+        return sorted(s for s in self._shards if s not in self._off)
+
+    def shard(self, sid):
+        return self._shards[sid]
+
+    def fail_over(self, sid, reason=""):
+        self._off.add(sid)
+        self.failed_over.append((sid, reason))
+        return 0
+
+    def quarantine(self, sid, reason=""):
+        self._off.add(sid)
+        self.quarantined.append((sid, reason))
+        return 0
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_dead_after_max_misses_consecutive():
+    router = StubRouter([StubShard(0, pings=[False, False]),
+                         StubShard(1)])
+    sup = FleetSupervisor(router, clock=FakeClock(), max_misses=2)
+    assert sup.probe() == {0: "live", 1: "live"}  # 1 miss: not yet
+    assert router.failed_over == []
+    assert sup.probe() == {0: "dead", 1: "live"}
+    assert [sid for sid, _ in router.failed_over] == [0]
+    # the dead shard left the live set: later probes skip it
+    assert sup.probe() == {1: "live"}
+    assert len(router.failed_over) == 1
+
+
+def test_successful_ping_resets_miss_counter():
+    router = StubRouter([StubShard(0, pings=[False, True, False])])
+    sup = FleetSupervisor(router, clock=FakeClock(), max_misses=2)
+    assert sup.probe()[0] == "live"   # miss 1
+    assert sup.probe()[0] == "live"   # reset
+    assert sup.probe()[0] == "live"   # miss 1 again — never dead
+    assert router.failed_over == []
+
+
+def test_stalled_shard_quarantined_not_killed():
+    router = StubRouter([StubShard(0, stalls=[True]), StubShard(1)])
+    sup = FleetSupervisor(router, clock=FakeClock())
+    assert sup.probe() == {0: "degraded", 1: "live"}
+    assert [sid for sid, _ in router.quarantined] == [0]
+    assert router.failed_over == []
+
+
+def test_status_ages_use_injected_clock():
+    clock = FakeClock()
+    router = StubRouter([StubShard(0)])
+    sup = FleetSupervisor(router, clock=clock)
+    sup.probe()
+    clock.now += 7.5
+    assert sup.status() == {0: 7.5}
+    assert sup.probes == 1
+
+
+def test_background_loop_probes_and_closes():
+    router = StubRouter([StubShard(0)])
+    sup = FleetSupervisor(router, probe_interval_s=0.01)
+    sup.start()
+    import time
+    deadline = time.monotonic() + 5.0
+    while sup.probes < 3 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    sup.close()
+    assert sup.probes >= 3
+    done = sup.probes
+    time.sleep(0.03)
+    assert sup.probes == done  # loop actually stopped

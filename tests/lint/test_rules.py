@@ -421,6 +421,7 @@ def test_rpr008_suppressible():
 # -- RPR009: monotonic clocks + bounded retries in serve/faults ---------
 
 FAULTS_FILE = "src/repro/faults/plan.py"
+FLEET_FILE = "src/repro/fleet/supervisor.py"
 
 
 def test_rpr009_time_time_flagged_in_serve():
@@ -433,6 +434,25 @@ def test_rpr009_time_time_flagged_in_faults():
     src = "import time\nstart = time.time()\n"
     assert ids(lint_source(src, select=["RPR009"],
                            filename=FAULTS_FILE)) == ["RPR009"]
+
+
+def test_rpr009_time_time_flagged_in_fleet():
+    src = "import time\nbeat = time.time()\n"
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=FLEET_FILE)) == ["RPR009"]
+
+
+def test_rpr009_while_true_swallowing_flagged_in_fleet():
+    src = textwrap.dedent("""
+        def forever():
+            while True:
+                try:
+                    probe()
+                except OSError:
+                    continue
+    """)
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=FLEET_FILE)) == ["RPR009"]
 
 
 def test_rpr009_monotonic_clean():

@@ -203,3 +203,18 @@ def test_memory_eviction_keeps_disk_copy(tmp_path):
     assert isinstance(hit, CachedArrays)
     assert np.array_equal(hit.arrays["radii"], a.arrays["radii"])
     assert cache.stats().disk_hits == 1
+
+
+def test_named_cache_suffixes_metrics():
+    import repro.obs as obs
+    obs.enable(reset=True)
+    try:
+        cache = ArtifactCache(max_bytes=10_000, name="shard7")
+        cache.put("born-abc", _arr(4, 1.0))
+        cache.get("born-abc")
+        cache.get("born-absent")
+        names = set(obs.registry.names())
+        assert "serve.cache.hits.shard7" in names
+        assert "serve.cache.misses.shard7" in names
+    finally:
+        obs.disable()

@@ -220,3 +220,47 @@ def test_stats_quantiles_and_levels(service, protein_small):
     assert stats.by_level.get("epol") == 1
     assert stats.service_p99 >= stats.service_p50 >= 0.0
     assert 0.0 < stats.hit_rate <= 1.0
+
+
+# -- cancellation + completion callbacks (the fleet substrate) -----------
+
+
+def test_cancel_unresolved_ticket_wins_and_counts(protein_small):
+    from repro.faults import ServeFaultPlan, SlowWorker
+    plan = ServeFaultPlan([SlowWorker(seconds=30.0, worker=0,
+                                      key_prefix="held")], seed=0)
+    with SolveService(workers=1, fault_plan=plan) as svc:
+        ticket = svc.submit(SolveRequest(molecule=protein_small,
+                                         idempotency_key="held"))
+        assert svc.cancel("held", reason="test revoke")
+        res = ticket.result(timeout=30.0)   # cancel wakes the stall
+        assert res.status == "failed"
+        assert "test revoke" in res.error
+        svc.drain(timeout=60.0)
+        assert svc.stats().cancelled == 1
+
+
+def test_cancel_after_delivery_loses(protein_small):
+    with SolveService(workers=1) as svc:
+        ticket = svc.submit(SolveRequest(molecule=protein_small,
+                                         idempotency_key="done-first"))
+        assert ticket.result(timeout=120.0).status == "ok"
+        assert not svc.cancel("done-first")
+        assert svc.stats().cancelled == 0
+
+
+def test_cancel_unknown_key_is_false(protein_small):
+    with SolveService(workers=1) as svc:
+        assert not svc.cancel("never-submitted")
+
+
+def test_on_done_fires_once_after_resolution(protein_small):
+    calls = []
+    with SolveService(workers=1) as svc:
+        ticket = svc.submit(SolveRequest(molecule=protein_small))
+        ticket.on_done(calls.append)
+        ticket.result(timeout=120.0)
+    assert len(calls) == 1 and calls[0] is ticket
+    # registering on an already-done ticket fires immediately
+    ticket.on_done(calls.append)
+    assert len(calls) == 2
