@@ -49,7 +49,12 @@ import repro.obs as obs
 from repro.faults.plan import FleetFaultPlan
 from repro.fleet.errors import NoLiveShardsError, ShardLostError
 from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
-from repro.serve.errors import ServiceClosedError, ServiceOverloadedError
+from repro.fleet.shard import PROC_DIED_ERROR
+from repro.serve.errors import (
+    QueueFullError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from repro.serve.request import SolveRequest, SolveResult
 from repro.serve.resilience import (
     AdmissionController,
@@ -255,6 +260,7 @@ class ShardRouter:
         """
         exclude = set(exclude or ())
         route = entry.request.route_key()
+        rejected: Dict[int, str] = {}
         while True:
             if entry.ticket.done():
                 return
@@ -265,9 +271,15 @@ class ShardRouter:
                 except KeyError:
                     sid = None
             if sid is None:
+                if rejected:
+                    error = ("every routable shard rejected the "
+                             "request: " + "; ".join(
+                                 f"shard{s}: {why}"
+                                 for s, why in sorted(rejected.items())))
+                else:
+                    error = str(NoLiveShardsError(self._dead))
                 self._resolve(entry, SolveResult(
-                    key=entry.ticket.key, status="failed",
-                    error=str(NoLiveShardsError(self._dead))))
+                    key=entry.ticket.key, status="failed", error=error))
                 return
             breaker = self._breakers[sid]
             if not breaker.allow():
@@ -299,13 +311,58 @@ class ShardRouter:
             shard = self._shards[sid]
             with self._lock:
                 entry.shard = sid
-            shard_ticket = shard.submit(entry.request,
-                                        stall_seconds=stall)
+            try:
+                shard_ticket = shard.submit(entry.request,
+                                            stall_seconds=stall)
+            except (QueueFullError, ServiceClosedError,
+                    ServiceOverloadedError) as exc:
+                # A rejecting shard (full queue, closing) must not
+                # strand the entry: route around it for this dispatch
+                # and keep going — exhaustion of the ring resolves the
+                # ticket terminally above, never leaves it dangling.
+                rejected[sid] = type(exc).__name__
+                obs.instant(f"fleet.reject[shard{sid}]", cat="fault",
+                            error=type(exc).__name__)
+                if isinstance(exc, ServiceClosedError):
+                    breaker.record_failure()
+                exclude.add(sid)
+                continue
             with self._lock:
                 entry.shard_ticket = shard_ticket
             shard_ticket.on_done(
                 lambda t, e=entry, s=sid: self._on_shard_done(e, s, t))
+            # A fail_over/quarantine that raced this placement (between
+            # entry.shard being published and the shard accepting the
+            # request) enumerated the entry as a victim but its
+            # cancel() missed the not-yet-submitted key.  Re-check and
+            # reclaim: if the shard was pulled off the ring meanwhile
+            # and our cancel wins, the request re-routes instead of
+            # running (or dying) on the lost shard.
+            with self._lock:
+                lost = sid in self._dead or sid in self._degraded
+            if lost and shard.cancel(entry.ticket.key,
+                                     "shard lost during placement"):
+                if not self._budget_move(entry):
+                    return
+                exclude.add(sid)
+                continue
             return
+
+    def _budget_move(self, entry: _Entry) -> bool:
+        """Charge one re-route against ``entry``'s move budget.
+
+        True when the entry may be dispatched again; False when the
+        budget is spent — the entry is then terminally failed with a
+        :class:`ShardLostError` (never left unresolved)."""
+        entry.moves += 1
+        if entry.moves > self.max_moves:
+            exc = ShardLostError(entry.ticket.key, entry.moves,
+                                 self.max_moves)
+            self._resolve(entry, SolveResult(
+                key=entry.ticket.key, status="failed", error=str(exc)))
+            return False
+        self._count("rerouted", metric="fleet.rerouted")
+        return True
 
     def _on_shard_done(self, entry: _Entry, sid: int,
                        shard_ticket: Ticket) -> None:
@@ -318,6 +375,22 @@ class ShardRouter:
         """
         result = shard_ticket.result(timeout=0.0)
         if result.error.startswith(CANCELLED_MARK):
+            return
+        if result.error == PROC_DIED_ERROR:
+            # The process backend lost its child with this request on
+            # the wire.  Treat it like any other shard crash instead of
+            # failing the fleet ticket terminally: fail the shard over
+            # (idempotent — also revokes and re-routes its queued work)
+            # and re-dispatch this entry to the ring successor, subject
+            # to the same move budget as revoke-path failover.
+            breaker = self._breakers.get(sid)
+            if breaker is not None:
+                breaker.record_failure()
+            self.fail_over(sid, reason=PROC_DIED_ERROR)
+            if entry.ticket.done():
+                return
+            if self._budget_move(entry):
+                self._dispatch(entry, exclude={sid})
             return
         if result.shard < 0:
             result.shard = sid
@@ -346,8 +419,7 @@ class ShardRouter:
 
     # -- failover / rebalancing --------------------------------------------
 
-    def _revoke_and_reroute(self, sid: int, reason: str,
-                            stat: str, metric: str) -> int:
+    def _revoke_and_reroute(self, sid: int, reason: str) -> int:
         """Cancel every unresolved entry on ``sid``; re-dispatch the
         ones whose cancel won (exactly-once: a result that landed
         first is delivered, never recomputed).  Returns the move
@@ -364,16 +436,9 @@ class ShardRouter:
                 # a genuine result; its on_done callback resolves the
                 # fleet ticket.
                 continue
-            entry.moves += 1
-            if entry.moves > self.max_moves:
-                exc = ShardLostError(entry.ticket.key, entry.moves,
-                                     self.max_moves)
-                self._resolve(entry, SolveResult(
-                    key=entry.ticket.key, status="failed",
-                    error=str(exc)))
+            if not self._budget_move(entry):
                 continue
             moves += 1
-            self._count(stat, metric=metric)
             self._dispatch(entry)
         return moves
 
@@ -394,8 +459,7 @@ class ShardRouter:
         shard = self._shards[sid]
         shard.kill()
         obs.instant(f"fleet.failover[shard{sid}]", cat="fault")
-        return self._revoke_and_reroute(
-            sid, reason, "rerouted", "fleet.rerouted")
+        return self._revoke_and_reroute(sid, reason)
 
     def quarantine(self, sid: int, reason: str = "shard degraded"
                    ) -> int:
@@ -412,8 +476,7 @@ class ShardRouter:
                 self._ring.remove(sid)
             self._update_gauges()
         obs.instant(f"fleet.quarantine[shard{sid}]", cat="fault")
-        return self._revoke_and_reroute(
-            sid, reason, "rerouted", "fleet.rerouted")
+        return self._revoke_and_reroute(sid, reason)
 
     def add_shard(self, shard: object) -> int:
         """Join a shard and rebalance: only entries whose ring owner

@@ -45,12 +45,19 @@ from repro.serve.request import SolveRequest, SolveResult
 from repro.serve.service import CANCELLED_MARK, ServeStats, SolveService, \
     Ticket
 
-__all__ = ["ThreadShard", "ProcessShard", "STALL_ALARM_SECONDS"]
+__all__ = ["ThreadShard", "ProcessShard", "STALL_ALARM_SECONDS",
+           "PROC_DIED_ERROR"]
 
 #: A noted stall at or above this many seconds arms the shard's
 #: ``stalled()`` probe — the deterministic signal the supervisor's
 #: degraded-shard detection keys on (never a wall-clock timeout).
 STALL_ALARM_SECONDS = 5.0
+
+#: Error string a :class:`ProcessShard` feeder installs when the child
+#: process dies with a request on the wire.  The router matches it to
+#: fail the shard over and re-route the request (crash semantics, not
+#: a terminal compute failure).
+PROC_DIED_ERROR = "shard process died mid-request"
 
 
 class _ShardServePlan(ServeFaultPlan):
@@ -214,8 +221,19 @@ def _shard_child_main(conn, shard_id: int, workers: int,
                     surface=(SurfaceSamples(*surf)
                              if surf is not None else None),
                     name=name)
+            molecule = molecules.get(route)
+            if molecule is None:
+                # The payload-bearing message for this route never
+                # arrived (e.g. it was cancelled while queued in the
+                # parent).  Answer with a typed failure instead of
+                # dying — one bad message must not kill the shard.
+                conn.send(("result", SolveResult(
+                    key=key, status="failed",
+                    error=f"unknown route {route[:16]}… (molecule "
+                          f"payload not received)")))
+                continue
             request = SolveRequest(
-                molecule=molecules[route], params=params, method=method,
+                molecule=molecule, params=params, method=method,
                 priority=priority, idempotency_key=key, tau=tau)
             if stall > 0.0:
                 plan.note_stall(key, stall)
@@ -263,7 +281,7 @@ class ProcessShard:
         self._lock = obs.named_lock(f"fleet.shard[{shard_id}]._lock")
         self._dead = False                       # guarded-by: _lock
         self._closed = False                     # guarded-by: _lock
-        self._sent_routes: Dict[str, bool] = {}
+        self._sent_routes: Dict[str, bool] = {}  # guarded-by: _lock
         self._tickets: Dict[str, Ticket] = {}    # guarded-by: _lock
         self._alarms: Dict[str, Ticket] = {}     # guarded-by: _lock
         self._stats_box: "queue.Queue[ServeStats]" = queue.Queue()
@@ -298,6 +316,12 @@ class ProcessShard:
                 continue
             ticket, wire = item
             if ticket.done():       # cancelled while queued
+                if wire[3] is not None:
+                    # This message carried the route's molecule payload
+                    # and the child never saw it; unmark the route so
+                    # the next submit resends the arrays.
+                    with self._lock:
+                        self._sent_routes.pop(wire[2], None)
                 continue
             try:
                 self._conn.send(wire)
@@ -307,8 +331,7 @@ class ProcessShard:
                     self._dead = True
                 ticket._set(SolveResult(
                     key=ticket.key, status="failed",
-                    error="shard process died mid-request",
-                    shard=self.shard_id))
+                    error=PROC_DIED_ERROR, shard=self.shard_id))
                 continue
             result.shard = self.shard_id
             ticket._set(result)
@@ -321,22 +344,28 @@ class ProcessShard:
         route = request.route_key()
         mol = request.molecule
         surf = mol.surface
-        payload = None
-        if route not in self._sent_routes:
-            self._sent_routes[route] = True
-            payload = (mol.positions, mol.charges, mol.radii,
-                       (surf.points, surf.normals, surf.weights)
-                       if surf is not None else None, mol.name)
         ticket = Ticket(key)
         with self._lock:
             self._tickets[key] = ticket
             if stall_seconds >= self.stall_alarm_s:
                 self._alarms[key] = ticket
+            # The _sent_routes test-and-set and the enqueue share the
+            # lock so the payload-bearing message is strictly first in
+            # the outbox for its route — a concurrent payload-less
+            # submit of the same route can neither overtake it nor
+            # race the membership test (the outbox is unbounded, the
+            # put never blocks under the lock).
+            payload = None
+            if route not in self._sent_routes:
+                self._sent_routes[route] = True
+                payload = (mol.positions, mol.charges, mol.radii,
+                           (surf.points, surf.normals, surf.weights)
+                           if surf is not None else None, mol.name)
+            self._outbox.put((ticket, (
+                "solve", key, route, payload, request.params,
+                request.method, request.priority, request.tau,
+                stall_seconds)))
         ticket.on_done(self._forget)
-        self._outbox.put((ticket, (
-            "solve", key, route, payload, request.params,
-            request.method, request.priority, request.tau,
-            stall_seconds)))
         return ticket
 
     def _forget(self, ticket: Ticket) -> None:

@@ -126,7 +126,17 @@ class FleetSupervisor:
                 if self._stop.wait_for(lambda: self._closed,
                                        timeout=self.probe_interval_s):
                     return
-            self.probe()
+            try:
+                self.probe()
+            # Deliberate supervision boundary: any sweep failure is
+            # recorded, never allowed to kill the probe thread.
+            except Exception as exc:  # lint: ignore[RPR003]
+                # One failed sweep (e.g. a fail-over re-dispatch racing
+                # a closing fleet) must not kill supervision for good —
+                # record the evidence and keep probing; the next sweep
+                # retries any unfinished failover.
+                obs.instant("fleet.supervisor.probe_error", cat="fault",
+                            error=repr(exc))
 
     def close(self) -> None:
         with self._stop:

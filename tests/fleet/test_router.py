@@ -154,6 +154,28 @@ def test_admission_sheds_with_retry_after_hint():
                    for t in tickets)
 
 
+def test_full_shard_queue_rejection_never_strands_the_entry():
+    """Regression: a shard whose bounded queue rejected a dispatch used
+    to let QueueFullError escape fleet.submit *after* the entry was
+    registered — a stranded ticket drain() waited on forever.  The
+    router now routes around the rejecting shard and, with nowhere
+    left to place the request, fails the ticket terminally."""
+    holds = _holds([0])
+    plan = FleetFaultPlan([ShardStall(0, 30.0, 0)], seed=0)
+    with ShardedFleet(shards=1, queue_capacity=1,
+                      fault_plan=plan) as fleet:
+        tickets = [fleet.submit(holds[0])]
+        tickets += [fleet.submit(r) for r in _requests("full", 3)]
+        rejected = [t for t in tickets
+                    if t.done() and "rejected the request"
+                    in t.result(timeout=0.0).error]
+        assert rejected, "expected at least one queue-full rejection"
+        fleet.router.fail_over(0, reason="release the hold")
+        assert fleet.drain(timeout=60.0)
+        assert fleet.router.outstanding == 0
+        assert all(t.done() for t in tickets)
+
+
 def test_no_live_shards_is_typed():
     with ShardedFleet(shards=1) as fleet:
         fleet.router.fail_over(0, reason="test kill")

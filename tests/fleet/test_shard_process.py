@@ -57,6 +57,73 @@ def test_killed_process_shard_fails_fast_and_pings_dead():
         shard.close()
 
 
+def test_process_shard_death_reroutes_inflight_request():
+    """Regression: a child dying with a request on the wire used to
+    fail the fleet ticket terminally.  The router now treats the
+    feeder's died-mid-request result as a shard crash — fail-over plus
+    re-route to the ring successor — so every ticket still lands ok."""
+    reqs = [_req(30 + i) for i in range(3)]
+    with ShardedFleet(shards=2, backend="process") as fleet:
+        target = fleet.router.assignment(reqs[0])
+        victim = fleet.router.shard(target)
+        tickets = [fleet.submit(r) for r in reqs]
+        victim._proc.terminate()            # hard child death, no kill()
+        assert fleet.drain(timeout=120.0)
+        results = [t.result(timeout=0.0) for t in tickets]
+        assert all(r.status == "ok" for r in results), results
+        assert target in fleet.stats().dead
+
+
+def test_concurrent_same_route_submits_keep_child_alive():
+    """Regression: the _sent_routes test-and-set raced concurrent
+    submits of one route, so a payload-less message could reach the
+    child before the payload-bearing one — KeyError in the RPC loop,
+    dead shard.  The test-and-set and the enqueue now share the shard
+    lock, making the payload message strictly first for its route."""
+    import threading
+
+    shard = ProcessShard(0)
+    mol = synthetic_protein(ATOMS, seed=99)
+    try:
+        tickets = [None] * 8
+
+        def go(i):
+            tickets[i] = shard.submit(SolveRequest(
+                molecule=mol, idempotency_key=f"race-{i}"))
+
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [t.result(timeout=120.0) for t in tickets]
+        assert all(r.status == "ok" for r in results)
+        assert shard.ping()
+    finally:
+        shard.close()
+
+
+def test_unknown_route_is_typed_failure_not_shard_death():
+    """The child answers a payload-less message for a route it never
+    received with a typed failure instead of dying on KeyError."""
+    shard = ProcessShard(0)
+    try:
+        req = _req(5)
+        with shard._lock:                   # withhold the payload
+            shard._sent_routes[req.route_key()] = True
+        res = shard.submit(req).result(timeout=120.0)
+        assert res.status == "failed"
+        assert "unknown route" in res.error
+        assert shard.ping()                 # the shard survived
+        with shard._lock:
+            shard._sent_routes.pop(req.route_key())
+        ok = shard.submit(_req(5, key="retry")).result(timeout=120.0)
+        assert ok.status == "ok"
+    finally:
+        shard.close()
+
+
 def test_fleet_process_backend_end_to_end():
     reqs = [_req(10 + i) for i in range(4)]
     with ShardedFleet(shards=2, backend="process") as fleet:

@@ -107,3 +107,34 @@ def test_background_loop_probes_and_closes():
     done = sup.probes
     time.sleep(0.03)
     assert sup.probes == done  # loop actually stopped
+
+
+def test_background_loop_survives_probe_errors():
+    """Regression: an exception escaping probe() used to kill the
+    supervision thread silently — no more failovers, ever.  The loop
+    now records the failure and keeps probing."""
+
+    class ExplodingRouter(StubRouter):
+        def __init__(self, shards, booms=2):
+            super().__init__(shards)
+            self.booms = booms
+            self.clean_sweeps = 0
+
+        @property
+        def live_shards(self):
+            if self.booms > 0:
+                self.booms -= 1
+                raise RuntimeError("probe boom")
+            self.clean_sweeps += 1
+            return sorted(s for s in self._shards if s not in self._off)
+
+    router = ExplodingRouter([StubShard(0)])
+    sup = FleetSupervisor(router, probe_interval_s=0.01)
+    sup.start()
+    import time
+    deadline = time.monotonic() + 5.0
+    while router.clean_sweeps < 2 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    sup.close()
+    assert router.booms == 0          # both failures actually fired
+    assert router.clean_sweeps >= 2   # …and probing continued after
