@@ -1,0 +1,143 @@
+"""HTTP edge overhead: warm in-process solves vs the same over HTTP.
+
+The edge's contract is that the wire adds *transport*, not *compute*:
+the same recipe produces the bitwise-identical energy whether
+submitted as a library call or POSTed to ``/v1/solve``.  This
+benchmark measures what the transport costs on warm (epol-cache-hit)
+requests — the regime where middleware overhead is most visible,
+since the solve itself is microseconds.
+
+Acceptance: every HTTP energy bitwise equals its in-process twin, and
+zero requests fail in either path.  No latency bound is asserted
+(single-core CI containers make wall-clock promises dishonest); the
+per-request overhead lands in ``BENCH_http_edge.json`` at the repo
+root for trend-watching.
+"""
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.edge import EdgeApp, EdgeServer, TenantConfig, TenantRegistry
+from repro.molecules import synthetic_protein
+from repro.serve import SolveRequest, SolveService
+
+MOLECULES = 6
+WARM_REPEATS = 4
+BASE_ATOMS = 150
+STEP_ATOMS = 10
+TOKEN = "bench-secret"
+
+ROOT_JSON = Path(__file__).parents[1] / "BENCH_http_edge.json"
+
+
+def _recipes():
+    return [(BASE_ATOMS + STEP_ATOMS * i, 40 + i)
+            for i in range(MOLECULES)]
+
+
+def _in_process(service, pool):
+    """Warm pass through the library path; returns (hex map, seconds)."""
+    t0 = time.perf_counter()
+    tickets = [(seed, service.submit(SolveRequest(
+        molecule=mol, idempotency_key=f"lib-{seed}-{rep}")))
+        for rep in range(WARM_REPEATS)
+        for (seed, mol) in pool.items()]
+    outcomes = [(seed, t.result(timeout=300.0)) for seed, t in tickets]
+    wall = time.perf_counter() - t0
+    assert all(r.status == "ok" for _, r in outcomes)
+    hexes = {}
+    for seed, r in outcomes:
+        hexes.setdefault(seed, set()).add(float(r.energy).hex())
+    assert all(len(h) == 1 for h in hexes.values())
+    return {s: h.pop() for s, h in hexes.items()}, wall, len(outcomes)
+
+
+def _over_http(url, recipes):
+    """The same warm traffic POSTed through the edge."""
+    t0 = time.perf_counter()
+    hexes = {}
+    n = 0
+    for rep in range(WARM_REPEATS):
+        for atoms, seed in recipes:
+            body = json.dumps({
+                "atoms": atoms, "seed": seed,
+                "idempotency_key": f"http-{seed}-{rep}"}).encode()
+            req = urllib.request.Request(
+                url + "/v1/solve", data=body,
+                headers={"Authorization": f"Bearer {TOKEN}"})
+            with urllib.request.urlopen(req, timeout=300) as resp:
+                doc = json.load(resp)
+            result = doc["result"]
+            assert result["status"] == "ok", result
+            hexes.setdefault(seed, set()).add(result["energy_hex"])
+            n += 1
+    wall = time.perf_counter() - t0
+    assert all(len(h) == 1 for h in hexes.values())
+    return {s: h.pop() for s, h in hexes.items()}, wall, n
+
+
+def _run():
+    recipes = _recipes()
+    pool = {seed: synthetic_protein(atoms, seed=seed)
+            for atoms, seed in recipes}
+    with SolveService(workers=2, queue_capacity=256) as service:
+        # One cold pass primes the epol cache for both measured passes.
+        warmup = [service.submit(SolveRequest(molecule=mol))
+                  for mol in pool.values()]
+        for t in warmup:
+            assert t.result(timeout=300.0).ok
+        lib_hex, lib_wall, lib_n = _in_process(service, pool)
+        tenants = TenantRegistry([TenantConfig(
+            name="bench", token=TOKEN, rate_per_s=10_000.0,
+            burst=1_000)])
+        app = EdgeApp(service, tenants, seed=11)
+        with EdgeServer(app) as server:
+            http_hex, http_wall, http_n = _over_http(server.url,
+                                                     recipes)
+    assert lib_hex == http_hex, "HTTP energies diverged from library"
+    return {
+        "in_process": {"requests": lib_n, "wall_seconds": lib_wall,
+                       "per_request_ms": lib_wall / lib_n * 1e3},
+        "over_http": {"requests": http_n, "wall_seconds": http_wall,
+                      "per_request_ms": http_wall / http_n * 1e3},
+        "http_overhead_ms": (http_wall / http_n
+                             - lib_wall / lib_n) * 1e3,
+        "energies_hex": dict(sorted(lib_hex.items())),
+    }
+
+
+def test_http_edge_overhead(benchmark, record_table):
+    doc = run_once(benchmark, _run)
+    lib = doc["in_process"]
+    http = doc["over_http"]
+    text = "\n".join([
+        f"http edge overhead ({MOLECULES} warm molecules x "
+        f"{WARM_REPEATS} repeats, epol cache hits)",
+        f"in-process: {lib['requests']} req in "
+        f"{lib['wall_seconds']:.3f} s "
+        f"({lib['per_request_ms']:.2f} ms/req)",
+        f"over HTTP : {http['requests']} req in "
+        f"{http['wall_seconds']:.3f} s "
+        f"({http['per_request_ms']:.2f} ms/req)",
+        f"transport overhead: {doc['http_overhead_ms']:.2f} ms/req "
+        f"(bitwise parity on every energy)",
+    ])
+    config = {"molecules": MOLECULES, "warm_repeats": WARM_REPEATS,
+              "atoms": [a for a, _ in _recipes()]}
+    record_table("bench_http_edge", text, rows=[doc], config=config)
+
+    ROOT_JSON.write_text(json.dumps({
+        "name": "http_edge",
+        "config": config,
+        "in_process": lib,
+        "over_http": http,
+        "http_overhead_ms": doc["http_overhead_ms"],
+        "acceptance": {
+            "bitwise_parity": True,
+            "failed_requests": 0,
+        },
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")

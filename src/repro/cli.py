@@ -511,7 +511,87 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     return 1 if cyclic else 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """``repro serve --http`` — the service (or ``--shards`` fleet)
+    behind the :mod:`repro.edge` HTTP front-end instead of a scripted
+    workload: bearer-token tenancy, per-tenant rate limits, typed JSON
+    errors, redacted request logging (docs/HTTP.md)."""
+    import threading
+
+    from repro.edge import EdgeApp, EdgeServer, TenantRegistry
+    from repro.serve import SolveService
+
+    try:
+        tenants = TenantRegistry.from_specs(
+            args.http_token or ["demo:demo-token"],
+            rate_per_s=args.http_rate, burst=args.http_burst,
+            max_body_bytes=args.http_max_body_kb * 1024)
+    except ValueError as exc:
+        print(f"bad --http-token spec: {exc}", file=sys.stderr)
+        return 2
+    obs.enable(reset=True)
+    admission = None
+    if (args.shed_queue_depth is not None
+            or args.shed_wait_seconds is not None):
+        from repro.serve import AdmissionPolicy
+        admission = AdmissionPolicy(
+            max_queue_depth=args.shed_queue_depth,
+            max_wait_seconds=args.shed_wait_seconds)
+    if args.shards is not None:
+        from repro.fleet import ShardedFleet
+        backend = ShardedFleet(
+            shards=args.shards, backend=args.shard_backend,
+            workers_per_shard=args.workers,
+            queue_capacity=args.queue_size, batch_size=args.batch_size,
+            cache_dir=args.cache_dir,
+            cache_bytes=args.cache_mb * 1024 * 1024,
+            admission=admission, supervise=True)
+        kind = f"{args.shards}-shard {args.shard_backend} fleet"
+    else:
+        retry = None
+        if args.retries > 1 or args.hedge_after is not None:
+            from repro.serve import RetryPolicy
+            retry = RetryPolicy(max_attempts=max(2, args.retries),
+                                seed=args.seed,
+                                hedge_after_s=args.hedge_after)
+        backend = SolveService(workers=args.workers,
+                               queue_capacity=args.queue_size,
+                               batch_size=args.batch_size,
+                               cache_bytes=args.cache_mb * 1024 * 1024,
+                               cache_dir=args.cache_dir,
+                               retry=retry, admission=admission)
+        kind = f"{args.workers}-worker service"
+    log_stream = (open(args.request_log, "w", encoding="utf-8")
+                  if args.request_log else None)
+    app = EdgeApp(backend, tenants, seed=args.seed,
+                  log_stream=log_stream,
+                  sync_timeout_s=args.drain_timeout)
+    try:
+        with EdgeServer(app, host=args.host, port=args.port) as server:
+            names = ", ".join(t.name for t in tenants.tenants)
+            print(f"edge listening on {server.url} — {kind}, "
+                  f"tenant(s): {names}", flush=True)
+            try:
+                # None → block until interrupted; a finite duration is
+                # the CI-smoke entry point.
+                threading.Event().wait(args.http_duration)
+            except KeyboardInterrupt:
+                print("interrupted; draining", file=sys.stderr)
+    finally:
+        backend.close()
+        if log_stream is not None:
+            log_stream.close()
+    print(f"served {len(app.log)} request(s)")
+    if args.request_log:
+        print(f"wrote request log to {args.request_log}")
+    _write_metrics(args)
+    obs.disable()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.http:
+        return _cmd_serve_http(args)
     if args.shards is not None:
         return _cmd_serve_fleet(args)
     from repro.serve import (
@@ -893,6 +973,36 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE",
                    help="with --lock-witness: dump held-lock spans + "
                         "the witnessed graph as Chrome trace JSON")
+    p.add_argument("--http", action="store_true",
+                   help="serve the multi-tenant HTTP API (repro.edge) "
+                        "in front of the service/fleet instead of "
+                        "running a scripted workload (docs/HTTP.md)")
+    p.add_argument("--host", type=str, default="127.0.0.1",
+                   help="--http: bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="--http: bind port; 0 picks a free one and "
+                        "prints the bound URL (default 0)")
+    p.add_argument("--http-token", action="append", default=None,
+                   metavar="NAME:TOKEN[:RATE[:BURST]]",
+                   help="--http: register a tenant (repeatable); "
+                        "default demo:demo-token")
+    p.add_argument("--http-rate", type=float, default=50.0,
+                   help="--http: default per-tenant sustained "
+                        "requests/s (default 50)")
+    p.add_argument("--http-burst", type=int, default=20,
+                   help="--http: default per-tenant burst allowance "
+                        "(default 20)")
+    p.add_argument("--http-max-body-kb", type=int, default=64,
+                   help="--http: per-request body cap in KiB; larger "
+                        "bodies get a typed 413 (default 64)")
+    p.add_argument("--request-log", type=str, default=None,
+                   metavar="FILE",
+                   help="--http: append one redacted JSON line per "
+                        "request (no bodies, no tokens)")
+    p.add_argument("--http-duration", type=float, default=None,
+                   metavar="SECONDS",
+                   help="--http: serve for this long then exit 0 "
+                        "(default: until Ctrl-C)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("packages", help="run the MD-package emulators")

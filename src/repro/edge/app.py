@@ -1,0 +1,521 @@
+"""The edge application: routing + middleware over a serve backend.
+
+:class:`EdgeApp` is transport-independent: :meth:`EdgeApp.handle` maps
+``(method, path, headers, body)`` to a complete
+:class:`EdgeResponse`, so every middleware behavior — auth, rate
+limits, size limits, typed errors, redacted logging — is unit-testable
+with an injected clock and no sockets.  The HTTP transport
+(:mod:`repro.edge.server`) is a thin adapter over this method.
+
+Routes
+------
+* ``POST /v1/solve`` — synchronous, deadline-bounded solve;
+* ``POST /v1/jobs`` / ``GET /v1/jobs/<ticket>`` — background solve +
+  ticket polling (:mod:`repro.edge.jobs`);
+* ``GET /healthz`` — queue/breaker/fleet/job summary (unauthenticated);
+* ``GET /metrics`` — the obs registry's Prometheus text exposition
+  (unauthenticated).
+
+The backend is either a :class:`~repro.serve.service.SolveService` or
+a :class:`~repro.fleet.fleet.ShardedFleet`; both share the submit/
+ticket surface, so one app serves both ``--shards 1`` and a fleet.
+
+Solve bodies are *recipes* (the workload-file entry schema:
+``atoms``/``seed``/``capsid`` plus ε knobs), not coordinate arrays:
+the molecule is rebuilt seeded on the server, so an HTTP request's
+content fingerprint — and therefore its cache key, coalescing and
+bitwise energy — is identical to the same request submitted
+in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, IO, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.config import ApproxParams
+from repro.constants import TAU_WATER
+from repro.edge.auth import TenantConfig, TenantRegistry
+from repro.edge.errors import (
+    BadRequestError,
+    EdgeError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    SolveTimeoutError,
+    from_backpressure,
+)
+from repro.edge.jobs import JobTable
+from repro.edge.ratelimit import RateLimiter
+from repro.edge.redaction import body_digest
+from repro.edge.reqlog import RequestLog
+from repro.fleet.fleet import ShardedFleet
+from repro.molecules.generator import synthetic_protein, virus_capsid
+from repro.molecules.molecule import Molecule
+from repro.serve.errors import QueueFullError, ServiceOverloadedError
+from repro.serve.request import SolveRequest, SolveResult
+from repro.serve.service import LATENCY_BOUNDS_SECONDS, SolveService
+
+__all__ = ["EdgeApp", "EdgeResponse", "SECURITY_HEADERS",
+           "result_to_json", "workload_bodies"]
+
+#: Hardening headers attached to every response.
+SECURITY_HEADERS = {
+    "X-Content-Type-Options": "nosniff",
+    "X-Frame-Options": "DENY",
+    "Content-Security-Policy": "default-src 'none'",
+    "Referrer-Policy": "no-referrer",
+    "Cache-Control": "no-store",
+}
+
+#: Fields a solve body may carry (the workload-entry schema minus
+#: ``repeat``, which only makes sense in a trace file).
+_SOLVE_FIELDS = frozenset({
+    "atoms", "seed", "capsid", "eps_born", "eps_epol", "approx_math",
+    "method", "priority", "deadline_s", "tau", "idempotency_key",
+    "tenant",
+})
+
+#: Largest recipe the edge will build (synthetic molecules are O(atoms)
+#: to generate; this is a request-hygiene bound, not a solver limit).
+MAX_ATOMS = 20_000
+
+#: Distinct molecule recipes kept in memory (FIFO; a re-request after
+#: eviction rebuilds the seeded molecule bit-identically).
+MAX_RECIPES = 32
+
+
+@dataclass
+class EdgeResponse:
+    """One complete HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def json(self) -> object:
+        """Decode the body (tests/clients convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def result_to_json(result: SolveResult) -> Dict[str, object]:
+    """The wire form of a :class:`SolveResult`.
+
+    ``energy_hex`` is ``float.hex()`` of the energy — the bitwise
+    acceptance channel (two runs agree iff these strings match).
+    """
+    energy = result.energy
+    return {
+        "key": result.key,
+        "status": result.status,
+        "energy": energy,
+        "energy_hex": float(energy).hex() if energy is not None else None,
+        "method": result.method,
+        "rung": result.rung,
+        "degradations": result.degradations,
+        "cache": result.cache,
+        "wait_seconds": result.wait_seconds,
+        "service_seconds": result.service_seconds,
+        "worker": result.worker,
+        "attempt": result.attempt,
+        "shard": result.shard,
+        "error": result.error,
+    }
+
+
+def workload_bodies(path: Union[str, Path]
+                    ) -> List[Tuple[str, Dict[str, object]]]:
+    """Explode a workload file into ``(tenant, solve body)`` pairs.
+
+    The repeat-expansion mirror of
+    :func:`repro.serve.workload.load_workload`: each entry's
+    ``repeat`` becomes that many identical bodies, every body keeps
+    the entry's ``tenant`` (default ``"default"``), and the ``repeat``
+    /``tenant`` keys themselves are stripped — what remains is exactly
+    what ``POST /v1/solve`` accepts, so a recorded multi-tenant trace
+    replays through the edge verbatim.
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = doc.get("requests", []) if isinstance(doc, dict) else doc
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: expected a non-empty list of "
+                         f"request entries (or {{'requests': [...]}})")
+    out: List[Tuple[str, Dict[str, object]]] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "atoms" not in entry:
+            raise ValueError(f"{path}: entry {i} must be an object "
+                             f"with at least an 'atoms' field")
+        tenant = str(entry.get("tenant", "default"))
+        body = {k: v for k, v in entry.items()
+                if k not in ("repeat", "tenant")}
+        out.extend([(tenant, dict(body))]
+                   * max(1, int(entry.get("repeat", 1))))
+    return out
+
+
+class EdgeApp:
+    """Routing + middleware over one serve/fleet backend."""
+
+    def __init__(self, backend: Union[SolveService, ShardedFleet],
+                 tenants: TenantRegistry, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 seed: int = 0,
+                 limiter: Optional[RateLimiter] = None,
+                 log_stream: Optional[IO[str]] = None,
+                 sync_timeout_s: float = 60.0,
+                 job_capacity: int = 256) -> None:
+        if sync_timeout_s <= 0:
+            raise ValueError("sync_timeout_s must be positive")
+        self.backend = backend
+        self.tenants = tenants
+        self.sync_timeout_s = float(sync_timeout_s)
+        self.limiter = limiter or RateLimiter(clock=clock)
+        self.log = RequestLog(seed=seed, clock=clock,
+                              stream=log_stream)
+        self.jobs = JobTable(capacity=job_capacity)
+        self._mol_lock = obs.named_lock("edge.app._mol_lock")
+        self._molecules: Dict[Tuple[int, int, bool], Molecule] = \
+            {}                                 # guarded-by: _mol_lock
+        self._mol_order: List[Tuple[int, int, bool]] = \
+            []                                 # guarded-by: _mol_lock
+
+    # -- transport surface ------------------------------------------------
+
+    @property
+    def read_cap_bytes(self) -> int:
+        """Most bytes a transport needs to read to judge any tenant's
+        limit (one byte over the largest limit proves oversize)."""
+        return self.tenants.max_body_bytes + 1
+
+    def handle(self, method: str, path: str,
+               headers: Optional[Dict[str, str]] = None,
+               body: bytes = b"",
+               declared_length: Optional[int] = None) -> EdgeResponse:
+        """One request through the full middleware stack."""
+        headers = headers or {}
+        t0 = self.log.now()
+        request_id = self.log.next_id("req")
+        box: Dict[str, str] = {"tenant": "-"}
+        error_code = ""
+        try:
+            resp = self._route(method, path, headers, body,
+                               declared_length, box)
+        except EdgeError as exc:
+            error_code = exc.code
+            resp = self._error_response(exc)
+        except (ServiceOverloadedError, QueueFullError) as exc:
+            edge_exc = from_backpressure(exc)
+            error_code = edge_exc.code
+            resp = self._error_response(edge_exc)
+        # Deliberate boundary: whatever breaks, the edge answers with a
+        # typed 500 instead of a dropped connection; the failure is
+        # counted as edge.errors.internal.
+        except Exception:  # lint: ignore[RPR003]
+            error_code = "internal"
+            resp = self._error_response(EdgeError(
+                "internal edge error",
+                hint="see the server log; the request was not charged "
+                     "against your quota"))
+        duration = self.log.now() - t0
+        self.log.record(
+            request_id=request_id, tenant=box["tenant"], method=method,
+            path=path, status=resp.status, t_s=t0,
+            duration_s=duration, bytes_in=len(body),
+            body_sha256=body_digest(body), error_code=error_code)
+        self._observe(method, box["tenant"], resp.status, duration)
+        resp.headers.setdefault("X-Request-Id", request_id)
+        return resp
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, method: str, path: str, headers: Dict[str, str],
+               body: bytes, declared_length: Optional[int],
+               box: Dict[str, str]) -> EdgeResponse:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            self._require(method, ("GET",))
+            return self._healthz()
+        if path == "/metrics":
+            self._require(method, ("GET",))
+            return self._metrics()
+        if path == "/v1/solve":
+            self._require(method, ("POST",))
+            tenant = self._admit(headers, body, declared_length, box)
+            return self._solve_sync(tenant, body)
+        if path == "/v1/jobs":
+            self._require(method, ("POST",))
+            tenant = self._admit(headers, body, declared_length, box)
+            return self._job_create(tenant, body)
+        if path.startswith("/v1/jobs/"):
+            self._require(method, ("GET",))
+            tenant = self._admit(headers, body, declared_length, box)
+            return self._job_poll(tenant, path[len("/v1/jobs/"):])
+        raise NotFoundError(
+            f"no route for {path!r}",
+            hint="see docs/HTTP.md for the endpoint list")
+
+    @staticmethod
+    def _require(method: str, allowed: Tuple[str, ...]) -> None:
+        if method not in allowed:
+            raise MethodNotAllowedError(method, allowed)
+
+    def _admit(self, headers: Dict[str, str], body: bytes,
+               declared_length: Optional[int],
+               box: Dict[str, str]) -> TenantConfig:
+        """Auth → size limit → rate limit, in that order."""
+        authorization = next(
+            (v for k, v in headers.items()
+             if k.lower() == "authorization"), None)
+        try:
+            tenant = self.tenants.authenticate(authorization)
+        except EdgeError:
+            if obs.is_enabled():
+                obs.registry.counter(
+                    "edge.auth.failures",
+                    "requests with missing/unknown bearer "
+                    "tokens").inc()
+            raise
+        box["tenant"] = tenant.name
+        size = len(body) if declared_length is None \
+            else max(len(body), int(declared_length))
+        if size > tenant.max_body_bytes:
+            if obs.is_enabled():
+                obs.registry.counter(
+                    "edge.rejected.oversize",
+                    "requests over the tenant body-size limit").inc()
+            raise PayloadTooLargeError(size, tenant.max_body_bytes)
+        self.limiter.check(tenant)
+        return tenant
+
+    # -- endpoints --------------------------------------------------------
+
+    def _solve_sync(self, tenant: TenantConfig,
+                    body: bytes) -> EdgeResponse:
+        request = self._parse_solve(tenant, body)
+        ticket = self.backend.submit(request)
+        budget = request.deadline_s if request.deadline_s is not None \
+            else self.sync_timeout_s
+        try:
+            result = ticket.result(timeout=budget)
+        except TimeoutError as exc:
+            raise SolveTimeoutError(budget) from exc
+        if obs.is_enabled():
+            obs.registry.counter(
+                "edge.solve.sync",
+                "synchronous solves served via POST /v1/solve").inc()
+        status = {"ok": 200, "degraded": 200,
+                  "expired": 504}.get(result.status, 502)
+        return self._json(status, {"result": result_to_json(result)})
+
+    def _job_create(self, tenant: TenantConfig,
+                    body: bytes) -> EdgeResponse:
+        request = self._parse_solve(tenant, body)
+        job_id = self.log.next_id("job")
+        ticket = self.backend.submit(request)
+        rec = self.jobs.create(job_id, tenant.name, ticket.key, ticket,
+                               created_t=self.log.now())
+        return self._json(202, {
+            "ticket": rec.job_id,
+            "key": rec.key,
+            "done": False,
+            "status_url": f"/v1/jobs/{rec.job_id}",
+        })
+
+    def _job_poll(self, tenant: TenantConfig,
+                  job_id: str) -> EdgeResponse:
+        rec = self.jobs.get(job_id, tenant.name)
+        if obs.is_enabled():
+            obs.registry.counter(
+                "edge.jobs.polls",
+                "GET /v1/jobs/<ticket> polls").inc()
+        doc: Dict[str, object] = {
+            "ticket": rec.job_id, "key": rec.key, "done": rec.done,
+            "result": None,
+        }
+        if rec.done:
+            doc["result"] = result_to_json(rec.ticket.result(timeout=0))
+        return self._json(200, doc)
+
+    def _healthz(self) -> EdgeResponse:
+        doc: Dict[str, object] = {
+            "status": "ok",
+            "jobs": self.jobs.counts(),
+            "tenants": [t.name for t in self.tenants.tenants],
+        }
+        backend = self.backend
+        if isinstance(backend, ShardedFleet):
+            fstats = backend.stats()
+            doc["backend"] = "fleet"
+            doc["fleet"] = {
+                "shards_live": fstats.shards_live,
+                "shards_dead": fstats.shards_dead,
+                "queue_depth": sum(fstats.queue_depth.values()),
+                "outstanding": backend.router.outstanding,
+                "submitted": fstats.submitted,
+                "completed": fstats.completed,
+                "shed": fstats.shed,
+                "rerouted": fstats.rerouted,
+            }
+            if fstats.shards_live == 0:
+                doc["status"] = "unavailable"
+        else:
+            doc["backend"] = "service"
+            doc["service"] = {
+                "queue_depth": backend.queue_depth,
+                "pending": backend.pending,
+                "breaker": (backend.cache.breaker.state
+                            if backend.cache.breaker is not None
+                            else "absent"),
+                "cache_entries": backend.cache.stats().entries,
+            }
+        return self._json(200, doc)
+
+    def _metrics(self) -> EdgeResponse:
+        text = obs.metrics_to_prometheus(obs.registry)
+        return EdgeResponse(
+            status=200, body=text.encode("utf-8"),
+            headers=self._headers(
+                "text/plain; version=0.0.4; charset=utf-8"))
+
+    # -- parsing ----------------------------------------------------------
+
+    def _parse_solve(self, tenant: TenantConfig,
+                     body: bytes) -> SolveRequest:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequestError(
+                f"malformed JSON body: {exc}",
+                hint="POST a JSON object; see docs/HTTP.md for the "
+                     "solve schema") from exc
+        if not isinstance(doc, dict):
+            raise BadRequestError(
+                "solve body must be a JSON object",
+                hint="see docs/HTTP.md for the solve schema")
+        unknown = sorted(set(doc) - _SOLVE_FIELDS)
+        if unknown:
+            raise BadRequestError(
+                f"unknown solve field(s): {', '.join(unknown)}",
+                hint=f"allowed fields: "
+                     f"{', '.join(sorted(_SOLVE_FIELDS))}")
+        body_tenant = doc.get("tenant")
+        if body_tenant is not None and body_tenant != tenant.name:
+            raise BadRequestError(
+                f"body names tenant {body_tenant!r} but the bearer "
+                f"token belongs to {tenant.name!r}",
+                hint="drop the body field or use the matching token")
+        if "atoms" not in doc:
+            raise BadRequestError(
+                "solve body needs an 'atoms' field",
+                hint="molecules are seeded recipes: atoms + seed "
+                     "(+ capsid)")
+        try:
+            atoms = int(doc["atoms"])
+            seed = int(doc.get("seed", 0))
+            capsid = bool(doc.get("capsid", False))
+            params = ApproxParams(
+                eps_born=float(doc.get("eps_born", 0.9)),
+                eps_epol=float(doc.get("eps_epol", 0.9)),
+                approx_math=bool(doc.get("approx_math", False)))
+            priority = int(doc.get("priority", 0))
+            deadline_s = doc.get("deadline_s")
+            deadline = None if deadline_s is None else float(deadline_s)
+            tau = float(doc.get("tau", TAU_WATER))
+            idempotency_key = str(doc.get("idempotency_key", ""))
+            method = str(doc.get("method", "octree"))
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(
+                f"bad solve field: {exc}",
+                hint="numeric fields must be JSON numbers") from exc
+        if not 1 <= atoms <= MAX_ATOMS:
+            raise BadRequestError(
+                f"atoms must be in [1, {MAX_ATOMS}], got {atoms}",
+                hint="split larger systems or raise MAX_ATOMS "
+                     "server-side")
+        molecule = self._molecule(atoms, seed, capsid)
+        try:
+            return SolveRequest(
+                molecule=molecule, params=params, method=method,
+                priority=priority, deadline_s=deadline,
+                idempotency_key=idempotency_key, tau=tau,
+                tenant=tenant.name)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from exc
+
+    def _molecule(self, atoms: int, seed: int,
+                  capsid: bool) -> Molecule:
+        """Recipe-cached seeded molecule (same recipe semantics as
+        :mod:`repro.serve.workload`, so fingerprints line up)."""
+        recipe = (int(atoms), int(seed), bool(capsid))
+        with self._mol_lock:
+            mol = self._molecules.get(recipe)
+        if mol is not None:
+            return mol
+        # Build outside the lock (O(atoms) generation must not stall
+        # other requests); a racing duplicate build is harmless — the
+        # seeded generator is deterministic, so last-write-wins keeps
+        # the same fingerprint.
+        mol = (virus_capsid(recipe[0], seed=recipe[1]) if capsid
+               else synthetic_protein(recipe[0], seed=recipe[1]))
+        with self._mol_lock:
+            if recipe not in self._molecules:
+                self._molecules[recipe] = mol
+                self._mol_order.append(recipe)
+                while len(self._mol_order) > MAX_RECIPES:
+                    oldest = self._mol_order.pop(0)
+                    del self._molecules[oldest]
+            mol = self._molecules[recipe]
+        return mol
+
+    # -- responses --------------------------------------------------------
+
+    @staticmethod
+    def _headers(content_type: str) -> Dict[str, str]:
+        headers = dict(SECURITY_HEADERS)
+        headers["Content-Type"] = content_type
+        return headers
+
+    def _json(self, status: int,
+              doc: Dict[str, object]) -> EdgeResponse:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        return EdgeResponse(
+            status=status, body=body,
+            headers=self._headers("application/json; charset=utf-8"))
+
+    def _error_response(self, exc: EdgeError) -> EdgeResponse:
+        resp = self._json(exc.status, exc.to_body())
+        if exc.retry_after_s is not None:
+            # RFC 9110 Retry-After is integer delta-seconds; the exact
+            # float is in the JSON body as retry_after_s.
+            resp.headers["Retry-After"] = str(
+                max(1, math.ceil(exc.retry_after_s)))
+        if exc.status == 405 and isinstance(exc, MethodNotAllowedError):
+            resp.headers["Allow"] = ", ".join(exc.allowed)
+        return resp
+
+    # -- instrumentation --------------------------------------------------
+
+    @staticmethod
+    def _observe(method: str, tenant: str, status: int,
+                 duration_s: float) -> None:
+        if not obs.is_enabled():
+            return
+        obs.registry.counter(
+            "edge.requests", "HTTP requests handled by the edge").inc()
+        obs.registry.counter(
+            f"edge.responses.{status // 100}xx",
+            "edge responses by status class").inc()
+        if tenant != "-":
+            obs.registry.counter(
+                f"edge.tenant.requests.{tenant}",
+                "edge requests per tenant").inc()
+        obs.registry.histogram(
+            "edge.request_seconds",
+            "edge request handling time",
+            bounds=LATENCY_BOUNDS_SECONDS).observe(duration_s)

@@ -1,0 +1,122 @@
+"""Tenant registry and bearer-token authentication.
+
+A tenant is a name plus a static bearer token plus its quota knobs
+(request rate, burst, body-size limit).  The registry is immutable
+after construction — the edge holds no mutable auth state, so
+authentication takes no locks and is trivially thread-safe under the
+ThreadingHTTPServer.
+
+Tokens travel as ``Authorization: Bearer <token>``.  Lookup failures
+are one typed :class:`~repro.edge.errors.UnauthorizedError` regardless
+of *why* (missing header, malformed scheme, unknown token) so the
+response does not leak which tokens exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.edge.errors import UnauthorizedError
+
+__all__ = ["TenantConfig", "TenantRegistry", "DEFAULT_MAX_BODY_BYTES"]
+
+#: Solve bodies are recipes (a few hundred bytes), not arrays; 64 KiB
+#: is two orders of magnitude of headroom.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's identity and quotas.
+
+    ``rate_per_s``/``burst`` parameterize the per-tenant token bucket
+    (:mod:`repro.edge.ratelimit`); ``max_body_bytes`` bounds one
+    request body (413 beyond it).
+    """
+
+    name: str
+    token: str
+    rate_per_s: float = 50.0
+    burst: int = 20
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.token:
+            raise ValueError(f"tenant {self.name!r} needs a token")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+
+
+class TenantRegistry:
+    """Immutable token → tenant lookup."""
+
+    def __init__(self, tenants: Iterable[TenantConfig]) -> None:
+        self._by_token: Dict[str, TenantConfig] = {}
+        self._by_name: Dict[str, TenantConfig] = {}
+        for t in tenants:
+            if t.name in self._by_name:
+                raise ValueError(f"duplicate tenant name {t.name!r}")
+            if t.token in self._by_token:
+                raise ValueError(
+                    f"tenant {t.name!r} reuses another tenant's token")
+            self._by_name[t.name] = t
+            self._by_token[t.token] = t
+        if not self._by_name:
+            raise ValueError("registry needs at least one tenant")
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str], *,
+                   rate_per_s: float = 50.0, burst: int = 20,
+                   max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+                   ) -> "TenantRegistry":
+        """Build from CLI ``name:token[:rate[:burst]]`` strings."""
+        tenants: List[TenantConfig] = []
+        for spec in specs:
+            parts = spec.split(":")
+            if len(parts) < 2 or len(parts) > 4:
+                raise ValueError(
+                    f"bad tenant spec {spec!r}: use "
+                    f"name:token[:rate_per_s[:burst]]")
+            name, token = parts[0], parts[1]
+            rate = float(parts[2]) if len(parts) > 2 else rate_per_s
+            b = int(parts[3]) if len(parts) > 3 else burst
+            tenants.append(TenantConfig(
+                name=name, token=token, rate_per_s=rate, burst=b,
+                max_body_bytes=max_body_bytes))
+        return cls(tenants)
+
+    @property
+    def tenants(self) -> List[TenantConfig]:
+        return sorted(self._by_name.values(), key=lambda t: t.name)
+
+    @property
+    def max_body_bytes(self) -> int:
+        """The largest body any registered tenant may send (the
+        transport reads at most this many bytes plus one)."""
+        return max(t.max_body_bytes for t in self._by_name.values())
+
+    def get(self, name: str) -> Optional[TenantConfig]:
+        return self._by_name.get(name)
+
+    def authenticate(self, authorization: Optional[str]) -> TenantConfig:
+        """Resolve an ``Authorization`` header value to its tenant.
+
+        Raises :class:`UnauthorizedError` on a missing header, a
+        non-Bearer scheme, or an unknown token.
+        """
+        if not authorization:
+            raise UnauthorizedError()
+        scheme, _, credential = authorization.partition(" ")
+        if scheme.lower() != "bearer" or not credential.strip():
+            raise UnauthorizedError()
+        tenant = self._by_token.get(credential.strip())
+        if tenant is None:
+            raise UnauthorizedError()
+        return tenant

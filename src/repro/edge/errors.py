@@ -1,0 +1,204 @@
+"""Typed errors of the HTTP edge.
+
+Every error the edge returns over the wire is one of these classes:
+each carries the HTTP ``status`` it maps to, a stable machine-readable
+``code`` (the error taxonomy of ``docs/HTTP.md``), and — following the
+:class:`~repro.guard.errors.DiagnosticError` conventions — a concrete
+fix ``hint``.  :meth:`EdgeError.to_body` renders the JSON error body
+every non-2xx response carries, so clients can write policy against
+``code`` instead of parsing prose.
+
+Backpressure errors from the serve tier
+(:class:`~repro.serve.errors.ServiceOverloadedError`,
+:class:`~repro.serve.errors.QueueFullError`) are converted at the
+boundary by :func:`from_backpressure`; the admission controller's
+``retry_after_s`` hint survives the conversion and is surfaced as the
+``Retry-After`` response header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.guard.errors import DiagnosticError
+from repro.serve.errors import QueueFullError, ServiceOverloadedError
+
+__all__ = [
+    "EdgeError",
+    "BadRequestError",
+    "UnauthorizedError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "PayloadTooLargeError",
+    "RateLimitedError",
+    "OverloadedError",
+    "UpstreamQueueFullError",
+    "JobsFullError",
+    "SolveTimeoutError",
+    "from_backpressure",
+]
+
+
+class EdgeError(DiagnosticError, RuntimeError):
+    """Base of every error the edge returns over HTTP.
+
+    ``status`` is the HTTP status code, ``code`` the stable
+    machine-readable taxonomy entry, and ``retry_after_s`` — when not
+    ``None`` — becomes the ``Retry-After`` header.
+    """
+
+    status: int = 500
+    code: str = "internal"
+
+    def __init__(self, message: str, *, hint: str = "",
+                 retry_after_s: Optional[float] = None) -> None:
+        self.retry_after_s = retry_after_s
+        super().__init__(message, phase="edge", hint=hint)
+
+    def to_body(self) -> Dict[str, object]:
+        """The JSON error body (``{"error": {...}}``)."""
+        detail: Dict[str, object] = {
+            "code": self.code,
+            "status": self.status,
+            "message": str(self.args[0]) if self.args else self.code,
+        }
+        if self.hint:
+            detail["hint"] = self.hint
+        if self.retry_after_s is not None:
+            detail["retry_after_s"] = float(self.retry_after_s)
+        return {"error": detail}
+
+
+class BadRequestError(EdgeError):
+    """400 — the request body or path is malformed."""
+
+    status = 400
+    code = "bad_request"
+
+
+class UnauthorizedError(EdgeError):
+    """401 — missing or unknown tenant token."""
+
+    status = 401
+    code = "unauthorized"
+
+    def __init__(self, message: str = "missing or invalid bearer "
+                                      "token") -> None:
+        super().__init__(
+            message,
+            hint="send 'Authorization: Bearer <token>' for a "
+                 "registered tenant")
+
+
+class NotFoundError(EdgeError):
+    """404 — unknown route or unknown/foreign job ticket."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowedError(EdgeError):
+    """405 — the route exists but not for this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+    def __init__(self, method: str, allowed: Sequence[str]) -> None:
+        self.allowed = tuple(allowed)
+        super().__init__(
+            f"method {method} not allowed here",
+            hint=f"use {' or '.join(self.allowed)}")
+
+
+class PayloadTooLargeError(EdgeError):
+    """413 — the request body exceeds the tenant's size limit."""
+
+    status = 413
+    code = "payload_too_large"
+
+    def __init__(self, size: int, limit: int) -> None:
+        self.size = int(size)
+        self.limit = int(limit)
+        super().__init__(
+            f"request body of {size} bytes exceeds the tenant limit "
+            f"of {limit} bytes",
+            hint="shrink the request (solve bodies are recipes, not "
+                 "arrays) or raise the tenant's max_body_bytes")
+
+
+class RateLimitedError(EdgeError):
+    """429 — the tenant's token bucket is empty."""
+
+    status = 429
+    code = "rate_limited"
+
+    def __init__(self, tenant: str, retry_after_s: float) -> None:
+        self.tenant = tenant
+        super().__init__(
+            f"tenant {tenant!r} exceeded its request rate; retry "
+            f"after {retry_after_s:.3f}s",
+            hint="spread requests out or raise the tenant's "
+                 "rate_per_s/burst",
+            retry_after_s=retry_after_s)
+
+
+class OverloadedError(EdgeError):
+    """429 — the serve tier's admission controller shed the request."""
+
+    status = 429
+    code = "overloaded"
+
+
+class JobsFullError(EdgeError):
+    """503 — the background-job table is at capacity."""
+
+    status = 503
+    code = "jobs_full"
+
+    def __init__(self, open_jobs: int, capacity: int) -> None:
+        self.open_jobs = int(open_jobs)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"job table full ({open_jobs} of {capacity} jobs still "
+            f"running)",
+            hint="poll outstanding tickets to completion, retry "
+                 "later, or raise job_capacity")
+
+
+class UpstreamQueueFullError(EdgeError):
+    """503 — the serve tier's bounded queue rejected the request."""
+
+    status = 503
+    code = "queue_full"
+
+
+class SolveTimeoutError(EdgeError):
+    """504 — a synchronous solve missed its deadline."""
+
+    status = 504
+    code = "deadline_exceeded"
+
+    def __init__(self, waited_s: float) -> None:
+        self.waited_s = float(waited_s)
+        super().__init__(
+            f"solve did not complete within the {waited_s:g}s "
+            f"synchronous budget",
+            hint="raise deadline_s, or submit via POST /v1/jobs and "
+                 "poll the ticket")
+
+
+def from_backpressure(
+        exc: Union[ServiceOverloadedError, QueueFullError]) -> EdgeError:
+    """Convert serve-tier backpressure into the edge taxonomy.
+
+    Admission shedding keeps its ``retry_after_s`` hint (surfaced as
+    ``Retry-After``); a hard-full queue maps to 503 with the observed
+    depth in the message.
+    """
+    if isinstance(exc, ServiceOverloadedError):
+        return OverloadedError(
+            str(exc.args[0]) if exc.args else "service overloaded",
+            hint=exc.hint, retry_after_s=exc.retry_after_s)
+    return UpstreamQueueFullError(
+        str(exc.args[0]) if exc.args else "job queue full",
+        hint=exc.hint)

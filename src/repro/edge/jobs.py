@@ -1,0 +1,106 @@
+"""Background-job table over the serve tier's ticket machinery.
+
+``POST /v1/jobs`` submits a solve and returns immediately with a job
+ticket; ``GET /v1/jobs/<ticket>`` polls it.  The table is a thin,
+bounded index from seeded job ids to the service's own
+:class:`~repro.serve.service.Ticket` objects — completion, first-set-
+wins delivery and coalescing all stay where they already live.
+
+Bounded by contract (the RPR008 discipline): at most ``capacity``
+jobs are retained.  Completed jobs are evicted oldest-first to make
+room; when every retained job is still running the table refuses new
+work with a typed 503 :class:`~repro.edge.errors.JobsFullError` —
+explicit backpressure, never unbounded growth.
+
+Tenant isolation: a job is only visible to the tenant that created
+it; a foreign (or unknown) ticket is the same 404, so job ids leak
+nothing across tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import obs
+from repro.edge.errors import JobsFullError, NotFoundError
+from repro.serve.service import Ticket
+
+__all__ = ["JobRecord", "JobTable"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One background job: identity plus the serve-tier ticket."""
+
+    job_id: str
+    tenant: str
+    key: str
+    ticket: Ticket
+    created_t: float
+
+    @property
+    def done(self) -> bool:
+        return self.ticket.done()
+
+
+class JobTable:
+    """Bounded, tenant-scoped id → ticket index."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = obs.named_lock("edge.jobs._lock")
+        self._jobs: Dict[str, JobRecord] = {}   # guarded-by: _lock
+        self._order: List[str] = []             # guarded-by: _lock
+
+    def create(self, job_id: str, tenant: str, key: str,
+               ticket: Ticket, created_t: float) -> JobRecord:
+        """Register a submitted ticket; evicts done jobs if full."""
+        rec = JobRecord(job_id=job_id, tenant=tenant, key=key,
+                        ticket=ticket, created_t=created_t)
+        with self._lock:
+            if len(self._order) >= self.capacity:
+                self._evict_done()
+            if len(self._order) >= self.capacity:
+                raise JobsFullError(len(self._order), self.capacity)
+            self._jobs[job_id] = rec
+            self._order.append(job_id)
+        if obs.is_enabled():
+            obs.registry.counter(
+                "edge.jobs.created",
+                "background jobs accepted via POST /v1/jobs").inc()
+        return rec
+
+    def _evict_done(self) -> None:
+        # guarded-by: _lock (callers hold it).  Oldest-first, done-only:
+        # a running job is never dropped — its ticket would be stranded.
+        excess = len(self._order) - self.capacity + 1
+        keep: List[str] = []
+        for jid in self._order:
+            if excess > 0 and self._jobs[jid].done:
+                del self._jobs[jid]
+                excess -= 1
+            else:
+                keep.append(jid)
+        self._order = keep
+
+    def get(self, job_id: str, tenant: str) -> JobRecord:
+        """The tenant's job, or 404 (unknown and foreign look alike)."""
+        with self._lock:
+            rec = self._jobs.get(job_id)
+        if rec is None or rec.tenant != tenant:
+            raise NotFoundError(
+                f"no such job {job_id!r}",
+                hint="job ids are tenant-scoped; POST /v1/jobs "
+                     "returns yours")
+        return rec
+
+    def counts(self) -> Dict[str, int]:
+        """``{"open": running, "done": finished, "retained": total}``."""
+        with self._lock:
+            records = list(self._jobs.values())
+        done = sum(1 for r in records if r.done)
+        return {"open": len(records) - done, "done": done,
+                "retained": len(records)}

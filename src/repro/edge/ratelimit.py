@@ -1,0 +1,64 @@
+"""Per-tenant token-bucket rate limiting with an injectable clock.
+
+Classic token bucket: a tenant's bucket holds up to ``burst`` tokens
+and refills at ``rate_per_s``.  Admission takes one token; an empty
+bucket is a typed :class:`~repro.edge.errors.RateLimitedError` whose
+``retry_after_s`` is the *exact* refill time for one token — a pure
+function of the injected clock, so the 429 boundary (and the header
+derived from it) is deterministic in tests (the
+:class:`~repro.serve.resilience.CircuitBreaker` clock idiom).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro import obs
+from repro.edge.auth import TenantConfig
+from repro.edge.errors import RateLimitedError
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """One token bucket per tenant, lazily created, thread-safe."""
+
+    def __init__(self, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = obs.named_lock("edge.ratelimit._lock")
+        #: tenant name → (tokens, last refill t).  guarded-by: _lock
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    def check(self, tenant: TenantConfig) -> None:
+        """Take one token, or raise :class:`RateLimitedError`.
+
+        The retry hint is ``(1 - tokens) / rate`` — when the bucket
+        will next hold a whole token at the configured refill rate.
+        """
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(
+                tenant.name, (float(tenant.burst), now))
+            tokens = min(float(tenant.burst),
+                         tokens + (now - last) * tenant.rate_per_s)
+            if tokens >= 1.0:
+                self._buckets[tenant.name] = (tokens - 1.0, now)
+                return
+            self._buckets[tenant.name] = (tokens, now)
+            retry_after = (1.0 - tokens) / tenant.rate_per_s
+        if obs.is_enabled():
+            obs.registry.counter(
+                "edge.ratelimited",
+                "requests refused by per-tenant token buckets").inc()
+        raise RateLimitedError(tenant.name, retry_after)
+
+    def tokens(self, tenant: TenantConfig) -> float:
+        """Current token count (refilled to the injected clock)."""
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(
+                tenant.name, (float(tenant.burst), now))
+            return min(float(tenant.burst),
+                       tokens + (now - last) * tenant.rate_per_s)

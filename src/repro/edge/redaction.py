@@ -1,0 +1,57 @@
+"""Payload and credential redaction for edge request logging.
+
+This module is the *only* place edge code may turn request bodies,
+headers or tokens into loggable material — lint rule RPR010 flags any
+logging-sink call elsewhere in ``repro/edge`` whose arguments name raw
+bodies or credentials.  The helpers never return the sensitive bytes:
+bodies become a length + content digest (enough to correlate a log
+line with a cache key or a replayed request), credential-bearing
+headers become :data:`REDACTED`, and tokens become a short digest
+prefix that identifies *which* token without revealing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Mapping
+
+__all__ = [
+    "REDACTED",
+    "SENSITIVE_HEADERS",
+    "body_digest",
+    "redact_headers",
+    "redact_token",
+]
+
+#: Replacement value for credential-bearing header values.
+REDACTED = "[REDACTED]"
+
+#: Lower-cased header names whose values never reach a log record.
+SENSITIVE_HEADERS = frozenset({
+    "authorization", "proxy-authorization", "cookie", "set-cookie",
+    "x-api-key", "x-repro-token",
+})
+
+
+def body_digest(data: bytes) -> str:
+    """A loggable fingerprint of a request body (never the bytes)."""
+    if not data:
+        return "sha256:empty"
+    return "sha256:" + hashlib.sha256(data).hexdigest()[:16]
+
+
+def redact_token(value: str) -> str:
+    """Identify a token in logs without revealing it (digest prefix)."""
+    if not value:
+        return REDACTED
+    digest = hashlib.sha256(value.encode("utf-8")).hexdigest()[:8]
+    return f"sha256:{digest}"
+
+
+def redact_headers(headers: Mapping[str, str]) -> Dict[str, str]:
+    """Lower-cased copy of ``headers`` with credentials redacted."""
+    out: Dict[str, str] = {}
+    for name, value in headers.items():
+        key = name.lower()
+        out[key] = REDACTED if key in SENSITIVE_HEADERS else value
+    return out

@@ -1,0 +1,100 @@
+"""Structured request logging with seeded IDs and injected time.
+
+One JSON record per completed request: seeded request id, tenant,
+method, path, status, error code, body size + digest, and a duration
+measured on the injected clock.  Nothing sensitive enters a record —
+callers pass material through :mod:`repro.edge.redaction` (enforced by
+lint rule RPR010) — and nothing reads the wall clock: ``t_s`` is the
+injected clock's value at arrival, so two same-seed runs with the same
+fake clock produce byte-identical logs.
+
+Records stream to an optional text sink (the CI artifact) and are
+retained in a bounded in-memory ring for tests and ``stats()``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from hashlib import sha256
+from typing import Callable, Deque, Dict, IO, List, Optional
+
+from repro import obs
+
+__all__ = ["RequestLog"]
+
+#: In-memory ring size: enough for any test or smoke run to inspect,
+#: bounded so a long-lived edge cannot grow without limit (RPR008).
+RING_SIZE = 1024
+
+
+class RequestLog:
+    """Thread-safe structured request log.
+
+    ``clock`` stamps arrival times and durations; ``seed`` drives the
+    request-id sequence (``req-<sha256(seed:n)[:12]>``).  ``stream``
+    receives one JSON line per record as it is committed; line writes
+    are serialized by a dedicated cold lock so the hot record lock is
+    never held across I/O.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 stream: Optional[IO[str]] = None) -> None:
+        self._seed = int(seed)
+        self._clock = clock
+        self._stream = stream
+        self._lock = obs.named_lock("edge.reqlog._lock")
+        self._records: Deque[Dict[str, object]] = deque(maxlen=RING_SIZE)
+        # guarded-by: _lock (records ring + id counter)
+        self._counter = 0
+        self._io_lock = obs.named_lock("edge.reqlog._io_lock")
+
+    def next_id(self, kind: str = "req") -> str:
+        """The next seeded id (``req-…`` / ``job-…``)."""
+        with self._lock:
+            n = self._counter
+            self._counter += 1
+        digest = sha256(f"{self._seed}:{n}".encode()).hexdigest()[:12]
+        return f"{kind}-{digest}"
+
+    def now(self) -> float:
+        """The injected clock (shared so app timings line up)."""
+        return self._clock()
+
+    def record(self, *, request_id: str, tenant: str, method: str,
+               path: str, status: int, t_s: float,
+               duration_s: float, bytes_in: int, body_sha256: str,
+               error_code: str = "") -> Dict[str, object]:
+        """Commit one completed request to the ring (and the stream)."""
+        rec: Dict[str, object] = {
+            "id": request_id,
+            "t_s": round(float(t_s), 6),
+            "tenant": tenant,
+            "method": method,
+            "path": path,
+            "status": int(status),
+            "error_code": error_code,
+            "bytes_in": int(bytes_in),
+            "body_sha256": body_sha256,
+            "duration_s": round(float(duration_s), 6),
+        }
+        with self._lock:
+            self._records.append(rec)
+        stream = self._stream
+        if stream is not None:
+            line = json.dumps(rec, sort_keys=True)
+            with self._io_lock:
+                stream.write(line + "\n")
+                stream.flush()
+        return rec
+
+    def records(self) -> List[Dict[str, object]]:
+        """Snapshot of the retained ring (oldest first)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

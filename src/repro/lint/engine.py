@@ -28,6 +28,7 @@ from repro.lint.rules import (
     MonotonicClockRule,
     MutableDefaultRule,
     OverbroadExceptRule,
+    RedactionDisciplineRule,
     ServeQueueDisciplineRule,
     TypedDiagnosticRule,
     UnseededRandomRule,
@@ -53,6 +54,7 @@ def all_rules() -> List[Rule]:
         TypedDiagnosticRule(),
         ServeQueueDisciplineRule(),
         MonotonicClockRule(),
+        RedactionDisciplineRule(),
         CollectiveOrderRule(),
         LockOrderRule(),
         BlockingUnderLockRule(),

@@ -28,14 +28,16 @@ The headline collective-ordering verifier (RPR101) lives in
   must use the typed :mod:`repro.guard.errors` hierarchy instead
   (phase + offending indices + hint); genuine API argument checks
   may keep the builtin under ``# lint: ignore[RPR007]``.
-* **RPR008** — serve-queue discipline: inside ``repro/serve``, no
+* **RPR008** — serve-queue discipline: inside ``repro/serve`` and
+  ``repro/edge``, no
   unbounded ``queue.Queue()``/``deque()`` (the service's backpressure
   contract is an explicit ``QueueFullError``, which an unbounded
   buffer silently defeats) and no ``time.sleep`` polling loops
   (condition/timeout-based waits only — a sleep loop trades latency
   for CPU on every idle worker).
 * **RPR009** — monotonic-clock + bounded-retry discipline: inside
-  ``repro/serve``, ``repro/faults`` and ``repro/fleet``, (a) no
+  ``repro/serve``, ``repro/faults``, ``repro/fleet`` and
+  ``repro/edge``, (a) no
   ``time.time()`` — every
   deadline, backoff and breaker-cooldown computation must use
   ``time.monotonic()``, because the wall clock jumps under NTP slew
@@ -45,6 +47,12 @@ The headline collective-ordering verifier (RPR101) lives in
   retry loop with no attempt budget, no backoff and no escalation
   path (use :class:`repro.serve.resilience.RetryPolicy` or carry a
   ``# lint: ignore[RPR009]`` explaining the loop's exit guarantee).
+* **RPR010** — redaction discipline: inside ``repro/edge`` (except
+  the redaction helper itself), no logging sink may receive a raw
+  request body or credential.  The edge's structured request log is
+  an exported CI artifact; one ``log.info(f"got {body}")`` turns it
+  into a credential store.  Bodies become ``redaction.body_digest``
+  fingerprints, credential headers become ``redaction.REDACTED``.
 """
 
 from __future__ import annotations
@@ -72,6 +80,7 @@ __all__ = [
     "TypedDiagnosticRule",
     "ServeQueueDisciplineRule",
     "MonotonicClockRule",
+    "RedactionDisciplineRule",
 ]
 
 #: ``np.random`` attributes that are *not* legacy global-state entry
@@ -467,8 +476,8 @@ class TypedDiagnosticRule(Rule):
                     f"subclass {dn}, so callers keep working")
 
 
-#: Package whose queues must be bounded and waits condition-based.
-_SERVE_PACKAGES = ("serve",)
+#: Packages whose queues must be bounded and waits condition-based.
+_SERVE_PACKAGES = ("serve", "edge")
 
 #: ``queue`` module constructors that default to an unbounded buffer
 #: when ``maxsize`` is omitted or <= 0.
@@ -499,7 +508,8 @@ class ServeQueueDisciplineRule(Rule):
 
     id = "RPR008"
     description = ("unbounded queue.Queue()/deque() or time.sleep "
-                   "polling loop inside repro/serve; bound the buffer "
+                   "polling loop inside repro/serve or repro/edge; "
+                   "bound the buffer "
                    "and wait on a Condition/Event with a timeout")
     severity = Severity.ERROR
 
@@ -568,7 +578,7 @@ class ServeQueueDisciplineRule(Rule):
 
 
 #: Packages whose clocks must be monotonic and retries bounded.
-_MONOTONIC_PACKAGES = ("serve", "faults", "fleet")
+_MONOTONIC_PACKAGES = ("serve", "faults", "fleet", "edge")
 
 
 def _handler_swallows(handler: ast.ExceptHandler) -> bool:
@@ -602,8 +612,8 @@ class MonotonicClockRule(Rule):
     id = "RPR009"
     description = ("time.time() or a while-True loop that silently "
                    "swallows exceptions inside repro/serve + "
-                   "repro/faults + repro/fleet; use time.monotonic() "
-                   "and bounded "
+                   "repro/faults + repro/fleet + repro/edge; use "
+                   "time.monotonic() and bounded "
                    "RetryPolicy-style retries")
     severity = Severity.ERROR
 
@@ -642,3 +652,109 @@ class MonotonicClockRule(Rule):
                         "evidence; bound it with RetryPolicy or "
                         "document the exit guarantee under "
                         "# lint: ignore[RPR009]")
+
+
+#: Call names that put their arguments somewhere a human (or a CI
+#: artifact consumer) will read them.
+_LOG_SINKS = frozenset({
+    "print", "log", "debug", "info", "warning", "error", "exception",
+    "critical", "record", "emit", "log_message", "write_text",
+})
+
+#: Raw byte/stream sinks — only a *directly named* sensitive buffer is
+#: suspicious here (``stream.write(body)``); structured values such as
+#: ``wfile.write(resp.body)`` are app-constructed responses.
+_STREAM_SINKS = frozenset({"write"})
+
+#: Identifiers that name raw request bodies or credentials.
+_SENSITIVE_IDENTIFIERS = frozenset({
+    "body", "raw_body", "payload", "token", "auth", "authorization",
+    "auth_header", "bearer", "secret", "password", "api_key",
+    "credential", "credentials", "cookie",
+})
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class RedactionDisciplineRule(Rule):
+    """RPR010: raw bodies/credentials never reach a logging sink.
+
+    The edge's structured request log is uploaded as a CI artifact
+    and tailed in production; one ``log.record(body=body)`` or
+    ``print(f"auth={token}")`` turns it into a credential store with
+    every tenant's bearer token in plain text.  Inside ``repro/edge``,
+    only :mod:`repro.edge.redaction` may turn request material into
+    loggable strings — everything else must pass digests
+    (``body_digest``), redacted headers (``redact_headers``) or sizes
+    (``len(body)`` is fine: only *direct* references to a sensitive
+    name, keyword arguments named after one, and f-string
+    interpolations of one are flagged).
+    """
+
+    id = "RPR010"
+    description = ("raw request body/credential passed to a logging "
+                   "sink inside repro/edge; route it through "
+                   "repro.edge.redaction (body_digest/redact_headers)")
+    severity = Severity.ERROR
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return "edge" in parts \
+            and Path(ctx.relpath).name != "redaction.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.is_test or not self._applies(ctx):
+            return
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail in _LOG_SINKS:
+                direct_only = False
+            elif tail in _STREAM_SINKS:
+                direct_only = True
+            else:
+                continue
+            yield from self._check_sink(ctx, call, tail, direct_only)
+
+    def _check_sink(self, ctx: FileContext, call: ast.Call, sink: str,
+                    direct_only: bool) -> Iterator[Finding]:
+        for kw in call.keywords:
+            if kw.arg and kw.arg.lower() in _SENSITIVE_IDENTIFIERS:
+                yield self.finding(
+                    ctx, kw.value,
+                    f"{sink}(..., {kw.arg}=...) logs a raw "
+                    f"body/credential field; pass a "
+                    f"repro.edge.redaction digest instead")
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            offender = self._sensitive(arg, direct_only)
+            if offender is not None:
+                yield self.finding(
+                    ctx, arg,
+                    f"raw {offender!r} reaches the {sink}() sink; "
+                    f"only repro.edge.redaction may turn request "
+                    f"bodies/credentials into loggable material "
+                    f"(use body_digest/redact_headers/redact_token)")
+
+    @staticmethod
+    def _sensitive(node: ast.AST, direct_only: bool) -> Optional[str]:
+        ident = _identifier(node)
+        if ident is not None:
+            if direct_only and not isinstance(node, ast.Name):
+                return None
+            return ident if ident.lower() in _SENSITIVE_IDENTIFIERS \
+                else None
+        if isinstance(node, ast.JoinedStr):
+            for inner in ast.walk(node):
+                ident = _identifier(inner)
+                if ident is not None \
+                        and ident.lower() in _SENSITIVE_IDENTIFIERS:
+                    return ident
+        return None

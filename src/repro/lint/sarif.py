@@ -5,8 +5,9 @@ interchange format GitHub code scanning ingests; emitting it lets the
 CI lock-discipline job surface RPR findings as annotations on the PR
 diff instead of a log line.  The document is self-contained: the
 ``tool.driver.rules`` table carries every registered rule (id + short
-description) so viewers can render help text, and each result points
-back into it via ``ruleIndex``.
+description + a ``helpUri`` anchored into ``docs/STATIC_ANALYSIS.md``)
+so viewers can render help text, and each result points back into it
+via ``ruleIndex``.
 
 Only structures code-scanning actually reads are emitted — one run,
 one artifact location per finding, ``level`` mapped from
@@ -27,6 +28,15 @@ _SARIF_VERSION = "2.1.0"
 _SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
            "master/Schemata/sarif-schema-2.1.0.json")
 
+#: Repo-relative rule reference; every rule row in the doc carries an
+#: ``<a id="rprNNN">`` anchor, so ``helpUri`` deep-links straight to
+#: the offending rule's rationale table row.
+_RULE_DOC = "docs/STATIC_ANALYSIS.md"
+
+
+def _help_uri(rule_id: str) -> str:
+    return f"{_RULE_DOC}#{rule_id.lower()}"
+
 
 def _level(severity: Severity) -> str:
     return "error" if severity >= Severity.ERROR else "warning"
@@ -40,6 +50,7 @@ def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
         {
             "id": rule.id,
             "shortDescription": {"text": rule.description},
+            "helpUri": _help_uri(rule.id),
             "defaultConfiguration": {"level": _level(rule.severity)},
         }
         for rule in rules
@@ -74,9 +85,7 @@ def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
             "tool": {
                 "driver": {
                     "name": "repro.lint",
-                    "informationUri":
-                        "https://example.invalid/repro/docs/"
-                        "STATIC_ANALYSIS.md",
+                    "informationUri": _RULE_DOC,
                     "rules": rule_defs,
                 },
             },

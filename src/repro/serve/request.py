@@ -63,6 +63,12 @@ class SolveRequest:
         identical requests coalesce automatically.
     tau:
         Dielectric prefactor (see :data:`repro.constants.TAU_WATER`).
+    tenant:
+        Which tenant submitted the request (the HTTP edge fills this
+        from the bearer token; workload files may script it).  Pure
+        attribution: it is deliberately *not* part of the content
+        fingerprint, so two tenants asking the same question still
+        coalesce into one computation.
     """
 
     molecule: Molecule
@@ -72,12 +78,15 @@ class SolveRequest:
     deadline_s: Optional[float] = None
     idempotency_key: str = ""
     tau: float = TAU_WATER
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive (or None)")
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
 
     def key(self) -> str:
         """Idempotency key: explicit, else a content fingerprint."""

@@ -20,6 +20,7 @@ separate constructions.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -50,7 +51,8 @@ def _molecule(cache: Dict[_Recipe, Molecule], atoms: int, seed: int,
 def synthetic_workload(n: int, seed: int = 0, molecules: int = 3,
                        atoms: int = 300,
                        eps_grid: Sequence[float] = (0.9, 0.5),
-                       deadline_s: Union[float, None] = None
+                       deadline_s: Union[float, None] = None,
+                       tenants: Union[Sequence[str], None] = None
                        ) -> List[SolveRequest]:
     """A seeded stream of ``n`` mixed requests over a molecule pool.
 
@@ -58,6 +60,12 @@ def synthetic_workload(n: int, seed: int = 0, molecules: int = 3,
     priorities 0–2 and the ε grid are drawn per request.  With
     ``n >> molecules × len(eps_grid)`` the stream necessarily repeats
     itself, which is what exercises coalescing and the artifact cache.
+
+    ``tenants``, when given, attributes each request to a tenant drawn
+    from the list — multi-tenant edge traffic from one seed.  The
+    tenant draws happen in a second pass *after* every molecule/ε/
+    priority draw, so the underlying request stream (molecules, ε
+    grid, priorities) is byte-identical with and without the knob.
     """
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -70,9 +78,14 @@ def synthetic_workload(n: int, seed: int = 0, molecules: int = 3,
         mol = pool[int(rng.integers(len(pool)))]
         params = ApproxParams(
             eps_epol=float(eps_grid[int(rng.integers(len(eps_grid)))]))
+        priority = int(rng.integers(3))
         requests.append(SolveRequest(
             molecule=mol, params=params, method="octree",
-            priority=int(rng.integers(3)), deadline_s=deadline_s))
+            priority=priority, deadline_s=deadline_s))
+    if tenants:
+        requests = [replace(req, tenant=str(
+            tenants[int(rng.integers(len(tenants)))]))
+            for req in requests]
     return requests
 
 
@@ -83,10 +96,14 @@ def load_workload(path: Union[str, Path]) -> List[SolveRequest]:
 
         {"atoms": 300, "seed": 0, "capsid": false,
          "eps_born": 0.9, "eps_epol": 0.9, "method": "octree",
-         "priority": 0, "deadline_s": null, "repeat": 1}
+         "priority": 0, "deadline_s": null, "repeat": 1,
+         "tenant": "default"}
 
     ``repeat`` expands one entry into that many identical requests
-    (the canonical way to script cache-hit traffic).
+    (the canonical way to script cache-hit traffic); every expanded
+    copy keeps the entry's ``tenant``, so a trace file scripts
+    multi-tenant traffic for the HTTP edge
+    (:func:`repro.edge.app.workload_bodies` is the body-side mirror).
     """
     doc = json.loads(Path(path).read_text(encoding="utf-8"))
     entries = doc.get("requests", []) if isinstance(doc, dict) else doc
@@ -109,6 +126,7 @@ def load_workload(path: Union[str, Path]) -> List[SolveRequest]:
             molecule=mol, params=params,
             method=str(entry.get("method", "octree")),
             priority=int(entry.get("priority", 0)),
-            deadline_s=entry.get("deadline_s"))
+            deadline_s=entry.get("deadline_s"),
+            tenant=str(entry.get("tenant", "default")))
         requests.extend([req] * max(1, int(entry.get("repeat", 1))))
     return requests

@@ -1,0 +1,300 @@
+"""EdgeApp middleware under an injected clock — no sockets, no sleeps.
+
+Every behavior the HTTP surface promises (auth, body-size limits,
+token-bucket rate limits, typed errors, job lifecycle, redacted
+logging, deterministic ids) is pinned here byte-for-byte: the clock is
+a mutable fake, ids derive from a seed, and the backend is the real
+:class:`SolveService`, so nothing is mocked that matters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.edge import (
+    EdgeApp,
+    RateLimiter,
+    SECURITY_HEADERS,
+    TenantConfig,
+    TenantRegistry,
+    body_digest,
+    redact_headers,
+)
+from repro.serve import SolveService
+
+ATOMS = 60  # tiny molecules: the app under test is the edge, not the solver
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_registry(**overrides) -> TenantRegistry:
+    kw = dict(name="acme", token="acme-secret", rate_per_s=2.0,
+              burst=2, max_body_bytes=256)
+    kw.update(overrides)
+    return TenantRegistry([TenantConfig(**kw),
+                           TenantConfig(name="zed", token="zed-secret",
+                                        rate_per_s=2.0, burst=2,
+                                        max_body_bytes=256)])
+
+
+@pytest.fixture()
+def service():
+    svc = SolveService(workers=1, queue_capacity=16)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def app(service, clock):
+    tenants = make_registry()
+    return EdgeApp(service, tenants, clock=clock, seed=7,
+                   limiter=RateLimiter(clock=clock))
+
+
+def post(app, path, doc, token="acme-secret", **kw):
+    return app.handle("POST", path,
+                      headers={"Authorization": f"Bearer {token}"},
+                      body=json.dumps(doc).encode(), **kw)
+
+
+def test_sync_solve_round_trip(app):
+    resp = post(app, "/v1/solve", {"atoms": ATOMS, "seed": 1})
+    assert resp.status == 200
+    result = resp.json["result"]
+    assert result["status"] in ("ok", "degraded")
+    assert result["energy_hex"] == float(result["energy"]).hex()
+    # Security headers ride on every response.
+    for k, v in SECURITY_HEADERS.items():
+        assert resp.headers[k] == v
+    assert resp.headers["X-Request-Id"].startswith("req-")
+
+
+def test_request_ids_are_seeded_and_deterministic(service, clock):
+    ids = []
+    for _ in range(2):
+        app = EdgeApp(service, make_registry(), clock=clock, seed=7,
+                      limiter=RateLimiter(clock=clock))
+        r1 = app.handle("GET", "/healthz")
+        r2 = app.handle("GET", "/healthz")
+        ids.append((r1.headers["X-Request-Id"],
+                    r2.headers["X-Request-Id"]))
+    assert ids[0] == ids[1]
+    assert ids[0][0] != ids[0][1]
+
+
+def test_missing_token_is_typed_401(app):
+    resp = app.handle("POST", "/v1/solve", body=b"{}")
+    assert resp.status == 401
+    err = resp.json["error"]
+    assert err["code"] == "unauthorized"
+    assert err["status"] == 401
+
+
+@pytest.mark.parametrize("auth", [
+    "Bearer wrong-token", "Basic acme-secret", "acme-secret", "Bearer ",
+])
+def test_bad_credentials_all_look_identical(app, auth):
+    resp = app.handle("POST", "/v1/solve",
+                      headers={"Authorization": auth}, body=b"{}")
+    assert resp.status == 401
+    # One message for every failure mode: the edge must not oracle
+    # whether a token exists vs. is malformed.
+    assert "missing or invalid" in resp.json["error"]["message"]
+
+
+def test_unknown_route_404_and_wrong_method_405(app):
+    assert app.handle("GET", "/v1/nope").status == 404
+    resp = post(app, "/healthz", {})
+    assert resp.status == 405
+    assert resp.headers["Allow"] == "GET"
+    assert resp.json["error"]["code"] == "method_not_allowed"
+
+
+def test_malformed_json_is_typed_400(app):
+    resp = app.handle("POST", "/v1/solve",
+                      headers={"Authorization": "Bearer acme-secret"},
+                      body=b"{not json")
+    assert resp.status == 400
+    err = resp.json["error"]
+    assert err["code"] == "bad_request"
+    assert "malformed JSON" in err["message"]
+    assert err["hint"]
+
+
+def test_unknown_fields_and_bad_values_are_400(app, clock):
+    bad = [{"atoms": ATOMS, "bogus": 1},  # unknown field
+           {"atoms": "many"},             # non-numeric
+           {"atoms": 0},                  # out of range
+           {"seed": 3},                   # atoms missing
+           {"atoms": ATOMS, "tenant": "zed"}]  # token/body mismatch
+    for doc in bad:
+        clock.advance(0.5)  # refill the bucket: 400s still cost a token
+        assert post(app, "/v1/solve", doc).status == 400
+
+
+def test_oversize_body_is_typed_413(app):
+    big = {"atoms": ATOMS, "idempotency_key": "x" * 300}
+    resp = post(app, "/v1/solve", big)
+    assert resp.status == 413
+    err = resp.json["error"]
+    assert err["code"] == "payload_too_large"
+    assert "256" in err["message"]
+
+
+def test_declared_length_triggers_413_without_full_body(app):
+    """The transport may hand over a truncated body + the declared
+    Content-Length; the limit judges the declared size."""
+    resp = app.handle("POST", "/v1/solve",
+                      headers={"Authorization": "Bearer acme-secret"},
+                      body=b"x" * 100, declared_length=10_000)
+    assert resp.status == 413
+
+
+def test_rate_limit_boundary_and_retry_after(app, clock):
+    # burst=2: two instant requests pass, the third is shed.
+    assert post(app, "/v1/solve", {"atoms": ATOMS}).status == 200
+    assert post(app, "/v1/solve", {"atoms": ATOMS}).status == 200
+    resp = post(app, "/v1/solve", {"atoms": ATOMS})
+    assert resp.status == 429
+    err = resp.json["error"]
+    assert err["code"] == "rate_limited"
+    # rate 2/s and an empty bucket → exactly 0.5 s to the next token;
+    # the header is the RFC 9110 integer ceiling of the exact float.
+    assert err["retry_after_s"] == pytest.approx(0.5)
+    assert resp.headers["Retry-After"] == "1"
+    # Advance the injected clock past the refill: admitted again.
+    clock.advance(0.5)
+    assert post(app, "/v1/solve", {"atoms": ATOMS}).status == 200
+
+
+def test_rate_limits_are_per_tenant(app, clock):
+    for _ in range(2):
+        post(app, "/v1/solve", {"atoms": ATOMS})
+    assert post(app, "/v1/solve", {"atoms": ATOMS}).status == 429
+    # acme's empty bucket must not tax zed.
+    resp = post(app, "/v1/solve", {"atoms": ATOMS}, token="zed-secret")
+    assert resp.status == 200
+
+
+def test_job_lifecycle(app, service):
+    resp = post(app, "/v1/jobs", {"atoms": ATOMS, "seed": 2})
+    assert resp.status == 202
+    doc = resp.json
+    job_id = doc["ticket"]
+    assert job_id.startswith("job-")
+    assert doc["status_url"] == f"/v1/jobs/{job_id}"
+    service.drain(timeout=60)
+    poll = app.handle("GET", f"/v1/jobs/{job_id}",
+                      headers={"Authorization": "Bearer acme-secret"})
+    assert poll.status == 200
+    assert poll.json["done"] is True
+    result = poll.json["result"]
+    assert result["status"] in ("ok", "degraded")
+    assert result["energy_hex"] == float(result["energy"]).hex()
+
+
+def test_jobs_are_tenant_isolated(app, service):
+    job_id = post(app, "/v1/jobs", {"atoms": ATOMS}).json["ticket"]
+    service.drain(timeout=60)
+    # zed polling acme's job gets the same 404 as a bogus id — the
+    # endpoint must not disclose that the ticket exists.
+    foreign = app.handle("GET", f"/v1/jobs/{job_id}",
+                         headers={"Authorization": "Bearer zed-secret"})
+    assert foreign.status == 404
+    bogus = app.handle("GET", "/v1/jobs/job-000000000000",
+                       headers={"Authorization": "Bearer acme-secret"})
+    assert bogus.status == 404
+
+
+def test_healthz_schema_service(app):
+    resp = app.handle("GET", "/healthz")
+    assert resp.status == 200
+    doc = resp.json
+    assert doc["status"] == "ok"
+    assert doc["backend"] == "service"
+    svc = doc["service"]
+    assert set(svc) == {"queue_depth", "pending", "breaker",
+                        "cache_entries"}
+    assert set(doc["jobs"]) == {"open", "done", "retained"}
+    assert doc["tenants"] == ["acme", "zed"]
+
+
+def test_metrics_exposition(app):
+    obs.enable(reset=True)
+    try:
+        post(app, "/v1/solve", {"atoms": ATOMS})
+        resp = app.handle("GET", "/metrics")
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        text = resp.body.decode()
+        assert "repro_edge_requests" in text
+        assert "repro_edge_request_seconds" in text
+        assert "repro_edge_tenant_requests_acme" in text
+        assert "repro_serve_requests" in text  # backend series too
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_")) or not line
+    finally:
+        obs.disable()
+
+
+def test_request_log_is_redacted_and_clock_injected(service, clock):
+    import io
+
+    stream = io.StringIO()
+    app = EdgeApp(service, make_registry(), clock=clock, seed=7,
+                  limiter=RateLimiter(clock=clock),
+                  log_stream=stream)
+    clock.t = 12.0
+    body = json.dumps({"atoms": ATOMS}).encode()
+    post(app, "/v1/solve", {"atoms": ATOMS})
+    (rec,) = app.log.records()
+    assert rec["t_s"] == 12.0          # injected clock, not wall clock
+    assert rec["tenant"] == "acme"
+    assert rec["status"] == 200
+    assert rec["body_sha256"] == body_digest(body)
+    line = stream.getvalue()
+    assert "acme-secret" not in line
+    assert '"atoms"' not in line       # bodies never reach the log
+    assert json.loads(line) == rec
+
+
+def test_redact_headers_masks_credentials():
+    out = redact_headers({"Authorization": "Bearer acme-secret",
+                          "Content-Type": "application/json"})
+    assert "acme-secret" not in str(out)
+    assert out["content-type"] == "application/json"
+
+
+def test_backpressure_maps_to_typed_429(clock):
+    """A full admission queue surfaces as a typed edge error, not a
+    raw serve exception."""
+    svc = SolveService(workers=1, queue_capacity=1)
+    try:
+        app = EdgeApp(svc, make_registry(), clock=clock,
+                      limiter=RateLimiter(clock=clock))
+        statuses = [post(app, "/v1/jobs", {"atoms": 400, "seed": s},
+                         token="zed-secret" if s % 2 else "acme-secret"
+                         ).status
+                    for s in range(4)]
+        # Some were admitted; any rejection is a typed 429/503 with a
+        # JSON error body, never an unhandled exception.
+        assert set(statuses) <= {202, 429, 503}
+    finally:
+        svc.close()

@@ -77,6 +77,15 @@ def test_sarif_output_is_valid_sarif(tmp_path):
     assert run["tool"]["driver"]["name"] == "repro.lint"
     rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
     assert "RPR201" in rule_ids and "RPR002" in rule_ids
+    # Rule help links resolve into the real rule doc, per-rule anchor.
+    assert run["tool"]["driver"]["informationUri"] == \
+        "docs/STATIC_ANALYSIS.md"
+    for rule in run["tool"]["driver"]["rules"]:
+        expected = f"docs/STATIC_ANALYSIS.md#{rule['id'].lower()}"
+        assert rule["helpUri"] == expected
+    doc_text = Path("docs/STATIC_ANALYSIS.md").read_text(encoding="utf-8")
+    for rule_id in rule_ids:
+        assert f'<a id="{rule_id.lower()}"></a>' in doc_text
     (result,) = [r for r in run["results"] if r["ruleId"] == "RPR002"]
     loc = result["locations"][0]["physicalLocation"]
     assert loc["region"]["startLine"] == 1

@@ -538,3 +538,65 @@ def test_rpr009_suppressible():
            "wall = time.time()  # lint: ignore[RPR009]\n")
     assert lint_source(src, select=["RPR009"],
                        filename=SERVE_FILE) == []
+
+
+# -- RPR008/RPR009 scope extension: the edge package --------------------
+
+EDGE_FILE = "src/repro/edge/app.py"
+
+
+def test_rpr008_flags_unbounded_queue_in_edge():
+    src = "import queue\nq = queue.Queue()\n"
+    assert ids(lint_source(src, select=["RPR008"],
+                           filename=EDGE_FILE)) == ["RPR008"]
+
+
+def test_rpr009_flags_wall_clock_in_edge():
+    src = "import time\nt0 = time.time()\n"
+    assert ids(lint_source(src, select=["RPR009"],
+                           filename=EDGE_FILE)) == ["RPR009"]
+
+
+# -- RPR010: redaction discipline in the edge ---------------------------
+
+
+def test_rpr010_flags_raw_body_and_token_sinks():
+    src = textwrap.dedent("""\
+        def handle(body, token, auth_header):
+            print(body)
+            log.info(token)
+            logger.warning(f"denied {auth_header}")
+            stream.write(body)
+    """)
+    found = ids(lint_source(src, select=["RPR010"], filename=EDGE_FILE))
+    assert found == ["RPR010"] * 4
+
+
+def test_rpr010_flags_sensitive_keyword_argument():
+    src = "def f(raw):\n    log.record(body=raw)\n"
+    assert ids(lint_source(src, select=["RPR010"],
+                           filename=EDGE_FILE)) == ["RPR010"]
+
+
+def test_rpr010_digests_and_sizes_are_clean():
+    src = textwrap.dedent("""\
+        def handle(body, resp, wfile):
+            log.record(bytes_in=len(body),
+                       body_sha256=body_digest(body))
+            wfile.write(resp.body)
+    """)
+    assert lint_source(src, select=["RPR010"], filename=EDGE_FILE) == []
+
+
+def test_rpr010_scoped_to_edge_and_exempts_redaction_module():
+    src = "def f(token):\n    print(token)\n"
+    for fn in ("src/repro/serve/service.py", "src/repro/cli.py",
+               "src/repro/edge/redaction.py",
+               "tests/edge/test_app.py"):
+        assert lint_source(src, select=["RPR010"], filename=fn) == []
+
+
+def test_rpr010_suppressible():
+    src = ("def f(token):\n"
+           "    print(token)  # lint: ignore[RPR010]\n")
+    assert lint_source(src, select=["RPR010"], filename=EDGE_FILE) == []

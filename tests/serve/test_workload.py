@@ -1,0 +1,83 @@
+"""Workload loading: tenant attribution survives every expansion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.edge import workload_bodies
+from repro.serve import load_workload, synthetic_workload
+
+TRACE = {
+    "requests": [
+        {"atoms": 80, "seed": 1, "tenant": "acme", "repeat": 3,
+         "eps_epol": 0.5},
+        {"atoms": 90, "seed": 2},                      # default tenant
+        {"atoms": 80, "seed": 1, "tenant": "zed", "repeat": 2,
+         "priority": 1},
+    ],
+}
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(TRACE), encoding="utf-8")
+    return path
+
+
+def test_tenant_round_trips_through_repeat_expansion(trace_file):
+    requests = load_workload(trace_file)
+    assert [r.tenant for r in requests] == \
+        ["acme"] * 3 + ["default"] + ["zed"] * 2
+    # Repeat-expanded copies are the *same* request object — one
+    # molecule build, identical fingerprints, so they coalesce.
+    assert requests[0] is requests[1] is requests[2]
+    # Tenant is attribution only: acme's and zed's entries share the
+    # (atoms=80, seed=1) recipe, so they share one molecule build —
+    # cross-tenant coalescing stays content-based.
+    assert requests[0].molecule is requests[5].molecule
+    assert requests[0].tenant != requests[5].tenant
+
+
+def test_workload_bodies_mirrors_load_workload(trace_file):
+    requests = load_workload(trace_file)
+    bodies = workload_bodies(trace_file)
+    assert len(bodies) == len(requests)
+    assert [t for t, _ in bodies] == [r.tenant for r in requests]
+    for (tenant, body), req in zip(bodies, requests):
+        # The body is the pure solve schema: expansion/attribution
+        # keys are stripped, recipe keys are preserved verbatim.
+        assert "repeat" not in body and "tenant" not in body
+        assert int(body.get("priority", 0)) == req.priority
+
+
+def test_synthetic_workload_tenants_draw_is_appended():
+    plain = synthetic_workload(12, seed=9, atoms=60)
+    tagged = synthetic_workload(12, seed=9, atoms=60,
+                                tenants=["a", "b", "c"])
+    assert all(r.tenant == "default" for r in plain)
+    assert {r.tenant for r in tagged} <= {"a", "b", "c"}
+    assert len({r.tenant for r in tagged}) > 1
+    # The tenant draw happens after the original draws, so the rest of
+    # the stream is unchanged — same molecules, ε grid, priorities.
+    for p, t in zip(plain, tagged):
+        assert p.molecule.natoms == t.molecule.natoms
+        assert p.params.eps_epol == t.params.eps_epol
+        assert p.priority == t.priority
+
+
+def test_bad_workload_files_are_rejected(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_workload(empty)
+    with pytest.raises(ValueError):
+        workload_bodies(empty)
+    noatoms = tmp_path / "noatoms.json"
+    noatoms.write_text('[{"seed": 1}]', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_workload(noatoms)
+    with pytest.raises(ValueError):
+        workload_bodies(noatoms)
