@@ -154,8 +154,10 @@ def workload_bodies(path: Union[str, Path]
         tenant = str(entry.get("tenant", "default"))
         body = {k: v for k, v in entry.items()
                 if k not in ("repeat", "tenant")}
-        out.extend([(tenant, dict(body))]
-                   * max(1, int(entry.get("repeat", 1))))
+        # One dict per repeat: list-multiplication would alias a single
+        # body object across every repeated entry.
+        out.extend((tenant, dict(body))
+                   for _ in range(max(1, int(entry.get("repeat", 1)))))
     return out
 
 
@@ -317,9 +319,20 @@ class EdgeApp:
                     body: bytes) -> EdgeResponse:
         request = self._parse_solve(tenant, body)
         job_id = self.log.next_id("job")
-        ticket = self.backend.submit(request)
+        # Claim table capacity before the backend sees the request: a
+        # full table must answer 503 *without* admitting a solve whose
+        # ticket nobody could ever poll.
+        self.jobs.reserve()
+        try:
+            ticket = self.backend.submit(request)
+        # Deliberate boundary: whatever submit raises (including the
+        # backpressure types handled upstream), the reserved slot must
+        # go back before the error propagates.
+        except BaseException:  # lint: ignore[RPR003]
+            self.jobs.release()
+            raise
         rec = self.jobs.create(job_id, tenant.name, ticket.key, ticket,
-                               created_t=self.log.now())
+                               created_t=self.log.now(), reserved=True)
         return self._json(202, {
             "ticket": rec.job_id,
             "key": rec.key,
@@ -346,7 +359,9 @@ class EdgeApp:
         doc: Dict[str, object] = {
             "status": "ok",
             "jobs": self.jobs.counts(),
-            "tenants": [t.name for t in self.tenants.tenants],
+            # Count only: /healthz is unauthenticated, and tenant
+            # names are customer identity — never disclosed here.
+            "tenants": len(self.tenants.tenants),
         }
         backend = self.backend
         if isinstance(backend, ShardedFleet):
@@ -427,7 +442,7 @@ class EdgeApp:
             deadline_s = doc.get("deadline_s")
             deadline = None if deadline_s is None else float(deadline_s)
             tau = float(doc.get("tau", TAU_WATER))
-            idempotency_key = str(doc.get("idempotency_key", ""))
+            raw_key = str(doc.get("idempotency_key", ""))
             method = str(doc.get("method", "octree"))
         except (TypeError, ValueError) as exc:
             raise BadRequestError(
@@ -439,6 +454,12 @@ class EdgeApp:
                 hint="split larger systems or raise MAX_ATOMS "
                      "server-side")
         molecule = self._molecule(atoms, seed, capsid)
+        # The serve tier coalesces/caches on SolveRequest.key(), which
+        # returns an explicit idempotency_key verbatim.  Namespace
+        # client-supplied keys per tenant so tenant B replaying tenant
+        # A's key can never coalesce onto (or poison the cache with)
+        # A's result.
+        idempotency_key = f"{tenant.name}:{raw_key}" if raw_key else ""
         try:
             return SolveRequest(
                 molecule=molecule, params=params, method=method,

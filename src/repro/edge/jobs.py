@@ -10,7 +10,10 @@ Bounded by contract (the RPR008 discipline): at most ``capacity``
 jobs are retained.  Completed jobs are evicted oldest-first to make
 room; when every retained job is still running the table refuses new
 work with a typed 503 :class:`~repro.edge.errors.JobsFullError` —
-explicit backpressure, never unbounded growth.
+explicit backpressure, never unbounded growth.  Capacity is claimed
+with :meth:`JobTable.reserve` *before* the solve is submitted to the
+backend, so a full table rejects the request before any work is
+admitted — a 503 never strands a running, untracked ticket.
 
 Tenant isolation: a job is only visible to the tenant that created
 it; a foreign (or unknown) ticket is the same 404, so job ids leak
@@ -54,17 +57,50 @@ class JobTable:
         self._lock = obs.named_lock("edge.jobs._lock")
         self._jobs: Dict[str, JobRecord] = {}   # guarded-by: _lock
         self._order: List[str] = []             # guarded-by: _lock
+        self._reserved = 0                      # guarded-by: _lock
+
+    def reserve(self) -> None:
+        """Claim one slot *before* submitting to the backend.
+
+        Raises :class:`JobsFullError` when no slot can be made (every
+        retained job still running), so the caller rejects the request
+        without ever admitting backend work it cannot track.  Pair
+        with :meth:`create` (``reserved=True``) on success or
+        :meth:`release` if the backend submit fails.
+        """
+        with self._lock:
+            if len(self._order) + self._reserved >= self.capacity:
+                self._evict_done()
+            if len(self._order) + self._reserved >= self.capacity:
+                raise JobsFullError(
+                    len(self._order) + self._reserved, self.capacity)
+            self._reserved += 1
+
+    def release(self) -> None:
+        """Return a reserved slot (the backend submit failed)."""
+        with self._lock:
+            if self._reserved > 0:
+                self._reserved -= 1
 
     def create(self, job_id: str, tenant: str, key: str,
-               ticket: Ticket, created_t: float) -> JobRecord:
-        """Register a submitted ticket; evicts done jobs if full."""
+               ticket: Ticket, created_t: float, *,
+               reserved: bool = False) -> JobRecord:
+        """Register a submitted ticket; evicts done jobs if full.
+
+        ``reserved=True`` consumes a slot claimed via
+        :meth:`reserve`, so registration cannot fail after the solve
+        was already admitted.
+        """
         rec = JobRecord(job_id=job_id, tenant=tenant, key=key,
                         ticket=ticket, created_t=created_t)
         with self._lock:
-            if len(self._order) >= self.capacity:
+            if reserved and self._reserved > 0:
+                self._reserved -= 1
+            if len(self._order) + self._reserved >= self.capacity:
                 self._evict_done()
-            if len(self._order) >= self.capacity:
-                raise JobsFullError(len(self._order), self.capacity)
+            if len(self._order) + self._reserved >= self.capacity:
+                raise JobsFullError(
+                    len(self._order) + self._reserved, self.capacity)
             self._jobs[job_id] = rec
             self._order.append(job_id)
         if obs.is_enabled():
@@ -76,7 +112,8 @@ class JobTable:
     def _evict_done(self) -> None:
         # guarded-by: _lock (callers hold it).  Oldest-first, done-only:
         # a running job is never dropped — its ticket would be stranded.
-        excess = len(self._order) - self.capacity + 1
+        # Reserved (submit-in-flight) slots count against capacity.
+        excess = len(self._order) + self._reserved - self.capacity + 1
         keep: List[str] = []
         for jid in self._order:
             if excess > 0 and self._jobs[jid].done:

@@ -30,6 +30,11 @@ class _EdgeHandler(BaseHTTPRequestHandler):
     server_version = "repro-edge"
     sys_version = ""
     protocol_version = "HTTP/1.1"
+    #: Socket timeout (seconds) applied to every connection.  A client
+    #: that declares Content-Length N and then stalls mid-body would
+    #: otherwise block rfile.read() forever and pin a handler thread
+    #: (slowloris); on timeout http.server drops the connection.
+    timeout = 30.0
 
     def _dispatch(self) -> None:
         app: EdgeApp = self.server.app  # type: ignore[attr-defined]

@@ -223,6 +223,73 @@ def test_jobs_are_tenant_isolated(app, service):
     assert bogus.status == 404
 
 
+def test_idempotency_keys_are_tenant_namespaced(app):
+    """Tenant B replaying tenant A's idempotency_key must not coalesce
+    onto (or read the cache of) A's result — keys are namespaced
+    ``<tenant>:<key>`` at the edge."""
+    r1 = post(app, "/v1/solve",
+              {"atoms": ATOMS, "seed": 1, "idempotency_key": "shared"})
+    r2 = post(app, "/v1/solve",
+              {"atoms": ATOMS, "seed": 2, "idempotency_key": "shared"},
+              token="zed-secret")
+    assert r1.status == 200 and r2.status == 200
+    assert r1.json["result"]["key"] == "acme:shared"
+    assert r2.json["result"]["key"] == "zed:shared"
+    # Different recipes under the "same" client key: each tenant gets
+    # its own energy, not the other tenant's cached one.
+    assert (r1.json["result"]["energy_hex"]
+            != r2.json["result"]["energy_hex"])
+
+
+class _StubTicket:
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def done(self) -> bool:
+        return False
+
+
+class _StubBackend:
+    """Records submissions; tickets never complete (jobs stay open)."""
+
+    def __init__(self) -> None:
+        self.submitted = []
+
+    def submit(self, request):
+        self.submitted.append(request)
+        return _StubTicket(request.key())
+
+
+def test_full_job_table_rejects_before_backend_submit(clock):
+    """503 jobs_full must fire *before* the solve is admitted — the
+    backend must never run work whose ticket nobody can poll."""
+    backend = _StubBackend()
+    app = EdgeApp(backend, make_registry(), clock=clock,
+                  limiter=RateLimiter(clock=clock), job_capacity=1)
+    assert post(app, "/v1/jobs", {"atoms": ATOMS}).status == 202
+    clock.advance(1.0)  # refill the rate bucket
+    resp = post(app, "/v1/jobs", {"atoms": ATOMS, "seed": 2})
+    assert resp.status == 503
+    assert resp.json["error"]["code"] == "jobs_full"
+    assert len(backend.submitted) == 1  # the rejected one never ran
+
+
+def test_job_table_reservation_accounting():
+    from repro.edge import JobTable, JobsFullError
+
+    table = JobTable(capacity=1)
+    table.reserve()
+    with pytest.raises(JobsFullError):
+        table.reserve()          # an in-flight reservation holds a slot
+    table.release()
+    table.reserve()              # a released slot is claimable again
+    rec = table.create("job-1", "acme", "k", _StubTicket("k"),
+                       created_t=0.0, reserved=True)
+    assert rec.job_id == "job-1"
+    with pytest.raises(JobsFullError):
+        table.reserve()          # a still-running job keeps it full
+
+
 def test_healthz_schema_service(app):
     resp = app.handle("GET", "/healthz")
     assert resp.status == 200
@@ -233,7 +300,10 @@ def test_healthz_schema_service(app):
     assert set(svc) == {"queue_depth", "pending", "breaker",
                         "cache_entries"}
     assert set(doc["jobs"]) == {"open", "done", "retained"}
-    assert doc["tenants"] == ["acme", "zed"]
+    # Count only — /healthz is unauthenticated, so tenant *names*
+    # (customer identity) must never appear in it.
+    assert doc["tenants"] == 2
+    assert "acme" not in resp.body.decode()
 
 
 def test_metrics_exposition(app):

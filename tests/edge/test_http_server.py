@@ -134,7 +134,28 @@ def test_oversize_body_gets_413_over_the_wire():
         svc.close()
 
 
-def test_job_lifecycle_over_the_wire(service_server):
+def test_stalled_upload_is_dropped_not_pinned(service_server,
+                                              monkeypatch):
+    """A client that declares Content-Length and then stalls must be
+    disconnected by the handler's socket timeout — not pin a handler
+    thread forever (slowloris)."""
+    import socket
+
+    from repro.edge.server import _EdgeHandler
+
+    monkeypatch.setattr(_EdgeHandler, "timeout", 0.5)
+    host, port = service_server.address
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(b"POST /v1/solve HTTP/1.1\r\n"
+                     b"Host: edge\r\n"
+                     b"Authorization: Bearer " + TOKEN.encode() +
+                     b"\r\nContent-Length: 64\r\n\r\n")  # body withheld
+        sock.settimeout(30)
+        # The server must close the connection once its read times
+        # out; recv unblocking with b"" is that remote close.  If the
+        # thread were pinned, recv would sit until our 30 s guard.
+        while sock.recv(1024):
+            pass
     url = service_server.url
     status, doc = call(url, "/v1/jobs", {"atoms": ATOMS, "seed": 2})
     assert status == 202

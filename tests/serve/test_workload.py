@@ -53,6 +53,15 @@ def test_workload_bodies_mirrors_load_workload(trace_file):
         assert int(body.get("priority", 0)) == req.priority
 
 
+def test_workload_bodies_repeats_are_independent_dicts(trace_file):
+    """Repeat expansion must copy the body per entry — mutating one
+    replayed body must not bleed into its siblings."""
+    bodies = workload_bodies(trace_file)
+    bodies[0][1]["seed"] = 999
+    assert bodies[1][1]["seed"] == 1
+    assert bodies[2][1]["seed"] == 1
+
+
 def test_synthetic_workload_tenants_draw_is_appended():
     plain = synthetic_workload(12, seed=9, atoms=60)
     tagged = synthetic_workload(12, seed=9, atoms=60,
